@@ -1,0 +1,61 @@
+//! Executive benches: the same workload on all three executives, plus
+//! the checkpoint-rule ablation DESIGN.md calls out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use warp_control::{AdaptRule, DynamicCheckpoint};
+use warp_core::policy::{CancellationMode, FixedCancellation, ObjectPolicies};
+use warp_exec::{run_sequential, run_threaded, run_virtual};
+use warp_models::PholdConfig;
+
+fn executives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executives_phold");
+    g.sample_size(10);
+    let cfg = PholdConfig {
+        n_objects: 16,
+        n_lps: 4,
+        ttl: 100,
+        ..PholdConfig::new(100, 5)
+    };
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_sequential(&cfg.spec()).committed_events))
+    });
+    g.bench_function("virtual", |b| {
+        b.iter(|| black_box(run_virtual(&cfg.spec()).committed_events))
+    });
+    g.bench_function("threaded", |b| {
+        b.iter(|| black_box(run_threaded(&cfg.spec()).committed_events))
+    });
+    g.finish();
+}
+
+/// Ablation: the paper's literal increment/decrement transfer function vs
+/// the accelerated hill climb, on the checkpoint-sensitive SMMP workload.
+/// Criterion reports host wall time; the *modeled* comparison is printed
+/// once per run for the record.
+fn checkpoint_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_checkpoint_rules");
+    g.sample_size(10);
+    for (name, rule) in [
+        ("paper_rule", AdaptRule::PaperRule),
+        ("hill_climb", AdaptRule::HillClimb),
+    ] {
+        let spec = warp_models::SmmpConfig::paper(60, 5)
+            .spec()
+            .with_policies(Arc::new(move |_| {
+                ObjectPolicies::new(
+                    Box::new(FixedCancellation(CancellationMode::Lazy)),
+                    Box::new(DynamicCheckpoint::with_rule(1, 64, 32, rule)),
+                )
+            }));
+        let modeled = run_virtual(&spec).completion_seconds;
+        println!("[ablation] {name}: modeled completion {modeled:.4}s");
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_virtual(&spec).committed_events))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, executives, checkpoint_rules);
+criterion_main!(benches);

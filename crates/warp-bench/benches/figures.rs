@@ -1,0 +1,92 @@
+//! Scenario benches: each of the paper's figures at reduced scale, so
+//! `cargo bench` exercises every experiment's code path and tracks the
+//! wall-clock cost of the virtual cluster itself. (The figures proper —
+//! modeled execution times at paper scale — come from the `fig*`
+//! binaries; see EXPERIMENTS.md.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use warp_bench::{policies, Cancellation, Checkpointing};
+use warp_exec::run_virtual;
+use warp_models::{RaidConfig, SmmpConfig};
+use warp_net::AggregationConfig;
+
+const SEED: u64 = 11;
+
+fn fig5_checkpointing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_checkpointing");
+    g.sample_size(10);
+    for (name, canc, ckpt) in [
+        (
+            "smmp_static",
+            Cancellation::Aggressive,
+            Checkpointing::Periodic(1),
+        ),
+        ("smmp_dynamic", Cancellation::Lazy, Checkpointing::Dynamic),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = SmmpConfig::paper(40, SEED)
+                    .spec()
+                    .with_policies(policies(canc, ckpt));
+                black_box(run_virtual(&spec).committed_events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig6_fig7_cancellation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_cancellation");
+    g.sample_size(10);
+    for (name, canc) in [
+        ("raid_ac", Cancellation::Aggressive),
+        ("raid_lc", Cancellation::Lazy),
+        (
+            "raid_dc",
+            Cancellation::Dynamic {
+                filter_depth: 16,
+                a2l: 0.45,
+                l2a: 0.2,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = RaidConfig::paper(30, SEED)
+                    .spec()
+                    .with_policies(policies(canc, Checkpointing::Periodic(4)));
+                black_box(run_virtual(&spec).committed_events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig8_fig9_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig9_aggregation");
+    g.sample_size(10);
+    for (name, agg) in [
+        ("raid_unaggregated", AggregationConfig::Unaggregated),
+        ("raid_faw10ms", AggregationConfig::Faw { window: 10e-3 }),
+        ("raid_saaw10ms", AggregationConfig::saaw(10e-3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = RaidConfig::paper(30, SEED)
+                    .spec()
+                    .with_policies(policies(Cancellation::Lazy, Checkpointing::Periodic(4)))
+                    .with_aggregation(agg.clone());
+                black_box(run_virtual(&spec).committed_events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig5_checkpointing,
+    fig6_fig7_cancellation,
+    fig8_fig9_aggregation
+);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Microbenchmarks of the kernel's hot paths: queue operations, state
+//! snapshots, rollback, the aggregation layer and GVT agents.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use warp_core::event::{Event, EventId};
+use warp_core::gvt::{GvtController, MatternAgent};
+use warp_core::object::{ErasedState, ObjectState};
+use warp_core::queues::{InputQueue, StateQueue};
+use warp_core::trace::TraceDigest;
+use warp_core::{LpId, ObjectId, VirtualTime};
+use warp_net::{AggregationConfig, Aggregator};
+
+fn ev(sender: u32, serial: u64, rt: u64) -> Event {
+    Event::new(
+        EventId {
+            sender: ObjectId(sender),
+            serial,
+        },
+        ObjectId(0),
+        VirtualTime::ZERO,
+        VirtualTime::new(rt),
+        1,
+        vec![0u8; 48],
+    )
+}
+
+fn bench_input_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("input_queue");
+    g.bench_function("insert_1k_ordered", |b| {
+        b.iter_batched(
+            InputQueue::new,
+            |mut q| {
+                for s in 0..1000u64 {
+                    q.insert(ev(1, s, s * 3));
+                }
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_1k_interleaved", |b| {
+        b.iter_batched(
+            InputQueue::new,
+            |mut q| {
+                // Four senders interleaving timestamps: realistic fan-in.
+                for s in 0..250u64 {
+                    for sender in 0..4u32 {
+                        q.insert(ev(sender, s, (s * 7 + sender as u64 * 13) % 900));
+                    }
+                }
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("process_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = InputQueue::new();
+                for s in 0..1000u64 {
+                    q.insert(ev(1, s, s * 3));
+                }
+                q
+            },
+            |mut q| {
+                while q.next_unprocessed().is_some() {
+                    black_box(q.mark_processed().recv_time);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("straggler_unprocess", |b| {
+        b.iter_batched(
+            || {
+                let mut q = InputQueue::new();
+                for s in 0..1000u64 {
+                    q.insert(ev(1, s, s * 3));
+                }
+                while q.next_unprocessed().is_some() {
+                    q.mark_processed();
+                }
+                q
+            },
+            |mut q| {
+                let key = ev(1, 500, 1500).key();
+                black_box(q.unprocess_from(key))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+#[derive(Clone, Debug)]
+struct BigState {
+    tags: Vec<u64>,
+}
+impl ObjectState for BigState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tags.len() * 8
+    }
+}
+
+fn bench_state_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_queue");
+    for lines in [64usize, 1024] {
+        g.bench_function(format!("snapshot_{}B", lines * 8), |b| {
+            let state = BigState {
+                tags: vec![7; lines],
+            };
+            b.iter(|| black_box(ErasedState::of(state.clone()).bytes()));
+        });
+    }
+    g.bench_function("save_restore_cycle", |b| {
+        let state = BigState { tags: vec![7; 256] };
+        b.iter_batched(
+            StateQueue::new,
+            |mut q| {
+                q.save(None, ErasedState::of(state.clone()));
+                for t in 1..50u64 {
+                    let key = ev(0, t, t * 10).key();
+                    q.save(Some(key), ErasedState::of(state.clone()));
+                }
+                let probe = ev(9, 999, 333).key();
+                black_box(q.restore_before(probe).is_some())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    for (name, config) in [
+        ("unaggregated", AggregationConfig::Unaggregated),
+        ("faw", AggregationConfig::Faw { window: 1e-3 }),
+        ("saaw", AggregationConfig::saaw(1e-3)),
+    ] {
+        g.bench_function(format!("offer_1k_{name}"), |b| {
+            b.iter_batched(
+                || Aggregator::new(LpId(0), config.clone()),
+                |mut agg| {
+                    let mut out = Vec::new();
+                    for s in 0..1000u64 {
+                        agg.offer(
+                            LpId(1 + (s % 3) as u32),
+                            ev(0, s, s),
+                            s as f64 * 1e-5,
+                            &mut out,
+                        );
+                    }
+                    agg.flush_all(1.0, &mut out);
+                    black_box(out.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_gvt(c: &mut Criterion) {
+    c.bench_function("gvt_token_round_8lps", |b| {
+        b.iter_batched(
+            || {
+                (
+                    (0..8).map(|_| MatternAgent::new()).collect::<Vec<_>>(),
+                    GvtController::new(),
+                )
+            },
+            |(mut agents, mut ctrl)| {
+                let mut token = ctrl.start_round();
+                for a in agents.iter_mut() {
+                    a.on_token(&mut token, VirtualTime::new(100));
+                }
+                black_box(ctrl.on_return(token).is_ok())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_trace_digest(c: &mut Criterion) {
+    c.bench_function("trace_digest_1k_events", |b| {
+        let events: Vec<Event> = (0..1000).map(|s| ev(1, s, s)).collect();
+        b.iter(|| {
+            let mut d = TraceDigest::new();
+            for e in &events {
+                d.update(e);
+            }
+            black_box(d.value())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_input_queue,
+    bench_state_queue,
+    bench_aggregator,
+    bench_gvt,
+    bench_trace_digest
+);
+criterion_main!(benches);

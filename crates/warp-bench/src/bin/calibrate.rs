@@ -1,0 +1,133 @@
+//! Calibration probe: prints the headline dynamics of SMMP and RAID under
+//! the key configurations, so cost-model and workload constants can be
+//! sanity-checked against the paper's reported behaviour before running
+//! the figure harnesses.
+
+use warp_bench::{policies, Cancellation, Checkpointing};
+use warp_exec::run_virtual;
+use warp_models::{RaidConfig, SmmpConfig};
+use warp_net::AggregationConfig;
+
+fn show(label: &str, r: &warp_exec::RunReport) {
+    println!(
+        "{label:<28} T={:>8.3}s ev/s={:>8.0} committed={:>8} rollbacks={:>6} rolled%={:>5.1} coast={:>6} lazyH/M={}/{} monH/M={}/{} anti={} phys={} aggr={:.2}",
+        r.completion_seconds,
+        r.events_per_second,
+        r.committed_events,
+        r.kernel.rollbacks(),
+        100.0 * r.rollback_fraction(),
+        r.kernel.coasted,
+        r.kernel.lazy_hits,
+        r.kernel.lazy_misses,
+        r.kernel.monitor_hits,
+        r.kernel.monitor_misses,
+        r.kernel.anti_sent,
+        r.comm.phys_sent,
+        r.comm.aggregation_ratio(),
+    );
+}
+
+fn main() {
+    let seed = 7;
+    let reqs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150);
+
+    println!("--- SMMP ({reqs} requests/processor) ---");
+    for (label, canc, ckpt) in [
+        (
+            "AC + P1",
+            Cancellation::Aggressive,
+            Checkpointing::Periodic(1),
+        ),
+        ("LC + P1", Cancellation::Lazy, Checkpointing::Periodic(1)),
+        (
+            "AC + P8",
+            Cancellation::Aggressive,
+            Checkpointing::Periodic(8),
+        ),
+        ("LC + DYN", Cancellation::Lazy, Checkpointing::Dynamic),
+        (
+            "DC + P1",
+            Cancellation::Dynamic {
+                filter_depth: 16,
+                a2l: 0.45,
+                l2a: 0.2,
+            },
+            Checkpointing::Periodic(1),
+        ),
+    ] {
+        let spec = SmmpConfig::paper(reqs, seed)
+            .spec()
+            .with_policies(policies(canc, ckpt));
+        show(label, &run_virtual(&spec));
+    }
+
+    println!("--- RAID ({reqs} requests/source) ---");
+    for (label, canc, ckpt) in [
+        (
+            "AC + P1",
+            Cancellation::Aggressive,
+            Checkpointing::Periodic(1),
+        ),
+        ("LC + P1", Cancellation::Lazy, Checkpointing::Periodic(1)),
+        (
+            "DC + P1",
+            Cancellation::Dynamic {
+                filter_depth: 16,
+                a2l: 0.45,
+                l2a: 0.2,
+            },
+            Checkpointing::Periodic(1),
+        ),
+        ("LC + DYN", Cancellation::Lazy, Checkpointing::Dynamic),
+    ] {
+        let spec = RaidConfig::paper(reqs, seed)
+            .spec()
+            .with_policies(policies(canc, ckpt));
+        show(label, &run_virtual(&spec));
+    }
+
+    println!("--- SMMP scattered aggregation (LC) ---");
+    for (label, agg) in [
+        ("unaggregated", AggregationConfig::Unaggregated),
+        ("FAW 1ms", AggregationConfig::Faw { window: 1e-3 }),
+        ("FAW 3ms", AggregationConfig::Faw { window: 3e-3 }),
+        ("FAW 10ms", AggregationConfig::Faw { window: 10e-3 }),
+        ("FAW 30ms", AggregationConfig::Faw { window: 30e-3 }),
+        ("FAW 100ms", AggregationConfig::Faw { window: 100e-3 }),
+        ("SAAW 1ms", AggregationConfig::saaw(1e-3)),
+        ("SAAW 10ms", AggregationConfig::saaw(10e-3)),
+        ("SAAW 100ms", AggregationConfig::saaw(100e-3)),
+    ] {
+        let cfg = SmmpConfig {
+            scattered: true,
+            ..SmmpConfig::paper(reqs, seed)
+        };
+        let spec = cfg
+            .spec()
+            .with_policies(policies(Cancellation::Lazy, Checkpointing::Periodic(4)))
+            .with_aggregation(agg);
+        show(label, &run_virtual(&spec));
+    }
+    println!("--- RAID aggregation (LC) ---");
+    for (label, agg) in [
+        ("unaggregated", AggregationConfig::Unaggregated),
+        ("FAW 1ms", AggregationConfig::Faw { window: 1e-3 }),
+        ("FAW 3ms", AggregationConfig::Faw { window: 3e-3 }),
+        ("FAW 10ms", AggregationConfig::Faw { window: 10e-3 }),
+        ("FAW 30ms", AggregationConfig::Faw { window: 30e-3 }),
+        ("FAW 100ms", AggregationConfig::Faw { window: 100e-3 }),
+        ("FAW 300ms", AggregationConfig::Faw { window: 300e-3 }),
+        ("SAAW 1ms", AggregationConfig::saaw(1e-3)),
+        ("SAAW 10ms", AggregationConfig::saaw(10e-3)),
+        ("SAAW 100ms", AggregationConfig::saaw(100e-3)),
+    ] {
+        let spec = RaidConfig::paper(reqs, seed)
+            .spec()
+            .with_policies(policies(Cancellation::Lazy, Checkpointing::Periodic(4)))
+            .with_aggregation(agg);
+        show(label, &run_virtual(&spec));
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 6 — RAID: execution time vs. number of requests under six
+//! cancellation strategies.
+//!
+//! Paper configuration: 20 sources, 4 forks, 8 disks, 4 LPs; strategies
+//! AC, LC, DC (filter depth 16, A2L = 0.45, L2A = 0.2), ST0.4 (single
+//! threshold), PS32 (permanently set after 32 comparisons), PA10
+//! (permanently aggressive after 10 successive misses).
+//!
+//! Expected shape (§8): lazy beats aggressive; DC within ~1.5% of lazy;
+//! PS32/PA10 a further ~2.5% ahead because objects that settle on
+//! aggressive stop paying the passive-comparison cost.
+
+use warp_bench::{
+    measure, policies, scaled, Cancellation, Checkpointing, Figure, Point, Series, DEFAULT_SEEDS,
+};
+use warp_models::RaidConfig;
+
+fn main() {
+    let strategies = [
+        Cancellation::Aggressive,
+        Cancellation::Lazy,
+        Cancellation::Dynamic {
+            filter_depth: 16,
+            a2l: 0.45,
+            l2a: 0.2,
+        },
+        Cancellation::SingleThreshold {
+            filter_depth: 16,
+            t: 0.4,
+        },
+        Cancellation::PermanentSet { n: 32 },
+        Cancellation::PermanentAggressive { n: 10 },
+    ];
+    let request_counts = [250u64, 500, 750, 1000];
+
+    let mut fig = Figure {
+        id: "fig6".into(),
+        title: "RAID 20 processes, 4 forks, 8 disks, 4 LPs — execution time vs requests".into(),
+        x_label: "requests".into(),
+        y_label: "execution time (modeled s)".into(),
+        series: Vec::new(),
+    };
+    for strat in strategies {
+        let mut series = Series {
+            label: strat.label(),
+            points: Vec::new(),
+        };
+        for &reqs in &request_counts {
+            let reqs = scaled(reqs, 25);
+            let m = measure(
+                |seed| {
+                    RaidConfig::paper(reqs, seed)
+                        .spec()
+                        .with_policies(policies(strat, Checkpointing::Periodic(4)))
+                },
+                &DEFAULT_SEEDS,
+            );
+            series.points.push(Point { x: reqs as f64, m });
+        }
+        fig.series.push(series);
+    }
+    fig.print();
+    let path = fig.write_json().expect("write fig6 JSON");
+    println!("(JSON: {})", path.display());
+}

@@ -1,0 +1,64 @@
+//! Figure 7 — SMMP: execution time vs. number of test vectors under five
+//! cancellation strategies.
+//!
+//! Paper configuration: 16 processors, 4 LPs, 100 simulation objects;
+//! strategies AC, LC, DC, PS64 (permanently set after 64 comparisons),
+//! PA10. The x-axis is total test vectors (split evenly over the 16
+//! processors, matching the paper's 2000–10000 range).
+//!
+//! Expected shape (§8): every object favors lazy, so LC ≈ DC ≈ PS64 ≈
+//! PA10, all ~15% under AC; PS64 edges DC slightly by not monitoring
+//! for the rest of the run.
+
+use warp_bench::{
+    measure, policies, scaled, Cancellation, Checkpointing, Figure, Point, Series, DEFAULT_SEEDS,
+};
+use warp_models::SmmpConfig;
+
+fn main() {
+    let strategies = [
+        Cancellation::Aggressive,
+        Cancellation::Lazy,
+        Cancellation::Dynamic {
+            filter_depth: 16,
+            a2l: 0.45,
+            l2a: 0.2,
+        },
+        Cancellation::PermanentSet { n: 64 },
+        Cancellation::PermanentAggressive { n: 10 },
+    ];
+    let vector_counts = [2000u64, 5000, 10_000];
+
+    let mut fig = Figure {
+        id: "fig7".into(),
+        title: "SMMP 16 processors, 4 LPs — execution time vs test vectors".into(),
+        x_label: "test vectors".into(),
+        y_label: "execution time (modeled s)".into(),
+        series: Vec::new(),
+    };
+    for strat in strategies {
+        let mut series = Series {
+            label: strat.label(),
+            points: Vec::new(),
+        };
+        for &vectors in &vector_counts {
+            let per_processor = scaled(vectors, 160) / 16;
+            let m = measure(
+                |seed| {
+                    SmmpConfig::paper(per_processor, seed)
+                        .spec()
+                        .with_policies(policies(strat, Checkpointing::Periodic(4)))
+                },
+                &DEFAULT_SEEDS,
+            );
+            series.points.push(Point {
+                x: vectors as f64,
+                m,
+            });
+        }
+        fig.series.push(series);
+    }
+    fig.print();
+    let path = fig.write_json().expect("write fig7 JSON");
+    println!("(JSON: {})", path.display());
+}

@@ -1,0 +1,74 @@
+//! Figure 9 — RAID on a network of workstations: aggregate age vs.
+//! execution time for FAW, SAAW and the unaggregated transport.
+//!
+//! RAID is intrinsically communication-bound (three of its four hops
+//! cross LPs), so the paper's standard configuration is used as-is. Lazy
+//! cancellation throughout (the RAID-majority-optimal strategy per
+//! Figure 6).
+//!
+//! Expected shape: as Figure 8 — U-shaped FAW with an interior optimum,
+//! flatter SAAW at least as good near the optimum, and a large win over
+//! the unaggregated transport at the optimum.
+
+use warp_bench::{
+    measure, policies, scaled, Cancellation, Checkpointing, Figure, Point, Series, DEFAULT_SEEDS,
+};
+use warp_exec::SimulationSpec;
+use warp_models::RaidConfig;
+use warp_net::AggregationConfig;
+
+fn spec(seed: u64, reqs: u64) -> SimulationSpec {
+    RaidConfig::paper(reqs, seed)
+        .spec()
+        .with_policies(policies(Cancellation::Lazy, Checkpointing::Periodic(4)))
+}
+
+type AggBuilder = fn(f64) -> AggregationConfig;
+
+fn main() {
+    let reqs = scaled(250, 30);
+    let ages_ms = [1.0f64, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 300.0];
+
+    let mut fig = Figure {
+        id: "fig9".into(),
+        title: "Aggregate age vs execution time for RAID (NOW)".into(),
+        x_label: "age (ms)".into(),
+        y_label: "execution time (modeled s)".into(),
+        series: Vec::new(),
+    };
+
+    let unagg = measure(|seed| spec(seed, reqs), &DEFAULT_SEEDS);
+    fig.series.push(Series {
+        label: "none".into(),
+        points: ages_ms
+            .iter()
+            .map(|&x| Point {
+                x,
+                m: unagg.clone(),
+            })
+            .collect(),
+    });
+
+    let policies_swept: Vec<(&str, AggBuilder)> = vec![
+        ("FAW", |w| AggregationConfig::Faw { window: w }),
+        ("SAAW", AggregationConfig::saaw),
+    ];
+    for (label, make) in policies_swept {
+        let mut series = Series {
+            label: label.into(),
+            points: Vec::new(),
+        };
+        for &age in &ages_ms {
+            let window = age * 1e-3;
+            let m = measure(
+                |seed| spec(seed, reqs).with_aggregation(make(window)),
+                &DEFAULT_SEEDS,
+            );
+            series.points.push(Point { x: age, m });
+        }
+        fig.series.push(series);
+    }
+    fig.print();
+    let path = fig.write_json().expect("write fig9 JSON");
+    println!("(JSON: {})", path.display());
+}

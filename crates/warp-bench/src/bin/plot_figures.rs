@@ -1,0 +1,99 @@
+//! Render `results/fig*.json` (written by the figure binaries) to SVG
+//! charts, mirroring the paper's presentation: linear x for Figures 6–7,
+//! log-scale x for the aggregate-age sweeps of Figures 8–9.
+
+use warp_bench::svg::{Chart, Line, Scale};
+
+fn plot_series_figure(id: &str, x_scale: Scale) -> Option<std::path::PathBuf> {
+    let path = format!("results/{id}.json");
+    let data = std::fs::read(&path).ok()?;
+    let v: serde_json::Value = serde_json::from_slice(&data).ok()?;
+    let lines = v["series"]
+        .as_array()?
+        .iter()
+        .map(|s| Line {
+            label: s["label"].as_str().unwrap_or("?").to_string(),
+            points: s["points"]
+                .as_array()
+                .map(|pts| {
+                    pts.iter()
+                        .filter_map(|p| {
+                            Some((p["x"].as_f64()?, p["m"]["completion_seconds"].as_f64()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+        .collect();
+    let chart = Chart {
+        title: v["title"].as_str().unwrap_or(id).to_string(),
+        x_label: v["x_label"].as_str().unwrap_or("x").to_string(),
+        y_label: v["y_label"].as_str().unwrap_or("seconds").to_string(),
+        x_scale,
+        lines,
+    };
+    let out = std::path::PathBuf::from(format!("results/{id}.svg"));
+    std::fs::write(&out, chart.render()).ok()?;
+    Some(out)
+}
+
+fn plot_fig5() -> Option<std::path::PathBuf> {
+    // Fig. 5 is a bar chart in the paper; render the normalized values as
+    // one line per model over the three configurations.
+    let data = std::fs::read("results/fig5.json").ok()?;
+    let v: serde_json::Value = serde_json::from_slice(&data).ok()?;
+    let rows = v["rows"].as_array()?;
+    let mut lines: Vec<Line> = Vec::new();
+    for row in rows {
+        let model = row["model"].as_str()?;
+        let norm = row["normalized_performance"].as_f64()?;
+        if !lines.iter().any(|l| l.label == model) {
+            lines.push(Line {
+                label: model.to_string(),
+                points: vec![],
+            });
+        }
+        let line = lines.iter_mut().find(|l| l.label == model)?;
+        let x = line.points.len() as f64 + 1.0;
+        line.points.push((x, norm));
+    }
+    let chart = Chart {
+        title: "Fig. 5 — dynamic check-pointing, normalized performance \
+                (1: P+AC, 2: P+LC, 3: DYN+LC)"
+            .into(),
+        x_label: "configuration".into(),
+        y_label: "normalized performance".into(),
+        x_scale: Scale::Linear,
+        lines,
+    };
+    let out = std::path::PathBuf::from("results/fig5.svg");
+    std::fs::write(&out, chart.render()).ok()?;
+    Some(out)
+}
+
+fn main() {
+    let mut plotted = Vec::new();
+    if let Some(p) = plot_fig5() {
+        plotted.push(p);
+    }
+    for (id, scale) in [
+        ("fig6", Scale::Linear),
+        ("fig7", Scale::Linear),
+        ("fig8", Scale::Log10),
+        ("fig9", Scale::Log10),
+    ] {
+        if let Some(p) = plot_series_figure(id, scale) {
+            plotted.push(p);
+        }
+    }
+    if plotted.is_empty() {
+        eprintln!(
+            "no results/*.json found — run the fig* binaries first \
+             (e.g. cargo run --release -p warp-bench --bin fig6_raid_cancellation)"
+        );
+        std::process::exit(1);
+    }
+    for p in plotted {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,82 @@
+//! Render a space-time diagram of a run: each LP's optimism front (its
+//! largest object LVT) and the GVT commit horizon over modeled wall time.
+//! The vertical gap between a front and GVT is speculation at risk; the
+//! sawtooth drops are rollbacks — the visual signature of Time Warp.
+//!
+//! ```text
+//! cargo run --release -p warp-bench --bin spacetime [smmp|raid|qnet] [scale]
+//! ```
+
+use warp_bench::svg::{Chart, Line, Scale};
+use warp_bench::{policies, scaled, Cancellation, Checkpointing};
+use warp_exec::{run_virtual_with, SimulationSpec, VirtualOptions};
+use warp_models::{QnetConfig, RaidConfig, SmmpConfig};
+
+fn spec_for(model: &str) -> SimulationSpec {
+    let lazy = policies(Cancellation::Lazy, Checkpointing::Periodic(4));
+    match model {
+        "raid" => RaidConfig::paper(scaled(150, 30), 7)
+            .spec()
+            .with_policies(lazy),
+        "qnet" => QnetConfig::new(scaled(150, 30) as u32, 7)
+            .spec()
+            .with_policies(lazy),
+        _ => SmmpConfig::paper(scaled(150, 30), 7)
+            .spec()
+            .with_policies(lazy),
+    }
+    .with_gvt_period(Some(0.01))
+}
+
+fn main() {
+    let model = std::env::args().nth(1).unwrap_or_else(|| "smmp".into());
+    let spec = spec_for(&model);
+    let opts = VirtualOptions {
+        collect_timeline: true,
+        ..Default::default()
+    };
+    let report = run_virtual_with(&spec, &opts);
+    assert!(
+        !report.timeline.is_empty(),
+        "no timeline samples — GVT must be enabled for space-time diagrams"
+    );
+
+    let n_lps = report.per_lp.len();
+    let mut lines: Vec<Line> = (0..n_lps)
+        .map(|lp| Line {
+            label: format!("LP{lp} front"),
+            points: Vec::new(),
+        })
+        .collect();
+    let mut gvt_line = Line {
+        label: "GVT".into(),
+        points: Vec::new(),
+    };
+    for s in &report.timeline {
+        for (lp, &front) in s.lp_fronts.iter().enumerate() {
+            lines[lp].points.push((s.at, front as f64));
+        }
+        if let Some(g) = s.gvt {
+            gvt_line.points.push((s.at, g as f64));
+        }
+    }
+    lines.push(gvt_line);
+
+    let chart = Chart {
+        title: format!(
+            "Space-time: {} ({} committed, {} rollbacks)",
+            model,
+            report.committed_events,
+            report.kernel.rollbacks()
+        ),
+        x_label: "modeled wall time (s)".into(),
+        y_label: "virtual time (ticks)".into(),
+        x_scale: Scale::Linear,
+        lines,
+    };
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/spacetime_{model}.svg");
+    std::fs::write(&path, chart.render()).expect("write SVG");
+    println!("{}", report.summary_line());
+    println!("{} timeline samples -> {path}", report.timeline.len());
+}

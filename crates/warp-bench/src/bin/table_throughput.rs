@@ -1,0 +1,78 @@
+//! §8 text — committed-event throughput of the all-static baseline.
+//!
+//! The paper reports: "The SMMP model processed 11,300 committed events
+//! per second when no dynamic optimizations were used; RAID processed
+//! 10,917 committed events per second." This harness measures the same
+//! all-static baseline (periodic χ=1 check-pointing, aggressive
+//! cancellation, no aggregation) on the virtual cluster, plus the
+//! dynamically configured counterpart for the headline speedup.
+
+use warp_bench::{measure, policies, scaled, Cancellation, Checkpointing, DEFAULT_SEEDS};
+use warp_models::{RaidConfig, SmmpConfig};
+
+type SpecBuilder = Box<dyn Fn(u64) -> warp_exec::SimulationSpec>;
+
+fn main() {
+    let smmp_reqs = scaled(400, 40);
+    let raid_reqs = scaled(300, 30);
+    println!("== table — committed events/second (paper §8: SMMP 11,300; RAID 10,917) ==");
+    println!(
+        "{:>8} {:>28} {:>12} {:>12} {:>10}",
+        "model", "configuration", "ev/s", "exec (s)", "rollbacks"
+    );
+
+    let mut rows = Vec::new();
+    let cases: Vec<(&str, Cancellation, Checkpointing)> = vec![
+        (
+            "all-static (AC, chi=1)",
+            Cancellation::Aggressive,
+            Checkpointing::Periodic(1),
+        ),
+        (
+            "on-line configured (DC, dyn-chi)",
+            Cancellation::Dynamic {
+                filter_depth: 16,
+                a2l: 0.45,
+                l2a: 0.2,
+            },
+            Checkpointing::Dynamic,
+        ),
+    ];
+    let models: Vec<(&str, SpecBuilder)> = vec![
+        (
+            "SMMP",
+            Box::new(move |seed| SmmpConfig::paper(smmp_reqs, seed).spec()),
+        ),
+        (
+            "RAID",
+            Box::new(move |seed| RaidConfig::paper(raid_reqs, seed).spec()),
+        ),
+    ];
+    for (model, make) in &models {
+        for (label, canc, ckpt) in &cases {
+            let m = measure(
+                |seed| make(seed).with_policies(policies(*canc, *ckpt)),
+                &DEFAULT_SEEDS,
+            );
+            println!(
+                "{model:>8} {label:>28} {:>12.0} {:>12.4} {:>10.0}",
+                m.events_per_second, m.completion_seconds, m.rollbacks
+            );
+            rows.push(serde_json::json!({
+                "model": model,
+                "configuration": label,
+                "events_per_second": m.events_per_second,
+                "completion_seconds": m.completion_seconds,
+                "rollbacks": m.rollbacks,
+            }));
+        }
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(
+        "results/table_throughput.json",
+        serde_json::to_vec_pretty(&serde_json::json!({ "id": "table_throughput", "rows": rows }))
+            .unwrap(),
+    )
+    .expect("write JSON");
+    println!("(JSON: results/table_throughput.json)");
+}

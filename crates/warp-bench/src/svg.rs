@@ -1,0 +1,327 @@
+//! A minimal SVG line-chart writer for the regenerated figures.
+//!
+//! Deliberately dependency-free: the harness needs exactly one kind of
+//! chart (labeled series over a linear or logarithmic x-axis), and a few
+//! hundred lines of plain SVG generation keep the workspace's dependency
+//! surface at the offline-approved set.
+
+use std::fmt::Write as _;
+
+/// Axis scaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (all values must be positive).
+    Log10,
+}
+
+/// One polyline with a legend label.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) samples in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart description.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// The series.
+    pub lines: Vec<Line>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+fn fwd(scale: Scale, v: f64) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log10 => v.log10(),
+    }
+}
+
+/// Pick ~n "nice" tick values across [lo, hi] in *data* space.
+fn ticks(scale: Scale, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    match scale {
+        Scale::Linear => {
+            if hi <= lo {
+                return vec![lo];
+            }
+            let raw = (hi - lo) / n as f64;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|s| (hi - lo) / s <= n as f64)
+                .unwrap_or(mag * 10.0);
+            let mut t = (lo / step).ceil() * step;
+            let mut out = Vec::new();
+            while t <= hi + step * 1e-9 {
+                out.push(t);
+                t += step;
+            }
+            out
+        }
+        Scale::Log10 => {
+            let mut out = Vec::new();
+            let mut d = 10f64.powf(lo.log10().floor());
+            while d <= hi * 1.0001 {
+                if d >= lo * 0.9999 {
+                    out.push(d);
+                }
+                d *= 10.0;
+            }
+            if out.is_empty() {
+                out.push(lo);
+            }
+            out
+        }
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 1.0 {
+        let s = format!("{:.2}", v);
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{:.3}", v)
+    }
+}
+
+impl Chart {
+    /// Render the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+        for l in &self.lines {
+            for &(x, y) in &l.points {
+                xmin = xmin.min(x);
+                xmax = xmax.max(x);
+                ymax = ymax.max(y);
+                if self.x_scale == Scale::Log10 {
+                    assert!(x > 0.0, "log axis requires positive x values");
+                }
+            }
+        }
+        if !xmin.is_finite() {
+            xmin = 0.0;
+            xmax = 1.0;
+        }
+        if !ymax.is_finite() {
+            ymax = 1.0;
+        }
+        ymax *= 1.08;
+        if xmax == xmin {
+            xmax = xmin + 1.0;
+        }
+
+        let (fx0, fx1) = (fwd(self.x_scale, xmin), fwd(self.x_scale, xmax));
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (fwd(self.x_scale, x) - fx0) / (fx1 - fx0) * plot_w;
+        let py = |y: f64| MARGIN_T + (1.0 - (y - ymin) / (ymax - ymin)) * plot_h;
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(
+            s,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="24" font-size="15" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Axes + grid + ticks.
+        for t in ticks(self.x_scale, xmin, xmax, 6) {
+            let x = px(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(t)
+            );
+        }
+        for t in ticks(Scale::Linear, ymin, ymax, 6) {
+            let y = py(t);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_L,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0,
+                fmt_tick(t)
+            );
+        }
+        let _ = writeln!(
+            s,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 14.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series.
+        for (i, line) in self.lines.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = line
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let _ = writeln!(
+                s,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            );
+            for &(x, y) in &line.points {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend.
+            let ly = MARGIN_T + 16.0 + i as f64 * 20.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = writeln!(
+                s,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 22.0
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                xml_escape(&line.label)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn xml_escape(t: &str) -> String {
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart(scale: Scale) -> Chart {
+        Chart {
+            title: "t<est>".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: scale,
+            lines: vec![
+                Line {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0), (10.0, 4.0), (100.0, 3.0)],
+                },
+                Line {
+                    label: "b".into(),
+                    points: vec![(1.0, 1.0), (100.0, 5.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        for scale in [Scale::Linear, Scale::Log10] {
+            let svg = chart(scale).render();
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.ends_with("</svg>\n"));
+            assert_eq!(svg.matches("<polyline").count(), 2);
+            assert_eq!(svg.matches("<circle").count(), 5);
+            assert!(svg.contains("t&lt;est&gt;"), "title must be XML-escaped");
+        }
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = ticks(Scale::Log10, 1.0, 1000.0, 6);
+        assert_eq!(t, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let t = ticks(Scale::Linear, 0.0, 10.0, 6);
+        assert!(t.len() >= 3 && t.len() <= 8, "{t:?}");
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_axis_rejects_nonpositive() {
+        let mut c = chart(Scale::Log10);
+        c.lines[0].points.push((0.0, 1.0));
+        let _ = c.render();
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = Chart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            lines: vec![],
+        };
+        assert!(c.render().contains("</svg>"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamic cancellation: on-line selection between aggressive and lazy
+//! cancellation (Section 5 of the paper).
+//!
+//! Control system `<HR, I, Aggressive, A, P>`: the sampled output is the
+//! Hit Ratio, the configured parameter the cancellation strategy, the
+//! initial state aggressive, the transfer function the dead-zone
+//! threshold heuristic, invoked every `P` processed events. Thrashing is
+//! damped three ways, exactly as the paper prescribes: a large filter
+//! depth, infrequent control invocation, and the hysteresis of the dead
+//! zone between the A2L and L2A thresholds.
+//!
+//! The experimental variants of Figures 6–7 are all expressible:
+//!
+//! * **DC** — dead-zone dynamic cancellation (`A2L` > `L2A`).
+//! * **ST** — single threshold (`A2L == L2A`, dead zone eliminated).
+//! * **PS n** — permanently set to the then-favored strategy after `n`
+//!   comparisons; monitoring stops (that is its small edge over DC).
+//! * **PA n** — permanently set to aggressive after `n` successive
+//!   misses; monitoring stops.
+
+use crate::framework::DeadZone;
+use crate::hitwindow::HitWindow;
+use warp_core::policy::{CancellationMode, CancellationSelector};
+
+/// Default control period (processed events between invocations).
+pub const DEFAULT_PERIOD: u64 = 16;
+
+/// When to freeze the strategy permanently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Permanence {
+    /// Never freeze (DC, ST).
+    Never,
+    /// Freeze to the favored strategy after this many comparisons (PS n).
+    AfterComparisons(u64),
+    /// Freeze to aggressive after this many successive misses (PA n).
+    AfterMisses(usize),
+}
+
+/// On-line cancellation selector (all paper variants).
+#[derive(Debug)]
+pub struct DynamicCancellation {
+    window: HitWindow,
+    dead: DeadZone,
+    mode: CancellationMode,
+    permanence: Permanence,
+    frozen: bool,
+    period: u64,
+    label: &'static str,
+}
+
+impl DynamicCancellation {
+    /// The paper's DC: dead-zone dynamic cancellation. Figure 6 uses
+    /// `filter_depth = 16`, `a2l = 0.45`, `l2a = 0.2`.
+    pub fn dc(filter_depth: usize, a2l: f64, l2a: f64, period: u64) -> Self {
+        assert!(l2a <= a2l, "L2A threshold must not exceed A2L");
+        assert!(period >= 1, "control period must be >= 1");
+        DynamicCancellation {
+            window: HitWindow::new(filter_depth),
+            // Output "high" = lazy. Start aggressive (paper's initial S).
+            dead: DeadZone::new(l2a, a2l, false),
+            mode: CancellationMode::Aggressive,
+            permanence: Permanence::Never,
+            frozen: false,
+            period,
+            label: "DC",
+        }
+    }
+
+    /// Single-threshold variant (`ST t`): dead zone eliminated.
+    pub fn single_threshold(filter_depth: usize, t: f64, period: u64) -> Self {
+        let mut s = Self::dc(filter_depth, t, t, period);
+        s.label = "ST";
+        s
+    }
+
+    /// `PS n`: behave like DC (with the given filter depth) until `n`
+    /// comparisons have been observed, then permanently adopt the
+    /// currently favored strategy and stop monitoring.
+    pub fn permanent_set(filter_depth: usize, n: u64, a2l: f64, l2a: f64, period: u64) -> Self {
+        let mut s = Self::dc(filter_depth, a2l, l2a, period);
+        s.permanence = Permanence::AfterComparisons(n);
+        s.label = "PS";
+        s
+    }
+
+    /// `PA n`: behave like DC, but permanently fall back to aggressive
+    /// (and stop monitoring) after `n` successive misses.
+    pub fn permanent_aggressive(
+        filter_depth: usize,
+        n_misses: usize,
+        a2l: f64,
+        l2a: f64,
+        period: u64,
+    ) -> Self {
+        let mut s = Self::dc(filter_depth, a2l, l2a, period);
+        s.permanence = Permanence::AfterMisses(n_misses);
+        s.label = "PA";
+        s
+    }
+
+    /// Current Hit Ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.window.ratio()
+    }
+
+    /// Whether the strategy has been permanently frozen (PS/PA fired).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    fn freeze(&mut self, mode: CancellationMode) {
+        self.mode = mode;
+        self.frozen = true;
+    }
+}
+
+impl CancellationSelector for DynamicCancellation {
+    fn mode(&self) -> CancellationMode {
+        self.mode
+    }
+
+    fn monitoring(&self) -> bool {
+        // Passive comparisons (aggressive mode) feed the Hit Ratio; once
+        // frozen there is nothing left to decide, so their cost is saved.
+        !self.frozen
+    }
+
+    fn record_comparison(&mut self, hit: bool) {
+        if self.frozen {
+            return;
+        }
+        self.window.record(hit);
+        // PA's trigger is evaluated on the spot: successive misses are a
+        // burst signal that a periodic invocation could smear out.
+        if let Permanence::AfterMisses(n) = self.permanence {
+            if self.window.consecutive_misses() >= n {
+                self.freeze(CancellationMode::Aggressive);
+            }
+        }
+    }
+
+    fn invoke(&mut self) -> Option<CancellationMode> {
+        if self.frozen {
+            return Some(self.mode);
+        }
+        let hr = self.window.ratio();
+        let lazy = self.dead.update(hr);
+        self.mode = if lazy {
+            CancellationMode::Lazy
+        } else {
+            CancellationMode::Aggressive
+        };
+        if let Permanence::AfterComparisons(n) = self.permanence {
+            if self.window.total_comparisons() >= n {
+                self.freeze(self.mode);
+            }
+        }
+        Some(self.mode)
+    }
+
+    fn period(&self) -> u64 {
+        // Frozen selectors stop consuming control cycles entirely.
+        if self.frozen {
+            0
+        } else {
+            self.period
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(sel: &mut DynamicCancellation, hits: &[bool]) {
+        for &h in hits {
+            sel.record_comparison(h);
+        }
+    }
+
+    #[test]
+    fn starts_aggressive_and_switches_to_lazy_on_high_hr() {
+        let mut s = DynamicCancellation::dc(16, 0.45, 0.2, 16);
+        assert_eq!(s.mode(), CancellationMode::Aggressive);
+        assert!(s.monitoring());
+        drive(&mut s, &[true; 8]); // HR = 8/16 = 0.5 > 0.45
+        assert_eq!(s.invoke(), Some(CancellationMode::Lazy));
+        assert_eq!(s.mode(), CancellationMode::Lazy);
+    }
+
+    #[test]
+    fn dead_zone_prevents_thrashing() {
+        let mut s = DynamicCancellation::dc(16, 0.45, 0.2, 16);
+        drive(&mut s, &[true; 8]);
+        s.invoke();
+        assert_eq!(s.mode(), CancellationMode::Lazy);
+        // HR decays into the dead zone (0.2..0.45): stays lazy.
+        drive(&mut s, &[false; 3]); // window: 8 hits of 16 → evictions haven't started
+                                    // Add misses until HR ~ 0.31 — inside the dead zone.
+        while s.hit_ratio() > 0.3 {
+            s.record_comparison(false);
+        }
+        s.invoke();
+        assert_eq!(s.mode(), CancellationMode::Lazy, "dead zone holds");
+        // Drop below L2A: flips back to aggressive.
+        while s.hit_ratio() >= 0.2 {
+            s.record_comparison(false);
+        }
+        assert_eq!(s.invoke(), Some(CancellationMode::Aggressive));
+    }
+
+    #[test]
+    fn single_threshold_flips_both_ways_at_same_point() {
+        let mut s = DynamicCancellation::single_threshold(10, 0.4, 8);
+        drive(&mut s, &[true; 5]); // 0.5 > 0.4
+        assert_eq!(s.invoke(), Some(CancellationMode::Lazy));
+        for _ in 0..10 {
+            s.record_comparison(false);
+        }
+        assert_eq!(s.invoke(), Some(CancellationMode::Aggressive));
+        assert_eq!(s.name(), "ST");
+    }
+
+    #[test]
+    fn ps_freezes_after_n_comparisons_and_stops_monitoring() {
+        let mut s = DynamicCancellation::permanent_set(16, 32, 0.45, 0.2, 8);
+        drive(&mut s, &[true; 31]);
+        s.invoke();
+        assert!(!s.is_frozen(), "31 < 32 comparisons");
+        s.record_comparison(true);
+        s.invoke();
+        assert!(s.is_frozen());
+        assert_eq!(s.mode(), CancellationMode::Lazy);
+        assert!(!s.monitoring(), "frozen: passive comparison cost avoided");
+        assert_eq!(s.period(), 0, "frozen: control cycles avoided");
+        // Further comparisons are ignored.
+        for _ in 0..100 {
+            s.record_comparison(false);
+        }
+        assert_eq!(s.invoke(), Some(CancellationMode::Lazy));
+    }
+
+    #[test]
+    fn pa_freezes_to_aggressive_on_successive_misses() {
+        let mut s = DynamicCancellation::permanent_aggressive(64, 10, 0.45, 0.2, 16);
+        // Hits interleaved: never 10 successive misses.
+        for _ in 0..5 {
+            drive(&mut s, &[false; 9]);
+            s.record_comparison(true);
+        }
+        assert!(!s.is_frozen());
+        drive(&mut s, &[false; 10]);
+        assert!(s.is_frozen());
+        assert_eq!(s.mode(), CancellationMode::Aggressive);
+        assert_eq!(s.name(), "PA");
+    }
+
+    #[test]
+    fn frozen_lazy_survives_miss_storm() {
+        // PS frozen to lazy must not flip back even if behaviour changes —
+        // that is the paper's stated risk trade-off of the PS variant.
+        let mut s = DynamicCancellation::permanent_set(4, 4, 0.45, 0.2, 4);
+        drive(&mut s, &[true; 4]);
+        s.invoke();
+        assert!(s.is_frozen());
+        drive(&mut s, &[false; 50]);
+        assert_eq!(s.invoke(), Some(CancellationMode::Lazy));
+    }
+}

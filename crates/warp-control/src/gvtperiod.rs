@@ -1,0 +1,160 @@
+//! Adaptive GVT period — a fourth on-line configured facet.
+//!
+//! The paper configures three facets (checkpoint interval, cancellation
+//! strategy, aggregation window) and closes by expecting "better control
+//! systems" to be constructed on the same model. The GVT period is the
+//! natural next facet: computing GVT costs CPU on every node, but
+//! postponing it lets the history queues grow (§2: "periodic GVT
+//! calculation is necessary to reclaim memory"). Expressed as the paper's
+//! tuple:
+//!
+//! ```text
+//! < (reclaimed, retained), P_gvt, P₀, T, everyRound >
+//! ```
+//!
+//! with a transfer function that shortens the period when retained
+//! history exceeds a memory target, and lengthens it when rounds reclaim
+//! too little to be worth their cost.
+
+/// Hill-climbing controller for the GVT/fossil-collection period.
+#[derive(Clone, Debug)]
+pub struct GvtPeriodLaw {
+    period: f64,
+    min: f64,
+    max: f64,
+    /// Multiplicative adjustment per round.
+    step: f64,
+    /// Retained history items per object above which memory pressure
+    /// dominates and the period shrinks.
+    target_retained_per_object: f64,
+    rounds: u64,
+    adjustments: u64,
+}
+
+impl GvtPeriodLaw {
+    /// Start from `initial` seconds, clamped to `[min, max]`.
+    pub fn new(initial: f64, min: f64, max: f64) -> Self {
+        assert!(
+            min > 0.0 && min <= max,
+            "period bounds inverted or non-positive"
+        );
+        assert!(initial.is_finite() && initial > 0.0);
+        GvtPeriodLaw {
+            period: initial.clamp(min, max),
+            min,
+            max,
+            step: 0.5,
+            target_retained_per_object: 256.0,
+            rounds: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// Defaults suited to the SPARC cost model: start at 50 ms, adapt
+    /// between 5 ms and 1 s.
+    pub fn default_for_now() -> Self {
+        Self::new(0.05, 0.005, 1.0)
+    }
+
+    /// Override the per-object retained-history target.
+    pub fn with_target(mut self, items_per_object: f64) -> Self {
+        assert!(items_per_object > 0.0 && items_per_object.is_finite());
+        self.target_retained_per_object = items_per_object;
+        self
+    }
+
+    /// Current period (seconds).
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Period adjustments performed.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Feed back one completed GVT round: how many history items it
+    /// reclaimed and how many remain retained across `n_objects` objects.
+    /// Returns the period until the next round.
+    pub fn on_round(&mut self, reclaimed: u64, retained: u64, n_objects: usize) -> f64 {
+        self.rounds += 1;
+        let per_object = retained as f64 / n_objects.max(1) as f64;
+        let next = if per_object > self.target_retained_per_object {
+            // Memory pressure: collect sooner.
+            self.period / (1.0 + self.step)
+        } else if (reclaimed as f64) < 0.1 * self.target_retained_per_object * n_objects as f64 {
+            // The round barely paid for itself: collect later.
+            self.period * (1.0 + self.step)
+        } else {
+            self.period
+        }
+        .clamp(self.min, self.max);
+        if next != self.period {
+            self.adjustments += 1;
+            self.period = next;
+        }
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pressure_shortens_the_period() {
+        let mut law = GvtPeriodLaw::new(0.1, 0.001, 1.0).with_target(100.0);
+        let p0 = law.period();
+        // 64 objects retaining 400 items each: way over target.
+        let p = law.on_round(1000, 64 * 400, 64);
+        assert!(p < p0);
+        // Sustained pressure keeps shrinking toward the floor.
+        for _ in 0..40 {
+            law.on_round(1000, 64 * 400, 64);
+        }
+        assert!((law.period() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useless_rounds_lengthen_the_period() {
+        let mut law = GvtPeriodLaw::new(0.01, 0.001, 1.0).with_target(100.0);
+        for _ in 0..40 {
+            // Nothing retained, nothing reclaimed: pure overhead.
+            law.on_round(0, 0, 64);
+        }
+        assert!((law.period() - 1.0).abs() < 1e-9, "got {}", law.period());
+        assert!(law.adjustments() > 0);
+    }
+
+    #[test]
+    fn balanced_rounds_hold_steady() {
+        let mut law = GvtPeriodLaw::new(0.05, 0.001, 1.0).with_target(100.0);
+        // Retained right at half the target, healthy reclaim volume.
+        let before = law.period();
+        for _ in 0..10 {
+            law.on_round(64 * 50, 64 * 50, 64);
+        }
+        assert_eq!(law.period(), before);
+        assert_eq!(law.adjustments(), 0);
+    }
+
+    #[test]
+    fn respects_bounds_and_counts() {
+        let mut law = GvtPeriodLaw::default_for_now();
+        assert!(law.period() >= 0.005 && law.period() <= 1.0);
+        law.on_round(0, 10_000_000, 1);
+        assert!(law.period() >= 0.005);
+        assert_eq!(law.rounds(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_rejected() {
+        let _ = GvtPeriodLaw::new(0.1, 1.0, 0.001);
+    }
+}

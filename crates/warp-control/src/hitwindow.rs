@@ -1,0 +1,133 @@
+//! The Hit Ratio window: the sampled output `O` of the dynamic
+//! cancellation control system.
+//!
+//! Each LP keeps a record of its last *n* output-message comparisons
+//! (`n` = the Filter Depth). A comparison is a *hit* when the message
+//! regenerated after a rollback equals the prematurely sent one, a *miss*
+//! otherwise. The Hit Ratio is
+//!
+//! ```text
+//! HR = (lazy hits + lazy aggressive hits) / FilterDepth
+//! ```
+//!
+//! — note the denominator is the filter *depth*, not the number of
+//! comparisons seen so far, so HR ramps up conservatively while the
+//! window warms.
+
+use std::collections::VecDeque;
+
+/// Sliding record of the last `depth` comparison outcomes.
+#[derive(Clone, Debug)]
+pub struct HitWindow {
+    depth: usize,
+    buf: VecDeque<bool>,
+    hits: usize,
+    consecutive_misses: usize,
+    total: u64,
+}
+
+impl HitWindow {
+    /// Window with the given filter depth (≥ 1).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "filter depth must be >= 1");
+        HitWindow {
+            depth,
+            buf: VecDeque::with_capacity(depth),
+            hits: 0,
+            consecutive_misses: 0,
+            total: 0,
+        }
+    }
+
+    /// The filter depth `n`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Record one comparison outcome.
+    pub fn record(&mut self, hit: bool) {
+        if self.buf.len() == self.depth && self.buf.pop_front().expect("full window") {
+            self.hits -= 1;
+        }
+        self.buf.push_back(hit);
+        if hit {
+            self.hits += 1;
+            self.consecutive_misses = 0;
+        } else {
+            self.consecutive_misses += 1;
+        }
+        self.total += 1;
+    }
+
+    /// The Hit Ratio: hits in the window over the filter depth.
+    pub fn ratio(&self) -> f64 {
+        self.hits as f64 / self.depth as f64
+    }
+
+    /// Misses recorded since the last hit (drives the paper's PA variant).
+    pub fn consecutive_misses(&self) -> usize {
+        self.consecutive_misses
+    }
+
+    /// Comparisons recorded over the object's lifetime (drives the PS
+    /// variant's permanent decision point).
+    pub fn total_comparisons(&self) -> u64 {
+        self.total
+    }
+
+    /// True once `depth` comparisons have been recorded.
+    pub fn is_warm(&self) -> bool {
+        self.buf.len() == self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_uses_depth_as_denominator() {
+        let mut w = HitWindow::new(10);
+        w.record(true);
+        w.record(true);
+        // 2 hits over depth 10, not over 2 comparisons.
+        assert!((w.ratio() - 0.2).abs() < 1e-12);
+        assert!(!w.is_warm());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut w = HitWindow::new(3);
+        for hit in [true, true, true] {
+            w.record(hit);
+        }
+        assert!((w.ratio() - 1.0).abs() < 1e-12);
+        assert!(w.is_warm());
+        w.record(false); // evicts a hit
+        assert!((w.ratio() - 2.0 / 3.0).abs() < 1e-12);
+        w.record(false);
+        w.record(false);
+        assert_eq!(w.ratio(), 0.0);
+    }
+
+    #[test]
+    fn consecutive_misses_reset_on_hit() {
+        let mut w = HitWindow::new(8);
+        w.record(false);
+        w.record(false);
+        assert_eq!(w.consecutive_misses(), 2);
+        w.record(true);
+        assert_eq!(w.consecutive_misses(), 0);
+        for _ in 0..5 {
+            w.record(false);
+        }
+        assert_eq!(w.consecutive_misses(), 5);
+        assert_eq!(w.total_comparisons(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_rejected() {
+        let _ = HitWindow::new(0);
+    }
+}

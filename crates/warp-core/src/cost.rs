@@ -1,0 +1,329 @@
+//! The cost model: CPU and network charges for every kernel action.
+//!
+//! The paper's experiments ran on SUN SPARC 4/5 workstations connected by
+//! 10 Mb/s shared Ethernet. We do not have that hardware; instead every
+//! kernel action (executing an event, saving a state, coasting forward,
+//! sending a physical message, ...) is charged a modeled duration in
+//! seconds from a `CostModel`, and the deterministic executive advances a
+//! per-node clock by those charges. All of the paper's effects are ratios
+//! of such costs — state-saving vs. coast-forward, per-message overhead
+//! vs. delay-induced rollback, wasted resend vs. lazy comparison — so a
+//! cost model with period-plausible constants preserves the *shapes* of
+//! the results (who wins, by what factor, where crossovers fall) even
+//! though absolute seconds differ from the 1998 testbed.
+//!
+//! The same constants also feed the on-line controllers (e.g. the
+//! checkpointing cost index `Ec`), in every executive, so control
+//! decisions are reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Charges (in modeled seconds) for kernel actions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Application computation per event execution.
+    pub event_exec: f64,
+    /// Fraction of `event_exec` charged when re-executing an event during
+    /// coast-forward (sends suppressed, no state saving).
+    pub coast_forward_factor: f64,
+    /// Fixed CPU cost of one state save.
+    pub state_save_fixed: f64,
+    /// Additional state-save cost per byte of object state.
+    pub state_save_per_byte: f64,
+    /// Fixed CPU cost of restoring a saved state.
+    pub state_restore_fixed: f64,
+    /// Additional restore cost per byte of object state.
+    pub state_restore_per_byte: f64,
+    /// Fixed bookkeeping cost of initiating a rollback.
+    pub rollback_fixed: f64,
+    /// Cost of annihilating one positive/anti message pair.
+    pub annihilation: f64,
+    /// Cost of inserting one event into an input queue.
+    pub queue_insert: f64,
+    /// Fixed cost of one lazy-cancellation output comparison.
+    pub lazy_compare_fixed: f64,
+    /// Per-byte cost of a lazy-cancellation output comparison.
+    pub lazy_compare_per_byte: f64,
+    /// Sender CPU overhead per *physical* message (protocol stack).
+    pub msg_send_fixed: f64,
+    /// Sender CPU overhead per byte of a physical message.
+    pub msg_send_per_byte: f64,
+    /// Receiver CPU overhead per physical message.
+    pub msg_recv_fixed: f64,
+    /// Receiver CPU overhead per byte.
+    pub msg_recv_per_byte: f64,
+    /// Wire propagation + media-access latency per physical message.
+    pub wire_latency: f64,
+    /// Wire transmission time per byte (1 / bandwidth).
+    pub wire_per_byte: f64,
+    /// Maximum extra transit delay from media contention (shared
+    /// Ethernet: CSMA/CD backoff). Each physical message suffers a
+    /// deterministic, message-identity-hashed delay in `[0, wire_jitter]`
+    /// — so reordering between differently-sized or jittered messages is
+    /// part of the modeled network, while runs stay reproducible.
+    pub wire_jitter: f64,
+    /// Envelope bytes added to every physical message by the transport.
+    pub phys_header_bytes: usize,
+    /// Cost of delivering an event between two objects in the same LP
+    /// (no network involvement).
+    pub local_delivery: f64,
+    /// CPU charged to each node per GVT computation round.
+    pub gvt_round: f64,
+    /// CPU charged per on-line controller invocation.
+    pub control_invoke: f64,
+}
+
+impl CostModel {
+    /// Period-plausible constants for the paper's platform: SPARCstation
+    /// 4/5-class CPUs on shared 10 Mb/s Ethernet, kernel grain calibrated
+    /// so that an all-static run commits on the order of 10⁴ events per
+    /// second across a 4-LP cluster (the paper reports 11,300 ev/s for
+    /// SMMP and 10,917 ev/s for RAID).
+    pub fn sparc_now_10mbps() -> Self {
+        CostModel {
+            event_exec: 100e-6,
+            coast_forward_factor: 0.7,
+            state_save_fixed: 12e-6,
+            state_save_per_byte: 0.030e-6,
+            state_restore_fixed: 12e-6,
+            state_restore_per_byte: 0.030e-6,
+            rollback_fixed: 40e-6,
+            annihilation: 4e-6,
+            queue_insert: 3e-6,
+            lazy_compare_fixed: 2.5e-6,
+            lazy_compare_per_byte: 0.004e-6,
+            msg_send_fixed: 400e-6,
+            msg_send_per_byte: 0.10e-6,
+            msg_recv_fixed: 300e-6,
+            msg_recv_per_byte: 0.10e-6,
+            wire_latency: 600e-6,
+            wire_per_byte: 0.80e-6, // 10 Mb/s = 1.25 MB/s
+            wire_jitter: 400e-6,
+            phys_header_bytes: 64,
+            local_delivery: 4e-6,
+            gvt_round: 150e-6,
+            control_invoke: 6e-6,
+        }
+    }
+
+    /// A faster interconnect (switched 100 Mb/s class) for ablations:
+    /// per-message overheads an order of magnitude smaller, so the
+    /// aggregation trade-off shifts.
+    pub fn switched_100mbps() -> Self {
+        CostModel {
+            msg_send_fixed: 60e-6,
+            msg_recv_fixed: 45e-6,
+            wire_latency: 80e-6,
+            wire_per_byte: 0.08e-6,
+            wire_jitter: 20e-6,
+            ..Self::sparc_now_10mbps()
+        }
+    }
+
+    /// Unit-ish costs for tests: every action costs something small and
+    /// distinct so accounting bugs show up, but no action dominates.
+    pub fn uniform_unit() -> Self {
+        CostModel {
+            event_exec: 1.0,
+            coast_forward_factor: 0.5,
+            state_save_fixed: 0.25,
+            state_save_per_byte: 0.0,
+            state_restore_fixed: 0.25,
+            state_restore_per_byte: 0.0,
+            rollback_fixed: 0.5,
+            annihilation: 0.1,
+            queue_insert: 0.05,
+            lazy_compare_fixed: 0.05,
+            lazy_compare_per_byte: 0.0,
+            msg_send_fixed: 0.5,
+            msg_send_per_byte: 0.0,
+            msg_recv_fixed: 0.5,
+            msg_recv_per_byte: 0.0,
+            wire_latency: 1.0,
+            wire_per_byte: 0.0,
+            wire_jitter: 0.0,
+            phys_header_bytes: 0,
+            local_delivery: 0.05,
+            gvt_round: 0.1,
+            control_invoke: 0.01,
+        }
+    }
+
+    /// Cost of saving a state of `bytes` bytes.
+    #[inline]
+    pub fn state_save_cost(&self, bytes: usize) -> f64 {
+        self.state_save_fixed + self.state_save_per_byte * bytes as f64
+    }
+
+    /// Cost of restoring a state of `bytes` bytes.
+    #[inline]
+    pub fn state_restore_cost(&self, bytes: usize) -> f64 {
+        self.state_restore_fixed + self.state_restore_per_byte * bytes as f64
+    }
+
+    /// Cost of re-executing one event of the coast-forward phase.
+    #[inline]
+    pub fn coast_event_cost(&self) -> f64 {
+        self.event_exec * self.coast_forward_factor
+    }
+
+    /// Sender CPU charge for a physical message of `payload_bytes`
+    /// (header added here).
+    #[inline]
+    pub fn phys_send_cost(&self, payload_bytes: usize) -> f64 {
+        self.msg_send_fixed
+            + self.msg_send_per_byte * (payload_bytes + self.phys_header_bytes) as f64
+    }
+
+    /// Receiver CPU charge for a physical message.
+    #[inline]
+    pub fn phys_recv_cost(&self, payload_bytes: usize) -> f64 {
+        self.msg_recv_fixed
+            + self.msg_recv_per_byte * (payload_bytes + self.phys_header_bytes) as f64
+    }
+
+    /// Base wire transit time for a physical message (latency plus
+    /// serialization; contention jitter is added per message identity via
+    /// [`CostModel::transit_time_jittered`]).
+    #[inline]
+    pub fn transit_time(&self, payload_bytes: usize) -> f64 {
+        self.wire_latency + self.wire_per_byte * (payload_bytes + self.phys_header_bytes) as f64
+    }
+
+    /// Transit time including the deterministic contention jitter for a
+    /// message identified by `salt` (e.g. a hash of its first event id).
+    #[inline]
+    pub fn transit_time_jittered(&self, payload_bytes: usize, salt: u64) -> f64 {
+        // SplitMix64 finalizer → uniform in [0, 1).
+        let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let u = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.transit_time(payload_bytes) + self.wire_jitter * u
+    }
+
+    /// Cost of one lazy comparison against a message of `bytes` payload.
+    #[inline]
+    pub fn lazy_compare_cost(&self, bytes: usize) -> f64 {
+        self.lazy_compare_fixed + self.lazy_compare_per_byte * bytes as f64
+    }
+
+    /// Validate that the model is physically sensible (no negative costs,
+    /// non-degenerate event grain).
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("event_exec", self.event_exec),
+            ("coast_forward_factor", self.coast_forward_factor),
+            ("state_save_fixed", self.state_save_fixed),
+            ("state_save_per_byte", self.state_save_per_byte),
+            ("state_restore_fixed", self.state_restore_fixed),
+            ("state_restore_per_byte", self.state_restore_per_byte),
+            ("rollback_fixed", self.rollback_fixed),
+            ("annihilation", self.annihilation),
+            ("queue_insert", self.queue_insert),
+            ("lazy_compare_fixed", self.lazy_compare_fixed),
+            ("lazy_compare_per_byte", self.lazy_compare_per_byte),
+            ("msg_send_fixed", self.msg_send_fixed),
+            ("msg_send_per_byte", self.msg_send_per_byte),
+            ("msg_recv_fixed", self.msg_recv_fixed),
+            ("msg_recv_per_byte", self.msg_recv_per_byte),
+            ("wire_latency", self.wire_latency),
+            ("wire_per_byte", self.wire_per_byte),
+            ("wire_jitter", self.wire_jitter),
+            ("local_delivery", self.local_delivery),
+            ("gvt_round", self.gvt_round),
+            ("control_invoke", self.control_invoke),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "cost model field {name} = {v} must be finite and >= 0"
+                ));
+            }
+        }
+        if self.event_exec == 0.0 {
+            return Err("event_exec must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::sparc_now_10mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CostModel::sparc_now_10mbps().validate().unwrap();
+        CostModel::switched_100mbps().validate().unwrap();
+        CostModel::uniform_unit().validate().unwrap();
+    }
+
+    #[test]
+    fn per_byte_terms_scale() {
+        let m = CostModel::sparc_now_10mbps();
+        assert!(m.state_save_cost(4096) > m.state_save_cost(64));
+        assert!(m.phys_send_cost(1000) > m.phys_send_cost(10));
+        assert!(m.transit_time(1200) > m.transit_time(0));
+        assert!(m.lazy_compare_cost(512) >= m.lazy_compare_fixed);
+    }
+
+    #[test]
+    fn ethernet_overhead_dominates_small_messages() {
+        // The premise of DyMA: on 10 Mb Ethernet the fixed per-message
+        // cost dwarfs the incremental cost of one more small event.
+        let m = CostModel::sparc_now_10mbps();
+        let one_event = 60;
+        let fixed = m.phys_send_cost(0) + m.phys_recv_cost(0);
+        let marginal =
+            (m.msg_send_per_byte + m.msg_recv_per_byte + m.wire_per_byte) * one_event as f64;
+        assert!(
+            fixed > 10.0 * marginal,
+            "fixed {fixed} vs marginal {marginal}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut m = CostModel::uniform_unit();
+        m.event_exec = 0.0;
+        assert!(m.validate().is_err());
+        let mut m2 = CostModel::uniform_unit();
+        m2.wire_latency = -1.0;
+        assert!(m2.validate().is_err());
+        let mut m3 = CostModel::uniform_unit();
+        m3.msg_send_fixed = f64::NAN;
+        assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let m = CostModel::sparc_now_10mbps();
+        let base = m.transit_time(100);
+        for salt in 0..200u64 {
+            let t = m.transit_time_jittered(100, salt);
+            assert!(t >= base && t <= base + m.wire_jitter);
+            assert_eq!(
+                t,
+                m.transit_time_jittered(100, salt),
+                "same salt, same delay"
+            );
+        }
+        // Jitter actually varies.
+        let a = m.transit_time_jittered(100, 1);
+        let b = m.transit_time_jittered(100, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn coast_cheaper_than_execution() {
+        let m = CostModel::sparc_now_10mbps();
+        assert!(m.coast_event_cost() < m.event_exec);
+    }
+}

@@ -1,0 +1,242 @@
+//! Events and anti-messages.
+//!
+//! An event is a time-stamped message from one simulation object to
+//! another (possibly itself). Under Time Warp every sent event may later
+//! prove premature, so each positive event has a potential *anti-message*
+//! twin: an identical envelope with negative sign whose arrival annihilates
+//! the positive copy (and rolls the receiver back if the positive had
+//! already been executed).
+
+use crate::ids::ObjectId;
+use crate::time::VirtualTime;
+use serde::{Deserialize, Serialize};
+
+/// Sign of a message: ordinary event or its cancelling anti-message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// An ordinary application event.
+    Positive,
+    /// The annihilating twin of a previously sent positive event.
+    Anti,
+}
+
+/// Globally unique identity of a *send*: the sending object plus a
+/// per-sender serial number. An anti-message carries the same `EventId`
+/// as the positive message it cancels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId {
+    /// Object that sent the message.
+    pub sender: ObjectId,
+    /// Per-sender serial number, strictly increasing over the sender's
+    /// (committed and rolled-back) lifetime — never reused, so a serial
+    /// identifies one send even across rollbacks.
+    pub serial: u64,
+}
+
+/// Total order key for events at a receiver.
+///
+/// Virtual time alone is only a partial order: simultaneous events must
+/// still be processed in a deterministic sequence for runs to be
+/// reproducible and for the sequential golden model to agree with the
+/// optimistic executions. Ties break on sender id, then a *content tag*,
+/// then the serial.
+///
+/// The content tag matters because serials are rollback-volatile: under
+/// lazy cancellation a kept-back original retains its old (small) serial
+/// while interleaved regenerated messages get fresh (large) ones, so two
+/// same-sender same-time messages could commit in a different relative
+/// order than the sequential engine's — observably so when their
+/// contents differ. Ordering by content hash first makes equal-time
+/// ordering independent of serial assignment; the serial only breaks
+/// ties between *content-identical* messages, whose relative order is
+/// semantically irrelevant. (Distinct contents colliding in the 64-bit
+/// tag would re-expose the serial order; at ~2⁻⁶⁴ per same-sender
+/// same-time pair this is ignored.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventKey {
+    /// Receive (execution) time of the event.
+    pub recv_time: VirtualTime,
+    /// Sending object (first tie-break).
+    pub sender: ObjectId,
+    /// Content hash (second tie-break; see type docs).
+    pub content_tag: u64,
+    /// Sender serial (final tie-break).
+    pub serial: u64,
+}
+
+/// A time-stamped event message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Unique send identity; shared between a positive and its anti twin.
+    pub id: EventId,
+    /// Destination simulation object.
+    pub dst: ObjectId,
+    /// Sender's LVT at the moment of sending.
+    pub send_time: VirtualTime,
+    /// Virtual time at which the destination must execute the event.
+    pub recv_time: VirtualTime,
+    /// Positive event or anti-message.
+    pub sign: Sign,
+    /// Application-defined message discriminant.
+    pub kind: u16,
+    /// Content tag for equal-time ordering (see [`EventKey`]). Computed
+    /// with [`Event::tag_for`] at construction; an anti-message copies
+    /// its positive twin's tag so both occupy the same key.
+    pub content_tag: u64,
+    /// Canonical payload bytes (see [`crate::wire`]).
+    pub payload: Vec<u8>,
+}
+
+/// Fixed per-event envelope size in bytes, used by the communication cost
+/// model: id (12) + dst (4) + two timestamps (16) + sign/kind (3).
+pub const EVENT_HEADER_BYTES: usize = 35;
+
+impl Event {
+    /// Construct a positive event, computing its content tag.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: EventId,
+        dst: ObjectId,
+        send_time: VirtualTime,
+        recv_time: VirtualTime,
+        kind: u16,
+        payload: Vec<u8>,
+    ) -> Event {
+        let content_tag = Event::tag_for(kind, &payload);
+        Event {
+            id,
+            dst,
+            send_time,
+            recv_time,
+            sign: Sign::Positive,
+            kind,
+            content_tag,
+            payload,
+        }
+    }
+
+    /// The content tag of a `(kind, payload)` pair: FNV-1a over both.
+    pub fn tag_for(kind: u16, payload: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in kind.to_le_bytes().iter().chain(payload.iter()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The receiver-side ordering key.
+    #[inline]
+    pub fn key(&self) -> EventKey {
+        EventKey {
+            recv_time: self.recv_time,
+            sender: self.id.sender,
+            content_tag: self.content_tag,
+            serial: self.id.serial,
+        }
+    }
+
+    /// True iff this is an anti-message.
+    #[inline]
+    pub fn is_anti(&self) -> bool {
+        self.sign == Sign::Anti
+    }
+
+    /// Construct the anti-message twin of a positive event. The payload is
+    /// dropped: annihilation matches on identity, not content.
+    #[must_use]
+    pub fn to_anti(&self) -> Event {
+        debug_assert_eq!(self.sign, Sign::Positive, "anti of an anti is meaningless");
+        Event {
+            id: self.id,
+            dst: self.dst,
+            send_time: self.send_time,
+            recv_time: self.recv_time,
+            sign: Sign::Anti,
+            kind: self.kind,
+            // The twin must land on the positive's exact key.
+            content_tag: self.content_tag,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Wire size of this event for communication cost accounting.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        EVENT_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Content equality as used by lazy cancellation: does a regenerated
+    /// message reproduce a prematurely-sent one? Identity (serial) is
+    /// deliberately excluded — the regenerated copy has a fresh serial —
+    /// while destination, receive time, kind and payload must all match.
+    #[inline]
+    pub fn same_content(&self, other: &Event) -> bool {
+        self.dst == other.dst
+            && self.recv_time == other.recv_time
+            && self.kind == other.kind
+            && self.payload == other.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sender: u32, serial: u64, dst: u32, st: u64, rt: u64) -> Event {
+        Event::new(
+            EventId {
+                sender: ObjectId(sender),
+                serial,
+            },
+            ObjectId(dst),
+            VirtualTime::new(st),
+            VirtualTime::new(rt),
+            1,
+            vec![1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn key_orders_by_time_then_sender_then_serial() {
+        let a = ev(0, 5, 9, 0, 10).key();
+        let b = ev(1, 0, 9, 0, 10).key();
+        let c = ev(0, 6, 9, 0, 11).key();
+        assert!(a < b, "same time: lower sender first");
+        assert!(b < c, "earlier time first");
+        let d = ev(0, 6, 9, 0, 10).key();
+        assert!(a < d, "same time+sender: lower serial first");
+    }
+
+    #[test]
+    fn anti_twin_shares_identity() {
+        let e = ev(2, 7, 3, 4, 9);
+        let a = e.to_anti();
+        assert_eq!(a.id, e.id);
+        assert_eq!(a.key(), e.key());
+        assert!(a.is_anti());
+        assert!(a.payload.is_empty());
+        assert_eq!(a.recv_time, e.recv_time);
+    }
+
+    #[test]
+    fn same_content_ignores_identity() {
+        let e1 = ev(2, 7, 3, 4, 9);
+        let mut e2 = ev(2, 99, 3, 5, 9); // different serial and send time
+        assert!(e1.same_content(&e2));
+        e2.payload = vec![9];
+        assert!(!e1.same_content(&e2));
+        let mut e3 = ev(2, 7, 4, 4, 9); // different destination
+        assert!(!e1.same_content(&e3));
+        e3.dst = ObjectId(3);
+        e3.recv_time = VirtualTime::new(10);
+        assert!(!e1.same_content(&e3));
+    }
+
+    #[test]
+    fn size_accounts_header_and_payload() {
+        let e = ev(0, 0, 0, 0, 1);
+        assert_eq!(e.size_bytes(), EVENT_HEADER_BYTES + 3);
+        assert_eq!(e.to_anti().size_bytes(), EVENT_HEADER_BYTES);
+    }
+}

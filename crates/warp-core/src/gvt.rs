@@ -1,0 +1,409 @@
+//! Global Virtual Time estimation.
+//!
+//! GVT — the minimum over all LVTs and in-transit message timestamps — is
+//! the commit horizon: history below it is fossil, and the simulation has
+//! terminated when GVT reaches infinity.
+//!
+//! Two estimators are provided:
+//!
+//! * The deterministic virtual-cluster executive computes **exact** GVT
+//!   snapshots (it can see every in-flight message), charging the cost
+//!   model's per-round CPU cost.
+//! * The threaded executive runs the **Mattern-style token** algorithm
+//!   implemented here: a colored (epoch-tagged) token circulates the LP
+//!   ring; message counting detects when all old-epoch messages have
+//!   drained, at which point the circulating minimum is a valid GVT. The
+//!   state machine is pure (no I/O), so it is unit-testable and reusable
+//!   by any transport.
+
+use crate::time::VirtualTime;
+use serde::{Deserialize, Serialize};
+
+/// The token passed around the LP ring.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GvtToken {
+    /// GVT round = the epoch processes move to when first visited.
+    pub round: u32,
+    /// Minimum contribution collected in the current circulation.
+    pub min: VirtualTime,
+    /// Outstanding old-epoch messages: Σ sent − Σ receives reported.
+    pub count: i64,
+}
+
+/// Per-LP agent state for the token algorithm.
+///
+/// At any instant at most two message epochs are live — the draining old
+/// one and the current one — but a message of the *new* epoch can arrive
+/// before this agent's own first token visit of the round (its sender was
+/// visited earlier). Receive counters are therefore keyed by the actual
+/// epoch number, never recycled by parity: zeroing a "new" slot at the
+/// epoch switch would wipe exactly those early arrivals and the next
+/// round's count could never drain to zero.
+#[derive(Clone, Debug)]
+pub struct MatternAgent {
+    /// Epoch tagged onto outgoing messages.
+    epoch: u32,
+    /// Messages sent in the current epoch (sends of older epochs are
+    /// final and were reported at the epoch switch).
+    sent_current: i64,
+    /// Receive counters for the two potentially-live epochs.
+    recv: [(u32, i64); 2],
+    /// Old-epoch receives already reported to the token this round.
+    reported_recv: i64,
+    /// Minimum receive timestamp among messages sent in the current
+    /// (new) epoch since the round started.
+    min_sent_new: VirtualTime,
+}
+
+impl Default for MatternAgent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatternAgent {
+    /// Fresh agent in epoch 0.
+    pub fn new() -> Self {
+        MatternAgent {
+            epoch: 0,
+            sent_current: 0,
+            recv: [(0, 0), (1, 0)],
+            reported_recv: 0,
+            min_sent_new: VirtualTime::INFINITY,
+        }
+    }
+
+    /// Current epoch (diagnostics).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    fn recv_count(&self, epoch: u32) -> i64 {
+        self.recv
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Tag an outgoing message with the sender's epoch; call once per
+    /// *physical* transmission of an event.
+    pub fn tag_send(&mut self, recv_time: VirtualTime) -> u32 {
+        self.sent_current += 1;
+        self.min_sent_new = self.min_sent_new.min(recv_time);
+        self.epoch
+    }
+
+    /// Note receipt of a message carrying `epoch_tag`.
+    pub fn note_receive(&mut self, epoch_tag: u32) {
+        if let Some(slot) = self.recv.iter_mut().find(|(e, _)| *e == epoch_tag) {
+            slot.1 += 1;
+            return;
+        }
+        // Recycle the stale slot: its epoch's messages were verified
+        // drained (count == 0) before any message of `epoch_tag` could
+        // have been sent.
+        let idx = if self.recv[0].0 < self.recv[1].0 {
+            0
+        } else {
+            1
+        };
+        debug_assert!(
+            self.recv[idx].0 + 2 <= epoch_tag,
+            "recycling a live epoch slot: {} for {}",
+            self.recv[idx].0,
+            epoch_tag
+        );
+        self.recv[idx] = (epoch_tag, 1);
+    }
+
+    /// Handle the token. `local_min` must be the LP's full GVT
+    /// contribution at this instant (unprocessed events *and* unsent lazy
+    /// anti-messages). Mutates the token; the caller forwards it to the
+    /// next LP in the ring.
+    pub fn on_token(&mut self, token: &mut GvtToken, local_min: VirtualTime) {
+        if token.round > self.epoch {
+            // First visit this round: switch epoch. All our old-epoch
+            // sends are final; report them plus receives so far.
+            debug_assert_eq!(token.round, self.epoch + 1, "skipped a GVT round");
+            let old_epoch = self.epoch;
+            let old_sent = std::mem::take(&mut self.sent_current);
+            self.epoch = token.round;
+            self.min_sent_new = VirtualTime::INFINITY;
+            let recv_old = self.recv_count(old_epoch);
+            token.count += old_sent - recv_old;
+            self.reported_recv = recv_old;
+        } else {
+            // Later circulation: report only newly drained receives.
+            let recv_old = self.recv_count(self.epoch - 1);
+            token.count -= recv_old - self.reported_recv;
+            self.reported_recv = recv_old;
+        }
+        token.min = token.min.min(local_min).min(self.min_sent_new);
+    }
+}
+
+/// Ring controller logic living at LP 0.
+#[derive(Clone, Debug)]
+pub struct GvtController {
+    round: u32,
+    in_progress: bool,
+    last_gvt: VirtualTime,
+}
+
+impl Default for GvtController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GvtController {
+    /// Fresh controller: no round running, GVT unknown (zero).
+    pub fn new() -> Self {
+        GvtController {
+            round: 0,
+            in_progress: false,
+            last_gvt: VirtualTime::ZERO,
+        }
+    }
+
+    /// Most recently computed GVT.
+    pub fn gvt(&self) -> VirtualTime {
+        self.last_gvt
+    }
+
+    /// True while a token is circulating.
+    pub fn in_progress(&self) -> bool {
+        self.in_progress
+    }
+
+    /// Begin a new GVT round; returns the token to inject at LP 0.
+    /// Panics if a round is already running (one token at a time).
+    pub fn start_round(&mut self) -> GvtToken {
+        assert!(!self.in_progress, "GVT round already in progress");
+        self.in_progress = true;
+        self.round += 1;
+        GvtToken {
+            round: self.round,
+            min: VirtualTime::INFINITY,
+            count: 0,
+        }
+    }
+
+    /// The token completed a circulation and returned to LP 0. Returns
+    /// the new GVT if the round converged, or the token to circulate
+    /// again (with the per-circulation minimum reset).
+    pub fn on_return(&mut self, mut token: GvtToken) -> Result<VirtualTime, GvtToken> {
+        assert!(
+            self.in_progress && token.round == self.round,
+            "stray GVT token"
+        );
+        debug_assert!(token.count >= 0, "more receives than sends reported");
+        if token.count == 0 {
+            self.in_progress = false;
+            debug_assert!(
+                token.min >= self.last_gvt,
+                "GVT moved backwards: {} -> {}",
+                self.last_gvt,
+                token.min
+            );
+            self.last_gvt = token.min;
+            Ok(token.min)
+        } else {
+            token.min = VirtualTime::INFINITY;
+            Err(token)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-driven harness: N agents, a bag of in-flight messages under
+    /// test control, a ring circulation helper.
+    struct Harness {
+        agents: Vec<MatternAgent>,
+        ctrl: GvtController,
+        /// (dst, epoch_tag, recv_time)
+        in_flight: Vec<(usize, u32, VirtualTime)>,
+        local_min: Vec<VirtualTime>,
+    }
+
+    impl Harness {
+        fn new(n: usize) -> Self {
+            Harness {
+                agents: (0..n).map(|_| MatternAgent::new()).collect(),
+                ctrl: GvtController::new(),
+                in_flight: Vec::new(),
+                local_min: vec![VirtualTime::INFINITY; n],
+            }
+        }
+
+        fn send(&mut self, from: usize, to: usize, t: u64) {
+            let tag = self.agents[from].tag_send(VirtualTime::new(t));
+            self.in_flight.push((to, tag, VirtualTime::new(t)));
+        }
+
+        fn deliver_all(&mut self) {
+            for (to, tag, t) in std::mem::take(&mut self.in_flight) {
+                self.agents[to].note_receive(tag);
+                self.local_min[to] = self.local_min[to].min(t);
+            }
+        }
+
+        /// Circulate the token once around the ring.
+        fn circulate(&mut self, mut token: GvtToken) -> Result<VirtualTime, GvtToken> {
+            for i in 0..self.agents.len() {
+                let lm = self.local_min[i];
+                self.agents[i].on_token(&mut token, lm);
+            }
+            self.ctrl.on_return(token)
+        }
+    }
+
+    #[test]
+    fn quiescent_system_reports_infinity() {
+        let mut h = Harness::new(3);
+        let token = h.ctrl.start_round();
+        let gvt = h
+            .circulate(token)
+            .expect("no messages: one circulation suffices");
+        assert_eq!(gvt, VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn local_minima_dominate_when_no_transit() {
+        let mut h = Harness::new(3);
+        h.local_min = vec![
+            VirtualTime::new(30),
+            VirtualTime::new(10),
+            VirtualTime::new(20),
+        ];
+        let token = h.ctrl.start_round();
+        let gvt = h.circulate(token).unwrap();
+        assert_eq!(gvt, VirtualTime::new(10));
+    }
+
+    #[test]
+    fn in_transit_message_delays_convergence_and_bounds_gvt() {
+        let mut h = Harness::new(3);
+        h.local_min = vec![
+            VirtualTime::new(100),
+            VirtualTime::new(100),
+            VirtualTime::new(100),
+        ];
+        // Agent 0 sends a message with a *low* timestamp that is still in
+        // flight when the round starts.
+        h.send(0, 2, 5);
+        let token = h.ctrl.start_round();
+        let again = h
+            .circulate(token)
+            .expect_err("old-epoch message still in flight");
+        assert_eq!(again.count, 1);
+        // Deliver it; the receiver's local min drops to 5.
+        h.deliver_all();
+        let gvt = h.circulate(again).expect("drained now");
+        assert_eq!(
+            gvt,
+            VirtualTime::new(5),
+            "in-flight message lower-bounds GVT"
+        );
+    }
+
+    #[test]
+    fn new_epoch_sends_are_counted_via_min_sent() {
+        let mut h = Harness::new(2);
+        h.local_min = vec![VirtualTime::new(50), VirtualTime::new(60)];
+        // A white (old-epoch) message is in flight when the round starts,
+        // so the first circulation cannot converge.
+        h.send(1, 0, 45);
+        let token = h.ctrl.start_round();
+        let token = h.circulate(token).expect_err("white message outstanding");
+        assert_eq!(token.count, 1);
+        // Between circulations agent 0 — already switched to the new
+        // epoch — sends a low-timestamped message (e.g. after the white
+        // straggler rolled it back). It is still in flight at convergence
+        // and must bound GVT through min_sent_new.
+        h.deliver_all(); // the white 45 lands; local_min[0] = 45
+        h.send(0, 1, 42);
+        h.in_flight.clear(); // keep the red message in flight forever
+        let gvt = h.circulate(token).expect("white drained");
+        assert_eq!(
+            gvt,
+            VirtualTime::new(42),
+            "an in-flight new-epoch message must bound GVT via min_sent"
+        );
+    }
+
+    #[test]
+    fn successive_rounds_advance_monotonically() {
+        let mut h = Harness::new(2);
+        h.local_min = vec![VirtualTime::new(10), VirtualTime::new(20)];
+        let t = h.ctrl.start_round();
+        assert_eq!(h.circulate(t).unwrap(), VirtualTime::new(10));
+        // Simulation progressed.
+        h.local_min = vec![VirtualTime::new(35), VirtualTime::new(25)];
+        let t = h.ctrl.start_round();
+        assert_eq!(h.circulate(t).unwrap(), VirtualTime::new(25));
+        assert_eq!(h.ctrl.gvt(), VirtualTime::new(25));
+    }
+
+    #[test]
+    fn multi_round_with_cross_traffic() {
+        let mut h = Harness::new(4);
+        h.local_min = vec![VirtualTime::new(9); 4];
+        // A tangle of in-flight messages.
+        h.send(0, 1, 12);
+        h.send(1, 2, 15);
+        h.send(3, 0, 11);
+        let token = h.ctrl.start_round();
+        let token = h.circulate(token).expect_err("three in flight");
+        assert_eq!(token.count, 3);
+        h.deliver_all();
+        let gvt = h.circulate(token).unwrap();
+        assert_eq!(gvt, VirtualTime::new(9));
+        // Next round with everything idle except one pending event at 30.
+        h.local_min = vec![
+            VirtualTime::INFINITY,
+            VirtualTime::new(30),
+            VirtualTime::INFINITY,
+            VirtualTime::INFINITY,
+        ];
+        let t = h.ctrl.start_round();
+        assert_eq!(h.circulate(t).unwrap(), VirtualTime::new(30));
+    }
+
+    #[test]
+    fn new_epoch_arrival_before_first_visit_is_not_lost() {
+        // Regression: agent 1 receives an epoch-1 message *before* its
+        // own first visit of round 1. That receive must survive the epoch
+        // switch, or round 2's count never drains and GVT livelocks.
+        let mut h = Harness::new(2);
+        h.local_min = vec![VirtualTime::new(100), VirtualTime::new(100)];
+        let mut token = h.ctrl.start_round();
+        let lm0 = h.local_min[0];
+        h.agents[0].on_token(&mut token, lm0); // agent 0 now in epoch 1
+        h.send(0, 1, 50); // epoch-1 message...
+        h.deliver_all(); // ...delivered before agent 1 sees the token
+        let lm1 = h.local_min[1];
+        h.agents[1].on_token(&mut token, lm1);
+        let gvt = h.ctrl.on_return(token).expect("round 1 converges");
+        assert_eq!(gvt, VirtualTime::new(50));
+        // Round 2 must also converge (the epoch-1 receive was recorded).
+        h.local_min = vec![VirtualTime::INFINITY, VirtualTime::new(50)];
+        let t = h.ctrl.start_round();
+        let gvt = h
+            .circulate(t)
+            .expect("round 2 must drain — receive was not wiped");
+        assert_eq!(gvt, VirtualTime::new(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "round already in progress")]
+    fn double_start_rejected() {
+        let mut c = GvtController::new();
+        let _ = c.start_round();
+        let _ = c.start_round();
+    }
+}

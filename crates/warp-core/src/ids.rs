@@ -1,0 +1,92 @@
+//! Identifiers for the entities of a Time Warp simulation.
+//!
+//! A simulation is a set of *simulation objects* grouped into *logical
+//! processes* (LPs); each LP is placed on a *node* (a workstation in the
+//! paper's network-of-workstations setting). Objects exchange time-stamped
+//! events; LPs are the unit of scheduling, communication and control.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a simulation object, unique across the whole simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Identity of a logical process (a group of simulation objects).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LpId(pub u32);
+
+/// Identity of a physical node (workstation) hosting one or more LPs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl ObjectId {
+    /// Raw index, usable for dense per-object tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LpId {
+    /// Raw index, usable for dense per-LP tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Raw index, usable for dense per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+impl fmt::Debug for LpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp#{}", self.0)
+    }
+}
+impl fmt::Display for LpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp#{}", self.0)
+    }
+}
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_index() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(7).index(), 7);
+        assert_eq!(LpId(3).index(), 3);
+        assert_eq!(NodeId(0).index(), 0);
+        assert_eq!(format!("{}", ObjectId(4)), "obj#4");
+        assert_eq!(format!("{}", LpId(4)), "lp#4");
+        assert_eq!(format!("{:?}", NodeId(9)), "node#9");
+    }
+}

@@ -1,0 +1,479 @@
+//! The logical process: a group of simulation objects scheduled together.
+//!
+//! WARPED departs from Jefferson's original formulation by clustering
+//! simulation objects into logical processes (LPs). The LP is the unit of
+//! placement and of communication: events between objects of the same LP
+//! are delivered by a queue insert (cheap, immediate), events crossing LPs
+//! go through the transport — which is where message aggregation (DyMA)
+//! earns its keep.
+
+use crate::cost::CostModel;
+use crate::event::Event;
+use crate::ids::{LpId, ObjectId};
+use crate::partition::Partition;
+use crate::runtime::ObjectRuntime;
+use crate::stats::ObjectStats;
+use crate::time::VirtualTime;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One logical process: local scheduler over its objects.
+pub struct LpRuntime {
+    id: LpId,
+    partition: Arc<Partition>,
+    objects: Vec<ObjectRuntime>,
+    index_of: HashMap<ObjectId, usize>,
+    cost: CostModel,
+    /// LP-level modeled CPU charges (local deliveries) pending drain.
+    cost_acc: f64,
+    /// Scratch queue for intra-LP delivery cascades.
+    cascade: VecDeque<Event>,
+}
+
+impl LpRuntime {
+    /// Assemble an LP from its object runtimes. `objects` must be exactly
+    /// the objects the partition assigns to `id`.
+    pub fn new(
+        id: LpId,
+        partition: Arc<Partition>,
+        objects: Vec<ObjectRuntime>,
+        cost: CostModel,
+    ) -> Self {
+        let expected = partition.objects_of(id);
+        assert_eq!(
+            objects.iter().map(|o| o.id()).collect::<Vec<_>>(),
+            expected.to_vec(),
+            "LP {id} constructed with objects not matching the partition"
+        );
+        let index_of = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.id(), i))
+            .collect();
+        LpRuntime {
+            id,
+            partition,
+            objects,
+            index_of,
+            cost,
+            cost_acc: 0.0,
+            cascade: VecDeque::new(),
+        }
+    }
+
+    /// This LP's id.
+    pub fn id(&self) -> LpId {
+        self.id
+    }
+
+    /// Number of objects hosted.
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Run every object's `init`, delivering local events and returning
+    /// remote ones for the transport.
+    pub fn init(&mut self, out: &mut Vec<Event>) {
+        let mut fresh = Vec::new();
+        for i in 0..self.objects.len() {
+            self.objects[i].init(&self.cost, &mut fresh);
+        }
+        self.route(fresh, out);
+    }
+
+    /// Deliver a batch of incoming events from the transport. Cascaded
+    /// anti-messages to remote LPs are pushed to `out`.
+    pub fn deliver(&mut self, events: Vec<Event>, out: &mut Vec<Event>) {
+        self.route(events, out);
+    }
+
+    /// Route events: local destinations are delivered (cascading through
+    /// any rollbacks they trigger), remote destinations accumulate in
+    /// `out` for the transport layer.
+    fn route(&mut self, events: Vec<Event>, out: &mut Vec<Event>) {
+        self.cascade.extend(events);
+        let mut fresh = Vec::new();
+        while let Some(ev) = self.cascade.pop_front() {
+            let dst_lp = self.partition.lp_of(ev.dst);
+            if dst_lp != self.id {
+                out.push(ev);
+                continue;
+            }
+            let idx = *self
+                .index_of
+                .get(&ev.dst)
+                .unwrap_or_else(|| panic!("object {} missing from {}", ev.dst, self.id));
+            self.cost_acc += self.cost.local_delivery;
+            self.objects[idx].deliver(ev, &self.cost, &mut fresh);
+            self.cascade.extend(fresh.drain(..));
+        }
+    }
+
+    /// Receive time of the earliest unprocessed event across the LP's
+    /// objects (∞ when the whole LP is idle).
+    pub fn next_time(&self) -> VirtualTime {
+        self.objects
+            .iter()
+            .map(|o| o.next_time())
+            .fold(VirtualTime::INFINITY, VirtualTime::min)
+    }
+
+    /// Lower bound this LP imposes on GVT (next events plus any unsent
+    /// lazy anti-messages).
+    pub fn gvt_contribution(&self) -> VirtualTime {
+        self.objects
+            .iter()
+            .map(|o| o.gvt_contribution())
+            .fold(VirtualTime::INFINITY, VirtualTime::min)
+    }
+
+    /// Execute one event: the lowest-timestamp-first object is chosen,
+    /// mirroring WARPED's LP scheduler. Outgoing remote events land in
+    /// `out`. Returns `false` when the LP is idle.
+    pub fn process_one(&mut self, out: &mut Vec<Event>) -> bool {
+        let Some(best) = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.next_time().is_finite())
+            .min_by_key(|(_, o)| o.next_time())
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let mut fresh = Vec::new();
+        let advanced = self.objects[best].process_next(&self.cost, &mut fresh);
+        debug_assert!(advanced);
+        self.route(fresh, out);
+        true
+    }
+
+    /// Flush held-back lazy anti-messages of idle objects so GVT can
+    /// advance past them. Busy objects flush on their own as they process.
+    pub fn flush_idle(&mut self, out: &mut Vec<Event>) {
+        let mut fresh = Vec::new();
+        for i in 0..self.objects.len() {
+            if self.objects[i].next_time().is_infinite() {
+                self.objects[i].flush_all_pending(&self.cost, &mut fresh);
+            }
+        }
+        self.route(fresh, out);
+    }
+
+    /// The LP's optimism front: the largest LVT among its objects (how
+    /// far ahead of GVT the LP has speculated). Timeline diagnostics.
+    pub fn lvt_front(&self) -> VirtualTime {
+        self.objects
+            .iter()
+            .map(|o| o.lvt())
+            .fold(VirtualTime::ZERO, VirtualTime::max)
+    }
+
+    /// Total retained history items (input events + output records +
+    /// state snapshots) across the LP's objects — the memory-pressure
+    /// signal consumed by the adaptive GVT-period controller.
+    pub fn history_items(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| {
+                let (i, u, st) = o.history_sizes();
+                i + u + st
+            })
+            .sum()
+    }
+
+    /// Reclaim history below the committed horizon in every object.
+    pub fn fossil_collect(&mut self, gvt: VirtualTime) {
+        for o in &mut self.objects {
+            o.fossil_collect(gvt);
+        }
+    }
+
+    /// Drain modeled CPU seconds charged since the last drain (object
+    /// work plus LP-level delivery overhead).
+    pub fn take_cost(&mut self) -> f64 {
+        let mut c = std::mem::replace(&mut self.cost_acc, 0.0);
+        for o in &mut self.objects {
+            c += o.take_cost();
+        }
+        c
+    }
+
+    /// Merged statistics over the LP's objects.
+    pub fn stats(&self) -> ObjectStats {
+        let mut s = ObjectStats::default();
+        for o in &self.objects {
+            s.merge(o.stats());
+        }
+        s
+    }
+
+    /// Per-object view for detailed reports.
+    pub fn objects(&self) -> &[ObjectRuntime] {
+        &self.objects
+    }
+
+    /// The shared cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::object::{ErasedState, ExecutionContext, ObjectState, SimObject};
+    use crate::policy::ObjectPolicies;
+    use crate::wire::{PayloadReader, PayloadWriter};
+
+    /// Ping-pong object: forwards a decrementing counter to a peer.
+    #[derive(Clone, Debug)]
+    struct PingState {
+        bounces: u64,
+    }
+    impl ObjectState for PingState {}
+
+    struct Ping {
+        peer: ObjectId,
+        start: bool,
+        state: PingState,
+    }
+
+    impl SimObject for Ping {
+        fn init(&mut self, ctx: &mut dyn ExecutionContext) {
+            if self.start {
+                let mut w = PayloadWriter::new();
+                w.u64(6);
+                ctx.send(self.peer, 1, 0, w.finish());
+            }
+        }
+        fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+            let mut r = PayloadReader::new(&ev.payload);
+            let n = r.u64().unwrap();
+            self.state.bounces += 1;
+            if n > 0 {
+                let mut w = PayloadWriter::new();
+                w.u64(n - 1);
+                ctx.send(self.peer, 1, 0, w.finish());
+            }
+        }
+        fn snapshot(&self) -> ErasedState {
+            ErasedState::of(self.state.clone())
+        }
+        fn restore(&mut self, snapshot: &ErasedState) {
+            self.state = snapshot.get::<PingState>().clone();
+        }
+        fn state_bytes(&self) -> usize {
+            std::mem::size_of::<PingState>()
+        }
+    }
+
+    fn build_lp(partition: Arc<Partition>, lp: LpId, defs: Vec<(ObjectId, Ping)>) -> LpRuntime {
+        let objects = defs
+            .into_iter()
+            .map(|(id, o)| ObjectRuntime::new(id, Box::new(o), ObjectPolicies::default()))
+            .collect();
+        LpRuntime::new(lp, partition, objects, CostModel::uniform_unit())
+    }
+
+    #[test]
+    fn local_ping_pong_runs_to_completion() {
+        // Both objects on one LP: the whole exchange is local.
+        let part = Arc::new(Partition::round_robin(2, 1));
+        let mut lp = build_lp(
+            part,
+            LpId(0),
+            vec![
+                (
+                    ObjectId(0),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: true,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(1),
+                    Ping {
+                        peer: ObjectId(0),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+            ],
+        );
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        assert!(out.is_empty(), "everything is local");
+        let mut steps = 0;
+        while lp.process_one(&mut out) {
+            steps += 1;
+            assert!(steps < 100, "ping-pong must terminate");
+        }
+        assert_eq!(steps, 7, "counter 6..0 inclusive");
+        let s = lp.stats();
+        assert_eq!(s.executed, 7);
+        assert_eq!(s.rolled_back, 0);
+        assert_eq!(lp.next_time(), VirtualTime::INFINITY);
+        assert!(lp.take_cost() > 0.0);
+    }
+
+    #[test]
+    fn remote_events_are_surfaced_not_swallowed() {
+        // Two LPs: object 0 on LP0 starts, peer object 1 is on LP1.
+        let part = Arc::new(Partition::round_robin(2, 2));
+        let mut lp0 = build_lp(
+            part.clone(),
+            LpId(0),
+            vec![(
+                ObjectId(0),
+                Ping {
+                    peer: ObjectId(1),
+                    start: true,
+                    state: PingState { bounces: 0 },
+                },
+            )],
+        );
+        let mut out = Vec::new();
+        lp0.init(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, ObjectId(1));
+
+        let mut lp1 = build_lp(
+            part,
+            LpId(1),
+            vec![(
+                ObjectId(1),
+                Ping {
+                    peer: ObjectId(0),
+                    start: false,
+                    state: PingState { bounces: 0 },
+                },
+            )],
+        );
+        let mut out1 = Vec::new();
+        lp1.init(&mut out1);
+        lp1.deliver(std::mem::take(&mut out), &mut out1);
+        assert!(out1.is_empty());
+        assert!(lp1.process_one(&mut out1));
+        assert_eq!(out1.len(), 1, "reply crosses back to LP0");
+        assert_eq!(out1[0].dst, ObjectId(0));
+    }
+
+    #[test]
+    fn anti_message_cascade_stays_local() {
+        // Object 0 sends to local object 1; an anti-message for the
+        // original event must locally cancel the downstream send.
+        let part = Arc::new(Partition::round_robin(3, 1));
+        let mut lp = build_lp(
+            part,
+            LpId(0),
+            vec![
+                (
+                    ObjectId(0),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(1),
+                    Ping {
+                        peer: ObjectId(2),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(2),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+            ],
+        );
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        // Inject an external event into object 1, let it bounce 1→2.
+        let mut w = PayloadWriter::new();
+        w.u64(1);
+        let ext = Event::new(
+            EventId {
+                sender: ObjectId(99),
+                serial: 0,
+            },
+            ObjectId(1),
+            VirtualTime::ZERO,
+            VirtualTime::new(5),
+            0,
+            w.finish(),
+        );
+        lp.deliver(vec![ext.clone()], &mut out);
+        while lp.process_one(&mut out) {}
+        assert_eq!(lp.stats().executed, 2, "1 then 2 executed");
+        // Cancel the external event: object 1 rolls back, sends an anti to
+        // object 2 (aggressive default), which rolls back in cascade.
+        lp.deliver(vec![ext.to_anti()], &mut out);
+        let s = lp.stats();
+        assert_eq!(s.anti_rollbacks, 2, "both objects rolled back");
+        assert_eq!(s.annihilated, 2);
+        assert!(out.is_empty(), "no remote traffic in a single-LP cascade");
+        // Nothing left to do and no stale state.
+        assert!(!lp.process_one(&mut out));
+        assert_eq!(lp.stats().executed - lp.stats().rolled_back, 0);
+    }
+
+    #[test]
+    fn scheduler_picks_lowest_timestamp_object() {
+        let part = Arc::new(Partition::round_robin(2, 1));
+        let mut lp = build_lp(
+            part,
+            LpId(0),
+            vec![
+                (
+                    ObjectId(0),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(1),
+                    Ping {
+                        peer: ObjectId(0),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+            ],
+        );
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        let mk = |dst: u32, t: u64, serial: u64| {
+            let mut w = PayloadWriter::new();
+            w.u64(0);
+            Event::new(
+                EventId {
+                    sender: ObjectId(99),
+                    serial,
+                },
+                ObjectId(dst),
+                VirtualTime::ZERO,
+                VirtualTime::new(t),
+                0,
+                w.finish(),
+            )
+        };
+        lp.deliver(vec![mk(0, 50, 0), mk(1, 10, 1)], &mut out);
+        assert_eq!(lp.next_time(), VirtualTime::new(10));
+        lp.process_one(&mut out);
+        // Object 1 (t=10) went first.
+        assert_eq!(lp.objects()[1].stats().executed, 1);
+        assert_eq!(lp.objects()[0].stats().executed, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The simulation-object programming interface.
+//!
+//! Following WARPED's design goal, the API hides every Time Warp specific
+//! mechanism — state saving, rollback, cancellation, GVT — from the
+//! application. A model implements [`SimObject`]: it reacts to events by
+//! mutating its state and sending new events through the
+//! [`ExecutionContext`]. Everything else (when states are saved, how
+//! erroneous computation is undone) is the kernel's business and is
+//! configured, statically or on-line, outside the model code.
+
+use crate::error::KernelError;
+use crate::event::Event;
+use crate::ids::ObjectId;
+use crate::time::VirtualTime;
+use core::fmt;
+use std::any::Any;
+
+/// A snapshot-able object state.
+///
+/// States must be `Clone` (that *is* the checkpoint operation) and report
+/// their size so the cost model can charge state saving proportionally —
+/// the trade-off at the heart of the dynamic checkpointing experiment.
+pub trait ObjectState: Clone + Send + fmt::Debug + 'static {
+    /// Approximate in-memory size of the state in bytes. The default uses
+    /// the shallow struct size; states owning heap storage should add it.
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+trait ErasedStateOps: Send {
+    fn clone_box(&self) -> Box<dyn ErasedStateOps>;
+    fn as_any(&self) -> &dyn Any;
+    fn bytes(&self) -> usize;
+    fn debug_fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<S: ObjectState> ErasedStateOps for S {
+    fn clone_box(&self) -> Box<dyn ErasedStateOps> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn bytes(&self) -> usize {
+        self.state_bytes()
+    }
+    fn debug_fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A type-erased state snapshot held in the kernel's state queue.
+///
+/// Erasure lets one LP host heterogeneous objects (RAID's sources, forks
+/// and disks, say) behind a single queue type.
+pub struct ErasedState {
+    inner: Box<dyn ErasedStateOps>,
+}
+
+impl ErasedState {
+    /// Wrap a typed state.
+    pub fn of<S: ObjectState>(state: S) -> Self {
+        ErasedState {
+            inner: Box::new(state),
+        }
+    }
+
+    /// Recover the typed state. Panics if `S` is not the stored type —
+    /// that is a model bug (an object restoring someone else's state).
+    pub fn get<S: ObjectState>(&self) -> &S {
+        self.inner
+            .as_any()
+            .downcast_ref::<S>()
+            .expect("ErasedState::get: snapshot type does not match the object's state type")
+    }
+
+    /// Size in bytes, for the cost model.
+    pub fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+}
+
+impl Clone for ErasedState {
+    fn clone(&self) -> Self {
+        ErasedState {
+            inner: self.inner.clone_box(),
+        }
+    }
+}
+
+impl fmt::Debug for ErasedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.debug_fmt(f)
+    }
+}
+
+/// Kernel services available to a simulation object while it executes an
+/// event (or initializes).
+pub trait ExecutionContext {
+    /// This object's id.
+    fn me(&self) -> ObjectId;
+
+    /// The object's local virtual time: the receive time of the event
+    /// being executed (or [`VirtualTime::ZERO`] during `init`).
+    fn now(&self) -> VirtualTime;
+
+    /// Schedule an event `delay` ticks into the virtual future.
+    ///
+    /// `delay` must be at least 1: zero-delay events would allow an object
+    /// to affect the very instant it is executing, which breaks the total
+    /// event order the optimistic kernel (and the sequential golden model)
+    /// relies on. Panics on misuse — that is a model bug, not a runtime
+    /// condition.
+    fn send(&mut self, dst: ObjectId, delay: u64, kind: u16, payload: Vec<u8>) {
+        let t = self.now().after(delay.max(1));
+        self.try_send_at(dst, t, kind, payload)
+            .expect("ExecutionContext::send: kernel rejected send");
+        debug_assert!(
+            delay >= 1,
+            "send with delay 0 is rounded up to 1; schedule explicitly"
+        );
+    }
+
+    /// Schedule an event at absolute virtual time `at` (must be strictly
+    /// after `now`).
+    fn try_send_at(
+        &mut self,
+        dst: ObjectId,
+        at: VirtualTime,
+        kind: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), KernelError>;
+}
+
+/// A simulation object: the unit of model behaviour and of rollback.
+pub trait SimObject: Send {
+    /// Human-readable name for reports and traces.
+    fn name(&self) -> String {
+        "object".to_string()
+    }
+
+    /// Called once before the simulation starts, at virtual time zero.
+    /// Typically schedules the object's first event(s).
+    fn init(&mut self, _ctx: &mut dyn ExecutionContext) {}
+
+    /// Execute one event. Must be deterministic: given equal state and an
+    /// equal event it must produce equal state mutations and equal sends.
+    /// (Randomness is fine if the generator lives in the state — see
+    /// [`crate::rng::SimRng`].)
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, event: &Event);
+
+    /// Snapshot the object's mutable state for the state queue.
+    fn snapshot(&self) -> ErasedState;
+
+    /// Restore the object's mutable state from a snapshot taken earlier.
+    fn restore(&mut self, snapshot: &ErasedState);
+
+    /// Current state size in bytes (cost-model input for state saving).
+    fn state_bytes(&self) -> usize;
+}
+
+/// Convenience: collect sends without a kernel, for unit-testing model
+/// objects in isolation.
+#[derive(Debug)]
+pub struct RecordingContext {
+    /// Object id reported by `me()`.
+    pub me: ObjectId,
+    /// Virtual time reported by `now()`.
+    pub now: VirtualTime,
+    /// Sends captured as `(dst, at, kind, payload)` tuples.
+    pub sent: Vec<(ObjectId, VirtualTime, u16, Vec<u8>)>,
+}
+
+impl RecordingContext {
+    /// New recording context at the given identity and time.
+    pub fn new(me: ObjectId, now: VirtualTime) -> Self {
+        RecordingContext {
+            me,
+            now,
+            sent: Vec::new(),
+        }
+    }
+}
+
+impl ExecutionContext for RecordingContext {
+    fn me(&self) -> ObjectId {
+        self.me
+    }
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+    fn try_send_at(
+        &mut self,
+        dst: ObjectId,
+        at: VirtualTime,
+        kind: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        if at <= self.now {
+            return Err(KernelError::SendIntoPast {
+                now: self.now,
+                requested: at,
+            });
+        }
+        self.sent.push((dst, at, kind, payload));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct CounterState {
+        count: u64,
+        extra: Vec<u8>,
+    }
+    impl ObjectState for CounterState {
+        fn state_bytes(&self) -> usize {
+            std::mem::size_of::<Self>() + self.extra.len()
+        }
+    }
+
+    #[test]
+    fn erased_state_roundtrip() {
+        let s = CounterState {
+            count: 42,
+            extra: vec![0; 100],
+        };
+        let e = ErasedState::of(s.clone());
+        assert_eq!(e.get::<CounterState>(), &s);
+        assert_eq!(e.bytes(), std::mem::size_of::<CounterState>() + 100);
+        let c = e.clone();
+        assert_eq!(c.get::<CounterState>(), &s);
+        assert!(format!("{e:?}").contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot type")]
+    fn erased_state_wrong_type_panics() {
+        #[derive(Clone, Debug)]
+        struct Other;
+        impl ObjectState for Other {}
+        let e = ErasedState::of(CounterState {
+            count: 1,
+            extra: vec![],
+        });
+        let _ = e.get::<Other>();
+    }
+
+    #[test]
+    fn recording_context_captures_sends() {
+        let mut ctx = RecordingContext::new(ObjectId(1), VirtualTime::new(10));
+        ctx.send(ObjectId(2), 5, 7, vec![1]);
+        assert_eq!(ctx.sent.len(), 1);
+        let (dst, at, kind, payload) = &ctx.sent[0];
+        assert_eq!(*dst, ObjectId(2));
+        assert_eq!(*at, VirtualTime::new(15));
+        assert_eq!(*kind, 7);
+        assert_eq!(payload, &vec![1]);
+    }
+
+    #[test]
+    fn recording_context_rejects_past() {
+        let mut ctx = RecordingContext::new(ObjectId(1), VirtualTime::new(10));
+        let err = ctx.try_send_at(ObjectId(2), VirtualTime::new(10), 0, vec![]);
+        assert!(matches!(err, Err(KernelError::SendIntoPast { .. })));
+    }
+}

@@ -1,0 +1,147 @@
+//! The partition: which simulation object lives in which logical process,
+//! and which LP lives on which node.
+//!
+//! Partitioning is set before the run and is immutable during it (the
+//! paper notes the optimal cancellation strategy is sensitive to the
+//! partitioning scheme — the partition is an *input* to the experiments,
+//! not a tuned parameter).
+
+use crate::error::KernelError;
+use crate::ids::{LpId, NodeId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable object → LP → node placement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Partition {
+    lp_of_object: Vec<LpId>,
+    objects_of_lp: Vec<Vec<ObjectId>>,
+    node_of_lp: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Build a partition from an explicit object → LP assignment and an
+    /// LP → node placement.
+    pub fn new(lp_of_object: Vec<LpId>, node_of_lp: Vec<NodeId>) -> Result<Self, KernelError> {
+        let n_lps = node_of_lp.len();
+        if n_lps == 0 {
+            return Err(KernelError::InvalidConfig(
+                "partition needs at least one LP".into(),
+            ));
+        }
+        let mut objects_of_lp = vec![Vec::new(); n_lps];
+        for (obj, lp) in lp_of_object.iter().enumerate() {
+            let slot = objects_of_lp
+                .get_mut(lp.index())
+                .ok_or(KernelError::UnknownLp(*lp))?;
+            slot.push(ObjectId(obj as u32));
+        }
+        Ok(Partition {
+            lp_of_object,
+            objects_of_lp,
+            node_of_lp,
+        })
+    }
+
+    /// One LP per node, objects assigned round-robin (`obj % n_lps`).
+    pub fn round_robin(n_objects: usize, n_lps: usize) -> Self {
+        let lp_of_object = (0..n_objects).map(|o| LpId((o % n_lps) as u32)).collect();
+        let node_of_lp = (0..n_lps).map(|l| NodeId(l as u32)).collect();
+        Partition::new(lp_of_object, node_of_lp).expect("round_robin partition is valid")
+    }
+
+    /// One LP per node, objects assigned in contiguous blocks.
+    pub fn blocked(n_objects: usize, n_lps: usize) -> Self {
+        let per = n_objects.div_ceil(n_lps.max(1));
+        let lp_of_object = (0..n_objects)
+            .map(|o| LpId(((o / per.max(1)).min(n_lps - 1)) as u32))
+            .collect();
+        let node_of_lp = (0..n_lps).map(|l| NodeId(l as u32)).collect();
+        Partition::new(lp_of_object, node_of_lp).expect("blocked partition is valid")
+    }
+
+    /// Number of simulation objects.
+    pub fn n_objects(&self) -> usize {
+        self.lp_of_object.len()
+    }
+
+    /// Number of logical processes.
+    pub fn n_lps(&self) -> usize {
+        self.objects_of_lp.len()
+    }
+
+    /// Number of distinct nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_of_lp
+            .iter()
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// LP hosting an object.
+    #[inline]
+    pub fn lp_of(&self, obj: ObjectId) -> LpId {
+        self.lp_of_object[obj.index()]
+    }
+
+    /// Node hosting an LP.
+    #[inline]
+    pub fn node_of(&self, lp: LpId) -> NodeId {
+        self.node_of_lp[lp.index()]
+    }
+
+    /// Objects hosted by an LP.
+    pub fn objects_of(&self, lp: LpId) -> &[ObjectId] {
+        &self.objects_of_lp[lp.index()]
+    }
+
+    /// All LP ids.
+    pub fn lps(&self) -> impl Iterator<Item = LpId> + '_ {
+        (0..self.n_lps() as u32).map(LpId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_objects() {
+        let p = Partition::round_robin(10, 4);
+        assert_eq!(p.n_objects(), 10);
+        assert_eq!(p.n_lps(), 4);
+        assert_eq!(p.lp_of(ObjectId(0)), LpId(0));
+        assert_eq!(p.lp_of(ObjectId(5)), LpId(1));
+        assert_eq!(
+            p.objects_of(LpId(0)),
+            &[ObjectId(0), ObjectId(4), ObjectId(8)]
+        );
+        assert_eq!(p.node_of(LpId(3)), NodeId(3));
+    }
+
+    #[test]
+    fn blocked_keeps_neighbours_together() {
+        let p = Partition::blocked(10, 4);
+        assert_eq!(p.lp_of(ObjectId(0)), LpId(0));
+        assert_eq!(p.lp_of(ObjectId(2)), LpId(0));
+        assert_eq!(p.lp_of(ObjectId(3)), LpId(1));
+        assert_eq!(p.lp_of(ObjectId(9)), LpId(3));
+        // Every object is assigned to exactly one LP.
+        let total: usize = p.lps().map(|l| p.objects_of(l).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn explicit_partition_validates_lp_ids() {
+        let bad = Partition::new(vec![LpId(5)], vec![NodeId(0)]);
+        assert!(bad.is_err());
+        let ok = Partition::new(vec![LpId(0), LpId(0)], vec![NodeId(0)]).unwrap();
+        assert_eq!(ok.objects_of(LpId(0)).len(), 2);
+        assert_eq!(ok.n_nodes(), 1);
+    }
+
+    #[test]
+    fn empty_partition_rejected() {
+        assert!(Partition::new(vec![], vec![]).is_err());
+    }
+}

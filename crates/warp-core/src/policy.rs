@@ -1,0 +1,197 @@
+//! Configuration hooks: where the on-line controllers plug into the kernel.
+//!
+//! The paper's configuration control system is the tuple `<O, I, S, T, P>`
+//! — sampled output, configured parameter, initial setting, transfer
+//! function and control period. The kernel side of that contract is
+//! expressed here as two small traits, one per configurable facet: the
+//! kernel *feeds* observations in (`record_*`) and *applies* whatever
+//! setting the policy reports. Static configurations are the trivial
+//! implementations below; the adaptive ones live in the `warp-control`
+//! crate. The third facet (message aggregation) is configured in the
+//! communication layer — see `warp-net`.
+
+use serde::{Deserialize, Serialize};
+
+/// The cancellation strategy in force at an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CancellationMode {
+    /// Send anti-messages the moment a rollback occurs.
+    Aggressive,
+    /// Hold erroneous sends back; cancel only what re-execution fails to
+    /// regenerate.
+    Lazy,
+}
+
+/// Policy choosing between aggressive and lazy cancellation for one
+/// simulation object.
+///
+/// The kernel calls [`record_comparison`](CancellationSelector::record_comparison)
+/// once per output comparison (a *lazy hit* when the regenerated message
+/// equals the held-back/cancelled original, a miss otherwise), and
+/// [`invoke`](CancellationSelector::invoke) every
+/// [`period`](CancellationSelector::period) processed events, charging the
+/// cost model's control-invocation cost.
+pub trait CancellationSelector: Send {
+    /// Strategy currently in force.
+    fn mode(&self) -> CancellationMode;
+
+    /// Should the kernel perform *passive* output comparisons while in
+    /// aggressive mode? (Lazy mode compares inherently.) Monitoring costs
+    /// CPU; permanently-settled policies turn it off — the paper's PS and
+    /// PA variants owe their small edge to exactly this.
+    fn monitoring(&self) -> bool {
+        false
+    }
+
+    /// Feed one comparison outcome. `hit` means the object regenerated a
+    /// message identical to the one sent before the rollback.
+    fn record_comparison(&mut self, _hit: bool) {}
+
+    /// Control invocation: decide the mode for the next period. Returning
+    /// `Some(mode)` different from the current mode switches the object's
+    /// strategy. Called every [`period`](Self::period) processed events.
+    fn invoke(&mut self) -> Option<CancellationMode> {
+        None
+    }
+
+    /// Processed events between control invocations (`0` = never invoke).
+    fn period(&self) -> u64 {
+        0
+    }
+
+    /// Short policy name for reports ("AC", "LC", "DC", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Policy choosing the periodic checkpoint interval χ for one object.
+///
+/// The kernel reports, at each invocation, the state-saving and
+/// coast-forward costs accumulated since the previous invocation — the
+/// components of the paper's cost index `Ec` — and applies the returned
+/// interval.
+pub trait CheckpointTuner: Send {
+    /// Checkpoint interval χ currently in force (save state after every
+    /// χ-th event). Always ≥ 1.
+    fn interval(&self) -> u32;
+
+    /// Control invocation with the `Ec` components accumulated over the
+    /// elapsed period. Returning `Some(χ')` applies a new interval.
+    fn invoke(&mut self, _save_cost: f64, _coast_cost: f64) -> Option<u32> {
+        None
+    }
+
+    /// Processed events between control invocations (`0` = never invoke).
+    fn period(&self) -> u64 {
+        0
+    }
+
+    /// Short policy name for reports ("P1", "P8", "DYN", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Static cancellation: the compile-time switch of conventional Time Warp
+/// simulators.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedCancellation(pub CancellationMode);
+
+impl CancellationSelector for FixedCancellation {
+    fn mode(&self) -> CancellationMode {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        match self.0 {
+            CancellationMode::Aggressive => "AC",
+            CancellationMode::Lazy => "LC",
+        }
+    }
+}
+
+/// Static periodic checkpointing with a fixed interval.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedCheckpoint(pub u32);
+
+impl FixedCheckpoint {
+    /// Fixed interval χ (must be ≥ 1).
+    pub fn new(chi: u32) -> Self {
+        assert!(chi >= 1, "checkpoint interval must be >= 1");
+        FixedCheckpoint(chi)
+    }
+}
+
+impl CheckpointTuner for FixedCheckpoint {
+    fn interval(&self) -> u32 {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+/// Boxed policy pair for one object, with defaults matching the paper's
+/// baseline (checkpoint every event, aggressive cancellation).
+pub struct ObjectPolicies {
+    /// Cancellation strategy selector.
+    pub cancellation: Box<dyn CancellationSelector>,
+    /// Checkpoint interval tuner.
+    pub checkpoint: Box<dyn CheckpointTuner>,
+}
+
+impl Default for ObjectPolicies {
+    fn default() -> Self {
+        ObjectPolicies {
+            cancellation: Box::new(FixedCancellation(CancellationMode::Aggressive)),
+            checkpoint: Box::new(FixedCheckpoint(1)),
+        }
+    }
+}
+
+impl ObjectPolicies {
+    /// Convenience constructor.
+    pub fn new(
+        cancellation: Box<dyn CancellationSelector>,
+        checkpoint: Box<dyn CheckpointTuner>,
+    ) -> Self {
+        ObjectPolicies {
+            cancellation,
+            checkpoint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_cancellation_is_inert() {
+        let mut f = FixedCancellation(CancellationMode::Lazy);
+        assert_eq!(f.mode(), CancellationMode::Lazy);
+        assert!(!f.monitoring());
+        assert_eq!(f.period(), 0);
+        f.record_comparison(true);
+        assert_eq!(f.invoke(), None);
+        assert_eq!(f.name(), "LC");
+        assert_eq!(FixedCancellation(CancellationMode::Aggressive).name(), "AC");
+    }
+
+    #[test]
+    fn fixed_checkpoint_is_inert() {
+        let mut f = FixedCheckpoint::new(4);
+        assert_eq!(f.interval(), 4);
+        assert_eq!(f.invoke(1.0, 2.0), None);
+        assert_eq!(f.period(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        let _ = FixedCheckpoint::new(0);
+    }
+
+    #[test]
+    fn default_policies_match_paper_baseline() {
+        let p = ObjectPolicies::default();
+        assert_eq!(p.cancellation.mode(), CancellationMode::Aggressive);
+        assert_eq!(p.checkpoint.interval(), 1);
+    }
+}

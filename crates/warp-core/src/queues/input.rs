@@ -1,0 +1,371 @@
+//! The input queue: every event received by a simulation object, in total
+//! (virtual-time) order, with a cursor separating processed history from
+//! the unprocessed future.
+//!
+//! The queue is where optimism meets causality: an arriving positive event
+//! ordered before the cursor is a *straggler* (the object executed past
+//! it and must roll back); an arriving anti-message annihilates its
+//! positive twin, rolling back first if the twin was already executed.
+
+use crate::event::{Event, EventKey, Sign};
+use crate::time::VirtualTime;
+use std::collections::HashSet;
+
+/// Result of inserting a message into the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inserted {
+    /// Positive event enqueued in the unprocessed future. No action needed.
+    Enqueued,
+    /// Positive event ordered before the cursor: the receiver must roll
+    /// back to this key, after which the event sits unprocessed.
+    Straggler(EventKey),
+    /// The message met its twin (positive met a stored orphan anti, or
+    /// anti met an unprocessed positive) and both vanished.
+    Annihilated,
+    /// Anti-message for an already-executed positive: the receiver must
+    /// roll back to this key; the pair has been annihilated.
+    AntiStraggler(EventKey),
+    /// Anti-message arrived before its positive (possible under
+    /// out-of-order transports); stored until the twin shows up.
+    OrphanStored,
+}
+
+/// Ordered event store with processed/unprocessed cursor.
+#[derive(Debug, Default)]
+pub struct InputQueue {
+    /// Events sorted by [`EventKey`]; `events[..processed]` are executed.
+    events: Vec<Event>,
+    /// Number of executed events at the front of `events`.
+    processed: usize,
+    /// Anti-messages whose positives have not arrived yet.
+    orphan_antis: HashSet<crate::event::EventId>,
+}
+
+impl InputQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored events (processed + unprocessed).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of executed events currently retained.
+    pub fn processed_len(&self) -> usize {
+        self.processed
+    }
+
+    /// Number of pending (unprocessed) events.
+    pub fn pending_len(&self) -> usize {
+        self.events.len() - self.processed
+    }
+
+    /// Key of the most recently executed event, if any is retained.
+    pub fn last_processed_key(&self) -> Option<EventKey> {
+        self.processed.checked_sub(1).map(|i| self.events[i].key())
+    }
+
+    /// The next event to execute, if any.
+    pub fn next_unprocessed(&self) -> Option<&Event> {
+        self.events.get(self.processed)
+    }
+
+    /// Receive time of the next unprocessed event
+    /// ([`VirtualTime::INFINITY`] when idle) — the object's contribution
+    /// to GVT alongside its LVT.
+    pub fn next_time(&self) -> VirtualTime {
+        self.next_unprocessed()
+            .map_or(VirtualTime::INFINITY, |e| e.recv_time)
+    }
+
+    /// Advance the cursor past the next unprocessed event, returning a
+    /// reference to it. Panics if the queue is exhausted (kernel bug).
+    pub fn mark_processed(&mut self) -> &Event {
+        assert!(
+            self.processed < self.events.len(),
+            "mark_processed on exhausted queue"
+        );
+        self.processed += 1;
+        &self.events[self.processed - 1]
+    }
+
+    /// Processed event at absolute index `i` (`i < processed_len`), used
+    /// by the coast-forward replay.
+    pub fn processed_at(&self, i: usize) -> &Event {
+        assert!(i < self.processed, "processed_at out of range");
+        &self.events[i]
+    }
+
+    fn position_for(&self, key: EventKey) -> usize {
+        self.events.partition_point(|e| e.key() < key)
+    }
+
+    /// Insert a message, classifying the consequences. The returned
+    /// variant tells the LP what to do; this method never executes
+    /// rollbacks itself — see [`InputQueue::unprocess_from`].
+    pub fn insert(&mut self, ev: Event) -> Inserted {
+        match ev.sign {
+            Sign::Positive => {
+                if self.orphan_antis.remove(&ev.id) {
+                    return Inserted::Annihilated;
+                }
+                let key = ev.key();
+                let pos = self.position_for(key);
+                debug_assert!(
+                    self.events.get(pos).is_none_or(|e| e.key() != key),
+                    "duplicate event id delivered: {key:?}"
+                );
+                self.events.insert(pos, ev);
+                if pos < self.processed {
+                    // The object has executed past this event.
+                    self.processed += 1; // keep cursor over the same set
+                    Inserted::Straggler(key)
+                } else {
+                    Inserted::Enqueued
+                }
+            }
+            Sign::Anti => {
+                // An anti annihilates the positive with the same identity.
+                let key = ev.key();
+                let pos = self.position_for(key);
+                let found = self.events.get(pos).is_some_and(|e| e.id == ev.id);
+                if !found {
+                    self.orphan_antis.insert(ev.id);
+                    return Inserted::OrphanStored;
+                }
+                if pos < self.processed {
+                    // Twin already executed: receiver must roll back to it
+                    // first; the pair then disappears.
+                    self.events.remove(pos);
+                    self.processed -= 1;
+                    Inserted::AntiStraggler(key)
+                } else {
+                    self.events.remove(pos);
+                    Inserted::Annihilated
+                }
+            }
+        }
+    }
+
+    /// Move every processed event with key `>= key` back to the
+    /// unprocessed side. Returns how many were un-processed. This is the
+    /// queue's part of a rollback; restoring state and coasting forward
+    /// are the LP's.
+    pub fn unprocess_from(&mut self, key: EventKey) -> u64 {
+        let first = self.events[..self.processed].partition_point(|e| e.key() < key);
+        let n = self.processed - first;
+        self.processed = first;
+        n as u64
+    }
+
+    /// Index of the first processed event with key `> pos` (or 0 for
+    /// `None`): the coast-forward replay starts here after restoring the
+    /// state snapshot tagged `pos`.
+    pub fn replay_start(&self, pos: Option<EventKey>) -> usize {
+        match pos {
+            None => 0,
+            Some(k) => {
+                let idx = self.events[..self.processed].partition_point(|e| e.key() <= k);
+                debug_assert!(
+                    idx > 0 && self.events[idx - 1].key() == k,
+                    "restored state's event {k:?} is no longer in the processed history \
+                     (fossil collection raced GVT?)"
+                );
+                idx
+            }
+        }
+    }
+
+    /// Drop processed events with key strictly below `bound`; they can
+    /// never be replayed again. Returns the number reclaimed.
+    ///
+    /// The caller must derive `bound` from the key of the newest retained
+    /// state snapshot at or below GVT (see
+    /// [`crate::queues::state::StateQueue::fossil_bound`]): any future
+    /// rollback restores to that snapshot at the earliest and replays only
+    /// events after it, so everything before it is fossil.
+    pub fn fossil_collect_before(&mut self, bound: EventKey) -> u64 {
+        let keep = self.events[..self.processed].partition_point(|e| e.key() < bound);
+        self.events.drain(..keep);
+        self.processed -= keep;
+        keep as u64
+    }
+
+    /// All unprocessed events (test/diagnostic helper).
+    pub fn pending(&self) -> &[Event] {
+        &self.events[self.processed..]
+    }
+
+    /// All processed events in execution order. At termination (and with
+    /// fossil collection disabled) this is the committed history.
+    pub fn processed_events(&self) -> &[Event] {
+        &self.events[..self.processed]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::ids::ObjectId;
+
+    fn ev(sender: u32, serial: u64, rt: u64) -> Event {
+        Event::new(
+            EventId {
+                sender: ObjectId(sender),
+                serial,
+            },
+            ObjectId(0),
+            VirtualTime::ZERO,
+            VirtualTime::new(rt),
+            0,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn fifo_processing_in_key_order() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 30));
+        q.insert(ev(1, 1, 10));
+        q.insert(ev(2, 0, 20));
+        assert_eq!(q.next_time(), VirtualTime::new(10));
+        assert_eq!(q.mark_processed().recv_time, VirtualTime::new(10));
+        assert_eq!(q.mark_processed().recv_time, VirtualTime::new(20));
+        assert_eq!(q.mark_processed().recv_time, VirtualTime::new(30));
+        assert_eq!(q.next_time(), VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn straggler_detected_and_cursor_preserved() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 10));
+        q.insert(ev(1, 1, 30));
+        q.mark_processed();
+        q.mark_processed();
+        let out = q.insert(ev(2, 0, 20));
+        let key = ev(2, 0, 20).key();
+        assert_eq!(out, Inserted::Straggler(key));
+        // The straggler itself is not marked processed; cursor still spans
+        // the two originally processed events.
+        assert_eq!(q.processed_len(), 3); // includes the inserted slot
+        let n = q.unprocess_from(key);
+        assert_eq!(n, 2, "straggler slot and the event after it un-process");
+        assert_eq!(
+            q.next_unprocessed().unwrap().recv_time,
+            VirtualTime::new(20)
+        );
+    }
+
+    #[test]
+    fn equal_time_straggler_uses_tie_break() {
+        let mut q = InputQueue::new();
+        q.insert(ev(5, 0, 10));
+        q.mark_processed();
+        // Same time, lower sender id: orders before the processed event.
+        assert!(matches!(q.insert(ev(1, 0, 10)), Inserted::Straggler(_)));
+        // Same time, higher sender id: orders after; no straggler.
+        assert_eq!(q.insert(ev(9, 0, 10)), Inserted::Enqueued);
+    }
+
+    #[test]
+    fn anti_annihilates_unprocessed() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 10));
+        let anti = ev(1, 0, 10).to_anti();
+        assert_eq!(q.insert(anti), Inserted::Annihilated);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn anti_on_processed_is_straggler_and_removes() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 10));
+        q.insert(ev(1, 1, 20));
+        q.mark_processed();
+        q.mark_processed();
+        let key = ev(1, 0, 10).key();
+        assert_eq!(
+            q.insert(ev(1, 0, 10).to_anti()),
+            Inserted::AntiStraggler(key)
+        );
+        // The twin is gone; only the later event remains (still processed —
+        // the LP's rollback will un-process it via unprocess_from).
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.unprocess_from(key), 1);
+        assert_eq!(
+            q.next_unprocessed().unwrap().recv_time,
+            VirtualTime::new(20)
+        );
+    }
+
+    #[test]
+    fn orphan_anti_annihilates_late_positive() {
+        let mut q = InputQueue::new();
+        assert_eq!(q.insert(ev(3, 7, 50).to_anti()), Inserted::OrphanStored);
+        assert_eq!(q.insert(ev(3, 7, 50)), Inserted::Annihilated);
+        assert!(q.is_empty());
+        // And a different event is unaffected.
+        assert_eq!(q.insert(ev(3, 8, 50)), Inserted::Enqueued);
+    }
+
+    #[test]
+    fn replay_start_finds_position_after_snapshot() {
+        let mut q = InputQueue::new();
+        for s in 0..5 {
+            q.insert(ev(1, s, 10 * (s + 1)));
+        }
+        for _ in 0..4 {
+            q.mark_processed();
+        }
+        assert_eq!(q.replay_start(None), 0);
+        let k2 = ev(1, 1, 20).key();
+        assert_eq!(q.replay_start(Some(k2)), 2);
+    }
+
+    #[test]
+    fn fossil_collect_trims_strictly_below_bound() {
+        let mut q = InputQueue::new();
+        for s in 0..4 {
+            q.insert(ev(1, s, 10 * (s + 1)));
+        }
+        for _ in 0..3 {
+            q.mark_processed();
+        }
+        let n = q.fossil_collect_before(ev(1, 2, 30).key());
+        assert_eq!(n, 2, "events at t=10,20 reclaimed; t=30 kept");
+        assert_eq!(q.processed_len(), 1);
+        assert_eq!(q.pending_len(), 1);
+    }
+
+    #[test]
+    fn fossil_collect_never_touches_unprocessed() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 5));
+        // Unprocessed event below the bound must not be reclaimed (it
+        // still has to execute; fossils are processed history only).
+        assert_eq!(q.fossil_collect_before(ev(1, 99, 100).key()), 0);
+        assert_eq!(q.pending_len(), 1);
+    }
+
+    #[test]
+    fn unprocess_from_counts() {
+        let mut q = InputQueue::new();
+        for s in 0..6 {
+            q.insert(ev(1, s, s + 1));
+        }
+        for _ in 0..6 {
+            q.mark_processed();
+        }
+        assert_eq!(q.unprocess_from(ev(1, 3, 4).key()), 3);
+        assert_eq!(q.processed_len(), 3);
+        assert_eq!(q.pending_len(), 3);
+    }
+}

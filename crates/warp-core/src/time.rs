@@ -1,0 +1,182 @@
+//! Virtual time: the simulation clock of the Time Warp model.
+//!
+//! Virtual time (Jefferson, 1985) is a totally ordered logical clock that
+//! stamps every event in the simulation. Each simulation object keeps a
+//! *Local Virtual Time* (LVT); the minimum over all LVTs and in-transit
+//! message timestamps is the *Global Virtual Time* (GVT), the commit
+//! horizon of the optimistic execution.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time.
+///
+/// Internally a `u64` tick count. The all-ones value is reserved as
+/// [`VirtualTime::INFINITY`], used for "no event pending" and for the GVT
+/// of a finished simulation. Arithmetic saturates at infinity so that
+/// `INFINITY + d == INFINITY`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time. All simulations start here.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// Sentinel: later than every representable time.
+    pub const INFINITY: VirtualTime = VirtualTime(u64::MAX);
+    /// Largest finite virtual time.
+    pub const MAX_FINITE: VirtualTime = VirtualTime(u64::MAX - 1);
+
+    /// Create a virtual time from raw ticks. Panics on the reserved
+    /// infinity bit pattern; use [`VirtualTime::INFINITY`] for that.
+    #[inline]
+    pub fn new(ticks: u64) -> Self {
+        assert!(
+            ticks != u64::MAX,
+            "u64::MAX is reserved for VirtualTime::INFINITY"
+        );
+        VirtualTime(ticks)
+    }
+
+    /// Raw tick count. Infinity reports `u64::MAX`.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// True iff this is the infinity sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// True iff this is a finite time.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    /// Add a tick delta, saturating at (and preserving) infinity.
+    #[inline]
+    #[must_use]
+    pub fn after(self, delta: u64) -> Self {
+        if self.is_infinite() {
+            return self;
+        }
+        match self.0.checked_add(delta) {
+            Some(t) if t != u64::MAX => VirtualTime(t),
+            _ => VirtualTime(u64::MAX - 1),
+        }
+    }
+
+    /// Ticks separating `self` from an earlier time, `None` if `earlier`
+    /// is after `self` or either side is infinite.
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> Option<u64> {
+        if self.is_infinite() || earlier.is_infinite() {
+            return None;
+        }
+        self.0.checked_sub(earlier.0)
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "VT(∞)")
+        } else {
+            write!(f, "VT({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<u64> for VirtualTime {
+    fn from(t: u64) -> Self {
+        VirtualTime::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric_with_infinity_last() {
+        let a = VirtualTime::new(1);
+        let b = VirtualTime::new(2);
+        assert!(a < b);
+        assert!(b < VirtualTime::INFINITY);
+        assert!(VirtualTime::ZERO < a);
+        assert_eq!(VirtualTime::INFINITY, VirtualTime::INFINITY);
+        assert!(VirtualTime::MAX_FINITE < VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn after_advances_and_saturates() {
+        assert_eq!(VirtualTime::new(5).after(7), VirtualTime::new(12));
+        assert_eq!(VirtualTime::INFINITY.after(3), VirtualTime::INFINITY);
+        // Saturation at the largest finite value, never producing the sentinel.
+        let t = VirtualTime::new(u64::MAX - 2).after(100);
+        assert!(t.is_finite());
+        assert_eq!(t, VirtualTime::MAX_FINITE);
+    }
+
+    #[test]
+    fn since_measures_elapsed_ticks() {
+        assert_eq!(VirtualTime::new(10).since(VirtualTime::new(4)), Some(6));
+        assert_eq!(VirtualTime::new(4).since(VirtualTime::new(10)), None);
+        assert_eq!(VirtualTime::INFINITY.since(VirtualTime::ZERO), None);
+        assert_eq!(VirtualTime::new(9).since(VirtualTime::INFINITY), None);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = VirtualTime::new(3);
+        let b = VirtualTime::new(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(VirtualTime::INFINITY.min(b), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_reserved_pattern() {
+        let _ = VirtualTime::new(u64::MAX);
+    }
+
+    #[test]
+    fn display_renders_infinity() {
+        assert_eq!(format!("{}", VirtualTime::new(42)), "42");
+        assert_eq!(format!("{}", VirtualTime::INFINITY), "∞");
+        assert_eq!(format!("{:?}", VirtualTime::INFINITY), "VT(∞)");
+    }
+}

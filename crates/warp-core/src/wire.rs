@@ -1,0 +1,225 @@
+//! Deterministic, byte-stable payload encoding for event messages.
+//!
+//! Lazy cancellation decides whether a regenerated message equals a
+//! previously-sent one by comparing the two messages' *contents*. For that
+//! comparison to be meaningful the encoding must be canonical: the same
+//! logical value always produces the same bytes, on every platform. These
+//! little-endian writer/reader helpers give models exactly that without
+//! pulling in a serialization framework on the hot path.
+
+use crate::error::KernelError;
+
+/// Append-only canonical encoder.
+#[derive(Debug, Default, Clone)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New writer with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        PayloadWriter {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Write a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write an `i64` (little-endian, two's complement).
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern. NaNs are canonicalized
+    /// so logically-equal payloads stay byte-equal.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        let bits = if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            v.to_bits()
+        };
+        self.buf.extend_from_slice(&bits.to_le_bytes());
+        self
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+}
+
+/// Sequential canonical decoder over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Start reading from the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], KernelError> {
+        if self.remaining() < n {
+            return Err(KernelError::PayloadUnderrun {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, KernelError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, KernelError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, KernelError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, KernelError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, KernelError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, KernelError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], KernelError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_scalars() {
+        let mut w = PayloadWriter::new();
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .i64(-12345)
+            .f64(2.5)
+            .bytes(b"hello");
+        let buf = w.finish();
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -12345);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn identical_values_encode_identically() {
+        let enc = |x: u64, f: f64| {
+            let mut w = PayloadWriter::new();
+            w.u64(x).f64(f);
+            w.finish()
+        };
+        assert_eq!(enc(9, 1.25), enc(9, 1.25));
+        assert_ne!(enc(9, 1.25), enc(10, 1.25));
+        // NaN canonicalization keeps equal-looking payloads byte-equal.
+        assert_eq!(
+            enc(1, f64::NAN),
+            enc(1, f64::from_bits(0x7FF8_0000_0000_0001))
+        );
+    }
+
+    #[test]
+    fn underrun_is_an_error_not_a_panic() {
+        let buf = [1u8, 2];
+        let mut r = PayloadReader::new(&buf);
+        assert!(r.u32().is_err());
+        // Failed read consumes nothing.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn length_prefix_bounds_checked() {
+        let mut w = PayloadWriter::new();
+        w.u32(100); // lie about the length
+        let buf = w.finish();
+        let mut r = PayloadReader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Delivery-schedule invariance: an LP must commit the same per-object
+//! history *whatever* the transport does — batches split arbitrarily,
+//! deliveries interleaved with processing at arbitrary points, positives
+//! delayed past their successors. This drives the rollback machinery far
+//! harder than any well-behaved executive would.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use warp_core::event::{Event, EventId};
+use warp_core::object::{ErasedState, ExecutionContext, ObjectState, SimObject};
+use warp_core::policy::{CancellationMode, FixedCancellation, FixedCheckpoint, ObjectPolicies};
+use warp_core::wire::{PayloadReader, PayloadWriter};
+use warp_core::{CostModel, LpId, LpRuntime, ObjectId, Partition, VirtualTime};
+
+/// Chain object: accumulates values; forwards its sum to the next object
+/// in the LP on every event — so a mis-ordered delivery corrupts every
+/// downstream sum unless rollback repairs it.
+#[derive(Clone, Debug)]
+struct SumState {
+    sum: u64,
+}
+impl ObjectState for SumState {}
+
+struct Chain {
+    next: Option<ObjectId>,
+    state: SumState,
+}
+
+impl SimObject for Chain {
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        let v = PayloadReader::new(&ev.payload).u64().unwrap_or(1);
+        self.state.sum = self.state.sum.wrapping_mul(31).wrapping_add(v);
+        if let Some(next) = self.next {
+            let mut w = PayloadWriter::new();
+            w.u64(self.state.sum);
+            ctx.send(next, 7, 1, w.finish());
+        }
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<SumState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<SumState>()
+    }
+}
+
+fn build_lp(n_objects: usize, mode: CancellationMode, chi: u32) -> LpRuntime {
+    let partition = Arc::new(Partition::round_robin(n_objects, 1));
+    let objects = (0..n_objects)
+        .map(|i| {
+            let next = if i + 1 < n_objects {
+                Some(ObjectId(i as u32 + 1))
+            } else {
+                None
+            };
+            warp_core::ObjectRuntime::new(
+                ObjectId(i as u32),
+                Box::new(Chain {
+                    next,
+                    state: SumState { sum: i as u64 },
+                }),
+                ObjectPolicies::new(
+                    Box::new(FixedCancellation(mode)),
+                    Box::new(FixedCheckpoint::new(chi)),
+                ),
+            )
+        })
+        .collect();
+    LpRuntime::new(LpId(0), partition, objects, CostModel::uniform_unit())
+}
+
+fn external(serial: u64, rt: u64, v: u64) -> Event {
+    let mut w = PayloadWriter::new();
+    w.u64(v);
+    Event::new(
+        EventId {
+            sender: ObjectId(999),
+            serial,
+        },
+        ObjectId(0),
+        VirtualTime::ZERO,
+        VirtualTime::new(rt),
+        1,
+        w.finish(),
+    )
+}
+
+/// Run to completion with a *schedule*: at step k, if `schedule[k]` is
+/// true and an undelivered event remains, deliver it; otherwise process
+/// one event. Returns the per-object digests.
+fn run_with_schedule(
+    events: &[Event],
+    schedule: &[bool],
+    mode: CancellationMode,
+    chi: u32,
+) -> Vec<u64> {
+    let mut lp = build_lp(4, mode, chi);
+    let mut out = Vec::new();
+    lp.init(&mut out);
+    assert!(out.is_empty(), "single-LP chain has no remote traffic");
+    let mut pending: Vec<Event> = events.to_vec();
+    let mut k = 0usize;
+    loop {
+        let deliver_next = !pending.is_empty() && schedule.get(k).copied().unwrap_or(true);
+        k += 1;
+        if deliver_next {
+            let ev = pending.remove(0);
+            lp.deliver(vec![ev], &mut out);
+        } else if !lp.process_one(&mut out) {
+            if pending.is_empty() {
+                break;
+            }
+            // Idle but deliveries remain: force one.
+            let ev = pending.remove(0);
+            lp.deliver(vec![ev], &mut out);
+        }
+        assert!(out.is_empty());
+        assert!(k < 100_000, "runaway");
+    }
+    // Drain to quiescence: idle-flushing held-back anti-messages can
+    // trigger rollbacks that create new pendings downstream, so flush and
+    // process in a loop until the LP's GVT contribution reaches infinity
+    // (exactly what the executives do).
+    loop {
+        while lp.process_one(&mut out) {}
+        assert!(out.is_empty());
+        if lp.gvt_contribution().is_infinite() {
+            break;
+        }
+        lp.flush_idle(&mut out);
+    }
+    lp.objects()
+        .iter()
+        .map(|o| o.trace_digest().value())
+        .collect()
+}
+
+/// Distinct external events with colliding timestamps.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((1u64..40, 1u64..100), 1..14).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (rt, v))| external(i as u64, rt, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Whatever the delivery schedule, cancellation mode and checkpoint
+    /// interval, the committed histories equal the eager baseline's
+    /// (deliver everything first, then process in order — rollback-free).
+    #[test]
+    fn delivery_schedule_is_irrelevant(
+        events in arb_events(),
+        schedule in proptest::collection::vec(any::<bool>(), 64),
+        lazy in any::<bool>(),
+        chi in 1u32..6,
+    ) {
+        let mode =
+            if lazy { CancellationMode::Lazy } else { CancellationMode::Aggressive };
+        let baseline =
+            run_with_schedule(&events, &vec![true; events.len()], CancellationMode::Aggressive, 1);
+        let shuffled = run_with_schedule(&events, &schedule, mode, chi);
+        prop_assert_eq!(baseline, shuffled);
+    }
+
+    /// Delivering positives and then cancelling *all* of them (in any
+    /// interleaving with processing) leaves every object exactly as
+    /// initialized: the kernel must fully unwind cascaded effects.
+    #[test]
+    fn full_cancellation_unwinds_everything(
+        events in arb_events(),
+        schedule in proptest::collection::vec(any::<bool>(), 48),
+        lazy in any::<bool>(),
+        chi in 1u32..6,
+    ) {
+        let mode =
+            if lazy { CancellationMode::Lazy } else { CancellationMode::Aggressive };
+        let mut lp = build_lp(4, mode, chi);
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        // Deliver with interleaved processing, then cancel everything.
+        let mut k = 0usize;
+        let mut queue: Vec<Event> = events.clone();
+        let mut antis: Vec<Event> = events.iter().map(Event::to_anti).collect();
+        while !queue.is_empty() || !antis.is_empty() {
+            let deliver_positive = schedule.get(k).copied().unwrap_or(false);
+            k += 1;
+            if deliver_positive && !queue.is_empty() {
+                let ev = queue.remove(0);
+                lp.deliver(vec![ev], &mut out);
+            } else if !lp.process_one(&mut out) || k.is_multiple_of(3) {
+                // Sometimes cancel while idle, sometimes mid-stream.
+                if let Some(a) = if queue.is_empty() { antis.pop() } else { None } {
+                    lp.deliver(vec![a], &mut out);
+                }
+            }
+            prop_assert!(k < 100_000);
+        }
+        loop {
+            while lp.process_one(&mut out) {}
+            if lp.gvt_contribution().is_infinite() {
+                break;
+            }
+            lp.flush_idle(&mut out);
+        }
+        let s = lp.stats();
+        prop_assert_eq!(s.executed - s.rolled_back, 0, "all effects must unwind");
+        for o in lp.objects() {
+            prop_assert_eq!(o.trace_digest().count(), 0);
+            prop_assert_eq!(o.gvt_contribution(), VirtualTime::INFINITY);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # warp-exec — executives for the Time Warp kernel
+//!
+//! Three ways to drive the same simulation specification:
+//!
+//! * [`sequential`] — single event list in strict timestamp order: the
+//!   golden model that defines correct committed histories.
+//! * [`virtual_cluster`] — a deterministic discrete-event simulation of
+//!   the paper's network-of-workstations testbed: per-node CPU clocks
+//!   charged from the cost model, wire latency and bandwidth on every
+//!   physical message. This is the substrate all figures are reproduced
+//!   on ("execution time" = modeled completion time).
+//! * [`threaded`] — one OS thread per LP over a channel mesh with
+//!   Mattern-token GVT: the kernel as a real parallel program.
+//!
+//! All three consume a [`spec::SimulationSpec`] and produce a
+//! [`report::RunReport`].
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sequential;
+pub mod spec;
+pub mod threaded;
+pub mod virtual_cluster;
+
+pub use report::{LpSummary, ObjectSummary, RunReport};
+pub use sequential::run_sequential;
+pub use spec::{ObjectFactory, PolicyFactory, SimulationSpec};
+pub use threaded::run_threaded;
+pub use virtual_cluster::{run_virtual, run_virtual_inspect, run_virtual_with, VirtualOptions};

@@ -1,0 +1,180 @@
+//! Run reports: the measured output of an executive.
+
+use serde::{Deserialize, Serialize};
+use warp_core::stats::{CommStats, ObjectStats};
+
+/// Per-object summary (final configuration and trace digest).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObjectSummary {
+    /// Object id.
+    pub id: u32,
+    /// Model-provided name.
+    pub name: String,
+    /// Cancellation strategy in force at termination.
+    pub final_mode: String,
+    /// Checkpoint interval in force at termination.
+    pub final_chi: u32,
+    /// Committed events executed by this object.
+    pub committed: u64,
+    /// Full kernel statistics for this object.
+    pub stats: ObjectStats,
+    /// Committed-history digest (only when trace collection was on).
+    pub trace_digest: Option<u64>,
+}
+
+/// Per-LP summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LpSummary {
+    /// LP id.
+    pub lp: u32,
+    /// Merged kernel statistics over the LP's objects.
+    pub kernel: ObjectStats,
+    /// Communication statistics of the LP's aggregation layer.
+    pub comm: CommStats,
+    /// Per-object details.
+    pub objects: Vec<ObjectSummary>,
+}
+
+/// One sample of the cluster's progress, taken at each GVT round when
+/// timeline collection is enabled: the raw material of a space-time
+/// diagram (optimism fronts vs. the commit horizon).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Modeled wall time of the sample (seconds).
+    pub at: f64,
+    /// GVT at the sample (`None` once infinite).
+    pub gvt: Option<u64>,
+    /// Per-LP optimism front: the largest object LVT in each LP.
+    pub lp_fronts: Vec<u64>,
+    /// Cumulative rollbacks at the sample.
+    pub rollbacks: u64,
+    /// Retained history items at the sample (memory pressure).
+    pub retained: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which executive produced this ("sequential", "virtual", "threaded").
+    pub executive: String,
+    /// The run's *execution time*: modeled seconds for the virtual
+    /// cluster (max node clock at completion), wall seconds otherwise.
+    pub completion_seconds: f64,
+    /// Wall-clock seconds the run actually took on this machine.
+    pub wall_seconds: f64,
+    /// Events committed across all objects.
+    pub committed_events: u64,
+    /// Committed events per completion second — the paper's throughput
+    /// metric (11,300 ev/s for SMMP, 10,917 ev/s for RAID, §8).
+    pub events_per_second: f64,
+    /// GVT rounds performed.
+    pub gvt_rounds: u64,
+    /// Merged kernel statistics.
+    pub kernel: ObjectStats,
+    /// Merged communication statistics.
+    pub comm: CommStats,
+    /// Per-LP breakdown.
+    pub per_lp: Vec<LpSummary>,
+    /// Progress samples (empty unless timeline collection was enabled).
+    #[serde(default)]
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl RunReport {
+    /// Merged rollback fraction: rolled-back / executed.
+    pub fn rollback_fraction(&self) -> f64 {
+        if self.kernel.executed == 0 {
+            0.0
+        } else {
+            self.kernel.rolled_back as f64 / self.kernel.executed as f64
+        }
+    }
+
+    /// Committed-trace digests keyed by object id (empty when trace
+    /// collection was off).
+    pub fn trace_digests(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .per_lp
+            .iter()
+            .flat_map(|lp| lp.objects.iter())
+            .filter_map(|o| o.trace_digest.map(|d| (o.id, d)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<10} committed={:<9} T={:>9.4}s ({:>8.0} ev/s) rollbacks={} ({:.1}% rolled) phys_msgs={} (aggr {:.2}x)",
+            self.executive,
+            self.committed_events,
+            self.completion_seconds,
+            self.events_per_second,
+            self.kernel.rollbacks(),
+            100.0 * self.rollback_fraction(),
+            self.comm.phys_sent,
+            self.comm.aggregation_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            executive: "virtual".into(),
+            completion_seconds: 2.0,
+            wall_seconds: 0.5,
+            committed_events: 1000,
+            events_per_second: 500.0,
+            gvt_rounds: 3,
+            kernel: ObjectStats {
+                executed: 1100,
+                rolled_back: 100,
+                ..Default::default()
+            },
+            comm: CommStats {
+                events_offered: 50,
+                phys_sent: 10,
+                ..Default::default()
+            },
+            timeline: Vec::new(),
+            per_lp: vec![LpSummary {
+                lp: 0,
+                kernel: ObjectStats::default(),
+                comm: CommStats::default(),
+                objects: vec![ObjectSummary {
+                    id: 7,
+                    name: "disk".into(),
+                    final_mode: "Lazy".into(),
+                    final_chi: 4,
+                    committed: 10,
+                    stats: ObjectStats::default(),
+                    trace_digest: Some(42),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.rollback_fraction() - 100.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(r.trace_digests(), vec![(7, 42)]);
+        let line = r.summary_line();
+        assert!(line.contains("virtual"));
+        assert!(line.contains("1000"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"executive\":\"virtual\""));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.committed_events, 1000);
+    }
+}

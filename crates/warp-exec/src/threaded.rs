@@ -1,0 +1,320 @@
+//! The threaded executive: one OS thread per logical process.
+//!
+//! This is the kernel running as a genuinely parallel program: LP threads
+//! exchange physical messages over a FIFO channel mesh (`warp_net`), GVT
+//! is estimated with the Mattern-style token of `warp_core::gvt`, and
+//! termination is GVT = ∞. Aggregation windows are interpreted in wall
+//! seconds here (the virtual executive interprets them in modeled
+//! seconds); everything else — models, policies, cancellation machinery —
+//! is byte-for-byte the same code the other executives drive, which is
+//! the point: configurations found on one executive transfer to the other.
+
+use crate::report::{LpSummary, ObjectSummary, RunReport};
+use crate::spec::SimulationSpec;
+use std::time::{Duration, Instant};
+use warp_core::gvt::{GvtController, MatternAgent};
+use warp_core::stats::{CommStats, ObjectStats};
+use warp_core::{Event, VirtualTime};
+use warp_net::{mesh, Aggregator, Endpoint, PhysMsg};
+
+/// Traffic multiplexed over the mesh.
+enum Packet {
+    /// Application events (a physical message), tagged with the sender's
+    /// Mattern epoch.
+    Data { msg: PhysMsg, epoch: u32 },
+    /// The circulating GVT token.
+    Token(warp_core::gvt::GvtToken),
+    /// A freshly computed GVT (∞ = simulation over, shut down).
+    GvtNews(VirtualTime),
+}
+
+/// Events processed between communication polls.
+const BATCH: usize = 64;
+/// Fallback GVT cadence when the spec disables fossil collection.
+const TERMINATION_PROBE: Duration = Duration::from_millis(5);
+
+/// Run the spec on real threads. Returns when GVT reaches infinity.
+pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
+    let start_all = Instant::now();
+    let n_lps = spec.partition.n_lps();
+    let endpoints = mesh::<Packet>(n_lps);
+
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|endpoint| {
+            let spec = spec.clone();
+            std::thread::spawn(move || lp_thread(spec, endpoint))
+        })
+        .collect();
+
+    let mut results: Vec<(LpSummary, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("LP thread panicked"))
+        .collect();
+    results.sort_by_key(|(s, _)| s.lp);
+    let gvt_rounds = results.iter().map(|(_, r)| *r).max().unwrap_or(0);
+    let per_lp: Vec<LpSummary> = results.into_iter().map(|(s, _)| s).collect();
+    let wall = start_all.elapsed().as_secs_f64();
+
+    let mut kernel = ObjectStats::default();
+    let mut comm = CommStats::default();
+    let mut committed = 0u64;
+    for s in &per_lp {
+        committed += s.kernel.net_executed();
+        kernel.merge(&s.kernel);
+        comm.merge(&s.comm);
+    }
+
+    RunReport {
+        timeline: Vec::new(),
+        executive: "threaded".into(),
+        completion_seconds: wall,
+        wall_seconds: wall,
+        committed_events: committed,
+        events_per_second: if wall > 0.0 {
+            committed as f64 / wall
+        } else {
+            0.0
+        },
+        gvt_rounds,
+        kernel,
+        comm,
+        per_lp,
+    }
+}
+
+struct LpThread {
+    lp: warp_core::LpRuntime,
+    agg: Aggregator,
+    agent: MatternAgent,
+    ctrl: Option<GvtController>,
+    endpoint: Endpoint<Packet>,
+    start: Instant,
+    last_round: Instant,
+    fossil: bool,
+    gvt_period: Duration,
+    gvt_rounds: u64,
+    done: bool,
+    collect_traces: bool,
+    partition: std::sync::Arc<warp_core::Partition>,
+}
+
+impl LpThread {
+    fn ship(&mut self, msgs: Vec<PhysMsg>) {
+        for msg in msgs {
+            let c = msg.send_cost(self.lp.cost_model());
+            self.agg.note_send_cost(c);
+            let epoch = self.agent.tag_send(msg.min_recv_time());
+            let to = msg.dst.index();
+            self.endpoint.send(to, Packet::Data { msg, epoch });
+        }
+    }
+
+    fn offer_remote(&mut self, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let now = self.start.elapsed().as_secs_f64();
+        let mut due = Vec::new();
+        for ev in events {
+            let dst = self.partition.lp_of(ev.dst);
+            self.agg.offer(dst, ev, now, &mut due);
+        }
+        self.ship(due);
+    }
+
+    fn local_min(&self) -> VirtualTime {
+        self.lp.gvt_contribution().min(self.agg.buffered_min_time())
+    }
+
+    fn apply_gvt(&mut self, gvt: VirtualTime) {
+        if gvt.is_infinite() {
+            self.done = true;
+        } else if self.fossil {
+            self.lp.fossil_collect(gvt);
+        }
+    }
+
+    fn forward_token(&mut self, mut token: warp_core::gvt::GvtToken) {
+        self.agent.on_token(&mut token, self.local_min());
+        let next = (self.endpoint.id() + 1) % self.endpoint.n_peers();
+        if next == self.endpoint.id() {
+            // Single-LP mesh: the circulation is already complete.
+            self.complete_round(token);
+        } else {
+            self.endpoint.send(next, Packet::Token(token));
+        }
+    }
+
+    /// Controller only: the token finished a circulation.
+    fn complete_round(&mut self, token: warp_core::gvt::GvtToken) {
+        let ctrl = self
+            .ctrl
+            .as_mut()
+            .expect("token returned to a non-controller");
+        match ctrl.on_return(token) {
+            Ok(gvt) => {
+                self.gvt_rounds += 1;
+                for peer in 1..self.endpoint.n_peers() {
+                    self.endpoint.send(peer, Packet::GvtNews(gvt));
+                }
+                self.last_round = Instant::now();
+                self.apply_gvt(gvt);
+            }
+            Err(token) => self.forward_token(token),
+        }
+    }
+
+    fn handle(&mut self, p: Packet) {
+        match p {
+            Packet::Data { msg, epoch } => {
+                self.agent.note_receive(epoch);
+                self.agg.note_received(&msg, self.lp.cost_model());
+                let mut remote = Vec::new();
+                self.lp.deliver(msg.events, &mut remote);
+                self.offer_remote(remote);
+            }
+            Packet::Token(token) => {
+                if self.ctrl.is_some() {
+                    self.complete_round(token);
+                } else {
+                    self.forward_token(token);
+                }
+            }
+            Packet::GvtNews(gvt) => self.apply_gvt(gvt),
+        }
+    }
+
+    fn run(mut self) -> (LpSummary, u64) {
+        let debug_trace = std::env::var("WARP_DEBUG_THREADED").is_ok();
+        let mut loops: u64 = 0;
+        let mut init_out = Vec::new();
+        self.lp.init(&mut init_out);
+        self.offer_remote(init_out);
+
+        while !self.done {
+            loops += 1;
+            if debug_trace && loops.is_multiple_of(200_000) {
+                eprintln!(
+                    "[thr lp{}] loops={} next={} lmin={} buffered={} rounds={} in_prog={:?} stats={}r/{}x",
+                    self.endpoint.id(),
+                    loops,
+                    self.lp.next_time(),
+                    self.local_min(),
+                    self.agg.buffered(),
+                    self.gvt_rounds,
+                    self.ctrl.as_ref().map(|c| c.in_progress()),
+                    self.lp.stats().rollbacks(),
+                    self.lp.stats().executed,
+                );
+            }
+            let mut idle = true;
+
+            // 1. Incoming traffic, in arrival order.
+            while let Some(p) = self.endpoint.try_recv() {
+                idle = false;
+                self.handle(p);
+                if self.done {
+                    break;
+                }
+            }
+            if self.done {
+                break;
+            }
+
+            // 2. A batch of optimistic event executions.
+            let mut remote = Vec::new();
+            for _ in 0..BATCH {
+                if !self.lp.process_one(&mut remote) {
+                    break;
+                }
+                idle = false;
+            }
+            self.offer_remote(remote);
+
+            // 3. Aggregation deadlines (wall clock); idle lazy flushes.
+            let now = self.start.elapsed().as_secs_f64();
+            let mut due = Vec::new();
+            self.agg.poll(now, &mut due);
+            self.ship(due);
+            if self.lp.next_time().is_infinite() {
+                let mut remote = Vec::new();
+                self.lp.flush_idle(&mut remote);
+                self.offer_remote(remote);
+            }
+
+            // 4. Controller cadence: periodic rounds, eager when idle
+            //    (termination detection).
+            if self.ctrl.is_some() {
+                let due_round = self.last_round.elapsed() >= self.gvt_period
+                    || (idle && self.lp.next_time().is_infinite());
+                if due_round && !self.ctrl.as_ref().unwrap().in_progress() {
+                    let token = self.ctrl.as_mut().unwrap().start_round();
+                    self.forward_token(token);
+                }
+            }
+
+            // 5. Block briefly instead of spinning when idle.
+            if idle && !self.done {
+                if let Some(p) = self.endpoint.recv_timeout(Duration::from_micros(200)) {
+                    self.handle(p);
+                }
+            }
+        }
+
+        let objects = self
+            .lp
+            .objects()
+            .iter()
+            .map(|o| ObjectSummary {
+                id: o.id().0,
+                name: o.object_name(),
+                final_mode: format!("{:?}", o.cancellation_mode()),
+                final_chi: o.checkpoint_interval(),
+                committed: o.stats().net_executed(),
+                stats: o.stats().clone(),
+                trace_digest: if self.collect_traces {
+                    Some(o.trace_digest().value())
+                } else {
+                    None
+                },
+            })
+            .collect();
+        (
+            LpSummary {
+                lp: self.lp.id().0,
+                kernel: self.lp.stats(),
+                comm: self.agg.stats().clone(),
+                objects,
+            },
+            self.gvt_rounds,
+        )
+    }
+}
+
+fn lp_thread(spec: SimulationSpec, endpoint: Endpoint<Packet>) -> (LpSummary, u64) {
+    let my_id = warp_core::LpId(endpoint.id() as u32);
+    let worker = LpThread {
+        lp: spec.build_lp(my_id),
+        agg: Aggregator::new(my_id, spec.aggregation.clone()),
+        agent: MatternAgent::new(),
+        ctrl: if endpoint.id() == 0 {
+            Some(GvtController::new())
+        } else {
+            None
+        },
+        endpoint,
+        start: Instant::now(),
+        last_round: Instant::now(),
+        fossil: spec.gvt_period.is_some(),
+        gvt_period: spec
+            .gvt_period
+            .map(Duration::from_secs_f64)
+            .unwrap_or(TERMINATION_PROBE),
+        gvt_rounds: 0,
+        done: false,
+        collect_traces: spec.collect_traces,
+        partition: spec.partition.clone(),
+    };
+    worker.run()
+}

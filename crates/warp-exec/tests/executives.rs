@@ -1,0 +1,271 @@
+//! Cross-executive equivalence: the optimistic executives must commit,
+//! per object, exactly the history the sequential golden model executes —
+//! whatever the configuration (cancellation strategy, checkpoint
+//! interval, aggregation policy, fossil collection).
+
+use std::sync::Arc;
+use warp_control::{DynamicCancellation, DynamicCheckpoint};
+use warp_core::policy::{CancellationMode, FixedCancellation, FixedCheckpoint, ObjectPolicies};
+use warp_core::rng::SimRng;
+use warp_core::wire::{PayloadReader, PayloadWriter};
+use warp_core::{
+    CostModel, ErasedState, Event, ExecutionContext, ObjectId, ObjectState, Partition, SimObject,
+};
+use warp_exec::{run_sequential, run_threaded, run_virtual, SimulationSpec};
+use warp_net::AggregationConfig;
+
+/// A relay workload: tokens hop between objects with random (state-seeded)
+/// delays and destinations; each hop decrements a TTL. One send per event,
+/// so committed histories are stable across executives by construction.
+#[derive(Clone, Debug)]
+struct RelayState {
+    rng: SimRng,
+    received: u64,
+}
+impl ObjectState for RelayState {}
+
+struct Relay {
+    me: u32,
+    n_objects: u32,
+    starters: u32,
+    hops: u32,
+    mean_delay: f64,
+    state: RelayState,
+}
+
+impl Relay {
+    fn forward(&mut self, ctx: &mut dyn ExecutionContext, ttl: u32) {
+        if ttl == 0 {
+            return;
+        }
+        let dst = self.state.rng.below(self.n_objects as u64) as u32;
+        let delay = self.state.rng.exp_ticks(self.mean_delay);
+        let mut w = PayloadWriter::new();
+        w.u32(ttl - 1);
+        ctx.send(ObjectId(dst), delay, 1, w.finish());
+    }
+}
+
+impl SimObject for Relay {
+    fn name(&self) -> String {
+        format!("relay-{}", self.me)
+    }
+    fn init(&mut self, ctx: &mut dyn ExecutionContext) {
+        if self.me < self.starters {
+            self.forward(ctx, self.hops + 1);
+        }
+    }
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        self.state.received += 1;
+        let ttl = PayloadReader::new(&ev.payload)
+            .u32()
+            .expect("relay payload");
+        self.forward(ctx, ttl);
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<RelayState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<RelayState>()
+    }
+}
+
+fn relay_spec(seed: u64, n_objects: u32, n_lps: usize, starters: u32, hops: u32) -> SimulationSpec {
+    let partition = Partition::round_robin(n_objects as usize, n_lps);
+    SimulationSpec::new(
+        partition,
+        Arc::new(move |id: ObjectId| {
+            Box::new(Relay {
+                me: id.0,
+                n_objects,
+                starters,
+                hops,
+                mean_delay: 40.0,
+                state: RelayState {
+                    rng: SimRng::derive(seed, id.0 as u64),
+                    received: 0,
+                },
+            }) as Box<dyn SimObject>
+        }),
+    )
+    .with_cost(CostModel::uniform_unit())
+    .with_gvt_period(None)
+    .with_traces()
+}
+
+fn assert_same_traces(a: &warp_exec::RunReport, b: &warp_exec::RunReport) {
+    assert_eq!(
+        a.committed_events, b.committed_events,
+        "{} vs {}",
+        a.executive, b.executive
+    );
+    let ta = a.trace_digests();
+    let tb = b.trace_digests();
+    assert_eq!(ta.len(), tb.len());
+    for ((ida, da), (idb, db)) in ta.iter().zip(tb.iter()) {
+        assert_eq!(ida, idb);
+        assert_eq!(
+            da, db,
+            "object {ida} committed a different history ({} vs {})",
+            a.executive, b.executive
+        );
+    }
+}
+
+#[test]
+fn virtual_matches_sequential_aggressive() {
+    let spec = relay_spec(1, 12, 3, 6, 120);
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert!(
+        seq.committed_events > 500,
+        "workload too small to be meaningful"
+    );
+    assert_same_traces(&seq, &tw);
+    assert!(
+        tw.kernel.rollbacks() > 0,
+        "workload never exercised rollback"
+    );
+}
+
+#[test]
+fn virtual_matches_sequential_lazy() {
+    let spec = relay_spec(2, 12, 3, 6, 120).with_policies(Arc::new(|_| {
+        ObjectPolicies::new(
+            Box::new(FixedCancellation(CancellationMode::Lazy)),
+            Box::new(FixedCheckpoint::new(4)),
+        )
+    }));
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+    assert!(tw.kernel.rollbacks() > 0);
+}
+
+#[test]
+fn virtual_matches_sequential_with_aggregation() {
+    for config in [
+        AggregationConfig::Faw { window: 2e-3 },
+        AggregationConfig::saaw(1e-3),
+    ] {
+        let spec = relay_spec(3, 12, 4, 8, 100).with_aggregation(config.clone());
+        let seq = run_sequential(&spec);
+        let tw = run_virtual(&spec);
+        assert_same_traces(&seq, &tw);
+        assert!(
+            tw.comm.aggregation_ratio() > 1.0,
+            "{:?} never aggregated anything",
+            config
+        );
+    }
+}
+
+#[test]
+fn virtual_matches_sequential_with_dynamic_policies() {
+    let spec = relay_spec(4, 10, 2, 5, 150).with_policies(Arc::new(|_| {
+        ObjectPolicies::new(
+            Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+            Box::new(DynamicCheckpoint::new(1, 32, 32)),
+        )
+    }));
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+}
+
+#[test]
+fn virtual_is_deterministic() {
+    let spec = relay_spec(5, 12, 3, 6, 100).with_aggregation(AggregationConfig::saaw(1e-3));
+    let a = run_virtual(&spec);
+    let b = run_virtual(&spec);
+    assert_eq!(a.committed_events, b.committed_events);
+    assert_eq!(
+        a.completion_seconds, b.completion_seconds,
+        "modeled time must be bit-equal"
+    );
+    assert_eq!(a.kernel, b.kernel);
+    assert_eq!(a.trace_digests(), b.trace_digests());
+    assert_eq!(a.comm.phys_sent, b.comm.phys_sent);
+}
+
+#[test]
+fn fossil_collection_preserves_results() {
+    let base = relay_spec(6, 12, 3, 6, 100);
+    let no_fossil = run_virtual(&base);
+    // Same run with GVT + fossil collection on: committed counts must
+    // match (trace digests are unavailable once history is reclaimed).
+    let fossil = run_virtual(&base.clone().with_gvt_period(Some(0.02)));
+    assert_eq!(no_fossil.committed_events, fossil.committed_events);
+    assert!(fossil.gvt_rounds > 0, "GVT never ran");
+    assert!(fossil.kernel.fossils_collected > 0, "nothing was reclaimed");
+}
+
+#[test]
+fn threaded_matches_sequential() {
+    let spec = relay_spec(7, 8, 2, 4, 80);
+    let seq = run_sequential(&spec);
+    let tw = run_threaded(&spec);
+    assert_same_traces(&seq, &tw);
+}
+
+#[test]
+fn threaded_matches_sequential_lazy_with_aggregation() {
+    let spec = relay_spec(8, 8, 4, 6, 60)
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(FixedCancellation(CancellationMode::Lazy)),
+                Box::new(FixedCheckpoint::new(3)),
+            )
+        }))
+        .with_aggregation(AggregationConfig::Faw { window: 0.5e-3 });
+    let seq = run_sequential(&spec);
+    let tw = run_threaded(&spec);
+    assert_same_traces(&seq, &tw);
+}
+
+#[test]
+fn threaded_with_fossils_terminates_and_commits() {
+    let spec = relay_spec(9, 8, 3, 4, 60);
+    let seq = run_sequential(&spec);
+    let tw = run_threaded(&spec.clone().with_gvt_period(Some(0.002)));
+    assert_eq!(seq.committed_events, tw.committed_events);
+    assert!(tw.gvt_rounds > 0);
+}
+
+#[test]
+fn single_lp_virtual_and_threaded() {
+    let spec = relay_spec(10, 6, 1, 3, 50);
+    let seq = run_sequential(&spec);
+    let v = run_virtual(&spec);
+    let t = run_threaded(&spec);
+    assert_same_traces(&seq, &v);
+    assert_same_traces(&seq, &t);
+    assert_eq!(
+        v.kernel.rollbacks(),
+        0,
+        "single LP: everything is local and in order"
+    );
+}
+
+#[test]
+fn reports_carry_configuration_details() {
+    let spec = relay_spec(11, 6, 2, 3, 40).with_policies(Arc::new(|_| {
+        ObjectPolicies::new(
+            Box::new(DynamicCancellation::dc(8, 0.45, 0.2, 8)),
+            Box::new(DynamicCheckpoint::new(1, 16, 16)),
+        )
+    }));
+    let tw = run_virtual(&spec);
+    for lp in &tw.per_lp {
+        for o in &lp.objects {
+            assert!(o.final_chi >= 1);
+            assert!(o.final_mode == "Aggressive" || o.final_mode == "Lazy");
+            assert!(o.name.starts_with("relay-"));
+        }
+    }
+    let json = serde_json::to_string(&tw).unwrap();
+    assert!(json.contains("phys_sent"));
+}

@@ -1,0 +1,677 @@
+//! SMMP: the shared-memory multiprocessor model (Section 7 of the paper).
+//!
+//! Each simulated processor owns a private cache with access to a common
+//! interleaved main memory. Per the paper, the memory is deliberately
+//! *not* serialized ("main memory can have multiple requests pending at
+//! any given moment"), which makes every service a pure function of the
+//! request — the property that makes SMMP objects strictly favor lazy
+//! cancellation, exactly as Section 8 reports.
+//!
+//! Object layout (paper configuration: 16 processors, 4 LPs, **100
+//! simulation objects**):
+//!
+//! ```text
+//! 16 CPUs  +  16 caches  +  4 memory controllers  +  64 banks  =  100
+//! ```
+//!
+//! A request flows CPU → cache; on a hit the cache answers after the
+//! cache delay; on a miss it goes cache → controller → bank, and the
+//! response retraces bank → cache → CPU. By default CPUs generate test
+//! vectors *open loop* — each request is pre-scheduled a think-time after
+//! the previous one, carrying its creation time, creator and
+//! satisfaction metadata, matching the paper's description (a closed-loop
+//! mode is available via [`SmmpConfig::open_loop`]). Virtual time is in
+//! nanoseconds.
+//!
+//! Partition: LP *k* hosts its 4 CPUs and caches, memory controller *k*
+//! and that controller's 16 banks, so cache-miss traffic fans out across
+//! LPs (address-interleaved) — the cross-LP skew that generates
+//! stragglers at controllers and banks.
+
+use crate::util::spread;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use warp_core::rng::SimRng;
+use warp_core::wire::{PayloadReader, PayloadWriter};
+use warp_core::{
+    ErasedState, Event, ExecutionContext, LpId, NodeId, ObjectId, ObjectState, Partition, SimObject,
+};
+use warp_exec::SimulationSpec;
+
+/// CPU → cache memory request.
+pub const K_REQ: u16 = 1;
+/// Cache → CPU response (hit or completed miss).
+pub const K_RESP: u16 = 2;
+/// Cache → memory-controller miss.
+pub const K_MISS: u16 = 3;
+/// Controller → bank access.
+pub const K_BANK: u16 = 4;
+/// Bank → cache response.
+pub const K_FILL: u16 = 5;
+/// CPU self-timer for open-loop generation.
+pub const K_TICK: u16 = 6;
+
+/// SMMP configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SmmpConfig {
+    /// Simulated processors (each contributes a CPU and a cache object).
+    pub n_processors: usize,
+    /// Logical processes (= memory controllers; banks split evenly).
+    pub n_lps: usize,
+    /// Interleaved memory banks in total.
+    pub n_banks: usize,
+    /// Cache hit probability.
+    pub cache_hit_ratio: f64,
+    /// Cache access time in ns.
+    pub cache_ns: u64,
+    /// Main-memory access time in ns.
+    pub memory_ns: u64,
+    /// Mean CPU think time between requests, ns.
+    pub think_ns: f64,
+    /// Memory requests ("test vectors") issued per processor.
+    pub requests_per_processor: u64,
+    /// Cache tag-array lines (the bulk of checkpointable state).
+    pub cache_lines: usize,
+    /// Bank row-buffer tags (bank-side checkpointable state; service
+    /// stays a pure function of the request).
+    pub bank_rows: usize,
+    /// Open-loop generation: requests are pre-scheduled at think-time
+    /// intervals ("test vectors" carrying the time at which each request
+    /// should be satisfied, per the paper) rather than waiting for the
+    /// previous response.
+    pub open_loop: bool,
+    /// Scatter caches away from their CPUs' LPs. The default localized
+    /// partition ("to take advantage of the fast intra-LP communication")
+    /// keeps ~95% of events inside an LP, which starves the message
+    /// aggregation experiment; the scattered variant makes every
+    /// request/response hop cross LPs — the communication-bound
+    /// configuration used to regenerate Figure 8.
+    pub scattered: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SmmpConfig {
+    /// The configuration of Section 7: 16 processors in 4 LPs, 10 ns
+    /// cache, 100 ns memory, 90% hit ratio, 100 simulation objects.
+    pub fn paper(requests_per_processor: u64, seed: u64) -> Self {
+        SmmpConfig {
+            n_processors: 16,
+            n_lps: 4,
+            n_banks: 64,
+            cache_hit_ratio: 0.90,
+            cache_ns: 10,
+            memory_ns: 100,
+            think_ns: 120.0,
+            requests_per_processor,
+            cache_lines: 1024,
+            bank_rows: 64,
+            open_loop: true,
+            scattered: false,
+            seed,
+        }
+    }
+
+    /// A reduced instance for tests: same topology shape, less work.
+    pub fn small(requests_per_processor: u64, seed: u64) -> Self {
+        SmmpConfig {
+            n_processors: 4,
+            n_lps: 2,
+            n_banks: 8,
+            cache_lines: 32,
+            bank_rows: 8,
+            ..Self::paper(requests_per_processor, seed)
+        }
+    }
+
+    /// Total simulation objects.
+    pub fn n_objects(&self) -> usize {
+        2 * self.n_processors + self.n_lps + self.n_banks
+    }
+
+    fn banks_per_ctrl(&self) -> usize {
+        self.n_banks / self.n_lps
+    }
+
+    /// Object-id layout helpers.
+    pub fn cpu_id(&self, p: usize) -> ObjectId {
+        ObjectId(p as u32)
+    }
+    /// Cache object of processor `p`.
+    pub fn cache_id(&self, p: usize) -> ObjectId {
+        ObjectId((self.n_processors + p) as u32)
+    }
+    /// Memory controller `c`.
+    pub fn ctrl_id(&self, c: usize) -> ObjectId {
+        ObjectId((2 * self.n_processors + c) as u32)
+    }
+    /// Memory bank `b`.
+    pub fn bank_id(&self, b: usize) -> ObjectId {
+        ObjectId((2 * self.n_processors + self.n_lps + b) as u32)
+    }
+
+    /// The partition described in the module docs.
+    pub fn partition(&self) -> Partition {
+        assert!(
+            self.n_processors.is_multiple_of(self.n_lps),
+            "processors must split evenly over LPs"
+        );
+        assert!(
+            self.n_banks.is_multiple_of(self.n_lps),
+            "banks must split evenly over LPs"
+        );
+        let mut lp_of = vec![LpId(0); self.n_objects()];
+        for p in 0..self.n_processors {
+            let lp = LpId((p % self.n_lps) as u32);
+            lp_of[self.cpu_id(p).index()] = lp;
+            let cache_lp = if self.scattered {
+                LpId(((p + 1) % self.n_lps) as u32)
+            } else {
+                lp
+            };
+            lp_of[self.cache_id(p).index()] = cache_lp;
+        }
+        for c in 0..self.n_lps {
+            lp_of[self.ctrl_id(c).index()] = LpId(c as u32);
+            for b in 0..self.banks_per_ctrl() {
+                lp_of[self.bank_id(c * self.banks_per_ctrl() + b).index()] = LpId(c as u32);
+            }
+        }
+        let nodes = (0..self.n_lps).map(|l| NodeId(l as u32)).collect();
+        Partition::new(lp_of, nodes).expect("SMMP partition is well formed")
+    }
+
+    /// Build the simulation spec (baseline policies; callers layer
+    /// configuration on top).
+    pub fn spec(&self) -> SimulationSpec {
+        let cfg = self.clone();
+        SimulationSpec::new(self.partition(), Arc::new(move |id| build_object(&cfg, id)))
+    }
+}
+
+/// Request token: everything the paper says a test vector carries —
+/// creation time, creating processor, and satisfaction metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Creating processor.
+    pub creator: u32,
+    /// Per-creator request serial.
+    pub serial: u64,
+    /// Accessed address.
+    pub address: u64,
+    /// Virtual time the request was created.
+    pub created_at: u64,
+}
+
+impl Token {
+    /// Canonical encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(28);
+        w.u32(self.creator)
+            .u64(self.serial)
+            .u64(self.address)
+            .u64(self.created_at);
+        w.finish()
+    }
+
+    /// Decode; panics on malformed payload (a model bug).
+    pub fn decode(payload: &[u8]) -> Token {
+        let mut r = PayloadReader::new(payload);
+        Token {
+            creator: r.u32().expect("token creator"),
+            serial: r.u64().expect("token serial"),
+            address: r.u64().expect("token address"),
+            created_at: r.u64().expect("token created_at"),
+        }
+    }
+}
+
+fn build_object(cfg: &SmmpConfig, id: ObjectId) -> Box<dyn SimObject> {
+    let i = id.index();
+    let p = cfg.n_processors;
+    if i < p {
+        Box::new(Cpu {
+            cfg: cfg.clone(),
+            me: i,
+            state: CpuState {
+                rng: SimRng::derive(cfg.seed, id.0 as u64),
+                issued: 0,
+                satisfied: 0,
+                total_latency: 0,
+            },
+        })
+    } else if i < 2 * p {
+        let pid = i - p;
+        Box::new(Cache {
+            cfg: cfg.clone(),
+            me: pid,
+            state: CacheState {
+                rng: SimRng::derive(cfg.seed ^ 0xCAFE, id.0 as u64),
+                tags: vec![0u64; cfg.cache_lines],
+                hits: 0,
+                misses: 0,
+            },
+        })
+    } else if i < 2 * p + cfg.n_lps {
+        Box::new(Controller {
+            cfg: cfg.clone(),
+            me: i - 2 * p,
+            state: CtrlState { forwarded: 0 },
+        })
+    } else {
+        Box::new(Bank {
+            cfg: cfg.clone(),
+            me: i - 2 * p - cfg.n_lps,
+            state: BankState {
+                served: 0,
+                rows: vec![0; cfg.bank_rows],
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------- CPU --
+
+#[derive(Clone, Debug)]
+struct CpuState {
+    rng: SimRng,
+    issued: u64,
+    satisfied: u64,
+    total_latency: u64,
+}
+impl ObjectState for CpuState {}
+
+struct Cpu {
+    cfg: SmmpConfig,
+    me: usize,
+    state: CpuState,
+}
+
+impl Cpu {
+    fn issue(&mut self, ctx: &mut dyn ExecutionContext) {
+        if self.state.issued >= self.cfg.requests_per_processor {
+            return;
+        }
+        let think = self.state.rng.exp_ticks(self.cfg.think_ns);
+        let address = self.state.rng.next_u64();
+        let serial = self.state.issued;
+        self.state.issued += 1;
+        let at = ctx.now().after(think);
+        let token = Token {
+            creator: self.me as u32,
+            serial,
+            address,
+            created_at: at.ticks(),
+        };
+        ctx.try_send_at(self.cfg.cache_id(self.me), at, K_REQ, token.encode())
+            .expect("cpu request send");
+        if self.cfg.open_loop {
+            // Pre-schedule the next test vector regardless of responses.
+            ctx.try_send_at(ctx.me(), at, K_TICK, Vec::new())
+                .expect("cpu tick send");
+        }
+    }
+}
+
+impl SimObject for Cpu {
+    fn name(&self) -> String {
+        format!("cpu-{}", self.me)
+    }
+    fn init(&mut self, ctx: &mut dyn ExecutionContext) {
+        self.issue(ctx);
+    }
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        match ev.kind {
+            K_TICK => self.issue(ctx),
+            K_RESP => {
+                let token = Token::decode(&ev.payload);
+                self.state.satisfied += 1;
+                self.state.total_latency += ev.recv_time.ticks().saturating_sub(token.created_at);
+                if !self.cfg.open_loop {
+                    self.issue(ctx);
+                }
+            }
+            other => panic!("cpu received unexpected kind {other}"),
+        }
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<CpuState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<CpuState>()
+    }
+}
+
+// -------------------------------------------------------------- Cache --
+
+#[derive(Clone, Debug)]
+struct CacheState {
+    rng: SimRng,
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+impl ObjectState for CacheState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.tags.len() * std::mem::size_of::<u64>()
+    }
+}
+
+struct Cache {
+    cfg: SmmpConfig,
+    me: usize,
+    state: CacheState,
+}
+
+impl SimObject for Cache {
+    fn name(&self) -> String {
+        format!("cache-{}", self.me)
+    }
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        match ev.kind {
+            K_REQ => {
+                let token = Token::decode(&ev.payload);
+                let line = (token.address >> 6) as usize % self.state.tags.len();
+                self.state.tags[line] = token.address;
+                if self.state.rng.chance(self.cfg.cache_hit_ratio) {
+                    self.state.hits += 1;
+                    ctx.send(
+                        self.cfg.cpu_id(self.me),
+                        self.cfg.cache_ns,
+                        K_RESP,
+                        ev.payload.clone(),
+                    );
+                } else {
+                    self.state.misses += 1;
+                    let ctrl = spread(token.address, 8) as usize % self.cfg.n_lps;
+                    ctx.send(
+                        self.cfg.ctrl_id(ctrl),
+                        self.cfg.cache_ns,
+                        K_MISS,
+                        ev.payload.clone(),
+                    );
+                }
+            }
+            K_FILL => {
+                // Fill the line and answer the CPU.
+                let token = Token::decode(&ev.payload);
+                let line = (token.address >> 6) as usize % self.state.tags.len();
+                self.state.tags[line] = token.address;
+                ctx.send(
+                    self.cfg.cpu_id(self.me),
+                    self.cfg.cache_ns,
+                    K_RESP,
+                    ev.payload.clone(),
+                );
+            }
+            other => panic!("cache received unexpected kind {other}"),
+        }
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<CacheState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        self.state.state_bytes()
+    }
+}
+
+// --------------------------------------------------------- Controller --
+
+#[derive(Clone, Debug)]
+struct CtrlState {
+    forwarded: u64,
+}
+impl ObjectState for CtrlState {}
+
+struct Controller {
+    cfg: SmmpConfig,
+    me: usize,
+    state: CtrlState,
+}
+
+impl SimObject for Controller {
+    fn name(&self) -> String {
+        format!("memctrl-{}", self.me)
+    }
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        debug_assert_eq!(ev.kind, K_MISS);
+        let token = Token::decode(&ev.payload);
+        self.state.forwarded += 1;
+        // Pure address-interleaved routing: a rollback regenerates the
+        // identical access (lazy hits).
+        let per = self.cfg.n_banks / self.cfg.n_lps;
+        let local = spread(token.address, 16) as usize % per;
+        let bank = self.me * per + local;
+        ctx.send(self.cfg.bank_id(bank), 2, K_BANK, ev.payload.clone());
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<CtrlState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<CtrlState>()
+    }
+}
+
+// --------------------------------------------------------------- Bank --
+
+#[derive(Clone, Debug)]
+struct BankState {
+    served: u64,
+    /// Open-row tags (DRAM row buffer): checkpointable bulk updated per
+    /// access. Service time and response content never depend on it, so
+    /// bank services remain pure functions of their requests.
+    rows: Vec<u64>,
+}
+impl ObjectState for BankState {
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.rows.len() * std::mem::size_of::<u64>()
+    }
+}
+
+struct Bank {
+    cfg: SmmpConfig,
+    me: usize,
+    state: BankState,
+}
+
+impl SimObject for Bank {
+    fn name(&self) -> String {
+        format!("bank-{}", self.me)
+    }
+    fn execute(&mut self, ctx: &mut dyn ExecutionContext, ev: &Event) {
+        debug_assert_eq!(ev.kind, K_BANK);
+        let token = Token::decode(&ev.payload);
+        self.state.served += 1;
+        let row = (token.address >> 12) as usize % self.state.rows.len();
+        self.state.rows[row] = token.address;
+        // Unserialized memory (the paper's explicit modeling choice):
+        // service time is a pure function of the request.
+        let cache = self.cfg.cache_id(token.creator as usize);
+        ctx.send(cache, self.cfg.memory_ns, K_FILL, ev.payload.clone());
+    }
+    fn snapshot(&self) -> ErasedState {
+        ErasedState::of(self.state.clone())
+    }
+    fn restore(&mut self, snapshot: &ErasedState) {
+        self.state = snapshot.get::<BankState>().clone();
+    }
+    fn state_bytes(&self) -> usize {
+        self.state.state_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::object::RecordingContext;
+    use warp_core::VirtualTime;
+
+    #[test]
+    fn paper_configuration_has_100_objects() {
+        let cfg = SmmpConfig::paper(100, 1);
+        assert_eq!(cfg.n_objects(), 100);
+        let p = cfg.partition();
+        assert_eq!(p.n_lps(), 4);
+        // 25 objects per LP: 4 CPUs, 4 caches, 1 controller, 16 banks.
+        for lp in p.lps() {
+            assert_eq!(p.objects_of(lp).len(), 25);
+        }
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let t = Token {
+            creator: 3,
+            serial: 9,
+            address: 0xDEAD_BEEF,
+            created_at: 42,
+        };
+        assert_eq!(Token::decode(&t.encode()), t);
+    }
+
+    #[test]
+    fn cpu_issues_bounded_requests() {
+        // Closed-loop mode: the next request waits for the response.
+        let cfg = SmmpConfig {
+            open_loop: false,
+            ..SmmpConfig::small(3, 7)
+        };
+        let mut cpu = Cpu {
+            cfg: cfg.clone(),
+            me: 0,
+            state: CpuState {
+                rng: SimRng::derive(7, 0),
+                issued: 0,
+                satisfied: 0,
+                total_latency: 0,
+            },
+        };
+        let mut ctx = RecordingContext::new(cfg.cpu_id(0), VirtualTime::ZERO);
+        cpu.init(&mut ctx);
+        assert_eq!(ctx.sent.len(), 1);
+        let (dst, _, kind, _) = &ctx.sent[0];
+        assert_eq!(*dst, cfg.cache_id(0));
+        assert_eq!(*kind, K_REQ);
+        // Drive it with responses until it stops issuing.
+        let mut issued = 1;
+        while let Some((_, at, _, payload)) = ctx.sent.pop() {
+            let resp = Event::new(
+                warp_core::EventId {
+                    sender: cfg.cache_id(0),
+                    serial: issued,
+                },
+                cfg.cpu_id(0),
+                at,
+                at.after(10),
+                K_RESP,
+                payload,
+            );
+            let mut ctx2 = RecordingContext::new(cfg.cpu_id(0), resp.recv_time);
+            cpu.execute(&mut ctx2, &resp);
+            issued += 1;
+            ctx.sent = ctx2.sent;
+        }
+        assert_eq!(cpu.state.issued, 3, "exactly requests_per_processor issued");
+        assert_eq!(cpu.state.satisfied, 3);
+    }
+
+    #[test]
+    fn cache_hit_and_miss_paths() {
+        let cfg = SmmpConfig::small(1, 1);
+        let mut cache = Cache {
+            cfg: cfg.clone(),
+            me: 1,
+            state: CacheState {
+                rng: SimRng::derive(1, 99),
+                tags: vec![0; cfg.cache_lines],
+                hits: 0,
+                misses: 0,
+            },
+        };
+        let token = Token {
+            creator: 1,
+            serial: 0,
+            address: 1234,
+            created_at: 5,
+        };
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in 0..200 {
+            let ev = Event::new(
+                warp_core::EventId {
+                    sender: cfg.cpu_id(1),
+                    serial: s,
+                },
+                cfg.cache_id(1),
+                VirtualTime::new(5),
+                VirtualTime::new(10 + s),
+                K_REQ,
+                token.encode(),
+            );
+            let mut ctx = RecordingContext::new(cfg.cache_id(1), ev.recv_time);
+            cache.execute(&mut ctx, &ev);
+            let (dst, _, kind, _) = &ctx.sent[0];
+            if *kind == K_RESP {
+                assert_eq!(*dst, cfg.cpu_id(1));
+                hits += 1;
+            } else {
+                assert_eq!(*kind, K_MISS);
+                misses += 1;
+            }
+        }
+        assert_eq!(cache.state.hits, hits);
+        assert_eq!(cache.state.misses, misses);
+        // 90% hit ratio, 200 draws: misses should be roughly 20.
+        assert!((5..=45).contains(&misses), "misses {misses}");
+    }
+
+    #[test]
+    fn bank_service_is_pure() {
+        // Identical requests produce identical responses — the property
+        // behind SMMP's lazy-cancellation preference.
+        let cfg = SmmpConfig::small(1, 1);
+        let mut bank = Bank {
+            cfg: cfg.clone(),
+            me: 0,
+            state: BankState {
+                served: 0,
+                rows: vec![0; 8],
+            },
+        };
+        let token = Token {
+            creator: 2,
+            serial: 7,
+            address: 555,
+            created_at: 1,
+        };
+        let ev = Event::new(
+            warp_core::EventId {
+                sender: cfg.ctrl_id(0),
+                serial: 0,
+            },
+            cfg.bank_id(0),
+            VirtualTime::new(1),
+            VirtualTime::new(20),
+            K_BANK,
+            token.encode(),
+        );
+        let mut a = RecordingContext::new(cfg.bank_id(0), ev.recv_time);
+        bank.execute(&mut a, &ev);
+        let snap = bank.snapshot();
+        let mut b = RecordingContext::new(cfg.bank_id(0), ev.recv_time);
+        bank.restore(&snap);
+        bank.execute(&mut b, &ev);
+        // Note: second execution re-runs from post-first-event state; the
+        // *sends* are still identical because service is stateless.
+        assert_eq!(a.sent, b.sent);
+    }
+}

@@ -1,0 +1,32 @@
+//! Small shared helpers for the models.
+
+/// Mix the bits of `x` and extract a well-distributed value from the
+/// given bit offset — used for address-interleaving decisions so that
+/// adjacent addresses spread across controllers/banks/disks.
+pub fn spread(x: u64, shift: u32) -> u64 {
+    let mut z = x.rotate_right(shift).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_distributes_sequential_inputs() {
+        let mut buckets = [0usize; 8];
+        for x in 0..8000u64 {
+            buckets[(spread(x, 8) % 8) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i} got {b}");
+        }
+    }
+
+    #[test]
+    fn spread_differs_by_shift() {
+        assert_ne!(spread(12345, 8), spread(12345, 16));
+    }
+}

@@ -1,0 +1,203 @@
+//! Model-level integration tests: the paper's applications running on the
+//! real kernel, validated against the sequential golden model.
+
+use std::sync::Arc;
+use warp_control::{DynamicCancellation, DynamicCheckpoint};
+use warp_core::policy::{CancellationMode, FixedCancellation, FixedCheckpoint, ObjectPolicies};
+use warp_exec::{run_sequential, run_virtual, RunReport};
+use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
+use warp_net::AggregationConfig;
+
+fn assert_same_traces(a: &RunReport, b: &RunReport) {
+    assert_eq!(
+        a.committed_events, b.committed_events,
+        "{} vs {}",
+        a.executive, b.executive
+    );
+    assert_eq!(
+        a.trace_digests(),
+        b.trace_digests(),
+        "{} vs {}",
+        a.executive,
+        b.executive
+    );
+}
+
+#[test]
+fn smmp_small_matches_sequential() {
+    let spec = SmmpConfig::small(40, 11)
+        .spec()
+        .with_gvt_period(None)
+        .with_traces();
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+    assert!(seq.committed_events > 300, "got {}", seq.committed_events);
+}
+
+#[test]
+fn smmp_small_matches_sequential_lazy() {
+    let spec = SmmpConfig::small(40, 12)
+        .spec()
+        .with_gvt_period(None)
+        .with_traces()
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(FixedCancellation(CancellationMode::Lazy)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }));
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+}
+
+#[test]
+fn smmp_favors_lazy_hits() {
+    // SMMP's services are pure functions of their requests: when rollbacks
+    // happen under lazy cancellation, regenerated messages overwhelmingly
+    // match the held-back ones.
+    let spec = SmmpConfig::small(150, 13)
+        .spec()
+        .with_gvt_period(None)
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(FixedCancellation(CancellationMode::Lazy)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }));
+    let tw = run_virtual(&spec);
+    assert!(tw.kernel.rollbacks() > 0, "no rollbacks — test is vacuous");
+    let hits = tw.kernel.lazy_hits as f64;
+    let total = (tw.kernel.lazy_hits + tw.kernel.lazy_misses) as f64;
+    assert!(total > 0.0);
+    assert!(
+        hits / total > 0.8,
+        "SMMP should be hit-dominated, got {hits}/{total}"
+    );
+}
+
+#[test]
+fn raid_small_matches_sequential() {
+    let spec = RaidConfig::small(30, 21)
+        .spec()
+        .with_gvt_period(None)
+        .with_traces();
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+    assert!(seq.committed_events > 200);
+}
+
+#[test]
+fn raid_small_matches_sequential_under_dynamic_everything() {
+    let spec = RaidConfig::small(30, 22)
+        .spec()
+        .with_gvt_period(None)
+        .with_traces()
+        .with_aggregation(AggregationConfig::saaw(1e-3))
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+                Box::new(DynamicCheckpoint::new(1, 32, 32)),
+            )
+        }));
+    let seq = run_sequential(&spec);
+    let tw = run_virtual(&spec);
+    assert_same_traces(&seq, &tw);
+}
+
+#[test]
+fn raid_cancellation_preference_is_heterogeneous() {
+    // Figure 6's premise: under dynamic cancellation, disks settle lazy
+    // (pure services) and forks settle aggressive (order-dependent tags).
+    let cfg = RaidConfig::paper(60, 23);
+    let spec = cfg
+        .spec()
+        .with_gvt_period(None)
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }));
+    let tw = run_virtual(&spec);
+    assert!(tw.kernel.rollbacks() > 0);
+    let mut disk_lazy = 0;
+    let mut disk_total = 0;
+    let mut fork_hits = 0u64;
+    let mut fork_misses = 0u64;
+    let mut fork_rollbacks = 0u64;
+    for lp in &tw.per_lp {
+        for o in &lp.objects {
+            if o.name.starts_with("disk-") {
+                disk_total += 1;
+                if o.final_mode == "Lazy" {
+                    disk_lazy += 1;
+                }
+            } else if o.name.starts_with("fork-") {
+                fork_hits += o.stats.lazy_hits + o.stats.monitor_hits;
+                fork_misses += o.stats.lazy_misses + o.stats.monitor_misses;
+                fork_rollbacks += o.stats.rollbacks();
+            }
+        }
+    }
+    assert_eq!(disk_total, 8);
+    assert!(
+        fork_rollbacks > 0,
+        "forks never rolled back — test is vacuous"
+    );
+    assert!(
+        disk_lazy >= 6,
+        "most disks should settle on lazy cancellation, got {disk_lazy}/8"
+    );
+    // Forks regenerate different tags after rollback: misses dominate.
+    assert!(
+        fork_misses > fork_hits,
+        "fork comparisons should be miss-heavy: {fork_hits} hits / {fork_misses} misses"
+    );
+}
+
+#[test]
+fn phold_matches_sequential_all_executives() {
+    let cfg = PholdConfig {
+        n_objects: 16,
+        n_lps: 4,
+        ttl: 40,
+        ..PholdConfig::new(40, 31)
+    };
+    let spec = cfg.spec().with_gvt_period(None).with_traces();
+    let seq = run_sequential(&spec);
+    let v = run_virtual(&spec);
+    assert_same_traces(&seq, &v);
+    assert_eq!(seq.committed_events, cfg.expected_hops());
+    let t = warp_exec::run_threaded(&spec);
+    assert_same_traces(&seq, &t);
+}
+
+#[test]
+fn smmp_paper_configuration_runs_with_fossils() {
+    // The full 100-object topology at modest request counts, with GVT and
+    // fossil collection on — the memory-bounded production setup.
+    let spec = SmmpConfig::paper(25, 41).spec();
+    let tw = run_virtual(&spec);
+    assert!(tw.gvt_rounds > 0);
+    assert!(tw.kernel.fossils_collected > 0);
+    // 400 requests; ~2 events per cache hit, ~5 per miss at 90% hits.
+    assert!(tw.committed_events > 800, "got {}", tw.committed_events);
+    assert!(tw.completion_seconds > 0.0);
+}
+
+#[test]
+fn raid_paper_configuration_runs_with_aggregation() {
+    let spec = RaidConfig::paper(40, 42)
+        .spec()
+        .with_aggregation(AggregationConfig::Faw { window: 5e-3 });
+    let tw = run_virtual(&spec);
+    assert!(
+        tw.comm.aggregation_ratio() > 1.2,
+        "got {}",
+        tw.comm.aggregation_ratio()
+    );
+    assert!(tw.committed_events > 2000);
+}

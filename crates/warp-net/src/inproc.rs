@@ -1,0 +1,144 @@
+//! In-process transport: a full mesh of unbounded channels between LPs.
+//!
+//! This is the threaded executive's "network": each LP runs on its own OS
+//! thread and owns one [`Endpoint`]; sends are crossbeam channel pushes
+//! (FIFO per sender-receiver pair, like a TCP stream per pair). The mesh
+//! is generic over the packet type so the executive can multiplex data
+//! and control traffic (GVT tokens, shutdown) over one channel set.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One LP's view of the mesh.
+pub struct Endpoint<T> {
+    id: usize,
+    senders: Vec<Sender<T>>,
+    receiver: Receiver<T>,
+}
+
+/// Build a full mesh between `n` endpoints.
+pub fn mesh<T: Send>(n: usize) -> Vec<Endpoint<T>> {
+    assert!(n > 0, "mesh needs at least one endpoint");
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(id, receiver)| Endpoint {
+            id,
+            senders: txs.clone(),
+            receiver,
+        })
+        .collect()
+}
+
+impl<T> Endpoint<T> {
+    /// This endpoint's index in the mesh.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of endpoints in the mesh.
+    pub fn n_peers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send a packet to endpoint `to` (sending to oneself is allowed and
+    /// delivered through the same queue).
+    pub fn send(&self, to: usize, packet: T) {
+        self.senders[to]
+            .send(packet)
+            .expect("mesh receiver dropped while peers still sending");
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout. Panics if the
+    /// mesh has been torn down while senders are expected alive.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(p) => Some(p),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("mesh disconnected while endpoint {} was receiving", self.id)
+            }
+        }
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut v = Vec::new();
+        while let Some(p) = self.try_recv() {
+            v.push(p);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_point_to_point() {
+        let eps = mesh::<u32>(3);
+        eps[0].send(2, 42);
+        eps[1].send(2, 43);
+        eps[2].send(0, 1);
+        let mut got = eps[2].drain();
+        got.sort_unstable();
+        assert_eq!(got, vec![42, 43]);
+        assert_eq!(eps[0].try_recv(), Some(1));
+        assert_eq!(eps[1].try_recv(), None);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let eps = mesh::<u32>(2);
+        for i in 0..100 {
+            eps[0].send(1, i);
+        }
+        let got = eps[1].drain();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let eps = mesh::<&'static str>(1);
+        eps[0].send(0, "loop");
+        assert_eq!(eps[0].try_recv(), Some("loop"));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = mesh::<u64>(2);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..10 {
+                sum += ep1
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("timely delivery");
+            }
+            sum
+        });
+        for i in 1..=10u64 {
+            ep0.send(1, i);
+        }
+        assert_eq!(h.join().unwrap(), 55);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let eps = mesh::<u8>(2);
+        assert_eq!(eps[0].recv_timeout(Duration::from_millis(10)), None);
+    }
+}

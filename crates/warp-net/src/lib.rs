@@ -1,0 +1,27 @@
+//! # warp-net — communication substrate for the Time Warp kernel
+//!
+//! Three pieces:
+//!
+//! * [`aggregate`] — Dynamic Message Aggregation (DyMA): per-LP buffers
+//!   that coalesce events to the same destination LP into physical
+//!   messages, under the policies of [`policy`] (unaggregated / FAW /
+//!   SAAW).
+//! * [`policy`] — the aggregation policy configurations, with the SAAW
+//!   adaptation law imported from `warp-control`.
+//! * [`inproc`] — the threaded executive's transport: a full mesh of
+//!   FIFO channels between LP threads.
+//!
+//! The *network itself* — the 10 Mb Ethernet of the paper's testbed — is
+//! modeled by `warp_core::CostModel` (per-message CPU overheads, wire
+//! latency, bandwidth) and realized by the executives: the virtual
+//! cluster charges modeled time, the threaded executive moves real bytes.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod inproc;
+pub mod policy;
+
+pub use aggregate::{Aggregator, PhysMsg};
+pub use inproc::{mesh, Endpoint};
+pub use policy::AggregationConfig;

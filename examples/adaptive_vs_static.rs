@@ -1,0 +1,81 @@
+//! The paper's headline in one screen: the on-line configured simulator
+//! vs. a grid of static configurations on the same workload.
+//!
+//! Sweeps static checkpoint intervals and both static cancellation
+//! strategies on SMMP, then runs the adaptive configuration — which
+//! lands near the best static cell without anyone having to search the
+//! grid (the gap is the price of starting untuned and converging
+//! on-line; it shrinks as runs grow longer).
+//!
+//! ```text
+//! cargo run --release --example adaptive_vs_static
+//! ```
+
+use std::sync::Arc;
+use warped_online::control::{AdaptRule, DynamicCancellation, DynamicCheckpoint};
+use warped_online::core::policy::{
+    CancellationMode, FixedCancellation, FixedCheckpoint, ObjectPolicies,
+};
+use warped_online::exec::run_virtual;
+use warped_online::models::SmmpConfig;
+
+fn main() {
+    let cfg = SmmpConfig::paper(600, 3);
+    println!(
+        "SMMP {} objects / {} LPs — static grid vs on-line configuration\n",
+        cfg.n_objects(),
+        cfg.n_lps
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "config", "chi", "exec (s)", "ev/s"
+    );
+
+    let mut best_static = f64::INFINITY;
+    for mode in [CancellationMode::Aggressive, CancellationMode::Lazy] {
+        for chi in [1u32, 2, 4, 8, 16, 32] {
+            let spec = cfg.spec().with_policies(Arc::new(move |_| {
+                ObjectPolicies::new(
+                    Box::new(FixedCancellation(mode)),
+                    Box::new(FixedCheckpoint::new(chi)),
+                )
+            }));
+            let r = run_virtual(&spec);
+            best_static = best_static.min(r.completion_seconds);
+            println!(
+                "{:>12} {:>12} {:>12.4} {:>12.0}",
+                match mode {
+                    CancellationMode::Aggressive => "AC",
+                    CancellationMode::Lazy => "LC",
+                },
+                chi,
+                r.completion_seconds,
+                r.events_per_second
+            );
+        }
+    }
+
+    let spec = cfg.spec().with_policies(Arc::new(|_| {
+        ObjectPolicies::new(
+            Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+            // The accelerated hill-climb converges from chi=1 within a few
+            // control periods (see the checkpoint_rules ablation bench).
+            Box::new(DynamicCheckpoint::with_rule(
+                1,
+                64,
+                32,
+                AdaptRule::HillClimb,
+            )),
+        )
+    }));
+    let r = run_virtual(&spec);
+    println!(
+        "{:>12} {:>12} {:>12.4} {:>12.0}",
+        "ADAPTIVE", "on-line", r.completion_seconds, r.events_per_second
+    );
+    println!(
+        "\nbest static: {best_static:.4}s; adaptive: {:.4}s ({:+.1}% vs best static, found with zero tuning)",
+        r.completion_seconds,
+        100.0 * (best_static - r.completion_seconds) / best_static,
+    );
+}

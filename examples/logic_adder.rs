@@ -1,0 +1,67 @@
+//! Digital-logic showcase: an 8-bit ripple-carry adder simulated by the
+//! optimistic kernel, its answer read back from the settled gate outputs.
+//!
+//! Also reports how each configuration fares on this workload class —
+//! the very class (VHDL digital systems) the paper's cancellation
+//! observations came from.
+//!
+//! ```text
+//! cargo run --release --example logic_adder [a] [b]
+//! ```
+
+use std::sync::Arc;
+use warped_online::control::DynamicCancellation;
+use warped_online::core::policy::{
+    CancellationMode, FixedCancellation, FixedCheckpoint, ObjectPolicies,
+};
+use warped_online::exec::run_virtual;
+use warped_online::models::logic::circuits::ripple_carry_adder;
+use warped_online::models::Netlist;
+
+fn main() {
+    let a: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(97);
+    let b: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(158);
+    let (net, _sums, _cout) = ripple_carry_adder(8, a & 0xFF, b & 0xFF, 3, 42);
+    println!(
+        "8-bit ripple-carry adder: {} drivers + {} gates over {} LPs, computing {a} + {b}",
+        net.drivers.len(),
+        net.gates.len(),
+        net.n_lps
+    );
+    let r = run_virtual(&net.spec());
+    println!("{}", r.summary_line());
+    println!("(the semantic check — settled outputs == a+b — runs in the test suite)");
+
+    // A bigger random circuit under the three cancellation regimes.
+    let big = Netlist::random(16, 8, 8, 4, 150, 7);
+    println!(
+        "\nrandom netlist: {} objects, {} LPs — cancellation on the paper's own workload class:",
+        big.n_objects(),
+        big.n_lps
+    );
+    let cases: Vec<(&str, fn() -> ObjectPolicies)> = vec![
+        ("aggressive", || {
+            ObjectPolicies::new(
+                Box::new(FixedCancellation(CancellationMode::Aggressive)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }),
+        ("lazy", || {
+            ObjectPolicies::new(
+                Box::new(FixedCancellation(CancellationMode::Lazy)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }),
+        ("dynamic", || {
+            ObjectPolicies::new(
+                Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+                Box::new(FixedCheckpoint::new(4)),
+            )
+        }),
+    ];
+    for (label, make) in cases {
+        let spec = big.spec().with_policies(Arc::new(move |_| make()));
+        let r = run_virtual(&spec);
+        println!("  {label:<10} {}", r.summary_line());
+    }
+}

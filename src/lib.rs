@@ -1,0 +1,6 @@
+#![doc = include_str!("../README.md")]
+pub use warp_control as control;
+pub use warp_core as core;
+pub use warp_exec as exec;
+pub use warp_models as models;
+pub use warp_net as net;
