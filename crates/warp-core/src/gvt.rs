@@ -101,18 +101,25 @@ impl MatternAgent {
             return;
         }
         // Recycle the stale slot: its epoch's messages were verified
-        // drained (count == 0) before any message of `epoch_tag` could
-        // have been sent.
+        // drained (count == 0) before the newest epoch this agent knows
+        // of could have started. The newest epoch — not `epoch_tag` —
+        // is the reference: a delayed epoch-r message may arrive *after*
+        // an early epoch-(r+1) message already claimed the other slot,
+        // leaving slots (r-1, r+1) when tag r shows up. Epoch r-1 is
+        // still safely dead (round r converged before r+1 began), but
+        // comparing against the tag alone would flag it as live.
         let idx = if self.recv[0].0 < self.recv[1].0 {
             0
         } else {
             1
         };
+        let newest = self.recv[1 - idx].0.max(epoch_tag).max(self.epoch);
         debug_assert!(
-            self.recv[idx].0 + 2 <= epoch_tag,
-            "recycling a live epoch slot: {} for {}",
+            self.recv[idx].0 + 2 <= newest,
+            "recycling a live epoch slot: {} for {} (newest known {})",
             self.recv[idx].0,
-            epoch_tag
+            epoch_tag,
+            newest
         );
         self.recv[idx] = (epoch_tag, 1);
     }
@@ -397,6 +404,22 @@ mod tests {
             .circulate(t)
             .expect("round 2 must drain — receive was not wiped");
         assert_eq!(gvt, VirtualTime::new(50));
+    }
+
+    #[test]
+    fn delayed_old_epoch_arrival_after_newer_recycle_is_tolerated() {
+        // Regression: a receiver holding a stale slot gets an *early*
+        // epoch-4 message (recycling the stalest slot) and then a
+        // *delayed* epoch-3 message — still legitimately draining while
+        // round 4 circulates. Recycling the drained epoch-2 slot for it
+        // must not trip the liveness assertion: epoch 2 is dead because
+        // epoch 4 exists, even though 2 + 2 > 3.
+        let mut a = MatternAgent::new();
+        a.note_receive(2); // slots (2, 1)
+        a.note_receive(4); // early new-epoch arrival: slots (2, 4)
+        a.note_receive(3); // delayed, still live: must recycle slot 2
+        assert_eq!(a.recv_count(3), 1);
+        assert_eq!(a.recv_count(4), 1);
     }
 
     #[test]

@@ -43,6 +43,16 @@ impl VirtualTime {
         self.0
     }
 
+    /// Reconstruct from a raw tick count, accepting the infinity
+    /// sentinel. This is the inverse of [`VirtualTime::ticks`] for wire
+    /// decoding, where `u64::MAX` legitimately appears (e.g. the GVT of
+    /// a finished simulation); use [`VirtualTime::new`] for values that
+    /// must be finite.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
     /// True iff this is the infinity sentinel.
     #[inline]
     pub const fn is_infinite(self) -> bool {
@@ -171,6 +181,13 @@ mod tests {
     #[should_panic]
     fn new_rejects_reserved_pattern() {
         let _ = VirtualTime::new(u64::MAX);
+    }
+
+    #[test]
+    fn from_ticks_inverts_ticks_including_infinity() {
+        assert_eq!(VirtualTime::from_ticks(7), VirtualTime::new(7));
+        assert_eq!(VirtualTime::from_ticks(u64::MAX), VirtualTime::INFINITY);
+        assert!(VirtualTime::from_ticks(u64::MAX).is_infinite());
     }
 
     #[test]

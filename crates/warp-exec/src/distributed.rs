@@ -1,0 +1,737 @@
+//! The distributed executive: the kernel across OS *processes*.
+//!
+//! Topology: one **coordinator** (mesh process 0, no LPs — pure control
+//! plane) plus `n_workers` **worker** processes, each owning a
+//! contiguous block of the simulation's LPs. Every process joins a full
+//! TCP mesh ([`warp_net::tcp`]); inside a worker, each of its LPs runs
+//! the *same* `lp_thread` loop the threaded executive uses, plugged into
+//! a [`WorkerPort`] that routes packets to co-resident LPs over local
+//! channels and to remote LPs as [`Frame`]s over the mesh. The Mattern
+//! GVT token circulates in global LP-id order exactly as in the threaded
+//! executive — the token ring simply spans process boundaries now — and
+//! GVT = ∞ shuts every LP down wherever it lives.
+//!
+//! Bootstrap protocol (coordinator side in [`run_coordinator`], worker
+//! side in [`worker_main`]):
+//!
+//! 1. The coordinator binds a loopback listener and spawns each worker
+//!    binary with piped stdio.
+//! 2. Each worker binds its own ephemeral listener and prints a single
+//!    `LISTEN <addr>` line on stdout.
+//! 3. The coordinator sends each worker one line of JSON
+//!    ([`WorkerInit`]) on stdin: mesh coordinates, every peer's address,
+//!    and an *opaque* model description — `warp-exec` never learns how
+//!    to build models; the worker binary supplies a closure that turns
+//!    the model JSON into a [`SimulationSpec`].
+//! 4. Everyone establishes the TCP mesh (workers dial lower ids, accept
+//!    higher ones) and the simulation runs.
+//! 5. Each worker serializes its per-LP summaries into a
+//!    [`Frame::Report`], then closes with `Bye`. The coordinator merges
+//!    the reports into one [`RunReport`].
+//!
+//! Failure behavior: a worker that dies (or goes half-open past the
+//! liveness timeout) surfaces as an *unclean* `PeerDown`. The
+//! coordinator then kills the remaining workers and returns
+//! [`DistError::Worker`] — a clean error, never a hang. Workers that
+//! observe an unclean peer exit with a nonzero status, because a Time
+//! Warp run that lost a process cannot commit a correct history.
+
+use crate::report::{LpSummary, RunReport};
+use crate::spec::SimulationSpec;
+use crate::threaded::{lp_thread, LpPort, Packet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use warp_core::stats::{CommStats, ObjectStats};
+use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
+use warp_net::Frame;
+
+/// Mesh heartbeat cadence for distributed runs.
+const HEARTBEAT: Duration = Duration::from_millis(250);
+/// Mesh liveness timeout: a link silent this long is half-open.
+const LIVENESS: Duration = Duration::from_secs(3);
+
+/// Everything the coordinator needs to stage a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Number of worker processes (each gets a contiguous LP block).
+    pub n_workers: u32,
+    /// Path to the worker binary to spawn.
+    pub worker_bin: PathBuf,
+    /// Opaque model description, forwarded verbatim to every worker's
+    /// spec-builder. The coordinator never interprets it.
+    pub model: serde_json::Value,
+    /// Total LP count of the model — must match what the workers' spec
+    /// builder produces, since both sides derive the LP→process
+    /// assignment from it.
+    pub n_lps: u32,
+    /// Whole-run watchdog: bootstrap plus simulation plus teardown.
+    pub timeout: Duration,
+}
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// Spawning, piping, or mesh establishment failed.
+    Io(io::Error),
+    /// A worker died, went half-open, or exited wrongly.
+    Worker {
+        /// Mesh process id of the failed worker.
+        proc_id: u32,
+        /// Cause, as observed by the coordinator.
+        detail: String,
+    },
+    /// A peer violated the frame protocol.
+    Protocol(String),
+    /// The watchdog expired.
+    Timeout(String),
+    /// The configuration cannot be staged (bad worker/LP counts, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "distributed run I/O failure: {e}"),
+            DistError::Worker { proc_id, detail } => {
+                write!(f, "worker (proc {proc_id}) failed: {detail}")
+            }
+            DistError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DistError::Timeout(m) => write!(f, "distributed run timed out: {m}"),
+            DistError::InvalidConfig(m) => write!(f, "invalid distributed config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+/// Deterministic LP→process placement: contiguous blocks of
+/// `ceil(n_lps / n_workers)` LPs, worker `w` (mesh proc `w`, 1-based)
+/// owning block `w - 1`. Both sides compute this independently from
+/// `(n_lps, n_workers)`, so it never travels on the wire.
+#[derive(Clone, Copy, Debug)]
+pub struct LpAssignment {
+    n_lps: u32,
+    per_worker: u32,
+}
+
+impl LpAssignment {
+    /// Build the assignment; requires at least one LP per worker.
+    pub fn new(n_lps: u32, n_workers: u32) -> Result<Self, DistError> {
+        if n_workers == 0 {
+            return Err(DistError::InvalidConfig("need at least one worker".into()));
+        }
+        if n_lps < n_workers {
+            return Err(DistError::InvalidConfig(format!(
+                "{n_lps} LPs cannot cover {n_workers} workers (every worker needs ≥ 1 LP)"
+            )));
+        }
+        Ok(LpAssignment {
+            n_lps,
+            per_worker: n_lps.div_ceil(n_workers),
+        })
+    }
+
+    /// Mesh process id owning a global LP.
+    pub fn proc_of(&self, lp: u32) -> u32 {
+        debug_assert!(lp < self.n_lps);
+        1 + lp / self.per_worker
+    }
+
+    /// The contiguous global LP range owned by a worker process.
+    pub fn lps_of(&self, proc_id: u32) -> std::ops::Range<u32> {
+        debug_assert!(proc_id >= 1);
+        let start = (proc_id - 1) * self.per_worker;
+        start.min(self.n_lps)..(start + self.per_worker).min(self.n_lps)
+    }
+}
+
+/// The one line of JSON a worker reads on stdin.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerInit {
+    /// This worker's mesh process id (1-based; 0 is the coordinator).
+    pub proc_id: u32,
+    /// Total mesh size (workers + coordinator).
+    pub n_procs: u32,
+    /// Total LP count (drives the LP→process assignment).
+    pub n_lps: u32,
+    /// Every process's listen address, as `(proc_id, addr)` pairs.
+    pub peers: Vec<(u32, String)>,
+    /// Opaque model description for the worker's spec builder.
+    pub model: serde_json::Value,
+    /// Mesh heartbeat cadence, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Mesh liveness timeout, milliseconds.
+    pub liveness_ms: u64,
+    /// Mesh establishment budget, milliseconds.
+    pub connect_ms: u64,
+}
+
+/// A worker's end-of-run payload (travels as `Frame::Report` bytes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct WorkerReport {
+    gvt_rounds: u64,
+    per_lp: Vec<LpSummary>,
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// Stage and run a distributed simulation, returning the merged report.
+///
+/// Spawns `cfg.n_workers` copies of `cfg.worker_bin`, walks them through
+/// the bootstrap protocol, then waits for every worker's report and
+/// clean goodbye. Any worker failure kills the remaining workers and
+/// returns an error; the watchdog in `cfg.timeout` bounds the whole run.
+pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
+    let start = Instant::now();
+    let deadline = start + cfg.timeout;
+    LpAssignment::new(cfg.n_lps, cfg.n_workers)?; // validate early
+    let n_procs = cfg.n_workers + 1;
+
+    let listener = bind_loopback()?;
+    let coord_addr = listener.local_addr()?;
+
+    let mut children: Vec<Child> = Vec::new();
+    let spawn_result = (|| -> Result<Vec<(u32, String)>, DistError> {
+        for _ in 0..cfg.n_workers {
+            children.push(
+                Command::new(&cfg.worker_bin)
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()?,
+            );
+        }
+
+        // Collect every worker's LISTEN line, then tell each one about
+        // the whole cluster.
+        let mut peers: Vec<(u32, String)> = vec![(0, coord_addr.to_string())];
+        for (i, child) in children.iter_mut().enumerate() {
+            let proc_id = i as u32 + 1;
+            let addr = read_listen_line(child, proc_id, deadline)?;
+            peers.push((proc_id, addr));
+        }
+        for (i, child) in children.iter_mut().enumerate() {
+            let init = WorkerInit {
+                proc_id: i as u32 + 1,
+                n_procs,
+                n_lps: cfg.n_lps,
+                peers: peers.clone(),
+                model: cfg.model.clone(),
+                heartbeat_ms: HEARTBEAT.as_millis() as u64,
+                liveness_ms: LIVENESS.as_millis() as u64,
+                connect_ms: remaining_ms(deadline),
+            };
+            let line = serde_json::to_string(&init)
+                .map_err(|e| DistError::Protocol(format!("init encode: {e}")))?;
+            let stdin = child.stdin.as_mut().expect("worker stdin piped");
+            stdin
+                .write_all(line.as_bytes())
+                .and_then(|_| stdin.write_all(b"\n"))
+                .map_err(|e| DistError::Worker {
+                    proc_id: i as u32 + 1,
+                    detail: format!("died before reading its init line: {e}"),
+                })?;
+        }
+        Ok(peers)
+    })();
+    if let Err(e) = spawn_result {
+        kill_all(&mut children);
+        return Err(e);
+    }
+
+    let mesh_cfg = TcpMeshConfig {
+        proc_id: 0,
+        n_procs,
+        heartbeat_interval: HEARTBEAT,
+        liveness_timeout: LIVENESS,
+        connect_timeout: Duration::from_millis(remaining_ms(deadline)),
+    };
+    let mesh = match TcpMesh::establish(mesh_cfg, listener, &[]) {
+        Ok(m) => m,
+        Err(e) => {
+            kill_all(&mut children);
+            return Err(DistError::Io(e));
+        }
+    };
+
+    match coordinate(&mesh, cfg.n_workers, deadline) {
+        Ok(reports) => {
+            mesh.shutdown();
+            for (i, child) in children.iter_mut().enumerate() {
+                match child.wait() {
+                    Ok(status) if status.success() => {}
+                    Ok(status) => {
+                        kill_all(&mut children);
+                        return Err(DistError::Worker {
+                            proc_id: i as u32 + 1,
+                            detail: format!("exited with {status} after reporting"),
+                        });
+                    }
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(DistError::Io(e));
+                    }
+                }
+            }
+            Ok(merge_reports(reports, start.elapsed().as_secs_f64()))
+        }
+        Err(e) => {
+            mesh.abort();
+            kill_all(&mut children);
+            Err(e)
+        }
+    }
+}
+
+/// Pump the mesh until every worker has reported and said goodbye.
+fn coordinate(
+    mesh: &TcpMesh,
+    n_workers: u32,
+    deadline: Instant,
+) -> Result<Vec<WorkerReport>, DistError> {
+    let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
+    let mut closed = vec![false; n_workers as usize];
+    loop {
+        if reports.iter().all(Option::is_some) && closed.iter().all(|&c| c) {
+            return Ok(reports.into_iter().map(Option::unwrap).collect());
+        }
+        if Instant::now() >= deadline {
+            let missing: Vec<u32> = reports
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_none())
+                .map(|(i, _)| i as u32 + 1)
+                .collect();
+            return Err(DistError::Timeout(format!(
+                "still waiting on workers {missing:?} at the deadline"
+            )));
+        }
+        match mesh.recv_timeout(Duration::from_millis(50)) {
+            Some(MeshEvent::Frame { from, frame }) => match frame {
+                Frame::Report(bytes) => {
+                    let report: WorkerReport = serde_json::from_slice(&bytes).map_err(|e| {
+                        DistError::Protocol(format!("bad report from proc {from}: {e}"))
+                    })?;
+                    reports[from as usize - 1] = Some(report);
+                }
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "coordinator hosts no LPs but received {other:?} from proc {from}"
+                    )));
+                }
+            },
+            Some(MeshEvent::PeerDown {
+                peer,
+                clean,
+                detail,
+            }) => {
+                if clean && reports[peer as usize - 1].is_some() {
+                    closed[peer as usize - 1] = true;
+                } else {
+                    return Err(DistError::Worker {
+                        proc_id: peer,
+                        detail: if clean {
+                            "closed cleanly without sending its report".into()
+                        } else {
+                            detail
+                        },
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+fn merge_reports(reports: Vec<WorkerReport>, wall: f64) -> RunReport {
+    let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
+    let mut per_lp: Vec<LpSummary> = reports.into_iter().flat_map(|r| r.per_lp).collect();
+    per_lp.sort_by_key(|s| s.lp);
+
+    let mut kernel = ObjectStats::default();
+    let mut comm = CommStats::default();
+    let mut committed = 0u64;
+    for s in &per_lp {
+        committed += s.kernel.net_executed();
+        kernel.merge(&s.kernel);
+        comm.merge(&s.comm);
+    }
+
+    RunReport {
+        timeline: Vec::new(),
+        executive: "distributed".into(),
+        completion_seconds: wall,
+        wall_seconds: wall,
+        committed_events: committed,
+        events_per_second: if wall > 0.0 {
+            committed as f64 / wall
+        } else {
+            0.0
+        },
+        gvt_rounds,
+        kernel,
+        comm,
+        per_lp,
+    }
+}
+
+fn read_listen_line(
+    child: &mut Child,
+    proc_id: u32,
+    deadline: Instant,
+) -> Result<String, DistError> {
+    let stdout = child.stdout.take().expect("worker stdout piped");
+    let (tx, rx) = mpsc::channel();
+    // A thread per child: read_line has no timeout of its own. On the
+    // failure path the thread unblocks at worker EOF (we kill it).
+    thread_spawn_reader(stdout, tx);
+    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+        Ok(Ok(line)) => {
+            let addr = line
+                .strip_prefix("LISTEN ")
+                .ok_or_else(|| DistError::Worker {
+                    proc_id,
+                    detail: format!("expected a LISTEN line on stdout, got {line:?}"),
+                })?;
+            Ok(addr.trim().to_string())
+        }
+        Ok(Err(detail)) => Err(DistError::Worker { proc_id, detail }),
+        Err(_) => Err(DistError::Timeout(format!(
+            "worker (proc {proc_id}) never announced its listen address"
+        ))),
+    }
+}
+
+fn thread_spawn_reader(stdout: std::process::ChildStdout, tx: Sender<Result<String, String>>) {
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        let res = match BufReader::new(stdout).read_line(&mut line) {
+            Ok(0) => Err("exited before announcing its listen address".into()),
+            Ok(_) => Ok(line.trim().to_string()),
+            Err(e) => Err(format!("stdout read failed: {e}")),
+        };
+        let _ = tx.send(res);
+    });
+}
+
+fn remaining_ms(deadline: Instant) -> u64 {
+    deadline
+        .saturating_duration_since(Instant::now())
+        .as_millis() as u64
+}
+
+fn kill_all(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+/// An LP's transport inside a worker process: packets for co-resident
+/// LPs go over local channels, everything else becomes a frame on the
+/// TCP mesh addressed to the owning process.
+struct WorkerPort {
+    lp: u32,
+    n_lps: u32,
+    my_proc: u32,
+    assign: LpAssignment,
+    locals: Arc<Vec<Option<Sender<Packet>>>>,
+    mesh_tx: MeshSender,
+    rx: Receiver<Packet>,
+}
+
+impl LpPort for WorkerPort {
+    fn id(&self) -> usize {
+        self.lp as usize
+    }
+    fn n_total(&self) -> usize {
+        self.n_lps as usize
+    }
+    fn send(&self, to: usize, p: Packet) {
+        if self.assign.proc_of(to as u32) == self.my_proc {
+            if let Some(Some(tx)) = self.locals.get(to) {
+                // A send to an LP that already shut down is ignorable by
+                // construction (it can only concern committed history).
+                let _ = tx.send(p);
+            }
+        } else {
+            let frame = match p {
+                Packet::Data { msg, epoch } => Frame::Data { epoch, msg },
+                Packet::Token(token) => Frame::Token {
+                    dst_lp: to as u32,
+                    token,
+                },
+                Packet::GvtNews(gvt) => Frame::GvtNews {
+                    dst_lp: to as u32,
+                    gvt,
+                },
+            };
+            self.mesh_tx.send(self.assign.proc_of(to as u32), frame);
+        }
+    }
+    fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Entry point for a worker binary: speak the bootstrap protocol on
+/// stdio, then run this process's share of the simulation.
+///
+/// `build` turns the coordinator's opaque model JSON into the
+/// [`SimulationSpec`] — that is the only model knowledge in the whole
+/// distributed machinery, and it lives in the binary, not this crate.
+pub fn worker_main(
+    build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+) -> Result<(), String> {
+    let listener = bind_loopback().map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    println!("LISTEN {addr}");
+    io::stdout().flush().map_err(|e| format!("stdout: {e}"))?;
+
+    let mut line = String::new();
+    io::stdin()
+        .read_line(&mut line)
+        .map_err(|e| format!("reading init: {e}"))?;
+    let init: WorkerInit = serde_json::from_str(&line).map_err(|e| format!("parsing init: {e}"))?;
+
+    let spec = build(&init.model)?;
+    let n_lps = spec.partition.n_lps() as u32;
+    if n_lps != init.n_lps {
+        return Err(format!(
+            "coordinator expects {} LPs but the model builds {n_lps}",
+            init.n_lps
+        ));
+    }
+    run_worker(&init, spec, listener)
+}
+
+/// The worker's life after bootstrap: establish the mesh, run the local
+/// LP threads, report, say goodbye. Exits the process (nonzero) if a
+/// peer is lost mid-run — without every process, the run cannot commit
+/// a correct history, and a prompt exit is what lets the peers' own
+/// failure detectors fire.
+pub fn run_worker(
+    init: &WorkerInit,
+    spec: SimulationSpec,
+    listener: std::net::TcpListener,
+) -> Result<(), String> {
+    let assign = LpAssignment::new(init.n_lps, init.n_procs - 1).map_err(|e| e.to_string())?;
+    let my_lps = assign.lps_of(init.proc_id);
+
+    let peer_addrs: Vec<(u32, SocketAddr)> = init
+        .peers
+        .iter()
+        .filter(|(id, _)| *id < init.proc_id)
+        .map(|(id, addr)| {
+            addr.parse()
+                .map(|a| (*id, a))
+                .map_err(|e| format!("bad peer address {addr:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mesh_cfg = TcpMeshConfig {
+        proc_id: init.proc_id,
+        n_procs: init.n_procs,
+        heartbeat_interval: Duration::from_millis(init.heartbeat_ms.max(10)),
+        liveness_timeout: Duration::from_millis(init.liveness_ms.max(100)),
+        connect_timeout: Duration::from_millis(init.connect_ms.max(100)),
+    };
+    let mesh = TcpMesh::establish(mesh_cfg, listener, &peer_addrs)
+        .map_err(|e| format!("mesh establishment: {e}"))?;
+
+    // Test hook: die like a killed worker — no Bye, no report — right
+    // after joining the mesh, so failure-detection paths can be
+    // exercised end-to-end with the real binary.
+    if std::env::var_os("WARP_WORKER_TEST_CRASH").is_some() {
+        std::process::exit(9);
+    }
+
+    // Local delivery channels for this process's LPs.
+    let mut locals: Vec<Option<Sender<Packet>>> = (0..init.n_lps).map(|_| None).collect();
+    let mut inboxes = Vec::new();
+    for lp in my_lps.clone() {
+        let (tx, rx) = mpsc::channel();
+        locals[lp as usize] = Some(tx);
+        inboxes.push((lp, rx));
+    }
+    let locals = Arc::new(locals);
+    let mesh_tx = mesh.sender();
+
+    let handles: Vec<_> = inboxes
+        .into_iter()
+        .map(|(lp, rx)| {
+            let port = WorkerPort {
+                lp,
+                n_lps: init.n_lps,
+                my_proc: init.proc_id,
+                assign,
+                locals: Arc::clone(&locals),
+                mesh_tx: mesh_tx.clone(),
+                rx,
+            };
+            let spec = spec.clone();
+            std::thread::spawn(move || lp_thread(spec, port))
+        })
+        .collect();
+
+    // Inbound router: mesh frames → local LP channels. Runs until the
+    // LP threads finish, then hands the mesh back for the report.
+    let stop = Arc::new(AtomicBool::new(false));
+    let router = {
+        let stop = Arc::clone(&stop);
+        let locals = Arc::clone(&locals);
+        std::thread::spawn(move || route_inbound(mesh, &locals, &stop))
+    };
+
+    let mut results: Vec<(LpSummary, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("LP thread panicked"))
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    let mesh = router.join().expect("router thread panicked");
+
+    results.sort_by_key(|(s, _)| s.lp);
+    let report = WorkerReport {
+        gvt_rounds: results.iter().map(|(_, r)| *r).max().unwrap_or(0),
+        per_lp: results.into_iter().map(|(s, _)| s).collect(),
+    };
+    let bytes = serde_json::to_vec(&report).map_err(|e| format!("report encode: {e}"))?;
+    mesh.send(0, Frame::Report(bytes));
+    mesh.shutdown();
+    Ok(())
+}
+
+/// Dispatch inbound mesh traffic to local LP channels until told to
+/// stop. Terminates the whole process if a peer is lost uncleanly.
+fn route_inbound(mesh: TcpMesh, locals: &[Option<Sender<Packet>>], stop: &AtomicBool) -> TcpMesh {
+    let deliver = |lp: u32, p: Packet| {
+        if let Some(Some(tx)) = locals.get(lp as usize) {
+            let _ = tx.send(p); // finished LPs simply miss stale traffic
+        }
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return mesh;
+        }
+        match mesh.recv_timeout(Duration::from_millis(20)) {
+            Some(MeshEvent::Frame { from, frame }) => match frame {
+                Frame::Data { epoch, msg } => {
+                    deliver(msg.dst.0, Packet::Data { msg, epoch });
+                }
+                Frame::Token { dst_lp, token } => deliver(dst_lp, Packet::Token(token)),
+                Frame::GvtNews { dst_lp, gvt } => deliver(dst_lp, Packet::GvtNews(gvt)),
+                other => {
+                    eprintln!(
+                        "warp-worker (proc {}): protocol violation from proc {from}: {other:?}",
+                        mesh.proc_id()
+                    );
+                    std::process::exit(3);
+                }
+            },
+            Some(MeshEvent::PeerDown {
+                peer,
+                clean: false,
+                detail,
+            }) => {
+                eprintln!(
+                    "warp-worker (proc {}): lost proc {peer} ({detail}); aborting",
+                    mesh.proc_id()
+                );
+                std::process::exit(3);
+            }
+            // Clean goodbyes while LPs still run mean the peer finished
+            // its share after GVT = ∞; per-link FIFO guarantees the ∞
+            // news preceded the Bye, so nothing this process still
+            // needs was lost.
+            Some(MeshEvent::PeerDown { .. }) => {}
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_covers_all_lps_contiguously() {
+        for (n_lps, n_workers) in [(4u32, 2u32), (5, 2), (7, 3), (3, 3), (16, 4), (9, 4)] {
+            let a = LpAssignment::new(n_lps, n_workers).unwrap();
+            let mut seen = Vec::new();
+            for w in 1..=n_workers {
+                let r = a.lps_of(w);
+                for lp in r {
+                    assert_eq!(a.proc_of(lp), w, "lp {lp} ({n_lps}/{n_workers})");
+                    seen.push(lp);
+                }
+            }
+            assert_eq!(seen, (0..n_lps).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn assignment_rejects_degenerate_shapes() {
+        assert!(LpAssignment::new(4, 0).is_err());
+        assert!(LpAssignment::new(2, 3).is_err());
+    }
+
+    #[test]
+    fn worker_init_round_trips_as_json() {
+        let init = WorkerInit {
+            proc_id: 2,
+            n_procs: 3,
+            n_lps: 8,
+            peers: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+            model: serde_json::json!("opaque"),
+            heartbeat_ms: 250,
+            liveness_ms: 3000,
+            connect_ms: 10_000,
+        };
+        let line = serde_json::to_string(&init).unwrap();
+        let back: WorkerInit = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.proc_id, 2);
+        assert_eq!(back.peers.len(), 2);
+        assert_eq!(back.peers[1].1, "127.0.0.1:2");
+        assert_eq!(back.model, init.model);
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_clean_error() {
+        let cfg = DistConfig {
+            n_workers: 1,
+            worker_bin: PathBuf::from("/nonexistent/warp-worker"),
+            model: serde_json::json!(null),
+            n_lps: 2,
+            timeout: Duration::from_secs(5),
+        };
+        match run_coordinator(&cfg) {
+            Err(DistError::Io(_)) => {}
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
+    }
+}

@@ -11,18 +11,23 @@
 //!   on ("execution time" = modeled completion time).
 //! * [`threaded`] — one OS thread per LP over a channel mesh with
 //!   Mattern-token GVT: the kernel as a real parallel program.
+//! * [`distributed`] — the threaded kernel spread across OS processes: a
+//!   coordinator spawns worker binaries, LP blocks run per worker, and
+//!   the same LP loop exchanges frames over a TCP mesh.
 //!
-//! All three consume a [`spec::SimulationSpec`] and produce a
+//! All four consume a [`spec::SimulationSpec`] and produce a
 //! [`report::RunReport`].
 
 #![warn(missing_docs)]
 
+pub mod distributed;
 pub mod report;
 pub mod sequential;
 pub mod spec;
 pub mod threaded;
 pub mod virtual_cluster;
 
+pub use distributed::{run_coordinator, worker_main, DistConfig, DistError};
 pub use report::{LpSummary, ObjectSummary, RunReport};
 pub use sequential::run_sequential;
 pub use spec::{ObjectFactory, PolicyFactory, SimulationSpec};

@@ -17,8 +17,9 @@ use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{Event, VirtualTime};
 use warp_net::{mesh, Aggregator, Endpoint, PhysMsg};
 
-/// Traffic multiplexed over the mesh.
-enum Packet {
+/// Traffic multiplexed over the mesh. Shared with the distributed
+/// executive, whose TCP frames carry exactly these three payloads.
+pub(crate) enum Packet {
     /// Application events (a physical message), tagged with the sender's
     /// Mattern epoch.
     Data { msg: PhysMsg, epoch: u32 },
@@ -26,6 +27,43 @@ enum Packet {
     Token(warp_core::gvt::GvtToken),
     /// A freshly computed GVT (∞ = simulation over, shut down).
     GvtNews(VirtualTime),
+}
+
+/// What an LP needs from its transport. The threaded executive plugs in
+/// an in-process channel [`Endpoint`]; the distributed executive plugs
+/// in a port that routes local packets over channels and remote ones
+/// over the TCP mesh. LP ids are *global* — the LP loop itself never
+/// knows whether a peer lives in this process.
+pub(crate) trait LpPort {
+    /// This LP's global id.
+    fn id(&self) -> usize;
+    /// Total number of LPs in the whole simulation.
+    fn n_total(&self) -> usize;
+    /// Send a packet to a global LP id. Must never block on the LP loop
+    /// and must tolerate peers that already shut down.
+    fn send(&self, to: usize, p: Packet);
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Packet>;
+    /// Blocking receive with a timeout; `None` on timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet>;
+}
+
+impl LpPort for Endpoint<Packet> {
+    fn id(&self) -> usize {
+        Endpoint::id(self)
+    }
+    fn n_total(&self) -> usize {
+        self.n_peers()
+    }
+    fn send(&self, to: usize, p: Packet) {
+        Endpoint::send(self, to, p);
+    }
+    fn try_recv(&self) -> Option<Packet> {
+        Endpoint::try_recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        Endpoint::recv_timeout(self, timeout)
+    }
 }
 
 /// Events processed between communication polls.
@@ -83,12 +121,12 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
     }
 }
 
-struct LpThread {
+struct LpThread<P: LpPort> {
     lp: warp_core::LpRuntime,
     agg: Aggregator,
     agent: MatternAgent,
     ctrl: Option<GvtController>,
-    endpoint: Endpoint<Packet>,
+    port: P,
     start: Instant,
     last_round: Instant,
     fossil: bool,
@@ -99,14 +137,14 @@ struct LpThread {
     partition: std::sync::Arc<warp_core::Partition>,
 }
 
-impl LpThread {
+impl<P: LpPort> LpThread<P> {
     fn ship(&mut self, msgs: Vec<PhysMsg>) {
         for msg in msgs {
             let c = msg.send_cost(self.lp.cost_model());
             self.agg.note_send_cost(c);
             let epoch = self.agent.tag_send(msg.min_recv_time());
             let to = msg.dst.index();
-            self.endpoint.send(to, Packet::Data { msg, epoch });
+            self.port.send(to, Packet::Data { msg, epoch });
         }
     }
 
@@ -137,12 +175,12 @@ impl LpThread {
 
     fn forward_token(&mut self, mut token: warp_core::gvt::GvtToken) {
         self.agent.on_token(&mut token, self.local_min());
-        let next = (self.endpoint.id() + 1) % self.endpoint.n_peers();
-        if next == self.endpoint.id() {
+        let next = (self.port.id() + 1) % self.port.n_total();
+        if next == self.port.id() {
             // Single-LP mesh: the circulation is already complete.
             self.complete_round(token);
         } else {
-            self.endpoint.send(next, Packet::Token(token));
+            self.port.send(next, Packet::Token(token));
         }
     }
 
@@ -155,8 +193,8 @@ impl LpThread {
         match ctrl.on_return(token) {
             Ok(gvt) => {
                 self.gvt_rounds += 1;
-                for peer in 1..self.endpoint.n_peers() {
-                    self.endpoint.send(peer, Packet::GvtNews(gvt));
+                for peer in 1..self.port.n_total() {
+                    self.port.send(peer, Packet::GvtNews(gvt));
                 }
                 self.last_round = Instant::now();
                 self.apply_gvt(gvt);
@@ -197,7 +235,7 @@ impl LpThread {
             if debug_trace && loops.is_multiple_of(200_000) {
                 eprintln!(
                     "[thr lp{}] loops={} next={} lmin={} buffered={} rounds={} in_prog={:?} stats={}r/{}x",
-                    self.endpoint.id(),
+                    self.port.id(),
                     loops,
                     self.lp.next_time(),
                     self.local_min(),
@@ -211,7 +249,7 @@ impl LpThread {
             let mut idle = true;
 
             // 1. Incoming traffic, in arrival order.
-            while let Some(p) = self.endpoint.try_recv() {
+            while let Some(p) = self.port.try_recv() {
                 idle = false;
                 self.handle(p);
                 if self.done {
@@ -256,7 +294,7 @@ impl LpThread {
 
             // 5. Block briefly instead of spinning when idle.
             if idle && !self.done {
-                if let Some(p) = self.endpoint.recv_timeout(Duration::from_micros(200)) {
+                if let Some(p) = self.port.recv_timeout(Duration::from_micros(200)) {
                     self.handle(p);
                 }
             }
@@ -292,18 +330,22 @@ impl LpThread {
     }
 }
 
-fn lp_thread(spec: SimulationSpec, endpoint: Endpoint<Packet>) -> (LpSummary, u64) {
-    let my_id = warp_core::LpId(endpoint.id() as u32);
+/// Drive one LP to completion over any transport. Shared by the
+/// threaded executive (in-process channel mesh) and the distributed
+/// executive (TCP mesh between worker processes). The global LP 0 hosts
+/// the GVT controller wherever it lives.
+pub(crate) fn lp_thread<P: LpPort>(spec: SimulationSpec, port: P) -> (LpSummary, u64) {
+    let my_id = warp_core::LpId(port.id() as u32);
     let worker = LpThread {
         lp: spec.build_lp(my_id),
         agg: Aggregator::new(my_id, spec.aggregation.clone()),
         agent: MatternAgent::new(),
-        ctrl: if endpoint.id() == 0 {
+        ctrl: if port.id() == 0 {
             Some(GvtController::new())
         } else {
             None
         },
-        endpoint,
+        port,
         start: Instant::now(),
         last_round: Instant::now(),
         fossil: spec.gvt_period.is_some(),

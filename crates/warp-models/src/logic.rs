@@ -509,7 +509,7 @@ pub mod circuits {
         n_lps: usize,
         seed: u64,
     ) -> (Netlist, Vec<u32>, u32) {
-        assert!(n_bits >= 1 && n_bits <= 63);
+        assert!((1..=63).contains(&n_bits));
         let n_drivers = 2 * n_bits + 1;
         let gate_id = |bit: usize, which: usize| (n_drivers + bit * 5 + which) as u32;
         // which: 0=X1, 1=X2(sum), 2=A1, 3=A2, 4=OR(cout)
@@ -519,8 +519,14 @@ pub mod circuits {
                 mean_period: 20.0,
                 n_toggles: u64::from(a >> bit & 1 == 1),
                 outputs: vec![
-                    Wire { gate: gate_id(bit, 0), pin: 0 },
-                    Wire { gate: gate_id(bit, 2), pin: 0 },
+                    Wire {
+                        gate: gate_id(bit, 0),
+                        pin: 0,
+                    },
+                    Wire {
+                        gate: gate_id(bit, 2),
+                        pin: 0,
+                    },
                 ],
             });
         }
@@ -529,8 +535,14 @@ pub mod circuits {
                 mean_period: 20.0,
                 n_toggles: u64::from(b >> bit & 1 == 1),
                 outputs: vec![
-                    Wire { gate: gate_id(bit, 0), pin: 1 },
-                    Wire { gate: gate_id(bit, 2), pin: 1 },
+                    Wire {
+                        gate: gate_id(bit, 0),
+                        pin: 1,
+                    },
+                    Wire {
+                        gate: gate_id(bit, 2),
+                        pin: 1,
+                    },
                 ],
             });
         }
@@ -539,8 +551,14 @@ pub mod circuits {
             mean_period: 20.0,
             n_toggles: 0,
             outputs: vec![
-                Wire { gate: gate_id(0, 1), pin: 1 },
-                Wire { gate: gate_id(0, 3), pin: 1 },
+                Wire {
+                    gate: gate_id(0, 1),
+                    pin: 1,
+                },
+                Wire {
+                    gate: gate_id(0, 3),
+                    pin: 1,
+                },
             ],
         });
 
@@ -548,8 +566,14 @@ pub mod circuits {
         for bit in 0..n_bits {
             let carry_out_targets = if bit + 1 < n_bits {
                 vec![
-                    Wire { gate: gate_id(bit + 1, 1), pin: 1 },
-                    Wire { gate: gate_id(bit + 1, 3), pin: 1 },
+                    Wire {
+                        gate: gate_id(bit + 1, 1),
+                        pin: 1,
+                    },
+                    Wire {
+                        gate: gate_id(bit + 1, 3),
+                        pin: 1,
+                    },
                 ]
             } else {
                 Vec::new()
@@ -560,25 +584,42 @@ pub mod circuits {
                 n_inputs: 2,
                 delay: 1,
                 outputs: vec![
-                    Wire { gate: gate_id(bit, 1), pin: 0 },
-                    Wire { gate: gate_id(bit, 3), pin: 0 },
+                    Wire {
+                        gate: gate_id(bit, 1),
+                        pin: 0,
+                    },
+                    Wire {
+                        gate: gate_id(bit, 3),
+                        pin: 0,
+                    },
                 ],
             });
             // X2 = X1 ^ cin  (the sum bit; no fan-out)
-            gates.push(GateSpec { kind: GateKind::Xor, n_inputs: 2, delay: 1, outputs: vec![] });
+            gates.push(GateSpec {
+                kind: GateKind::Xor,
+                n_inputs: 2,
+                delay: 1,
+                outputs: vec![],
+            });
             // A1 = a & b
             gates.push(GateSpec {
                 kind: GateKind::And,
                 n_inputs: 2,
                 delay: 1,
-                outputs: vec![Wire { gate: gate_id(bit, 4), pin: 0 }],
+                outputs: vec![Wire {
+                    gate: gate_id(bit, 4),
+                    pin: 0,
+                }],
             });
             // A2 = X1 & cin
             gates.push(GateSpec {
                 kind: GateKind::And,
                 n_inputs: 2,
                 delay: 1,
-                outputs: vec![Wire { gate: gate_id(bit, 4), pin: 1 }],
+                outputs: vec![Wire {
+                    gate: gate_id(bit, 4),
+                    pin: 1,
+                }],
             });
             // OR = A1 | A2  (the carry out)
             gates.push(GateSpec {
@@ -590,7 +631,16 @@ pub mod circuits {
         }
         let sums = (0..n_bits).map(|bit| gate_id(bit, 1)).collect();
         let cout = gate_id(n_bits - 1, 4);
-        (Netlist { drivers, gates, n_lps, seed }, sums, cout)
+        (
+            Netlist {
+                drivers,
+                gates,
+                n_lps,
+                seed,
+            },
+            sums,
+            cout,
+        )
     }
 }
 
@@ -616,9 +666,13 @@ mod adder_tests {
     /// — a semantic end-to-end check, not just engine-vs-engine equality.
     #[test]
     fn ripple_carry_adder_adds() {
-        for (a, b, seed) in
-            [(0u64, 0u64, 1u64), (5, 3, 2), (255, 1, 3), (0b1010_1100, 0b0110_0110, 4), (97, 158, 5)]
-        {
+        for (a, b, seed) in [
+            (0u64, 0u64, 1u64),
+            (5, 3, 2),
+            (255, 1, 3),
+            (0b1010_1100, 0b0110_0110, 4),
+            (97, 158, 5),
+        ] {
             let n_bits = 8;
             let (net, sums, cout) = ripple_carry_adder(n_bits, a, b, 3, seed);
             let spec = net.spec().with_gvt_period(None);

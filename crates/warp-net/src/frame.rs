@@ -1,0 +1,422 @@
+//! The distributed executive's wire protocol: length-prefixed, versioned
+//! frames over a byte stream.
+//!
+//! Every frame is `[u32 length (LE)][u8 tag][body]`, with the body
+//! encoded by the canonical `warp_core::wire` writers — the same
+//! encoding lazy cancellation relies on, so event bytes are identical on
+//! every platform and a digest computed from decoded events equals one
+//! computed locally. The codec is transport-agnostic: [`FrameDecoder`]
+//! consumes bytes in arbitrary chunks (TCP segment boundaries carry no
+//! meaning), and [`Frame::encode`] produces the exact byte run to write.
+//!
+//! Frame taxonomy:
+//!
+//! * `Hello` — handshake; first frame on every connection, carrying the
+//!   protocol version and the sender's process coordinates. A version
+//!   mismatch aborts the connection before any simulation traffic.
+//! * `Data` — a physical message (aggregated events) tagged with the
+//!   sender's Mattern epoch.
+//! * `Token` / `GvtNews` — the circulating GVT token and the controller's
+//!   round results, addressed to a destination LP so the receiving
+//!   process can route them to the right LP thread.
+//! * `Heartbeat` — idle-link liveness probe; carries nothing and never
+//!   reaches LP threads.
+//! * `Report` — a worker's end-of-run summary (opaque JSON bytes; the
+//!   executive layer owns the schema).
+//! * `Bye` — graceful shutdown: the peer finished sending and will close
+//!   after draining. A connection that dies *without* `Bye` is a crash.
+
+use crate::aggregate::PhysMsg;
+use std::fmt;
+use warp_core::gvt::GvtToken;
+use warp_core::wire::{
+    decode_event, encode_event, read_vt, write_vt, PayloadReader, PayloadWriter,
+};
+use warp_core::{LpId, VirtualTime};
+
+/// Protocol version carried in `Hello`; bump on any frame-format change.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame body. Protects the decoder from allocating
+/// gigabytes off a corrupt or malicious length prefix.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Connection handshake; must be the first frame both ways.
+    Hello {
+        /// Sender's [`PROTO_VERSION`].
+        version: u16,
+        /// Sender's process id in the mesh (0 = coordinator).
+        proc_id: u32,
+        /// Total process count the sender was configured with.
+        n_procs: u32,
+    },
+    /// Application events between two LPs.
+    Data {
+        /// Sender's Mattern epoch at transmission time.
+        epoch: u32,
+        /// The physical message (src/dst LPs + events).
+        msg: PhysMsg,
+    },
+    /// The circulating GVT token, addressed to a specific LP.
+    Token {
+        /// Global LP the token is bound for.
+        dst_lp: u32,
+        /// The token itself.
+        token: GvtToken,
+    },
+    /// A freshly computed GVT, addressed to a specific LP (∞ = shut down).
+    GvtNews {
+        /// Global LP the news is bound for.
+        dst_lp: u32,
+        /// The new commit horizon.
+        gvt: VirtualTime,
+    },
+    /// Idle-link liveness probe.
+    Heartbeat,
+    /// A worker's end-of-run summary (opaque to the transport).
+    Report(Vec<u8>),
+    /// Graceful end-of-stream announcement.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_DATA: u8 = 2;
+const TAG_TOKEN: u8 = 3;
+const TAG_GVT_NEWS: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_REPORT: u8 = 6;
+const TAG_BYE: u8 = 7;
+
+/// Why a byte stream failed to decode as frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// Unknown frame tag — desynchronized stream or version skew.
+    BadTag(u8),
+    /// Declared frame length exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The body did not decode as the tag's schema.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t:#x}"),
+            FrameError::TooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame body: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Encode as a complete length-prefixed frame, appended to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        match self {
+            Frame::Hello {
+                version,
+                proc_id,
+                n_procs,
+            } => {
+                w.u8(TAG_HELLO).u16(*version).u32(*proc_id).u32(*n_procs);
+            }
+            Frame::Data { epoch, msg } => {
+                w.u8(TAG_DATA)
+                    .u32(*epoch)
+                    .u32(msg.src.0)
+                    .u32(msg.dst.0)
+                    .u32(msg.events.len() as u32);
+                for e in &msg.events {
+                    encode_event(&mut w, e);
+                }
+            }
+            Frame::Token { dst_lp, token } => {
+                w.u8(TAG_TOKEN).u32(*dst_lp).u32(token.round);
+                write_vt(&mut w, token.min);
+                w.i64(token.count);
+            }
+            Frame::GvtNews { dst_lp, gvt } => {
+                w.u8(TAG_GVT_NEWS).u32(*dst_lp);
+                write_vt(&mut w, *gvt);
+            }
+            Frame::Heartbeat => {
+                w.u8(TAG_HEARTBEAT);
+            }
+            Frame::Report(bytes) => {
+                w.u8(TAG_REPORT).bytes(bytes);
+            }
+            Frame::Bye => {
+                w.u8(TAG_BYE);
+            }
+        }
+        let body = w.finish();
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+
+    /// Encode as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mal = |e: warp_core::KernelError| FrameError::Malformed(e.to_string());
+        let mut r = PayloadReader::new(body);
+        let tag = r.u8().map_err(mal)?;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                version: r.u16().map_err(mal)?,
+                proc_id: r.u32().map_err(mal)?,
+                n_procs: r.u32().map_err(mal)?,
+            },
+            TAG_DATA => {
+                let epoch = r.u32().map_err(mal)?;
+                let src = LpId(r.u32().map_err(mal)?);
+                let dst = LpId(r.u32().map_err(mal)?);
+                let n = r.u32().map_err(mal)? as usize;
+                if n > body.len() {
+                    // Each event needs ≥ 1 byte; an impossible count is
+                    // corruption, not a huge allocation request.
+                    return Err(FrameError::Malformed(format!(
+                        "event count {n} exceeds body size {}",
+                        body.len()
+                    )));
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(decode_event(&mut r).map_err(mal)?);
+                }
+                Frame::Data {
+                    epoch,
+                    msg: PhysMsg { src, dst, events },
+                }
+            }
+            TAG_TOKEN => Frame::Token {
+                dst_lp: r.u32().map_err(mal)?,
+                token: GvtToken {
+                    round: r.u32().map_err(mal)?,
+                    min: read_vt(&mut r).map_err(mal)?,
+                    count: r.i64().map_err(mal)?,
+                },
+            },
+            TAG_GVT_NEWS => Frame::GvtNews {
+                dst_lp: r.u32().map_err(mal)?,
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_HEARTBEAT => Frame::Heartbeat,
+            TAG_REPORT => Frame::Report(r.bytes().map_err(mal)?.to_vec()),
+            TAG_BYE => Frame::Bye,
+            other => return Err(FrameError::BadTag(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(FrameError::Malformed(format!(
+                "{} trailing bytes after frame body",
+                r.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Incremental frame decoder over an arbitrarily-chunked byte stream.
+///
+/// Feed bytes with [`push`](FrameDecoder::push) as they arrive, then
+/// drain complete frames with [`next`](FrameDecoder::next). Partial
+/// frames stay buffered until their remaining bytes arrive; decode
+/// errors are sticky (a desynchronized stream cannot be resynchronized).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long sessions don't grow the buffer forever.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 << 10) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, `Ok(None)` if more bytes are
+    /// needed. After an error every subsequent call errors too.
+    // Not `Iterator`: `Ok(None)` means "need more bytes", not "done".
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Malformed("stream already failed".into()));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BYTES {
+            self.poisoned = true;
+            return Err(FrameError::TooLarge(len));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        match Frame::decode_body(body) {
+            Ok(frame) => {
+                self.pos += 4 + len;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::event::EventId;
+    use warp_core::{Event, ObjectId};
+
+    fn ev(serial: u64, rt: u64) -> Event {
+        Event::new(
+            EventId {
+                sender: ObjectId(2),
+                serial,
+            },
+            ObjectId(5),
+            VirtualTime::new(1),
+            VirtualTime::new(rt),
+            3,
+            vec![serial as u8; 4],
+        )
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTO_VERSION,
+                proc_id: 2,
+                n_procs: 3,
+            },
+            Frame::Data {
+                epoch: 4,
+                msg: PhysMsg {
+                    src: LpId(1),
+                    dst: LpId(0),
+                    events: vec![ev(1, 10), ev(2, 11).to_anti()],
+                },
+            },
+            Frame::Token {
+                dst_lp: 2,
+                token: GvtToken {
+                    round: 9,
+                    min: VirtualTime::new(44),
+                    count: -2,
+                },
+            },
+            Frame::GvtNews {
+                dst_lp: 1,
+                gvt: VirtualTime::INFINITY,
+            },
+            Frame::Heartbeat,
+            Frame::Report(b"{\"lp\":0}".to_vec()),
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let mut d = FrameDecoder::new();
+            d.push(&bytes);
+            assert_eq!(d.next().unwrap(), Some(frame));
+            assert_eq!(d.next().unwrap(), None);
+            assert_eq!(d.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let mut stream = Vec::new();
+        for f in sample_frames() {
+            f.encode_into(&mut stream);
+        }
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            d.push(&[b]);
+            while let Some(f) = d.next().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, sample_frames());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_and_sticky() {
+        let mut d = FrameDecoder::new();
+        d.push(&(u32::MAX).to_le_bytes());
+        assert!(matches!(d.next(), Err(FrameError::TooLarge(_))));
+        d.push(&Frame::Heartbeat.encode());
+        assert!(d.next().is_err(), "poisoned decoder must stay failed");
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut raw = Frame::Heartbeat.encode();
+        raw[4] = 0xEE; // the tag byte
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert_eq!(d.next(), Err(FrameError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_is_an_error() {
+        let mut raw = Frame::Bye.encode();
+        raw[0] += 1; // claim one extra body byte...
+        raw.push(0xAB); // ...and provide it
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert!(matches!(d.next(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn impossible_event_count_is_rejected_without_allocation() {
+        let mut w = warp_core::wire::PayloadWriter::new();
+        w.u8(2).u32(0).u32(0).u32(1).u32(u32::MAX);
+        let body = w.finish();
+        let mut raw = (body.len() as u32).to_le_bytes().to_vec();
+        raw.extend_from_slice(&body);
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert!(matches!(d.next(), Err(FrameError::Malformed(_))));
+    }
+}

@@ -10,6 +10,10 @@
 //!   adaptation law imported from `warp-control`.
 //! * [`inproc`] — the threaded executive's transport: a full mesh of
 //!   FIFO channels between LP threads.
+//! * [`frame`] + [`tcp`] — the distributed executive's transport: a
+//!   length-prefixed, versioned frame codec over the canonical
+//!   `warp_core::wire` encoding, and a full TCP mesh of processes with
+//!   handshakes, heartbeats, and drain-then-close shutdown.
 //!
 //! The *network itself* — the 10 Mb Ethernet of the paper's testbed — is
 //! modeled by `warp_core::CostModel` (per-message CPU overheads, wire
@@ -19,9 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod frame;
 pub mod inproc;
 pub mod policy;
+pub mod tcp;
 
 pub use aggregate::{Aggregator, PhysMsg};
+pub use frame::{Frame, FrameDecoder, FrameError, PROTO_VERSION};
 pub use inproc::{mesh, Endpoint};
 pub use policy::AggregationConfig;
+pub use tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};

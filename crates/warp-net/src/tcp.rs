@@ -1,0 +1,796 @@
+//! TCP process mesh for the distributed executive.
+//!
+//! A [`TcpMesh`] is the multi-process analogue of [`inproc::mesh`]: a
+//! full mesh of loopback-or-LAN TCP connections between `n_procs`
+//! processes, carrying [`Frame`]s instead of in-memory packets. The
+//! surface mirrors `inproc::Endpoint` — `send`, `try_recv`,
+//! `recv_timeout` — so the executive layer can route over either.
+//!
+//! Establishment is deterministic: process `i` *dials* every peer with a
+//! lower id (with retry + exponential backoff, so start-up order does not
+//! matter) and *accepts* from every peer with a higher id. Both sides of
+//! a fresh connection immediately exchange [`Frame::Hello`]; a protocol
+//! version or topology mismatch aborts establishment with an error
+//! rather than letting two incompatible builds exchange garbage.
+//!
+//! Liveness: each connection runs a writer thread (sends queued frames,
+//! injects [`Frame::Heartbeat`] when idle) and a reader thread (decodes
+//! frames, tracks time-since-last-byte). A link silent for longer than
+//! the liveness timeout is declared half-open and reported as
+//! [`MeshEvent::PeerDown`] with `clean: false` — the same event an
+//! abrupt EOF (peer killed) produces. Graceful shutdown sends
+//! [`Frame::Bye`], flushes, closes the write half, and keeps draining
+//! the read half until the peer's own `Bye` arrives, so no in-flight
+//! frame is lost to teardown.
+//!
+//! [`inproc::mesh`]: crate::inproc::mesh
+
+use crate::frame::{Frame, FrameDecoder, PROTO_VERSION};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`TcpMesh`].
+#[derive(Clone, Debug)]
+pub struct TcpMeshConfig {
+    /// This process's id in the mesh (0 = coordinator).
+    pub proc_id: u32,
+    /// Total number of processes in the mesh.
+    pub n_procs: u32,
+    /// Idle interval after which the writer injects a heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Silence threshold after which a link is declared half-open.
+    pub liveness_timeout: Duration,
+    /// Total budget for establishing the full mesh (dial retries and
+    /// accepts included).
+    pub connect_timeout: Duration,
+}
+
+impl TcpMeshConfig {
+    /// Defaults tuned for loopback clusters: 500 ms heartbeats, 5 s
+    /// liveness, 30 s establishment budget.
+    pub fn new(proc_id: u32, n_procs: u32) -> Self {
+        TcpMeshConfig {
+            proc_id,
+            n_procs,
+            heartbeat_interval: Duration::from_millis(500),
+            liveness_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What the mesh delivers to its owner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeshEvent {
+    /// A frame arrived from a peer (or from a loopback self-send).
+    Frame {
+        /// Sending process id.
+        from: u32,
+        /// The decoded frame.
+        frame: Frame,
+    },
+    /// A peer's connection ended. `clean` distinguishes a graceful
+    /// `Bye` from a crash, half-open link, or protocol violation.
+    PeerDown {
+        /// The peer process id.
+        peer: u32,
+        /// True iff the peer announced shutdown with `Bye`.
+        clean: bool,
+        /// Human-readable cause for diagnostics.
+        detail: String,
+    },
+}
+
+enum WriterCmd {
+    Frame(Frame),
+    Shutdown,
+}
+
+struct Peer {
+    cmd_tx: Sender<WriterCmd>,
+    /// Clone of the connection, kept so `abort` can slam it shut.
+    stream: TcpStream,
+    /// Set when we start shutting down: bounds the reader's final drain
+    /// so joining it cannot block on a peer that never says `Bye`.
+    closing: Arc<AtomicBool>,
+    writer: JoinHandle<()>,
+    reader: JoinHandle<()>,
+}
+
+/// A cloneable sending half of the mesh, for threads that only transmit.
+#[derive(Clone)]
+pub struct MeshSender {
+    proc_id: u32,
+    cmd_txs: Vec<Option<Sender<WriterCmd>>>,
+    loopback: Sender<MeshEvent>,
+}
+
+impl MeshSender {
+    /// Queue a frame for `to`. Self-sends loop back locally. Sending to
+    /// a peer whose link already died is a silent no-op — the owner has
+    /// (or will) see the `PeerDown` event and must react there.
+    pub fn send(&self, to: u32, frame: Frame) {
+        if to == self.proc_id {
+            let _ = self.loopback.send(MeshEvent::Frame {
+                from: self.proc_id,
+                frame,
+            });
+            return;
+        }
+        if let Some(Some(tx)) = self.cmd_txs.get(to as usize) {
+            let _ = tx.send(WriterCmd::Frame(frame));
+        }
+    }
+}
+
+/// A fully-established process mesh. See the module docs for protocol
+/// details.
+pub struct TcpMesh {
+    cfg: TcpMeshConfig,
+    peers: Vec<Option<Peer>>,
+    event_tx: Sender<MeshEvent>,
+    event_rx: Receiver<MeshEvent>,
+}
+
+/// Bind a listener on an ephemeral loopback port.
+pub fn bind_loopback() -> io::Result<TcpListener> {
+    TcpListener::bind(("127.0.0.1", 0))
+}
+
+impl TcpMesh {
+    /// This process's id.
+    pub fn proc_id(&self) -> u32 {
+        self.cfg.proc_id
+    }
+
+    /// Total process count.
+    pub fn n_procs(&self) -> u32 {
+        self.cfg.n_procs
+    }
+
+    /// A cloneable sender over the same links.
+    pub fn sender(&self) -> MeshSender {
+        MeshSender {
+            proc_id: self.cfg.proc_id,
+            cmd_txs: self
+                .peers
+                .iter()
+                .map(|p| p.as_ref().map(|p| p.cmd_tx.clone()))
+                .collect(),
+            loopback: self.event_tx.clone(),
+        }
+    }
+
+    /// Queue a frame for `to` (see [`MeshSender::send`]).
+    pub fn send(&self, to: u32, frame: Frame) {
+        if to == self.cfg.proc_id {
+            let _ = self.event_tx.send(MeshEvent::Frame {
+                from: self.cfg.proc_id,
+                frame,
+            });
+            return;
+        }
+        if let Some(Some(peer)) = self.peers.get(to as usize) {
+            let _ = peer.cmd_tx.send(WriterCmd::Frame(frame));
+        }
+    }
+
+    /// Next event if one is already queued.
+    pub fn try_recv(&self) -> Option<MeshEvent> {
+        self.event_rx.try_recv().ok()
+    }
+
+    /// Block up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MeshEvent> {
+        match self.event_rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Establish the full mesh. `listener` must already be bound;
+    /// `peer_addrs` must contain an address for every peer with an id
+    /// lower than `cfg.proc_id` (higher ids dial us and extra entries
+    /// are ignored). Blocks until every link is up and handshaken, or
+    /// fails within `cfg.connect_timeout`.
+    pub fn establish(
+        cfg: TcpMeshConfig,
+        listener: TcpListener,
+        peer_addrs: &[(u32, SocketAddr)],
+    ) -> io::Result<TcpMesh> {
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let n = cfg.n_procs as usize;
+        let mut links: Vec<Option<(TcpStream, FrameDecoder)>> = (0..n).map(|_| None).collect();
+
+        // Dial every lower-id peer concurrently; each dialer retries
+        // with exponential backoff so it tolerates peers that have not
+        // bound their listener yet.
+        let mut dialers = Vec::new();
+        for &(peer, addr) in peer_addrs {
+            if peer >= cfg.proc_id {
+                continue;
+            }
+            let cfg = cfg.clone();
+            dialers.push(thread::spawn(
+                move || -> io::Result<(u32, TcpStream, FrameDecoder)> {
+                    let stream = dial_with_backoff(addr, deadline)?;
+                    let (id, dec) = handshake(&stream, &cfg, deadline)?;
+                    if id != peer {
+                        return Err(proto_err(format!(
+                            "dialed proc {peer} at {addr} but it identified as proc {id}"
+                        )));
+                    }
+                    Ok((peer, stream, dec))
+                },
+            ));
+        }
+        let expected_dials = dialers.len();
+        if expected_dials != cfg.proc_id as usize {
+            return Err(proto_err(format!(
+                "proc {} needs addresses for all {} lower-id peers, got {}",
+                cfg.proc_id, cfg.proc_id, expected_dials
+            )));
+        }
+
+        // Accept every higher-id peer on the listener meanwhile.
+        let mut accepted = 0usize;
+        let expect_accepts = n - cfg.proc_id as usize - 1;
+        listener.set_nonblocking(true)?;
+        while accepted < expect_accepts {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "proc {}: only {accepted}/{expect_accepts} peers connected in time",
+                        cfg.proc_id
+                    ),
+                ));
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let (id, dec) = handshake(&stream, &cfg, deadline)?;
+                    if id <= cfg.proc_id || id as usize >= n {
+                        return Err(proto_err(format!(
+                            "accepted a connection claiming proc id {id}, expected one of {}..{}",
+                            cfg.proc_id + 1,
+                            n
+                        )));
+                    }
+                    if links[id as usize].is_some() {
+                        return Err(proto_err(format!("proc {id} connected twice")));
+                    }
+                    links[id as usize] = Some((stream, dec));
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        for d in dialers {
+            let (peer, stream, dec) = d
+                .join()
+                .map_err(|_| proto_err("dialer thread panicked".into()))??;
+            links[peer as usize] = Some((stream, dec));
+        }
+
+        // All links are up: spawn the per-connection reader/writer pairs.
+        let (event_tx, event_rx) = mpsc::channel();
+        let mut peers: Vec<Option<Peer>> = (0..n).map(|_| None).collect();
+        for (peer_id, slot) in links.into_iter().enumerate() {
+            let Some((stream, dec)) = slot else { continue };
+            let (cmd_tx, cmd_rx) = mpsc::channel();
+            let wr = stream.try_clone()?;
+            let hb = cfg.heartbeat_interval;
+            let writer = thread::Builder::new()
+                .name(format!("mesh-w{}-{peer_id}", cfg.proc_id))
+                .spawn(move || writer_loop(wr, cmd_rx, hb))?;
+            let rd = stream.try_clone()?;
+            let tx = event_tx.clone();
+            let live = cfg.liveness_timeout;
+            let pid = peer_id as u32;
+            let closing = Arc::new(AtomicBool::new(false));
+            let closing_r = Arc::clone(&closing);
+            let reader = thread::Builder::new()
+                .name(format!("mesh-r{}-{peer_id}", cfg.proc_id))
+                .spawn(move || reader_loop(rd, dec, tx, pid, live, closing_r))?;
+            peers[peer_id] = Some(Peer {
+                cmd_tx,
+                stream,
+                closing,
+                writer,
+                reader,
+            });
+        }
+
+        Ok(TcpMesh {
+            cfg,
+            peers,
+            event_tx,
+            event_rx,
+        })
+    }
+
+    /// Graceful shutdown: announce `Bye` on every link, flush, close
+    /// the write halves, then drain each read half until the peer's own
+    /// `Bye` — or for at most the liveness timeout if the peer keeps the
+    /// link open (it may not be shutting down yet). Frames already
+    /// queued are sent before the `Bye`.
+    pub fn shutdown(mut self) {
+        for peer in self.peers.iter().flatten() {
+            peer.closing.store(true, Ordering::Relaxed);
+            let _ = peer.cmd_tx.send(WriterCmd::Shutdown);
+        }
+        for peer in self.peers.iter_mut().filter_map(Option::take) {
+            let _ = peer.writer.join();
+            let _ = peer.reader.join();
+        }
+    }
+
+    /// Abrupt teardown for tests and fatal-error paths: slam every
+    /// socket shut with no `Bye`. Peers observe an unclean close.
+    pub fn abort(mut self) {
+        for peer in self.peers.iter().flatten() {
+            peer.closing.store(true, Ordering::Relaxed);
+            let _ = peer.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for peer in self.peers.iter_mut().filter_map(Option::take) {
+            drop(peer.cmd_tx);
+            let _ = peer.writer.join();
+            let _ = peer.reader.join();
+        }
+    }
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn dial_with_backoff(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(20);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("gave up dialing {addr}"),
+            ));
+        }
+        let attempt_budget = (deadline - now).min(Duration::from_secs(1));
+        match TcpStream::connect_timeout(&addr, attempt_budget) {
+            Ok(s) => return Ok(s),
+            Err(_) => {
+                thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+/// Exchange `Hello`s on a fresh connection. Returns the peer's claimed
+/// proc id plus a decoder holding any bytes the peer pipelined after
+/// its `Hello` — those must seed the reader, not be dropped.
+fn handshake(
+    stream: &TcpStream,
+    cfg: &TcpMeshConfig,
+    deadline: Instant,
+) -> io::Result<(u32, FrameDecoder)> {
+    stream.set_nodelay(true)?;
+    let ours = Frame::Hello {
+        version: PROTO_VERSION,
+        proc_id: cfg.proc_id,
+        n_procs: cfg.n_procs,
+    };
+    (&*stream).write_all(&ours.encode())?;
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let frame = loop {
+        if let Some(f) = dec.next().map_err(|e| proto_err(e.to_string()))? {
+            break f;
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "peer never completed the handshake",
+            ));
+        }
+        match (&*stream).read(&mut buf) {
+            Ok(0) => {
+                return Err(proto_err("peer closed during handshake".into()));
+            }
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    match frame {
+        Frame::Hello {
+            version,
+            proc_id,
+            n_procs,
+        } => {
+            if version != PROTO_VERSION {
+                return Err(proto_err(format!(
+                    "protocol version mismatch: ours {PROTO_VERSION}, peer {version}"
+                )));
+            }
+            if n_procs != cfg.n_procs {
+                return Err(proto_err(format!(
+                    "topology mismatch: we expect {} procs, peer expects {n_procs}",
+                    cfg.n_procs
+                )));
+            }
+            Ok((proc_id, dec))
+        }
+        other => Err(proto_err(format!(
+            "expected Hello as the first frame, got {other:?}"
+        ))),
+    }
+}
+
+fn writer_loop(stream: TcpStream, cmd_rx: Receiver<WriterCmd>, heartbeat: Duration) {
+    let mut w = &stream;
+    let mut out = Vec::with_capacity(4096);
+    let say_bye = |mut w: &TcpStream| {
+        let _ = w.write_all(&Frame::Bye.encode());
+        let _ = w.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    };
+    loop {
+        match cmd_rx.recv_timeout(heartbeat) {
+            Ok(WriterCmd::Frame(frame)) => {
+                out.clear();
+                frame.encode_into(&mut out);
+                // Opportunistically coalesce whatever else is queued —
+                // without losing a Shutdown hiding behind the frames.
+                let mut shutdown_after = false;
+                loop {
+                    match cmd_rx.try_recv() {
+                        Ok(WriterCmd::Frame(f)) => {
+                            f.encode_into(&mut out);
+                            if out.len() > 1 << 20 {
+                                break;
+                            }
+                        }
+                        Ok(WriterCmd::Shutdown) => {
+                            shutdown_after = true;
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if w.write_all(&out).is_err() {
+                    return; // reader reports the dead link
+                }
+                if shutdown_after {
+                    say_bye(w);
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if w.write_all(&Frame::Heartbeat.encode()).is_err() {
+                    return;
+                }
+            }
+            Ok(WriterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                say_bye(w);
+                return;
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    mut dec: FrameDecoder,
+    events: Sender<MeshEvent>,
+    peer: u32,
+    liveness: Duration,
+    closing: Arc<AtomicBool>,
+) {
+    let down = |clean: bool, detail: String| {
+        let _ = events.send(MeshEvent::PeerDown {
+            peer,
+            clean,
+            detail,
+        });
+    };
+    // Poll in slices so silence is noticed within a fraction of the
+    // liveness budget even though `read` itself blocks.
+    let poll = (liveness / 4).max(Duration::from_millis(10));
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        down(false, "could not arm the read timeout".into());
+        return;
+    }
+    let mut last_byte = Instant::now();
+    let mut buf = [0u8; 64 * 1024];
+    let mut closing_since: Option<Instant> = None;
+    loop {
+        // Once our side starts shutting down, drain for at most the
+        // liveness budget: a peer that is not shutting down yet keeps
+        // heartbeating and would otherwise pin this thread (and the
+        // owner's `shutdown` join) forever.
+        if closing.load(Ordering::Relaxed) {
+            let since = *closing_since.get_or_insert_with(Instant::now);
+            if since.elapsed() > liveness {
+                return;
+            }
+        }
+        // Drain everything already buffered (handshake residue first).
+        loop {
+            match dec.next() {
+                Ok(Some(Frame::Heartbeat)) => {}
+                Ok(Some(Frame::Bye)) => {
+                    down(true, "peer said Bye".into());
+                    return;
+                }
+                Ok(Some(frame)) => {
+                    if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
+                        return; // mesh owner is gone
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    down(false, format!("stream corrupt: {e}"));
+                    return;
+                }
+            }
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => {
+                down(false, "connection closed without Bye".into());
+                return;
+            }
+            Ok(n) => {
+                last_byte = Instant::now();
+                dec.push(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_byte.elapsed() > liveness {
+                    down(false, format!("half-open link: silent for {liveness:?}"));
+                    return;
+                }
+            }
+            Err(e) => {
+                down(false, format!("read failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::gvt::GvtToken;
+    use warp_core::VirtualTime;
+
+    fn fast_cfg(proc_id: u32, n_procs: u32) -> TcpMeshConfig {
+        TcpMeshConfig {
+            proc_id,
+            n_procs,
+            heartbeat_interval: Duration::from_millis(40),
+            liveness_timeout: Duration::from_millis(400),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+
+    fn pair() -> (TcpMesh, TcpMesh) {
+        let l0 = bind_loopback().unwrap();
+        let l1 = bind_loopback().unwrap();
+        let a0 = l0.local_addr().unwrap();
+        let t = thread::spawn(move || TcpMesh::establish(fast_cfg(1, 2), l1, &[(0, a0)]).unwrap());
+        let m0 = TcpMesh::establish(fast_cfg(0, 2), l0, &[]).unwrap();
+        (m0, t.join().unwrap())
+    }
+
+    fn token(round: u32) -> Frame {
+        Frame::Token {
+            dst_lp: 0,
+            token: GvtToken {
+                round,
+                min: VirtualTime::new(5),
+                count: 0,
+            },
+        }
+    }
+
+    fn expect_frame(m: &TcpMesh) -> (u32, Frame) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match m.recv_timeout(Duration::from_millis(100)) {
+                Some(MeshEvent::Frame { from, frame }) => return (from, frame),
+                Some(MeshEvent::PeerDown { peer, detail, .. }) => {
+                    panic!("peer {peer} went down while a frame was expected: {detail}")
+                }
+                None => {}
+            }
+        }
+        panic!("no frame within 5s");
+    }
+
+    fn expect_down(m: &TcpMesh) -> (u32, bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if let Some(MeshEvent::PeerDown { peer, clean, .. }) =
+                m.recv_timeout(Duration::from_millis(100))
+            {
+                return (peer, clean);
+            }
+        }
+        panic!("no PeerDown within 5s");
+    }
+
+    #[test]
+    fn two_procs_exchange_and_shut_down_cleanly() {
+        let (m0, m1) = pair();
+        m0.send(1, token(1));
+        m1.send(0, token(2));
+        assert_eq!(expect_frame(&m1), (0, token(1)));
+        assert_eq!(expect_frame(&m0), (1, token(2)));
+
+        let t = thread::spawn(move || {
+            assert_eq!(expect_down(&m1), (0, true));
+            m1.shutdown();
+        });
+        m0.send(1, token(3)); // queued before Bye — must still arrive? drained by reader exit
+        m0.shutdown();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn self_send_loops_back_locally() {
+        let (m0, m1) = pair();
+        m0.send(0, token(9));
+        assert_eq!(expect_frame(&m0), (0, token(9)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn three_proc_mesh_routes_every_pair() {
+        let ls: Vec<_> = (0..3).map(|_| bind_loopback().unwrap()).collect();
+        let addrs: Vec<_> = ls.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (i, l) in ls.into_iter().enumerate().rev() {
+            let peers: Vec<_> = (0..i as u32).map(|j| (j, addrs[j as usize])).collect();
+            handles.push(thread::spawn(move || {
+                TcpMesh::establish(fast_cfg(i as u32, 3), l, &peers).unwrap()
+            }));
+        }
+        let mut meshes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        meshes.sort_by_key(|m| m.proc_id());
+        for src in 0..3u32 {
+            for dst in 0..3u32 {
+                if src == dst {
+                    continue;
+                }
+                meshes[src as usize].send(dst, token(src * 10 + dst));
+                assert_eq!(
+                    expect_frame(&meshes[dst as usize]),
+                    (src, token(src * 10 + dst))
+                );
+            }
+        }
+        for m in meshes {
+            thread::spawn(move || m.shutdown());
+        }
+    }
+
+    #[test]
+    fn dialer_retries_until_listener_appears() {
+        // Learn a free port, release it, and only re-bind it after the
+        // dialer has been retrying for a while.
+        let probe = bind_loopback().unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let t = thread::spawn(move || {
+            TcpMesh::establish(fast_cfg(1, 2), bind_loopback().unwrap(), &[(0, addr)])
+        });
+        thread::sleep(Duration::from_millis(300));
+        let listener = TcpListener::bind(addr).expect("ephemeral port rebind");
+        let m0 = TcpMesh::establish(fast_cfg(0, 2), listener, &[]).unwrap();
+        let m1 = t.join().unwrap().unwrap();
+        m1.send(0, token(7));
+        assert_eq!(expect_frame(&m0), (1, token(7)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn killed_peer_is_reported_unclean() {
+        let (m0, m1) = pair();
+        m1.abort(); // no Bye — simulates a killed worker
+        let (peer, clean) = expect_down(&m0);
+        assert_eq!(peer, 1);
+        assert!(!clean, "abrupt close must not look like a graceful Bye");
+        m0.abort();
+    }
+
+    #[test]
+    fn idle_link_stays_alive_on_heartbeats() {
+        let (m0, m1) = pair();
+        // Well past the liveness timeout with no application traffic.
+        thread::sleep(Duration::from_millis(900));
+        assert!(m0.try_recv().is_none(), "heartbeats must not surface");
+        m0.send(1, token(4));
+        assert_eq!(expect_frame(&m1), (0, token(4)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn version_mismatch_aborts_establishment() {
+        let listener = bind_loopback().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            let bad = Frame::Hello {
+                version: PROTO_VERSION + 1,
+                proc_id: 1,
+                n_procs: 2,
+            };
+            (&s).write_all(&bad.encode()).unwrap();
+            // Hold the socket open long enough for the other side to read.
+            thread::sleep(Duration::from_millis(500));
+        });
+        let err = match TcpMesh::establish(fast_cfg(0, 2), listener, &[]) {
+            Ok(_) => panic!("establishment must fail on a version mismatch"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"), "{err}");
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn dribbled_bytes_decode_across_segment_boundaries() {
+        // A raw peer that handshakes correctly, then writes a Data-bearing
+        // stream one byte at a time — every frame must still decode.
+        let listener = bind_loopback().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            let hello = Frame::Hello {
+                version: PROTO_VERSION,
+                proc_id: 1,
+                n_procs: 2,
+            };
+            (&s).write_all(&hello.encode()).unwrap();
+            let mut payload = Vec::new();
+            token(31).encode_into(&mut payload);
+            token(32).encode_into(&mut payload);
+            Frame::Bye.encode_into(&mut payload);
+            for b in payload {
+                (&s).write_all(&[b]).unwrap();
+                thread::sleep(Duration::from_micros(200));
+            }
+            // Drain until the mesh closes so its writer never sees EPIPE
+            // mid-test.
+            let mut sink = [0u8; 1024];
+            while matches!((&s).read(&mut sink), Ok(n) if n > 0) {}
+        });
+        let m0 = TcpMesh::establish(fast_cfg(0, 2), listener, &[]).unwrap();
+        assert_eq!(expect_frame(&m0), (1, token(31)));
+        assert_eq!(expect_frame(&m0), (1, token(32)));
+        assert_eq!(expect_down(&m0), (1, true));
+        m0.shutdown();
+        rogue.join().unwrap();
+    }
+}

@@ -19,8 +19,14 @@ use warped_online::models::logic::circuits::ripple_carry_adder;
 use warped_online::models::Netlist;
 
 fn main() {
-    let a: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(97);
-    let b: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(158);
+    let a: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(97);
+    let b: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(158);
     let (net, _sums, _cout) = ripple_carry_adder(8, a & 0xFF, b & 0xFF, 3, 42);
     println!(
         "8-bit ripple-carry adder: {} drivers + {} gates over {} LPs, computing {a} + {b}",
@@ -39,7 +45,8 @@ fn main() {
         big.n_objects(),
         big.n_lps
     );
-    let cases: Vec<(&str, fn() -> ObjectPolicies)> = vec![
+    type PolicyCase = (&'static str, fn() -> ObjectPolicies);
+    let cases: Vec<PolicyCase> = vec![
         ("aggressive", || {
             ObjectPolicies::new(
                 Box::new(FixedCancellation(CancellationMode::Aggressive)),

@@ -1,0 +1,17 @@
+//! Worker process of the distributed executive.
+//!
+//! Spawned by `warp_exec::distributed::run_coordinator`, never by hand:
+//! it announces its listen address on stdout (`LISTEN <addr>`), reads
+//! one line of init JSON on stdin, joins the TCP mesh, runs its block
+//! of LPs, reports, and exits. See `warp_exec::distributed` for the
+//! protocol and `warped_online::cluster` for the model vocabulary.
+//!
+//! Exit codes: 0 success, 2 bootstrap/run error (printed to stderr),
+//! 3 a peer process was lost mid-run.
+
+fn main() {
+    if let Err(e) = warp_exec::worker_main(&warped_online::cluster::spec_from_model_json) {
+        eprintln!("warp-worker: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Model descriptions for distributed runs.
+//!
+//! The distributed executive in `warp-exec` is model-agnostic: the
+//! coordinator ships an *opaque* JSON model description to each worker,
+//! and the worker binary supplies the closure that turns it into a
+//! [`SimulationSpec`]. This module is that closure's vocabulary — the
+//! serializable union of models this repository can stage across
+//! processes, plus the run options that must be identical on every
+//! worker (GVT period, trace collection).
+//!
+//! Keeping the vocabulary here (and not in `warp-exec`) means adding a
+//! model never touches the executive: extend [`ModelSpec`], rebuild the
+//! `warp-worker` binary, done.
+
+use serde::{Deserialize, Serialize};
+use warp_exec::distributed::{run_coordinator, DistConfig, DistError};
+use warp_exec::{RunReport, SimulationSpec};
+use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
+
+/// A serializable model choice for distributed runs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// The PHOLD synthetic benchmark.
+    Phold(PholdConfig),
+    /// The shared-memory multiprocessor model (paper §7).
+    Smmp(SmmpConfig),
+    /// The RAID disk-array model (paper §7).
+    Raid(RaidConfig),
+}
+
+impl ModelSpec {
+    /// Build the model's baseline spec.
+    fn base_spec(&self) -> SimulationSpec {
+        match self {
+            ModelSpec::Phold(cfg) => cfg.spec(),
+            ModelSpec::Smmp(cfg) => cfg.spec(),
+            ModelSpec::Raid(cfg) => cfg.spec(),
+        }
+    }
+}
+
+/// One distributed run: the model plus the options every worker must
+/// agree on for the committed histories to line up.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterJob {
+    /// The model to simulate.
+    pub model: ModelSpec,
+    /// Wall seconds between GVT rounds (`None` disables fossil
+    /// collection; required for trace digests).
+    pub gvt_period: Option<f64>,
+    /// Record per-object committed-trace digests.
+    #[serde(default)]
+    pub collect_traces: bool,
+}
+
+impl ClusterJob {
+    /// The fully-configured simulation spec this job describes.
+    pub fn spec(&self) -> SimulationSpec {
+        let mut spec = self.model.base_spec().with_gvt_period(self.gvt_period);
+        if self.collect_traces {
+            spec = spec.with_traces();
+        }
+        spec
+    }
+
+    /// Total LP count of the model (drives LP→worker placement).
+    pub fn n_lps(&self) -> u32 {
+        self.spec().partition.n_lps() as u32
+    }
+}
+
+/// The worker side: decode a coordinator's opaque model JSON into a
+/// spec. This is the function `warp-worker` hands to
+/// [`warp_exec::distributed::worker_main`].
+pub fn spec_from_model_json(model: &serde_json::Value) -> Result<SimulationSpec, String> {
+    let job: ClusterJob = serde_json::from_value(model.clone())
+        .map_err(|e| format!("undecodable ClusterJob: {e}"))?;
+    Ok(job.spec())
+}
+
+/// The coordinator side: run `job` across `n_workers` worker processes
+/// using the given `warp-worker` binary, within `timeout`.
+pub fn run_distributed_job(
+    job: &ClusterJob,
+    n_workers: u32,
+    worker_bin: std::path::PathBuf,
+    timeout: std::time::Duration,
+) -> Result<RunReport, DistError> {
+    let model =
+        serde_json::to_value(job).map_err(|e| DistError::Protocol(format!("job encode: {e}")))?;
+    run_coordinator(&DistConfig {
+        n_workers,
+        worker_bin,
+        model,
+        n_lps: job.n_lps(),
+        timeout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_job_round_trips_as_json() {
+        let job = ClusterJob {
+            model: ModelSpec::Smmp(SmmpConfig::small(50, 7)),
+            gvt_period: None,
+            collect_traces: true,
+        };
+        let v = serde_json::to_value(&job).unwrap();
+        let spec = spec_from_model_json(&v).unwrap();
+        assert_eq!(spec.partition.n_lps() as u32, job.n_lps());
+        assert!(spec.collect_traces);
+        assert_eq!(spec.gvt_period, None);
+    }
+
+    #[test]
+    fn each_model_variant_builds_a_spec() {
+        let jobs = [
+            ClusterJob {
+                model: ModelSpec::Phold(PholdConfig::new(50, 1)),
+                gvt_period: Some(0.02),
+                collect_traces: false,
+            },
+            ClusterJob {
+                model: ModelSpec::Smmp(SmmpConfig::small(20, 2)),
+                gvt_period: None,
+                collect_traces: true,
+            },
+            ClusterJob {
+                model: ModelSpec::Raid(RaidConfig::small(20, 3)),
+                gvt_period: None,
+                collect_traces: true,
+            },
+        ];
+        for job in jobs {
+            let v = serde_json::to_value(&job).unwrap();
+            let spec = spec_from_model_json(&v).unwrap();
+            assert!(spec.partition.n_lps() >= 2, "models must be splittable");
+        }
+    }
+}

@@ -1,4 +1,6 @@
 #![doc = include_str!("../README.md")]
+pub mod cluster;
+
 pub use warp_control as control;
 pub use warp_core as core;
 pub use warp_exec as exec;

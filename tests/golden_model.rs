@@ -117,10 +117,15 @@ fn model_spec(c: &Config) -> SimulationSpec {
             ..QnetConfig::new(c.ttl, c.seed)
         }
         .spec(),
-        Model::Logic => {
-            Netlist::random(c.n_objects.max(4), 3, 2, c.n_lps, c.ttl as u64 / 2 + 4, c.seed)
-                .spec()
-        }
+        Model::Logic => Netlist::random(
+            c.n_objects.max(4),
+            3,
+            2,
+            c.n_lps,
+            c.ttl as u64 / 2 + 4,
+            c.seed,
+        )
+        .spec(),
     }
 }
 
