@@ -189,6 +189,48 @@ impl LpRuntime {
         }
     }
 
+    /// Per-object committed events with receive time in `[from, below)`.
+    /// With `below` at an announced GVT this is a checkpoint delta: the
+    /// events are stable everywhere and consecutive windows concatenate
+    /// into a complete committed log (see
+    /// [`ObjectRuntime::committed_window`]).
+    pub fn committed_window(
+        &self,
+        from: VirtualTime,
+        below: VirtualTime,
+    ) -> Vec<(ObjectId, Vec<Event>)> {
+        self.objects
+            .iter()
+            .map(|o| (o.id(), o.committed_window(from, below)))
+            .collect()
+    }
+
+    /// Rebuild a freshly constructed LP from per-object committed logs
+    /// (everything below `horizon`), replaying each object's history
+    /// through the normal execution path. Init-time and replay-generated
+    /// sends below the horizon are suppressed — they are duplicates of
+    /// events already present in some object's log — while the *frontier*
+    /// (sends at or beyond the horizon, i.e. uncommitted work scheduled by
+    /// committed events) is re-delivered: locally by insertion, remotely
+    /// via `out`. Must be called instead of [`LpRuntime::init`], exactly
+    /// once, before the LP resumes processing.
+    pub fn restore_committed(
+        &mut self,
+        mut logs: HashMap<ObjectId, Vec<Event>>,
+        horizon: VirtualTime,
+        out: &mut Vec<Event>,
+    ) {
+        let mut raw = Vec::new();
+        let mut frontier = Vec::new();
+        for i in 0..self.objects.len() {
+            self.objects[i].init(&self.cost, &mut raw);
+            let log = logs.remove(&self.objects[i].id()).unwrap_or_default();
+            self.objects[i].replay_committed(log, &self.cost, &mut raw);
+            frontier.extend(raw.drain(..).filter(|ev| ev.recv_time >= horizon));
+        }
+        self.route(frontier, out);
+    }
+
     /// Drain modeled CPU seconds charged since the last drain (object
     /// work plus LP-level delivery overhead).
     pub fn take_cost(&mut self) -> f64 {
@@ -425,6 +467,59 @@ mod tests {
         // Nothing left to do and no stale state.
         assert!(!lp.process_one(&mut out));
         assert_eq!(lp.stats().executed - lp.stats().rolled_back, 0);
+    }
+
+    #[test]
+    fn restore_from_committed_logs_reproduces_the_run() {
+        // Run a local ping-pong to completion, then rebuild a fresh LP
+        // from the committed window below a mid-run horizon and let it
+        // finish: the committed trace must be identical.
+        let part = Arc::new(Partition::round_robin(2, 1));
+        let defs = || {
+            vec![
+                (
+                    ObjectId(0),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: true,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(1),
+                    Ping {
+                        peer: ObjectId(0),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+            ]
+        };
+        let mut lp = build_lp(part.clone(), LpId(0), defs());
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        while lp.process_one(&mut out) {}
+        let want: Vec<_> = lp.objects().iter().map(|o| o.trace_digest()).collect();
+
+        let horizon = VirtualTime::new(4);
+        let logs: HashMap<_, _> = lp
+            .committed_window(VirtualTime::ZERO, horizon)
+            .into_iter()
+            .collect();
+        assert!(logs.values().any(|l| !l.is_empty()));
+        assert!(logs.values().flatten().all(|ev| ev.recv_time < horizon));
+
+        let mut fresh = build_lp(part, LpId(0), defs());
+        fresh.restore_committed(logs, horizon, &mut out);
+        assert!(out.is_empty(), "single-LP restore has no remote frontier");
+        assert_eq!(
+            fresh.next_time(),
+            horizon,
+            "frontier event at the horizon was regenerated"
+        );
+        while fresh.process_one(&mut out) {}
+        let got: Vec<_> = fresh.objects().iter().map(|o| o.trace_digest()).collect();
+        assert_eq!(got, want, "restored run diverged from the original");
     }
 
     #[test]

@@ -618,6 +618,36 @@ impl ObjectRuntime {
         self.input.processed_events().to_vec()
     }
 
+    /// Copy the committed events whose receive time falls in the half-open
+    /// window `[from, below)`. With `below` at the announced GVT, every
+    /// event in the window is stable (processed everywhere, beyond any
+    /// possible rollback), so consecutive windows form an append-only log
+    /// of the object's committed past — the unit the distributed
+    /// checkpoint protocol ships to the coordinator.
+    pub fn committed_window(&self, from: VirtualTime, below: VirtualTime) -> Vec<Event> {
+        self.input
+            .processed_events()
+            .iter()
+            .filter(|ev| ev.recv_time >= from && ev.recv_time < below)
+            .cloned()
+            .collect()
+    }
+
+    /// Rebuild this object's committed past by re-executing `log` (the
+    /// concatenated committed windows up to some horizon) on a freshly
+    /// constructed runtime. The log is already in key order and contains
+    /// every event the object committed, so delivery enqueues without
+    /// stragglers and processing replays deterministically. Sends the
+    /// replay regenerates land in `out` unfiltered; the caller keeps only
+    /// those at or beyond the restore horizon (the rest are duplicates of
+    /// events already present in some destination's log).
+    pub fn replay_committed(&mut self, log: Vec<Event>, cost: &CostModel, out: &mut Vec<Event>) {
+        for ev in log {
+            self.deliver(ev, cost, out);
+        }
+        while self.process_next(cost, out) {}
+    }
+
     /// Snapshot the wrapped model's *current* state — the final state
     /// when called from a post-run inspector (see
     /// `warp_exec::run_virtual_inspect`), downcastable to the model's

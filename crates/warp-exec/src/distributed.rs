@@ -29,16 +29,52 @@
 //!    [`Frame::Report`], then closes with `Bye`. The coordinator merges
 //!    the reports into one [`RunReport`].
 //!
-//! Failure behavior: a worker that dies (or goes half-open past the
-//! liveness timeout) surfaces as an *unclean* `PeerDown`. The
-//! coordinator then kills the remaining workers and returns
-//! [`DistError::Worker`] — a clean error, never a hang. Workers that
-//! observe an unclean peer exit with a nonzero status, because a Time
-//! Warp run that lost a process cannot commit a correct history.
+//! # Failure model and recovery
+//!
+//! Runs are organized in **sessions**, numbered by the mesh epoch in
+//! every handshake. Session 0 is the fresh start; each recovery bumps
+//! the epoch, so any stale frame from a pre-crash connection is refused
+//! at handshake time and can never leak into the restarted run.
+//!
+//! While a session runs (and [`RecoveryPolicy::enabled`]), the
+//! coordinator paces a **checkpoint protocol** off the `Frame::Progress`
+//! notifications the controller worker emits at each GVT round:
+//! everything committed below an announced GVT `g` is, by the GVT
+//! invariant, processed everywhere and beyond rollback, so the
+//! coordinator broadcasts `SnapshotReq{g}`, each worker extracts every
+//! object's committed events in the window since the previous
+//! checkpoint (the `snapshot` codec), and the coordinator appends the
+//! per-worker deltas to an in-memory chain once **all** workers have
+//! answered. Only then does it broadcast `SnapshotAck`, which lets the
+//! workers' fossil collectors advance past the old horizon — history a
+//! persisted checkpoint does not yet cover is pinned in memory.
+//!
+//! When a peer is lost *uncleanly* (crash, half-open link past the
+//! liveness timeout, or an unrecoverable sequence gap), every survivor
+//! aborts its LP threads, re-binds a fresh listener, re-announces
+//! `LISTEN` on stdout, and waits on stdin; the coordinator reaps dead
+//! workers, respawns them, distributes the new peer list (a new-session
+//! [`WorkerInit`] to respawned processes, a [`SessionLine`] to
+//! survivors), re-establishes the mesh under the bumped epoch, and sends
+//! every worker a `Frame::Resume` carrying its full delta chain. Each
+//! worker rebuilds its LPs by replaying the committed logs through the
+//! normal kernel paths and re-ships the regenerated event frontier; the
+//! run continues from the checkpoint horizon and must commit exactly
+//! the history the sequential golden model commits. Recovery is bounded
+//! by [`RecoveryPolicy::max_recoveries`]; past that (or with recovery
+//! disabled) a lost worker is a clean [`DistError::Worker`], never a
+//! hang.
+//!
+//! Orphan hygiene: a worker whose coordinator dies sees either its mesh
+//! link drop or stdin close (the coordinator holds the write end) and
+//! exits non-zero on its own — workers never outlive the coordinator by
+//! more than the liveness timeout plus a bounded wait for recovery
+//! instructions.
 
 use crate::report::{LpSummary, RunReport};
+use crate::snapshot::{decode_resume, encode_delta, encode_resume, merge_logs, LpDelta};
 use crate::spec::SimulationSpec;
-use crate::threaded::{lp_thread, LpPort, Packet};
+use crate::threaded::{lp_thread, CkptPart, LpOutcome, LpPort, LpSeed, Packet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -46,17 +82,99 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use warp_core::stats::{CommStats, ObjectStats};
+use warp_core::{LpId, VirtualTime};
 use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
-use warp_net::Frame;
+use warp_net::{FaultPlan, Frame};
 
-/// Mesh heartbeat cadence for distributed runs.
-const HEARTBEAT: Duration = Duration::from_millis(250);
-/// Mesh liveness timeout: a link silent this long is half-open.
-const LIVENESS: Duration = Duration::from_secs(3);
+/// Transport tuning for distributed runs. All knobs that used to be
+/// hard-coded constants; every worker receives the same values in its
+/// [`WorkerInit`], so failure detection fires consistently across the
+/// cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetTuning {
+    /// Idle interval after which a link writer injects a heartbeat
+    /// (milliseconds).
+    pub heartbeat_ms: u64,
+    /// Silence threshold after which a link is declared half-open, and
+    /// the bound on how long a sequence gap may persist (milliseconds).
+    pub liveness_ms: u64,
+    /// First dial-retry backoff during mesh establishment (milliseconds).
+    pub connect_backoff_start_ms: u64,
+    /// Dial-retry backoff ceiling (milliseconds).
+    pub connect_backoff_max_ms: u64,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        NetTuning {
+            heartbeat_ms: 250,
+            liveness_ms: 3000,
+            connect_backoff_start_ms: 20,
+            connect_backoff_max_ms: 500,
+        }
+    }
+}
+
+impl NetTuning {
+    /// Check the knobs for internal consistency (mirrors
+    /// [`TcpMeshConfig::validate`], but fails before any process is
+    /// spawned).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_ms == 0 {
+            return Err("heartbeat_ms must be positive".into());
+        }
+        if self.liveness_ms <= self.heartbeat_ms {
+            return Err(format!(
+                "liveness_ms ({}) must exceed heartbeat_ms ({}) or every idle link is declared dead",
+                self.liveness_ms, self.heartbeat_ms
+            ));
+        }
+        if self.connect_backoff_start_ms == 0 {
+            return Err("connect_backoff_start_ms must be positive".into());
+        }
+        if self.connect_backoff_max_ms < self.connect_backoff_start_ms {
+            return Err(format!(
+                "connect_backoff_max_ms ({}) below connect_backoff_start_ms ({})",
+                self.connect_backoff_max_ms, self.connect_backoff_start_ms
+            ));
+        }
+        Ok(())
+    }
+
+    fn heartbeat(&self) -> Duration {
+        Duration::from_millis(self.heartbeat_ms)
+    }
+    fn liveness(&self) -> Duration {
+        Duration::from_millis(self.liveness_ms)
+    }
+}
+
+/// Checkpoint-and-recovery policy for a distributed run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Take checkpoints and recover from unclean peer loss. Off, a lost
+    /// worker fails the run immediately (the pre-recovery behavior).
+    pub enabled: bool,
+    /// How many recoveries the coordinator attempts before giving up.
+    pub max_recoveries: u32,
+    /// Minimum wall time between checkpoint initiations (milliseconds);
+    /// 0 checkpoints at every GVT advance.
+    pub ckpt_min_interval_ms: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            max_recoveries: 3,
+            ckpt_min_interval_ms: 100,
+        }
+    }
+}
 
 /// Everything the coordinator needs to stage a distributed run.
 #[derive(Clone, Debug)]
@@ -72,8 +190,32 @@ pub struct DistConfig {
     /// builder produces, since both sides derive the LP→process
     /// assignment from it.
     pub n_lps: u32,
-    /// Whole-run watchdog: bootstrap plus simulation plus teardown.
+    /// Whole-run watchdog: bootstrap plus simulation plus teardown,
+    /// recoveries included.
     pub timeout: Duration,
+    /// Transport tuning, forwarded to every worker.
+    pub net: NetTuning,
+    /// Checkpoint-and-recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault plan injected into every process's mesh
+    /// (`None` = healthy links).
+    pub fault: Option<FaultPlan>,
+}
+
+impl DistConfig {
+    /// Config with default tuning, recovery on, healthy links.
+    pub fn new(n_workers: u32, worker_bin: PathBuf, model: serde_json::Value, n_lps: u32) -> Self {
+        DistConfig {
+            n_workers,
+            worker_bin,
+            model,
+            n_lps,
+            timeout: Duration::from_secs(120),
+            net: NetTuning::default(),
+            recovery: RecoveryPolicy::default(),
+            fault: None,
+        }
+    }
 }
 
 /// Why a distributed run failed.
@@ -159,7 +301,7 @@ impl LpAssignment {
     }
 }
 
-/// The one line of JSON a worker reads on stdin.
+/// The first line of JSON a worker reads on stdin.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkerInit {
     /// This worker's mesh process id (1-based; 0 is the coordinator).
@@ -168,14 +310,36 @@ pub struct WorkerInit {
     pub n_procs: u32,
     /// Total LP count (drives the LP→process assignment).
     pub n_lps: u32,
+    /// Session epoch to establish under (0 = fresh run; > 0 means this
+    /// process was spawned into a recovery and must await `Resume`).
+    #[serde(default)]
+    pub session: u32,
     /// Every process's listen address, as `(proc_id, addr)` pairs.
     pub peers: Vec<(u32, String)>,
     /// Opaque model description for the worker's spec builder.
     pub model: serde_json::Value,
-    /// Mesh heartbeat cadence, milliseconds.
-    pub heartbeat_ms: u64,
-    /// Mesh liveness timeout, milliseconds.
-    pub liveness_ms: u64,
+    /// Transport tuning (identical on every process).
+    #[serde(default)]
+    pub net: NetTuning,
+    /// Mesh establishment budget, milliseconds.
+    pub connect_ms: u64,
+    /// Whether the checkpoint/recovery protocol is armed.
+    #[serde(default)]
+    pub recovery: bool,
+    /// Deterministic fault plan for this process's mesh links.
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
+}
+
+/// A later line of JSON a *surviving* worker reads on stdin when the
+/// coordinator starts a recovery: the new session epoch and the new
+/// peer list (respawned workers live at fresh addresses).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionLine {
+    /// The bumped session epoch.
+    pub session: u32,
+    /// Every process's listen address for the new session.
+    pub peers: Vec<(u32, String)>,
     /// Mesh establishment budget, milliseconds.
     pub connect_ms: u64,
 }
@@ -191,125 +355,341 @@ struct WorkerReport {
 // Coordinator
 // ---------------------------------------------------------------------
 
+/// A spawned worker process plus its stdout line stream. The reader
+/// thread lives for the child's whole life because recovery needs a
+/// *second* `LISTEN` line from survivors, long after bootstrap.
+struct WorkerProc {
+    child: Child,
+    lines: Receiver<Result<String, String>>,
+    /// Next stdin line must be a full [`WorkerInit`] (fresh spawn) vs. a
+    /// [`SessionLine`] (survivor of a previous session).
+    fresh: bool,
+    /// A `LISTEN` address consumed early (while sorting survivors from
+    /// corpses) and not yet used for a session.
+    pending_listen: Option<String>,
+}
+
+impl WorkerProc {
+    fn spawn(bin: &PathBuf) -> io::Result<WorkerProc> {
+        let mut child = Command::new(bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("worker stdout piped");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if tx.send(Ok(line.trim().to_string())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(format!("stdout read failed: {e}")));
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(WorkerProc {
+            child,
+            lines: rx,
+            fresh: true,
+            pending_listen: None,
+        })
+    }
+
+    /// Wait for the worker's `LISTEN <addr>` announcement.
+    fn expect_listen(&mut self, proc_id: u32, deadline: Instant) -> Result<String, DistError> {
+        if let Some(addr) = self.pending_listen.take() {
+            return Ok(addr);
+        }
+        match self
+            .lines
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+        {
+            Ok(Ok(line)) => line
+                .strip_prefix("LISTEN ")
+                .map(|a| a.trim().to_string())
+                .ok_or_else(|| DistError::Worker {
+                    proc_id,
+                    detail: format!("expected a LISTEN line on stdout, got {line:?}"),
+                }),
+            Ok(Err(detail)) => Err(DistError::Worker { proc_id, detail }),
+            Err(RecvTimeoutError::Disconnected) => Err(DistError::Worker {
+                proc_id,
+                detail: "exited before announcing its listen address".into(),
+            }),
+            Err(RecvTimeoutError::Timeout) => Err(DistError::Timeout(format!(
+                "worker (proc {proc_id}) never announced its listen address"
+            ))),
+        }
+    }
+
+    fn send_line(&mut self, proc_id: u32, line: &str) -> Result<(), DistError> {
+        let stdin = self.child.stdin.as_mut().expect("worker stdin piped");
+        stdin
+            .write_all(line.as_bytes())
+            .and_then(|_| stdin.write_all(b"\n"))
+            .and_then(|_| stdin.flush())
+            .map_err(|e| DistError::Worker {
+                proc_id,
+                detail: format!("died before reading its stdin line: {e}"),
+            })
+    }
+}
+
+/// How one mesh session ended, from the coordinator's point of view.
+enum SessionEnd {
+    /// Every worker reported and said goodbye.
+    Finished(Vec<WorkerReport>),
+    /// A worker was lost uncleanly; the session is unrecoverable but the
+    /// run may not be.
+    Lost { peer: u32, detail: String },
+}
+
+/// Checkpoint chains and horizon: everything the coordinator must keep
+/// across sessions to restore the cluster.
+struct CkptStore {
+    /// Per-worker ordered delta payloads (index = proc_id - 1).
+    chains: Vec<Vec<Vec<u8>>>,
+    /// The horizon of the last *complete* checkpoint.
+    horizon: VirtualTime,
+    /// Monotone checkpoint id across the whole run.
+    next_ckpt: u32,
+}
+
+/// A checkpoint in flight: parts received so far, by worker.
+struct PendingCkpt {
+    ckpt: u32,
+    gvt: VirtualTime,
+    parts: Vec<Option<Vec<u8>>>,
+}
+
 /// Stage and run a distributed simulation, returning the merged report.
 ///
 /// Spawns `cfg.n_workers` copies of `cfg.worker_bin`, walks them through
-/// the bootstrap protocol, then waits for every worker's report and
-/// clean goodbye. Any worker failure kills the remaining workers and
-/// returns an error; the watchdog in `cfg.timeout` bounds the whole run.
+/// the bootstrap protocol, then supervises sessions until every worker
+/// reports — recovering lost workers from checkpoints up to
+/// `cfg.recovery.max_recoveries` times. The watchdog in `cfg.timeout`
+/// bounds the whole run, recoveries included.
 pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     let start = Instant::now();
     let deadline = start + cfg.timeout;
     LpAssignment::new(cfg.n_lps, cfg.n_workers)?; // validate early
-    let n_procs = cfg.n_workers + 1;
+    cfg.net.validate().map_err(DistError::InvalidConfig)?;
+    let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
 
-    let listener = bind_loopback()?;
-    let coord_addr = listener.local_addr()?;
-
-    let mut children: Vec<Child> = Vec::new();
-    let spawn_result = (|| -> Result<Vec<(u32, String)>, DistError> {
-        for _ in 0..cfg.n_workers {
-            children.push(
-                Command::new(&cfg.worker_bin)
-                    .stdin(Stdio::piped())
-                    .stdout(Stdio::piped())
-                    .stderr(Stdio::inherit())
-                    .spawn()?,
-            );
+    let mut workers: Vec<WorkerProc> = Vec::new();
+    for i in 0..cfg.n_workers {
+        match WorkerProc::spawn(&cfg.worker_bin) {
+            Ok(w) => {
+                if announce {
+                    eprintln!("WORKER_PID {} {}", i + 1, w.child.id());
+                }
+                workers.push(w);
+            }
+            Err(e) => {
+                kill_all(&mut workers);
+                return Err(DistError::Io(e));
+            }
         }
-
-        // Collect every worker's LISTEN line, then tell each one about
-        // the whole cluster.
-        let mut peers: Vec<(u32, String)> = vec![(0, coord_addr.to_string())];
-        for (i, child) in children.iter_mut().enumerate() {
-            let proc_id = i as u32 + 1;
-            let addr = read_listen_line(child, proc_id, deadline)?;
-            peers.push((proc_id, addr));
-        }
-        for (i, child) in children.iter_mut().enumerate() {
-            let init = WorkerInit {
-                proc_id: i as u32 + 1,
-                n_procs,
-                n_lps: cfg.n_lps,
-                peers: peers.clone(),
-                model: cfg.model.clone(),
-                heartbeat_ms: HEARTBEAT.as_millis() as u64,
-                liveness_ms: LIVENESS.as_millis() as u64,
-                connect_ms: remaining_ms(deadline),
-            };
-            let line = serde_json::to_string(&init)
-                .map_err(|e| DistError::Protocol(format!("init encode: {e}")))?;
-            let stdin = child.stdin.as_mut().expect("worker stdin piped");
-            stdin
-                .write_all(line.as_bytes())
-                .and_then(|_| stdin.write_all(b"\n"))
-                .map_err(|e| DistError::Worker {
-                    proc_id: i as u32 + 1,
-                    detail: format!("died before reading its init line: {e}"),
-                })?;
-        }
-        Ok(peers)
-    })();
-    if let Err(e) = spawn_result {
-        kill_all(&mut children);
-        return Err(e);
     }
 
-    let mesh_cfg = TcpMeshConfig {
-        proc_id: 0,
-        n_procs,
-        heartbeat_interval: HEARTBEAT,
-        liveness_timeout: LIVENESS,
-        connect_timeout: Duration::from_millis(remaining_ms(deadline)),
+    let mut store = CkptStore {
+        chains: (0..cfg.n_workers).map(|_| Vec::new()).collect(),
+        horizon: VirtualTime::ZERO,
+        next_ckpt: 0,
     };
-    let mesh = match TcpMesh::establish(mesh_cfg, listener, &[]) {
-        Ok(m) => m,
-        Err(e) => {
-            kill_all(&mut children);
-            return Err(DistError::Io(e));
-        }
-    };
+    let mut session: u32 = 0;
+    let mut recoveries: u64 = 0;
 
-    match coordinate(&mesh, cfg.n_workers, deadline) {
-        Ok(reports) => {
-            mesh.shutdown();
-            for (i, child) in children.iter_mut().enumerate() {
-                match child.wait() {
-                    Ok(status) if status.success() => {}
-                    Ok(status) => {
-                        kill_all(&mut children);
-                        return Err(DistError::Worker {
-                            proc_id: i as u32 + 1,
-                            detail: format!("exited with {status} after reporting"),
-                        });
+    loop {
+        let attempt = run_session_as_coordinator(cfg, &mut workers, session, deadline, &mut store);
+        match attempt {
+            Ok(SessionEnd::Finished(reports)) => {
+                for (i, w) in workers.iter_mut().enumerate() {
+                    match w.child.wait() {
+                        Ok(status) if status.success() => {}
+                        Ok(status) => {
+                            kill_all(&mut workers);
+                            return Err(DistError::Worker {
+                                proc_id: i as u32 + 1,
+                                detail: format!("exited with {status} after reporting"),
+                            });
+                        }
+                        Err(e) => {
+                            kill_all(&mut workers);
+                            return Err(DistError::Io(e));
+                        }
                     }
-                    Err(e) => {
-                        kill_all(&mut children);
-                        return Err(DistError::Io(e));
+                }
+                return Ok(merge_reports(
+                    reports,
+                    start.elapsed().as_secs_f64(),
+                    recoveries,
+                ));
+            }
+            Ok(SessionEnd::Lost { peer, detail }) => {
+                if !cfg.recovery.enabled || recoveries >= cfg.recovery.max_recoveries as u64 {
+                    kill_all(&mut workers);
+                    return Err(DistError::Worker {
+                        proc_id: peer,
+                        detail: if cfg.recovery.enabled {
+                            format!("{detail} (recovery budget of {recoveries} exhausted)")
+                        } else {
+                            detail
+                        },
+                    });
+                }
+                recoveries += 1;
+                session += 1;
+                if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
+                    kill_all(&mut workers);
+                    return Err(e);
+                }
+            }
+            Err(e) => {
+                // A failure *outside* the mesh (bootstrap I/O, a worker
+                // dying mid-handshake): recoverable by a full restart of
+                // every worker, state restored from the chains.
+                let retryable = matches!(e, DistError::Io(_) | DistError::Worker { .. });
+                if !cfg.recovery.enabled
+                    || !retryable
+                    || recoveries >= cfg.recovery.max_recoveries as u64
+                    || Instant::now() >= deadline
+                {
+                    kill_all(&mut workers);
+                    return Err(e);
+                }
+                recoveries += 1;
+                session += 1;
+                kill_all(&mut workers);
+                workers.clear();
+                for i in 0..cfg.n_workers {
+                    match WorkerProc::spawn(&cfg.worker_bin) {
+                        Ok(w) => {
+                            if announce {
+                                eprintln!("WORKER_PID {} {}", i + 1, w.child.id());
+                            }
+                            workers.push(w);
+                        }
+                        Err(e) => {
+                            kill_all(&mut workers);
+                            return Err(DistError::Io(e));
+                        }
                     }
                 }
             }
-            Ok(merge_reports(reports, start.elapsed().as_secs_f64()))
-        }
-        Err(e) => {
-            mesh.abort();
-            kill_all(&mut children);
-            Err(e)
         }
     }
 }
 
-/// Pump the mesh until every worker has reported and said goodbye.
+/// One coordinator session: distribute addresses and session lines,
+/// establish the mesh, resume workers from the checkpoint store (when
+/// past session 0), then pump frames to the end of the session.
+fn run_session_as_coordinator(
+    cfg: &DistConfig,
+    workers: &mut [WorkerProc],
+    session: u32,
+    deadline: Instant,
+    store: &mut CkptStore,
+) -> Result<SessionEnd, DistError> {
+    let n_procs = cfg.n_workers + 1;
+    let listener = bind_loopback()?;
+    let coord_addr = listener.local_addr()?;
+
+    let mut peers: Vec<(u32, String)> = vec![(0, coord_addr.to_string())];
+    for (i, w) in workers.iter_mut().enumerate() {
+        let proc_id = i as u32 + 1;
+        peers.push((proc_id, w.expect_listen(proc_id, deadline)?));
+    }
+    for (i, w) in workers.iter_mut().enumerate() {
+        let proc_id = i as u32 + 1;
+        let line = if w.fresh {
+            serde_json::to_string(&WorkerInit {
+                proc_id,
+                n_procs,
+                n_lps: cfg.n_lps,
+                session,
+                peers: peers.clone(),
+                model: cfg.model.clone(),
+                net: cfg.net.clone(),
+                connect_ms: remaining_ms(deadline),
+                recovery: cfg.recovery.enabled,
+                fault: cfg.fault.clone(),
+            })
+        } else {
+            serde_json::to_string(&SessionLine {
+                session,
+                peers: peers.clone(),
+                connect_ms: remaining_ms(deadline),
+            })
+        }
+        .map_err(|e| DistError::Protocol(format!("init encode: {e}")))?;
+        w.send_line(proc_id, &line)?;
+        w.fresh = false;
+    }
+
+    let mesh_cfg = TcpMeshConfig {
+        session,
+        heartbeat_interval: cfg.net.heartbeat(),
+        liveness_timeout: cfg.net.liveness(),
+        connect_timeout: Duration::from_millis(remaining_ms(deadline).max(100)),
+        dial_backoff_start: Duration::from_millis(cfg.net.connect_backoff_start_ms),
+        dial_backoff_max: Duration::from_millis(cfg.net.connect_backoff_max_ms),
+        faults: cfg.fault.clone(),
+        ..TcpMeshConfig::new(0, n_procs)
+    };
+    let mesh = TcpMesh::establish(mesh_cfg, listener, &[])?;
+
+    if session > 0 {
+        for w in 1..n_procs {
+            mesh.send(
+                w,
+                Frame::Resume {
+                    session,
+                    gvt: store.horizon,
+                    payload: encode_resume(&store.chains[w as usize - 1]),
+                },
+            );
+        }
+    }
+
+    let end = coordinate(&mesh, cfg, deadline, store);
+    match &end {
+        Ok(SessionEnd::Finished(_)) => mesh.shutdown(),
+        _ => mesh.abort(),
+    }
+    end
+}
+
+/// Pump the mesh until every worker has reported and said goodbye,
+/// driving the checkpoint protocol off `Progress` notifications along
+/// the way. An unclean peer loss ends the session (not the run).
 fn coordinate(
     mesh: &TcpMesh,
-    n_workers: u32,
+    cfg: &DistConfig,
     deadline: Instant,
-) -> Result<Vec<WorkerReport>, DistError> {
+    store: &mut CkptStore,
+) -> Result<SessionEnd, DistError> {
+    let n_workers = cfg.n_workers as usize;
     let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
-    let mut closed = vec![false; n_workers as usize];
+    let mut closed = vec![false; n_workers];
+    let mut pending: Option<PendingCkpt> = None;
+    let mut last_ckpt_started = Instant::now() - Duration::from_secs(3600);
+    let coord_crash = std::env::var_os("WARP_COORD_TEST_CRASH").is_some();
+
     loop {
         if reports.iter().all(Option::is_some) && closed.iter().all(|&c| c) {
-            return Ok(reports.into_iter().map(Option::unwrap).collect());
+            return Ok(SessionEnd::Finished(
+                reports.into_iter().map(Option::unwrap).collect(),
+            ));
         }
         if Instant::now() >= deadline {
             let missing: Vec<u32> = reports
@@ -330,9 +710,60 @@ fn coordinate(
                     })?;
                     reports[from as usize - 1] = Some(report);
                 }
+                Frame::Progress { gvt } => {
+                    // Test hook: die like a killed coordinator — no
+                    // goodbye — once the run is demonstrably underway, so
+                    // orphan hygiene can be exercised with real processes.
+                    if coord_crash {
+                        std::process::abort();
+                    }
+                    let due = cfg.recovery.enabled
+                        && gvt.is_finite()
+                        && gvt > store.horizon
+                        && pending.is_none()
+                        && last_ckpt_started.elapsed()
+                            >= Duration::from_millis(cfg.recovery.ckpt_min_interval_ms);
+                    if due {
+                        let ckpt = store.next_ckpt;
+                        store.next_ckpt += 1;
+                        last_ckpt_started = Instant::now();
+                        pending = Some(PendingCkpt {
+                            ckpt,
+                            gvt,
+                            parts: (0..n_workers).map(|_| None).collect(),
+                        });
+                        for w in 1..=n_workers as u32 {
+                            mesh.send(w, Frame::SnapshotReq { ckpt, gvt });
+                        }
+                    }
+                }
+                Frame::Snapshot { ckpt, gvt, payload } => {
+                    let matches = pending.as_ref().is_some_and(|p| p.ckpt == ckpt);
+                    if matches {
+                        let p = pending.as_mut().unwrap();
+                        p.parts[from as usize - 1] = Some(payload);
+                        if p.parts.iter().all(Option::is_some) {
+                            let done = pending.take().unwrap();
+                            for (w, part) in done.parts.into_iter().enumerate() {
+                                store.chains[w].push(part.unwrap());
+                            }
+                            store.horizon = done.gvt;
+                            for w in 1..=n_workers as u32 {
+                                mesh.send(
+                                    w,
+                                    Frame::SnapshotAck {
+                                        ckpt: done.ckpt,
+                                        gvt: done.gvt,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let _ = gvt;
+                }
                 other => {
                     return Err(DistError::Protocol(format!(
-                        "coordinator hosts no LPs but received {other:?} from proc {from}"
+                        "coordinator received unexpected {other:?} from proc {from}"
                     )));
                 }
             },
@@ -344,8 +775,8 @@ fn coordinate(
                 if clean && reports[peer as usize - 1].is_some() {
                     closed[peer as usize - 1] = true;
                 } else {
-                    return Err(DistError::Worker {
-                        proc_id: peer,
+                    return Ok(SessionEnd::Lost {
+                        peer,
                         detail: if clean {
                             "closed cleanly without sending its report".into()
                         } else {
@@ -359,7 +790,52 @@ fn coordinate(
     }
 }
 
-fn merge_reports(reports: Vec<WorkerReport>, wall: f64) -> RunReport {
+/// After an unclean session end: sort survivors (they re-announce
+/// `LISTEN`) from corpses (reaped and respawned). Survivors keep their
+/// processes and get a [`SessionLine`]; respawns get a full
+/// [`WorkerInit`] at the bumped session.
+fn regroup(
+    cfg: &DistConfig,
+    workers: &mut [WorkerProc],
+    deadline: Instant,
+    announce: bool,
+) -> Result<(), DistError> {
+    for (i, w) in workers.iter_mut().enumerate() {
+        let proc_id = i as u32 + 1;
+        loop {
+            if let Ok(Some(_status)) = w.child.try_wait() {
+                let mut respawned = WorkerProc::spawn(&cfg.worker_bin)?;
+                if announce {
+                    eprintln!("WORKER_PID {} {}", proc_id, respawned.child.id());
+                }
+                std::mem::swap(w, &mut respawned);
+                break;
+            }
+            match w.lines.try_recv() {
+                Ok(Ok(line)) => {
+                    if let Some(addr) = line.strip_prefix("LISTEN ") {
+                        w.pending_listen = Some(addr.trim().to_string());
+                        break;
+                    }
+                    // Unrelated output; keep waiting.
+                }
+                Ok(Err(detail)) => {
+                    return Err(DistError::Worker { proc_id, detail });
+                }
+                Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(DistError::Timeout(format!(
+                    "worker (proc {proc_id}) neither exited nor re-announced during recovery"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    Ok(())
+}
+
+fn merge_reports(reports: Vec<WorkerReport>, wall: f64, recoveries: u64) -> RunReport {
     let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
     let mut per_lp: Vec<LpSummary> = reports.into_iter().flat_map(|r| r.per_lp).collect();
     per_lp.sort_by_key(|s| s.lp);
@@ -388,46 +864,8 @@ fn merge_reports(reports: Vec<WorkerReport>, wall: f64) -> RunReport {
         kernel,
         comm,
         per_lp,
+        recoveries,
     }
-}
-
-fn read_listen_line(
-    child: &mut Child,
-    proc_id: u32,
-    deadline: Instant,
-) -> Result<String, DistError> {
-    let stdout = child.stdout.take().expect("worker stdout piped");
-    let (tx, rx) = mpsc::channel();
-    // A thread per child: read_line has no timeout of its own. On the
-    // failure path the thread unblocks at worker EOF (we kill it).
-    thread_spawn_reader(stdout, tx);
-    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
-        Ok(Ok(line)) => {
-            let addr = line
-                .strip_prefix("LISTEN ")
-                .ok_or_else(|| DistError::Worker {
-                    proc_id,
-                    detail: format!("expected a LISTEN line on stdout, got {line:?}"),
-                })?;
-            Ok(addr.trim().to_string())
-        }
-        Ok(Err(detail)) => Err(DistError::Worker { proc_id, detail }),
-        Err(_) => Err(DistError::Timeout(format!(
-            "worker (proc {proc_id}) never announced its listen address"
-        ))),
-    }
-}
-
-fn thread_spawn_reader(stdout: std::process::ChildStdout, tx: Sender<Result<String, String>>) {
-    std::thread::spawn(move || {
-        let mut line = String::new();
-        let res = match BufReader::new(stdout).read_line(&mut line) {
-            Ok(0) => Err("exited before announcing its listen address".into()),
-            Ok(_) => Ok(line.trim().to_string()),
-            Err(e) => Err(format!("stdout read failed: {e}")),
-        };
-        let _ = tx.send(res);
-    });
 }
 
 fn remaining_ms(deadline: Instant) -> u64 {
@@ -436,10 +874,10 @@ fn remaining_ms(deadline: Instant) -> u64 {
         .as_millis() as u64
 }
 
-fn kill_all(children: &mut [Child]) {
-    for child in children.iter_mut() {
-        let _ = child.kill();
-        let _ = child.wait();
+fn kill_all(children: &mut [WorkerProc]) {
+    for w in children.iter_mut() {
+        let _ = w.child.kill();
+        let _ = w.child.wait();
     }
 }
 
@@ -476,7 +914,8 @@ impl LpPort for WorkerPort {
             }
         } else {
             let frame = match p {
-                Packet::Data { msg, epoch } => Frame::Data { epoch, msg },
+                // The link writer stamps the real per-link sequence.
+                Packet::Data { msg, epoch } => Frame::Data { seq: 0, epoch, msg },
                 Packet::Token(token) => Frame::Token {
                     dst_lp: to as u32,
                     token,
@@ -485,6 +924,9 @@ impl LpPort for WorkerPort {
                     dst_lp: to as u32,
                     gvt,
                 },
+                // Checkpoint and abort traffic is process-local by
+                // design; the LP loop never addresses it to a peer.
+                Packet::Ckpt { .. } | Packet::CkptAck(_) | Packet::Abort => return,
             };
             self.mesh_tx.send(self.assign.proc_of(to as u32), frame);
         }
@@ -495,10 +937,16 @@ impl LpPort for WorkerPort {
     fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
         self.rx.recv_timeout(timeout).ok()
     }
+    fn note_gvt(&self, gvt: VirtualTime) {
+        // Only the controller LP calls this; the coordinator paces the
+        // checkpoint protocol off these notifications.
+        self.mesh_tx.send(0, Frame::Progress { gvt });
+    }
 }
 
 /// Entry point for a worker binary: speak the bootstrap protocol on
-/// stdio, then run this process's share of the simulation.
+/// stdio, then run this process's share of the simulation — across as
+/// many sessions as the coordinator asks for.
 ///
 /// `build` turns the coordinator's opaque model JSON into the
 /// [`SimulationSpec`] — that is the only model knowledge in the whole
@@ -506,17 +954,23 @@ impl LpPort for WorkerPort {
 pub fn worker_main(
     build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
 ) -> Result<(), String> {
+    let stdin_rx = spawn_stdin_reader();
     let listener = bind_loopback().map_err(|e| format!("bind: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    println!("LISTEN {addr}");
-    io::stdout().flush().map_err(|e| format!("stdout: {e}"))?;
+    if !announce_listen(&addr.to_string()) {
+        // Nobody is reading our stdout: we are already orphaned.
+        std::process::exit(3);
+    }
 
-    let mut line = String::new();
-    io::stdin()
-        .read_line(&mut line)
-        .map_err(|e| format!("reading init: {e}"))?;
+    let line = match stdin_rx.recv() {
+        Ok(line) => line,
+        Err(_) => {
+            eprintln!("warp-worker: coordinator closed stdin before init; exiting");
+            std::process::exit(3);
+        }
+    };
     let init: WorkerInit = serde_json::from_str(&line).map_err(|e| format!("parsing init: {e}"))?;
 
     let spec = build(&init.model)?;
@@ -527,24 +981,129 @@ pub fn worker_main(
             init.n_lps
         ));
     }
-    run_worker(&init, spec, listener)
+    run_worker(&init, spec, listener, stdin_rx)
 }
 
-/// The worker's life after bootstrap: establish the mesh, run the local
-/// LP threads, report, say goodbye. Exits the process (nonzero) if a
-/// peer is lost mid-run — without every process, the run cannot commit
-/// a correct history, and a prompt exit is what lets the peers' own
-/// failure detectors fire.
+/// Read stdin line by line on a dedicated thread. The channel closing
+/// means EOF: the coordinator is gone, and a worker without a
+/// coordinator must not linger.
+fn spawn_stdin_reader() -> Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        let mut lines = stdin.lock().lines();
+        while let Some(Ok(line)) = lines.next() {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Print `LISTEN <addr>`; false when stdout is a broken pipe (orphaned).
+fn announce_listen(addr: &str) -> bool {
+    let mut out = io::stdout();
+    writeln!(out, "LISTEN {addr}")
+        .and_then(|_| out.flush())
+        .is_ok()
+}
+
+/// How a worker session ended.
+enum WorkerSessionEnd {
+    /// GVT reached ∞; the report is sent and the mesh closed cleanly.
+    Finished,
+    /// A peer was lost; LP state is discarded, awaiting recovery.
+    PeerLost(String),
+}
+
+/// The worker's life after bootstrap: run mesh sessions until one
+/// finishes cleanly. On an unclean peer loss (with recovery on) the
+/// worker discards the session, re-announces a fresh listener, and
+/// waits for the coordinator's next [`SessionLine`]; without recovery
+/// it exits nonzero at once, because a Time Warp run that lost a
+/// process cannot commit a correct history.
 pub fn run_worker(
     init: &WorkerInit,
     spec: SimulationSpec,
     listener: std::net::TcpListener,
+    stdin_rx: Receiver<String>,
 ) -> Result<(), String> {
     let assign = LpAssignment::new(init.n_lps, init.n_procs - 1).map_err(|e| e.to_string())?;
-    let my_lps = assign.lps_of(init.proc_id);
+    let mut session = init.session;
+    let mut peers = init.peers.clone();
+    let mut connect_ms = init.connect_ms;
+    let mut listener = Some(listener);
 
-    let peer_addrs: Vec<(u32, SocketAddr)> = init
-        .peers
+    loop {
+        let lst = listener.take().expect("listener staged for this session");
+        match run_session_as_worker(init, &spec, assign, session, &peers, connect_ms, lst)? {
+            WorkerSessionEnd::Finished => return Ok(()),
+            WorkerSessionEnd::PeerLost(detail) => {
+                eprintln!(
+                    "warp-worker (proc {}): session {session} lost a peer ({detail}); awaiting recovery",
+                    init.proc_id
+                );
+                if !init.recovery {
+                    std::process::exit(3);
+                }
+                let lst = bind_loopback().map_err(|e| format!("re-bind: {e}"))?;
+                let addr = lst.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+                if !announce_listen(&addr.to_string()) {
+                    eprintln!(
+                        "warp-worker (proc {}): orphaned (stdout closed); exiting",
+                        init.proc_id
+                    );
+                    std::process::exit(3);
+                }
+                // The coordinator needs time to notice, reap, and
+                // respawn; but a coordinator that died will never write
+                // again — bound the wait and die rather than linger.
+                let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
+                    .max(Duration::from_secs(30));
+                match stdin_rx.recv_timeout(wait) {
+                    Ok(line) => {
+                        let sl: SessionLine = serde_json::from_str(&line)
+                            .map_err(|e| format!("parsing session line: {e}"))?;
+                        session = sl.session;
+                        peers = sl.peers;
+                        connect_ms = sl.connect_ms;
+                        listener = Some(lst);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        eprintln!(
+                            "warp-worker (proc {}): coordinator closed stdin; exiting",
+                            init.proc_id
+                        );
+                        std::process::exit(3);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        eprintln!(
+                            "warp-worker (proc {}): no recovery instructions within {wait:?}; exiting",
+                            init.proc_id
+                        );
+                        std::process::exit(3);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One worker session: establish the mesh under the session epoch,
+/// seed the LPs (fresh on session 0, restored from the coordinator's
+/// `Resume` otherwise), run them, and either report cleanly or abort.
+fn run_session_as_worker(
+    init: &WorkerInit,
+    spec: &SimulationSpec,
+    assign: LpAssignment,
+    session: u32,
+    peers: &[(u32, String)],
+    connect_ms: u64,
+    listener: std::net::TcpListener,
+) -> Result<WorkerSessionEnd, String> {
+    let my_lps = assign.lps_of(init.proc_id);
+    let peer_addrs: Vec<(u32, SocketAddr)> = peers
         .iter()
         .filter(|(id, _)| *id < init.proc_id)
         .map(|(id, addr)| {
@@ -555,36 +1114,112 @@ pub fn run_worker(
         .collect::<Result<_, _>>()?;
 
     let mesh_cfg = TcpMeshConfig {
-        proc_id: init.proc_id,
-        n_procs: init.n_procs,
-        heartbeat_interval: Duration::from_millis(init.heartbeat_ms.max(10)),
-        liveness_timeout: Duration::from_millis(init.liveness_ms.max(100)),
-        connect_timeout: Duration::from_millis(init.connect_ms.max(100)),
+        session,
+        heartbeat_interval: Duration::from_millis(init.net.heartbeat_ms.max(10)),
+        liveness_timeout: Duration::from_millis(init.net.liveness_ms.max(100)),
+        connect_timeout: Duration::from_millis(connect_ms.max(100)),
+        dial_backoff_start: Duration::from_millis(init.net.connect_backoff_start_ms.max(1)),
+        dial_backoff_max: Duration::from_millis(
+            init.net
+                .connect_backoff_max_ms
+                .max(init.net.connect_backoff_start_ms.max(1)),
+        ),
+        faults: init.fault.clone(),
+        ..TcpMeshConfig::new(init.proc_id, init.n_procs)
     };
     let mesh = TcpMesh::establish(mesh_cfg, listener, &peer_addrs)
         .map_err(|e| format!("mesh establishment: {e}"))?;
 
     // Test hook: die like a killed worker — no Bye, no report — right
-    // after joining the mesh, so failure-detection paths can be
-    // exercised end-to-end with the real binary.
+    // after joining the mesh, so failure-detection and recovery paths
+    // can be exercised end-to-end with the real binary.
     if std::env::var_os("WARP_WORKER_TEST_CRASH").is_some() {
         std::process::exit(9);
     }
 
+    // Session > 0: wait for the coordinator's Resume (other peers may
+    // already be running and sending — buffer their frames).
+    let mut backlog: Vec<(u32, Frame)> = Vec::new();
+    let restore = if session > 0 {
+        let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
+            .max(Duration::from_secs(30));
+        let resume_deadline = Instant::now() + wait;
+        loop {
+            if Instant::now() >= resume_deadline {
+                return Err(format!(
+                    "no Resume within {wait:?} of joining session {session}"
+                ));
+            }
+            match mesh.recv_timeout(Duration::from_millis(50)) {
+                Some(MeshEvent::Frame {
+                    frame:
+                        Frame::Resume {
+                            session: s,
+                            gvt,
+                            payload,
+                        },
+                    ..
+                }) => {
+                    if s != session {
+                        return Err(format!("Resume for session {s} inside session {session}"));
+                    }
+                    break Some((gvt, payload));
+                }
+                Some(MeshEvent::Frame { from, frame }) => backlog.push((from, frame)),
+                Some(MeshEvent::PeerDown {
+                    clean: false,
+                    detail,
+                    ..
+                }) => {
+                    mesh.abort();
+                    return Ok(WorkerSessionEnd::PeerLost(detail));
+                }
+                Some(MeshEvent::PeerDown { .. }) | None => {}
+            }
+        }
+    } else {
+        None
+    };
+
+    // Seed this worker's LPs: fresh builds, or checkpoint replays whose
+    // regenerated frontier (sends at or beyond the horizon) ships at
+    // LP-thread boot exactly like init output would.
+    let mut seeds: Vec<(u32, LpSeed)> = Vec::new();
+    let ckpt_base = match restore {
+        Some((horizon, payload)) => {
+            let deltas = decode_resume(&payload).map_err(|e| format!("resume decode: {e}"))?;
+            let mut logs = merge_logs(&deltas).map_err(|e| format!("resume merge: {e}"))?;
+            for lp in my_lps.clone() {
+                let mut rt = Box::new(spec.build_lp(LpId(lp)));
+                let mut frontier = Vec::new();
+                rt.restore_committed(logs.remove(&lp).unwrap_or_default(), horizon, &mut frontier);
+                seeds.push((lp, LpSeed::Restored { lp: rt, frontier }));
+            }
+            Some(horizon)
+        }
+        None => {
+            for lp in my_lps.clone() {
+                seeds.push((lp, LpSeed::Fresh));
+            }
+            init.recovery.then_some(VirtualTime::ZERO)
+        }
+    };
+
     // Local delivery channels for this process's LPs.
     let mut locals: Vec<Option<Sender<Packet>>> = (0..init.n_lps).map(|_| None).collect();
     let mut inboxes = Vec::new();
-    for lp in my_lps.clone() {
+    for (lp, _) in &seeds {
         let (tx, rx) = mpsc::channel();
-        locals[lp as usize] = Some(tx);
-        inboxes.push((lp, rx));
+        locals[*lp as usize] = Some(tx);
+        inboxes.push(rx);
     }
     let locals = Arc::new(locals);
     let mesh_tx = mesh.sender();
 
-    let handles: Vec<_> = inboxes
+    let handles: Vec<_> = seeds
         .into_iter()
-        .map(|(lp, rx)| {
+        .zip(inboxes)
+        .map(|((lp, seed), rx)| {
             let port = WorkerPort {
                 lp,
                 n_lps: init.n_lps,
@@ -595,74 +1230,160 @@ pub fn run_worker(
                 rx,
             };
             let spec = spec.clone();
-            std::thread::spawn(move || lp_thread(spec, port))
+            std::thread::spawn(move || lp_thread(spec, port, seed, ckpt_base))
         })
         .collect();
 
     // Inbound router: mesh frames → local LP channels. Runs until the
     // LP threads finish, then hands the mesh back for the report.
     let stop = Arc::new(AtomicBool::new(false));
+    let n_local = my_lps.len();
     let router = {
         let stop = Arc::clone(&stop);
         let locals = Arc::clone(&locals);
-        std::thread::spawn(move || route_inbound(mesh, &locals, &stop))
+        let from_base = ckpt_base.unwrap_or(VirtualTime::ZERO);
+        std::thread::spawn(move || route_inbound(mesh, &locals, &stop, backlog, n_local, from_base))
     };
 
-    let mut results: Vec<(LpSummary, u64)> = handles
+    let mut outcomes: Vec<LpOutcome> = handles
         .into_iter()
         .map(|h| h.join().expect("LP thread panicked"))
         .collect();
     stop.store(true, Ordering::Relaxed);
-    let mesh = router.join().expect("router thread panicked");
+    let route_end = router.join().expect("router thread panicked");
 
-    results.sort_by_key(|(s, _)| s.lp);
-    let report = WorkerReport {
-        gvt_rounds: results.iter().map(|(_, r)| *r).max().unwrap_or(0),
-        per_lp: results.into_iter().map(|(s, _)| s).collect(),
-    };
-    let bytes = serde_json::to_vec(&report).map_err(|e| format!("report encode: {e}"))?;
-    mesh.send(0, Frame::Report(bytes));
-    mesh.shutdown();
-    Ok(())
+    match route_end {
+        RouteEnd::Lost { mesh, detail } => {
+            mesh.abort();
+            Ok(WorkerSessionEnd::PeerLost(detail))
+        }
+        RouteEnd::Stopped(mesh) => {
+            if outcomes.iter().any(|o| o.aborted) {
+                // The abort raced GVT = ∞; treat the session as lost.
+                mesh.abort();
+                return Ok(WorkerSessionEnd::PeerLost("aborted mid-run".into()));
+            }
+            outcomes.sort_by_key(|o| o.summary.lp);
+            let report = WorkerReport {
+                gvt_rounds: outcomes.iter().map(|o| o.gvt_rounds).max().unwrap_or(0),
+                per_lp: outcomes.into_iter().map(|o| o.summary).collect(),
+            };
+            let bytes = serde_json::to_vec(&report).map_err(|e| format!("report encode: {e}"))?;
+            mesh.send(0, Frame::Report(bytes));
+            mesh.shutdown();
+            Ok(WorkerSessionEnd::Finished)
+        }
+    }
+}
+
+/// What the router hands back.
+enum RouteEnd {
+    /// Told to stop (LP threads all finished).
+    Stopped(TcpMesh),
+    /// A peer was lost uncleanly; every local LP got `Packet::Abort`.
+    Lost {
+        /// The mesh, for the caller to slam shut.
+        mesh: TcpMesh,
+        /// What the failure detector observed.
+        detail: String,
+    },
 }
 
 /// Dispatch inbound mesh traffic to local LP channels until told to
-/// stop. Terminates the whole process if a peer is lost uncleanly.
-fn route_inbound(mesh: TcpMesh, locals: &[Option<Sender<Packet>>], stop: &AtomicBool) -> TcpMesh {
+/// stop, fanning the checkpoint protocol out to the LP threads along
+/// the way. On an unclean peer loss, aborts every local LP and returns.
+fn route_inbound(
+    mesh: TcpMesh,
+    locals: &[Option<Sender<Packet>>],
+    stop: &AtomicBool,
+    backlog: Vec<(u32, Frame)>,
+    n_local: usize,
+    mut ckpt_from: VirtualTime,
+) -> RouteEnd {
     let deliver = |lp: u32, p: Packet| {
         if let Some(Some(tx)) = locals.get(lp as usize) {
             let _ = tx.send(p); // finished LPs simply miss stale traffic
         }
     };
+    let fan_local = |p: &dyn Fn() -> Packet| {
+        for tx in locals.iter().flatten() {
+            let _ = tx.send(p());
+        }
+    };
+    let handle = |frame: Frame, from: u32, ckpt_from: &mut VirtualTime| -> Result<(), String> {
+        match frame {
+            Frame::Data { msg, epoch, .. } => {
+                deliver(msg.dst.0, Packet::Data { msg, epoch });
+                Ok(())
+            }
+            Frame::Token { dst_lp, token } => {
+                deliver(dst_lp, Packet::Token(token));
+                Ok(())
+            }
+            Frame::GvtNews { dst_lp, gvt } => {
+                deliver(dst_lp, Packet::GvtNews(gvt));
+                Ok(())
+            }
+            Frame::SnapshotReq { ckpt, gvt } => {
+                let (tx, rx) = mpsc::channel::<CkptPart>();
+                fan_local(&|| Packet::Ckpt {
+                    ckpt,
+                    gvt,
+                    reply: tx.clone(),
+                });
+                drop(tx);
+                let from_vt = *ckpt_from;
+                *ckpt_from = (*ckpt_from).max(gvt);
+                let out = mesh.sender();
+                std::thread::spawn(move || {
+                    collect_ckpt(rx, out, ckpt, from_vt, gvt, n_local);
+                });
+                Ok(())
+            }
+            Frame::SnapshotAck { gvt, .. } => {
+                fan_local(&|| Packet::CkptAck(gvt));
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?} from proc {from}")),
+        }
+    };
+
+    for (from, frame) in backlog {
+        if let Err(detail) = handle(frame, from, &mut ckpt_from) {
+            eprintln!(
+                "warp-worker (proc {}): protocol violation: {detail}",
+                mesh.proc_id()
+            );
+            fan_local(&|| Packet::Abort);
+            return RouteEnd::Lost { mesh, detail };
+        }
+    }
     loop {
         if stop.load(Ordering::Relaxed) {
-            return mesh;
+            return RouteEnd::Stopped(mesh);
         }
         match mesh.recv_timeout(Duration::from_millis(20)) {
-            Some(MeshEvent::Frame { from, frame }) => match frame {
-                Frame::Data { epoch, msg } => {
-                    deliver(msg.dst.0, Packet::Data { msg, epoch });
-                }
-                Frame::Token { dst_lp, token } => deliver(dst_lp, Packet::Token(token)),
-                Frame::GvtNews { dst_lp, gvt } => deliver(dst_lp, Packet::GvtNews(gvt)),
-                other => {
+            Some(MeshEvent::Frame { from, frame }) => {
+                if let Err(detail) = handle(frame, from, &mut ckpt_from) {
                     eprintln!(
-                        "warp-worker (proc {}): protocol violation from proc {from}: {other:?}",
+                        "warp-worker (proc {}): protocol violation: {detail}",
                         mesh.proc_id()
                     );
-                    std::process::exit(3);
+                    fan_local(&|| Packet::Abort);
+                    return RouteEnd::Lost { mesh, detail };
                 }
-            },
+            }
             Some(MeshEvent::PeerDown {
                 peer,
                 clean: false,
                 detail,
             }) => {
                 eprintln!(
-                    "warp-worker (proc {}): lost proc {peer} ({detail}); aborting",
+                    "warp-worker (proc {}): lost proc {peer} ({detail}); discarding session",
                     mesh.proc_id()
                 );
-                std::process::exit(3);
+                fan_local(&|| Packet::Abort);
+                return RouteEnd::Lost { mesh, detail };
             }
             // Clean goodbyes while LPs still run mean the peer finished
             // its share after GVT = ∞; per-link FIFO guarantees the ∞
@@ -672,6 +1393,35 @@ fn route_inbound(mesh: TcpMesh, locals: &[Option<Sender<Packet>>], stop: &Atomic
             None => {}
         }
     }
+}
+
+/// Gather one checkpoint's parts from the local LP threads and, when
+/// complete, ship the encoded delta to the coordinator. An LP that
+/// already shut down never answers (its reply sender is dropped), which
+/// leaves the checkpoint incomplete — the coordinator simply never
+/// commits it, and the run is terminating anyway.
+fn collect_ckpt(
+    rx: Receiver<CkptPart>,
+    out: MeshSender,
+    ckpt: u32,
+    from: VirtualTime,
+    gvt: VirtualTime,
+    n_local: usize,
+) {
+    let mut parts: Vec<CkptPart> = rx.iter().filter(|p| p.ckpt == ckpt).collect();
+    if parts.len() != n_local {
+        return;
+    }
+    parts.sort_by_key(|p| p.lp);
+    let deltas: Vec<LpDelta> = parts
+        .into_iter()
+        .map(|p| LpDelta {
+            lp: p.lp,
+            objects: p.objects,
+        })
+        .collect();
+    let payload = encode_delta(from, gvt, &deltas);
+    out.send(0, Frame::Snapshot { ckpt, gvt, payload });
 }
 
 #[cfg(test)]
@@ -706,29 +1456,68 @@ mod tests {
             proc_id: 2,
             n_procs: 3,
             n_lps: 8,
+            session: 4,
             peers: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
             model: serde_json::json!("opaque"),
-            heartbeat_ms: 250,
-            liveness_ms: 3000,
+            net: NetTuning::default(),
             connect_ms: 10_000,
+            recovery: true,
+            fault: Some(FaultPlan::new().crash(2, 1, 100, 0)),
         };
         let line = serde_json::to_string(&init).unwrap();
         let back: WorkerInit = serde_json::from_str(&line).unwrap();
         assert_eq!(back.proc_id, 2);
+        assert_eq!(back.session, 4);
         assert_eq!(back.peers.len(), 2);
         assert_eq!(back.peers[1].1, "127.0.0.1:2");
         assert_eq!(back.model, init.model);
+        assert_eq!(back.net.heartbeat_ms, 250);
+        assert!(back.recovery);
+        assert!(back.fault.is_some());
+    }
+
+    #[test]
+    fn session_line_round_trips_as_json() {
+        let sl = SessionLine {
+            session: 3,
+            peers: vec![(0, "127.0.0.1:9".into())],
+            connect_ms: 5_000,
+        };
+        let line = serde_json::to_string(&sl).unwrap();
+        let back: SessionLine = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.session, 3);
+        assert_eq!(back.peers, sl.peers);
+    }
+
+    #[test]
+    fn net_tuning_validation_catches_inconsistencies() {
+        let ok = NetTuning::default();
+        assert!(ok.validate().is_ok());
+        let t = NetTuning {
+            heartbeat_ms: 0,
+            ..NetTuning::default()
+        };
+        assert!(t.validate().is_err());
+        let t = NetTuning {
+            liveness_ms: ok.heartbeat_ms,
+            ..NetTuning::default()
+        };
+        assert!(t.validate().is_err());
+        let t = NetTuning {
+            connect_backoff_max_ms: ok.connect_backoff_start_ms - 1,
+            ..NetTuning::default()
+        };
+        assert!(t.validate().is_err());
     }
 
     #[test]
     fn missing_worker_binary_is_a_clean_error() {
-        let cfg = DistConfig {
-            n_workers: 1,
-            worker_bin: PathBuf::from("/nonexistent/warp-worker"),
-            model: serde_json::json!(null),
-            n_lps: 2,
-            timeout: Duration::from_secs(5),
-        };
+        let cfg = DistConfig::new(
+            1,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            2,
+        );
         match run_coordinator(&cfg) {
             Err(DistError::Io(_)) => {}
             other => panic!("expected an I/O error, got {other:?}"),

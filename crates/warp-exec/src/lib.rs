@@ -23,11 +23,14 @@
 pub mod distributed;
 pub mod report;
 pub mod sequential;
+mod snapshot;
 pub mod spec;
 pub mod threaded;
 pub mod virtual_cluster;
 
-pub use distributed::{run_coordinator, worker_main, DistConfig, DistError};
+pub use distributed::{
+    run_coordinator, worker_main, DistConfig, DistError, NetTuning, RecoveryPolicy,
+};
 pub use report::{LpSummary, ObjectSummary, RunReport};
 pub use sequential::run_sequential;
 pub use spec::{ObjectFactory, PolicyFactory, SimulationSpec};

@@ -78,6 +78,10 @@ pub struct RunReport {
     /// Progress samples (empty unless timeline collection was enabled).
     #[serde(default)]
     pub timeline: Vec<TimelineSample>,
+    /// Checkpoint recoveries the distributed executive performed to
+    /// finish the run (0 everywhere else, and on a fault-free run).
+    #[serde(default)]
+    pub recoveries: u64,
 }
 
 impl RunReport {
@@ -142,6 +146,7 @@ mod tests {
                 ..Default::default()
             },
             timeline: Vec::new(),
+            recoveries: 0,
             per_lp: vec![LpSummary {
                 lp: 0,
                 kernel: ObjectStats::default(),

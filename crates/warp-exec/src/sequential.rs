@@ -204,5 +204,6 @@ pub fn run_sequential(spec: &SimulationSpec) -> RunReport {
         kernel,
         comm: CommStats::default(),
         per_lp,
+        recoveries: 0,
     }
 }

@@ -1,0 +1,238 @@
+//! Checkpoint snapshot codec for the distributed executive.
+//!
+//! A checkpoint captures, per LP, the committed event log of every
+//! object in the half-open virtual-time window since the previous
+//! checkpoint. Workers ship these deltas to the coordinator inside
+//! `Frame::Snapshot` payloads; the coordinator accumulates one delta
+//! chain per worker and, on recovery, concatenates each worker's chain
+//! into a `Frame::Resume` payload. Restoring a worker replays the
+//! merged logs through the normal kernel paths
+//! ([`warp_core::LpRuntime::restore_committed`]), which regenerates
+//! both object state and the cross-checkpoint event frontier.
+//!
+//! Everything is encoded with the canonical `warp_core::wire` layer so
+//! the snapshot format inherits the codec's determinism guarantees.
+
+use std::collections::HashMap;
+use std::io;
+
+use warp_core::wire::{
+    decode_event, encode_event, read_vt, write_vt, PayloadReader, PayloadWriter,
+};
+use warp_core::{Event, ObjectId, VirtualTime};
+
+/// One LP's committed-window contribution to a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct LpDelta {
+    /// Global LP id.
+    pub lp: u32,
+    /// Per-object committed events in the checkpoint window, in the
+    /// order the kernel committed them.
+    pub objects: Vec<(ObjectId, Vec<Event>)>,
+}
+
+fn err(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// Encode one worker's checkpoint delta (all its LPs) plus the window
+/// bounds into a `Frame::Snapshot` payload.
+pub(crate) fn encode_delta(from: VirtualTime, below: VirtualTime, lps: &[LpDelta]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    write_vt(&mut w, from);
+    write_vt(&mut w, below);
+    w.u32(lps.len() as u32);
+    for d in lps {
+        w.u32(d.lp);
+        w.u32(d.objects.len() as u32);
+        for (oid, events) in &d.objects {
+            w.u32(oid.0);
+            w.u32(events.len() as u32);
+            for ev in events {
+                encode_event(&mut w, ev);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decode a `Frame::Snapshot` payload back into (window, deltas).
+pub(crate) fn decode_delta(buf: &[u8]) -> io::Result<(VirtualTime, VirtualTime, Vec<LpDelta>)> {
+    let mut r = PayloadReader::new(buf);
+    let from = read_vt(&mut r).map_err(|e| err(format!("snapshot window: {e}")))?;
+    let below = read_vt(&mut r).map_err(|e| err(format!("snapshot window: {e}")))?;
+    let n_lps = r
+        .u32()
+        .map_err(|e| err(format!("snapshot lp count: {e}")))?;
+    let mut lps = Vec::with_capacity(n_lps as usize);
+    for _ in 0..n_lps {
+        let lp = r.u32().map_err(|e| err(format!("snapshot lp id: {e}")))?;
+        let n_objs = r
+            .u32()
+            .map_err(|e| err(format!("snapshot object count: {e}")))?;
+        let mut objects = Vec::with_capacity(n_objs as usize);
+        for _ in 0..n_objs {
+            let oid = ObjectId(
+                r.u32()
+                    .map_err(|e| err(format!("snapshot object id: {e}")))?,
+            );
+            let n_ev = r
+                .u32()
+                .map_err(|e| err(format!("snapshot event count: {e}")))?;
+            let mut events = Vec::with_capacity(n_ev as usize);
+            for _ in 0..n_ev {
+                events.push(decode_event(&mut r).map_err(|e| err(format!("snapshot event: {e}")))?);
+            }
+            objects.push((oid, events));
+        }
+        lps.push(LpDelta { lp, objects });
+    }
+    if r.remaining() != 0 {
+        return Err(err("snapshot payload has trailing bytes"));
+    }
+    Ok((from, below, lps))
+}
+
+/// Concatenate a worker's accumulated delta payloads (oldest first)
+/// into one `Frame::Resume` payload.
+pub(crate) fn encode_resume(deltas: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(deltas.len() as u32);
+    for d in deltas {
+        w.bytes(d);
+    }
+    w.finish()
+}
+
+/// Split a `Frame::Resume` payload back into the ordered delta chain.
+pub(crate) fn decode_resume(buf: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+    let mut r = PayloadReader::new(buf);
+    let n = r.u32().map_err(|e| err(format!("resume count: {e}")))?;
+    let mut deltas = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        deltas.push(
+            r.bytes()
+                .map_err(|e| err(format!("resume delta: {e}")))?
+                .to_vec(),
+        );
+    }
+    if r.remaining() != 0 {
+        return Err(err("resume payload has trailing bytes"));
+    }
+    Ok(deltas)
+}
+
+/// Merge an ordered delta chain into per-LP committed logs ready for
+/// [`warp_core::LpRuntime::restore_committed`]: events append in
+/// checkpoint order, which is committed order.
+pub(crate) fn merge_logs(
+    deltas: &[Vec<u8>],
+) -> io::Result<HashMap<u32, HashMap<ObjectId, Vec<Event>>>> {
+    let mut merged: HashMap<u32, HashMap<ObjectId, Vec<Event>>> = HashMap::new();
+    for blob in deltas {
+        let (_, _, lps) = decode_delta(blob)?;
+        for d in lps {
+            let per_obj = merged.entry(d.lp).or_default();
+            for (oid, events) in d.objects {
+                per_obj.entry(oid).or_default().extend(events);
+            }
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::event::EventId;
+
+    fn ev(sender: u32, serial: u64, dst: u32, at: u64) -> Event {
+        Event::new(
+            EventId {
+                sender: ObjectId(sender),
+                serial,
+            },
+            ObjectId(dst),
+            VirtualTime::new(at.saturating_sub(1)),
+            VirtualTime::new(at),
+            7,
+            vec![at as u8],
+        )
+    }
+
+    fn delta(lp: u32, events: Vec<(u32, Vec<Event>)>) -> LpDelta {
+        LpDelta {
+            lp,
+            objects: events
+                .into_iter()
+                .map(|(o, evs)| (ObjectId(o), evs))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let lps = vec![
+            delta(
+                0,
+                vec![(0, vec![ev(1, 1, 0, 3), ev(1, 2, 0, 5)]), (1, vec![])],
+            ),
+            delta(2, vec![(4, vec![ev(0, 9, 4, 8)])]),
+        ];
+        let buf = encode_delta(VirtualTime::ZERO, VirtualTime::new(10), &lps);
+        let (from, below, back) = decode_delta(&buf).unwrap();
+        assert_eq!(from, VirtualTime::ZERO);
+        assert_eq!(below, VirtualTime::new(10));
+        assert_eq!(back, lps);
+    }
+
+    #[test]
+    fn resume_roundtrip_preserves_chain_order() {
+        let a = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2)])])],
+        );
+        let b = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[delta(1, vec![(2, vec![ev(3, 2, 2, 6)])])],
+        );
+        let resume = encode_resume(&[a.clone(), b.clone()]);
+        assert_eq!(decode_resume(&resume).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn merge_appends_in_checkpoint_order() {
+        let a = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2), ev(3, 2, 2, 3)])])],
+        );
+        let b = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[
+                delta(1, vec![(2, vec![ev(3, 3, 2, 6)])]),
+                delta(0, vec![(0, vec![ev(2, 5, 0, 7)])]),
+            ],
+        );
+        let merged = merge_logs(&[a, b]).unwrap();
+        let lp1 = &merged[&1][&ObjectId(2)];
+        assert_eq!(
+            lp1.iter().map(|e| e.recv_time.ticks()).collect::<Vec<_>>(),
+            vec![2, 3, 6]
+        );
+        assert_eq!(merged[&0][&ObjectId(0)].len(), 1);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(decode_delta(&[1, 2, 3]).is_err());
+        assert!(decode_resume(&[0, 0, 0, 9]).is_err());
+        let good = encode_delta(VirtualTime::ZERO, VirtualTime::new(1), &[]);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_delta(&trailing).is_err());
+    }
+}

@@ -14,11 +14,13 @@ use crate::spec::SimulationSpec;
 use std::time::{Duration, Instant};
 use warp_core::gvt::{GvtController, MatternAgent};
 use warp_core::stats::{CommStats, ObjectStats};
-use warp_core::{Event, VirtualTime};
+use warp_core::{Event, ObjectId, VirtualTime};
 use warp_net::{mesh, Aggregator, Endpoint, PhysMsg};
 
 /// Traffic multiplexed over the mesh. Shared with the distributed
-/// executive, whose TCP frames carry exactly these three payloads.
+/// executive, whose TCP frames carry exactly these payloads (the
+/// checkpoint and abort packets are process-local: the distributed
+/// router fans the corresponding frames out to its LP threads).
 pub(crate) enum Packet {
     /// Application events (a physical message), tagged with the sender's
     /// Mattern epoch.
@@ -27,6 +29,32 @@ pub(crate) enum Packet {
     Token(warp_core::gvt::GvtToken),
     /// A freshly computed GVT (∞ = simulation over, shut down).
     GvtNews(VirtualTime),
+    /// Checkpoint request: copy the committed window up to `gvt` and
+    /// answer on `reply`.
+    Ckpt {
+        /// Checkpoint id (echoed in the part).
+        ckpt: u32,
+        /// The checkpoint horizon (an announced GVT).
+        gvt: VirtualTime,
+        /// Where the extracted part goes (a per-checkpoint collector).
+        reply: std::sync::mpsc::Sender<CkptPart>,
+    },
+    /// The coordinator persisted a checkpoint at `gvt`: history below it
+    /// is recoverable, the fossil pin may advance.
+    CkptAck(VirtualTime),
+    /// The session failed (unclean peer loss): stop immediately and
+    /// discard in-progress state — recovery restarts from a checkpoint.
+    Abort,
+}
+
+/// One LP's contribution to a checkpoint.
+pub(crate) struct CkptPart {
+    /// The LP's global id.
+    pub lp: u32,
+    /// Checkpoint id this part answers.
+    pub ckpt: u32,
+    /// Per-object committed events in `[previous horizon, gvt)`.
+    pub objects: Vec<(ObjectId, Vec<Event>)>,
 }
 
 /// What an LP needs from its transport. The threaded executive plugs in
@@ -46,6 +74,11 @@ pub(crate) trait LpPort {
     fn try_recv(&self) -> Option<Packet>;
     /// Blocking receive with a timeout; `None` on timeout.
     fn recv_timeout(&self, timeout: Duration) -> Option<Packet>;
+    /// The controller LP announced a fresh GVT. The distributed port
+    /// forwards this to the coordinator as `Frame::Progress`, which is
+    /// what paces the checkpoint protocol; in-process transports ignore
+    /// it.
+    fn note_gvt(&self, _gvt: VirtualTime) {}
 }
 
 impl LpPort for Endpoint<Packet> {
@@ -81,17 +114,17 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         .into_iter()
         .map(|endpoint| {
             let spec = spec.clone();
-            std::thread::spawn(move || lp_thread(spec, endpoint))
+            std::thread::spawn(move || lp_thread(spec, endpoint, LpSeed::Fresh, None))
         })
         .collect();
 
-    let mut results: Vec<(LpSummary, u64)> = handles
+    let mut results: Vec<LpOutcome> = handles
         .into_iter()
         .map(|h| h.join().expect("LP thread panicked"))
         .collect();
-    results.sort_by_key(|(s, _)| s.lp);
-    let gvt_rounds = results.iter().map(|(_, r)| *r).max().unwrap_or(0);
-    let per_lp: Vec<LpSummary> = results.into_iter().map(|(s, _)| s).collect();
+    results.sort_by_key(|o| o.summary.lp);
+    let gvt_rounds = results.iter().map(|o| o.gvt_rounds).max().unwrap_or(0);
+    let per_lp: Vec<LpSummary> = results.into_iter().map(|o| o.summary).collect();
     let wall = start_all.elapsed().as_secs_f64();
 
     let mut kernel = ObjectStats::default();
@@ -118,6 +151,7 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         kernel,
         comm,
         per_lp,
+        recoveries: 0,
     }
 }
 
@@ -135,6 +169,19 @@ struct LpThread<P: LpPort> {
     done: bool,
     collect_traces: bool,
     partition: std::sync::Arc<warp_core::Partition>,
+    /// `Some(frontier)` when resuming from a checkpoint: skip object
+    /// init and ship these remote-destined replay sends instead.
+    boot_frontier: Option<Vec<Event>>,
+    /// Lower end of the next checkpoint window (the last horizon this LP
+    /// contributed a part for, or the restore horizon).
+    ckpt_from: VirtualTime,
+    /// With recovery on, `Some(h)`: history at or above the last *acked*
+    /// checkpoint horizon `h` must survive fossil collection — it is the
+    /// part of the committed log no persisted checkpoint covers yet.
+    /// `None` = recovery off, GVT alone bounds collection.
+    fossil_pin: Option<VirtualTime>,
+    /// Set by `Packet::Abort`: the summary is garbage, discard it.
+    aborted: bool,
 }
 
 impl<P: LpPort> LpThread<P> {
@@ -169,7 +216,14 @@ impl<P: LpPort> LpThread<P> {
         if gvt.is_infinite() {
             self.done = true;
         } else if self.fossil {
-            self.lp.fossil_collect(gvt);
+            let bound = match self.fossil_pin {
+                None => gvt,
+                // Keep everything with recv ≥ pin: `fossil_bound` may
+                // resolve the pin itself to a snapshot *at* the pin, so
+                // collect strictly below it.
+                Some(pin) => gvt.min(VirtualTime::from_ticks(pin.ticks().saturating_sub(1))),
+            };
+            self.lp.fossil_collect(bound);
         }
     }
 
@@ -193,6 +247,7 @@ impl<P: LpPort> LpThread<P> {
         match ctrl.on_return(token) {
             Ok(gvt) => {
                 self.gvt_rounds += 1;
+                self.port.note_gvt(gvt);
                 for peer in 1..self.port.n_total() {
                     self.port.send(peer, Packet::GvtNews(gvt));
                 }
@@ -220,15 +275,38 @@ impl<P: LpPort> LpThread<P> {
                 }
             }
             Packet::GvtNews(gvt) => self.apply_gvt(gvt),
+            Packet::Ckpt { ckpt, gvt, reply } => {
+                let objects = self.lp.committed_window(self.ckpt_from, gvt);
+                self.ckpt_from = self.ckpt_from.max(gvt);
+                let _ = reply.send(CkptPart {
+                    lp: self.port.id() as u32,
+                    ckpt,
+                    objects,
+                });
+            }
+            Packet::CkptAck(gvt) => {
+                if let Some(pin) = &mut self.fossil_pin {
+                    *pin = (*pin).max(gvt);
+                }
+            }
+            Packet::Abort => {
+                self.aborted = true;
+                self.done = true;
+            }
         }
     }
 
-    fn run(mut self) -> (LpSummary, u64) {
+    fn run(mut self) -> LpOutcome {
         let debug_trace = std::env::var("WARP_DEBUG_THREADED").is_ok();
         let mut loops: u64 = 0;
-        let mut init_out = Vec::new();
-        self.lp.init(&mut init_out);
-        self.offer_remote(init_out);
+        match self.boot_frontier.take() {
+            Some(frontier) => self.offer_remote(frontier),
+            None => {
+                let mut init_out = Vec::new();
+                self.lp.init(&mut init_out);
+                self.offer_remote(init_out);
+            }
+        }
 
         while !self.done {
             loops += 1;
@@ -318,26 +396,67 @@ impl<P: LpPort> LpThread<P> {
                 },
             })
             .collect();
-        (
-            LpSummary {
+        LpOutcome {
+            summary: LpSummary {
                 lp: self.lp.id().0,
                 kernel: self.lp.stats(),
                 comm: self.agg.stats().clone(),
                 objects,
             },
-            self.gvt_rounds,
-        )
+            gvt_rounds: self.gvt_rounds,
+            aborted: self.aborted,
+        }
     }
+}
+
+/// How an LP thread starts life.
+pub(crate) enum LpSeed {
+    /// Build the LP from the spec and run object init.
+    Fresh,
+    /// Resume from a checkpoint: the LP has already been rebuilt via
+    /// `LpRuntime::restore_committed`; `frontier` holds the
+    /// remote-destined sends the replay regenerated (at or beyond the
+    /// restore horizon) which must ship instead of init's output.
+    Restored {
+        /// The restored runtime (boxed: far larger than `Fresh`).
+        lp: Box<warp_core::LpRuntime>,
+        /// Remote frontier events to ship at startup.
+        frontier: Vec<Event>,
+    },
+}
+
+/// What an LP thread hands back when it stops.
+pub(crate) struct LpOutcome {
+    /// Final per-LP summary (meaningless when `aborted`).
+    pub summary: LpSummary,
+    /// GVT rounds this LP's controller completed (0 off the controller).
+    pub gvt_rounds: u64,
+    /// The thread stopped on `Packet::Abort` rather than GVT = ∞.
+    pub aborted: bool,
 }
 
 /// Drive one LP to completion over any transport. Shared by the
 /// threaded executive (in-process channel mesh) and the distributed
 /// executive (TCP mesh between worker processes). The global LP 0 hosts
 /// the GVT controller wherever it lives.
-pub(crate) fn lp_thread<P: LpPort>(spec: SimulationSpec, port: P) -> (LpSummary, u64) {
+///
+/// `ckpt_base` arms the checkpoint protocol: `Some(h)` means recovery is
+/// on, the committed log from `h` up is not yet persisted (h = ZERO on a
+/// fresh run, the restore horizon on a resumed one), so fossil
+/// collection is pinned below `h` until `Packet::CkptAck`s advance it.
+pub(crate) fn lp_thread<P: LpPort>(
+    spec: SimulationSpec,
+    port: P,
+    seed: LpSeed,
+    ckpt_base: Option<VirtualTime>,
+) -> LpOutcome {
     let my_id = warp_core::LpId(port.id() as u32);
+    let (lp, boot_frontier) = match seed {
+        LpSeed::Fresh => (spec.build_lp(my_id), None),
+        LpSeed::Restored { lp, frontier } => (*lp, Some(frontier)),
+    };
     let worker = LpThread {
-        lp: spec.build_lp(my_id),
+        lp,
         agg: Aggregator::new(my_id, spec.aggregation.clone()),
         agent: MatternAgent::new(),
         ctrl: if port.id() == 0 {
@@ -357,6 +476,10 @@ pub(crate) fn lp_thread<P: LpPort>(spec: SimulationSpec, port: P) -> (LpSummary,
         done: false,
         collect_traces: spec.collect_traces,
         partition: spec.partition.clone(),
+        boot_frontier,
+        ckpt_from: ckpt_base.unwrap_or(VirtualTime::ZERO),
+        fossil_pin: ckpt_base,
+        aborted: false,
     };
     worker.run()
 }

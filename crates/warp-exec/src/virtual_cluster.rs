@@ -545,5 +545,6 @@ pub fn run_virtual_inspect(
         kernel,
         comm,
         per_lp,
+        recoveries: 0,
     }
 }

@@ -1,0 +1,367 @@
+//! Deterministic fault injection for the process mesh.
+//!
+//! Recovery code that is only exercised by real crashes is recovery code
+//! that has never run. This module makes every failure mode the
+//! transport can suffer *reproducible*: a [`FaultPlan`] is a list of
+//! seeded, declarative rules — drop, duplicate, or delay specific data
+//! frames, partition a link, crash a process — that the TCP mesh applies
+//! on the *sending* side of each link, keyed on the per-link [`Frame::Data`]
+//! sequence number rather than wall-clock time, so the same plan perturbs
+//! the same frames on every run.
+//!
+//! Faults apply **only to `Data` frames**. Control traffic (GVT tokens,
+//! heartbeats, checkpoint frames) is deliberately exempt: a duplicated
+//! Mattern token would corrupt the GVT computation itself, which no
+//! transport-level recovery could repair, and dropping heartbeats is
+//! expressed more honestly as a [`FaultKind::Partition`]. What the plan
+//! models is the unreliable *application* channel; what recovery must
+//! guarantee is that the committed trace survives it anyway.
+//!
+//! Plans are plain serde values so they can ride inside `ClusterJob`
+//! specs and `WorkerInit` lines; each rule can be pinned to a session
+//! epoch (usually 0) so a fault fires in the original run but not again
+//! in the recovered one — a crash rule without a session filter would
+//! re-kill the respawned worker forever.
+//!
+//! [`Frame::Data`]: crate::frame::Frame::Data
+
+use serde::{Deserialize, Serialize};
+
+/// Which data frames (by per-link sequence number) a rule applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Selector {
+    /// Exactly the frame with this sequence number.
+    At(u64),
+    /// Every `every`-th frame, offset by `phase`: fires when
+    /// `seq % every == phase`. `every == 0` never fires.
+    Every {
+        /// Period in frames (0 disables the rule).
+        every: u64,
+        /// Offset within the period.
+        phase: u64,
+    },
+    /// A deterministic pseudo-random `per_mille`/1000 of frames, keyed on
+    /// `(seed, link, seq)` — the same plan picks the same frames on every
+    /// run, but different links and seeds decorrelate.
+    Random {
+        /// Mixes into the hash so distinct rules pick distinct frames.
+        seed: u64,
+        /// Fire probability in thousandths (1000 = every frame).
+        per_mille: u16,
+    },
+}
+
+impl Selector {
+    /// Does this selector pick the data frame with sequence `seq` on the
+    /// link identified by `salt`?
+    pub fn matches(&self, salt: u64, seq: u64) -> bool {
+        match *self {
+            Selector::At(n) => seq == n,
+            Selector::Every { every, phase } => every != 0 && seq % every == phase % every,
+            Selector::Random { seed, per_mille } => {
+                (splitmix(seed ^ salt ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1000)
+                    < per_mille as u64
+            }
+        }
+    }
+}
+
+/// One kind of injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Silently discard matching data frames (the receiver sees a
+    /// sequence gap and, after a timeout, an unclean link failure).
+    Drop(Selector),
+    /// Send matching data frames twice (the receiver's dedup must absorb
+    /// the copy).
+    Duplicate(Selector),
+    /// Hold matching data frames back until `hold` further data frames
+    /// have been sent on the link — a bounded reorder (the receiver's
+    /// sequence buffer must restore send order).
+    Delay {
+        /// Which frames to hold back.
+        sel: Selector,
+        /// How many subsequent data frames overtake a held one.
+        hold: u64,
+    },
+    /// From data frame `after` onward, the link goes completely silent —
+    /// including heartbeats — until the session ends. The peer's liveness
+    /// timeout fires and recovery takes over.
+    Partition {
+        /// First sequence number swallowed by the partition.
+        after: u64,
+    },
+    /// Abort the whole sending process the moment it would send data
+    /// frame `after` on this link (`std::process::abort`, no cleanup —
+    /// the hardest failure the coordinator must survive).
+    Crash {
+        /// Sequence number that triggers the abort.
+        after: u64,
+    },
+}
+
+/// A fault rule: a failure kind scoped to one directed link, optionally
+/// pinned to a session epoch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRule {
+    /// Sending process id.
+    pub from: u32,
+    /// Receiving process id.
+    pub to: u32,
+    /// Restrict the rule to one session epoch (`None` = every session).
+    /// Crash/partition rules should pin session 0, or recovery livelocks
+    /// re-triggering the same fault.
+    #[serde(default)]
+    pub session: Option<u32>,
+    /// What to do to the matching frames.
+    pub kind: FaultKind,
+}
+
+/// A complete, seeded fault schedule for a run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The rules; order is irrelevant except for [`LinkChaos::fate`]'s
+    /// severity precedence.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when no rule exists at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Convenience: crash `from` when it sends its `after`-th data frame
+    /// to `to`, in session `session` only.
+    pub fn crash(mut self, from: u32, to: u32, after: u64, session: u32) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: Some(session),
+            kind: FaultKind::Crash { after },
+        });
+        self
+    }
+
+    /// Convenience: partition the directed link `from → to` starting at
+    /// data frame `after`, in session `session` only.
+    pub fn partition(mut self, from: u32, to: u32, after: u64, session: u32) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: Some(session),
+            kind: FaultKind::Partition { after },
+        });
+        self
+    }
+
+    /// Convenience: add an unpinned rule on `from → to`.
+    pub fn with(mut self, from: u32, to: u32, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: None,
+            kind,
+        });
+        self
+    }
+
+    /// Compile the plan for one directed link in one session: the rules
+    /// that apply, ready for the link writer to consult per data frame.
+    /// `None` when no rule touches the link (the common case — zero
+    /// overhead on healthy links).
+    pub fn link(&self, from: u32, to: u32, session: u32) -> Option<LinkChaos> {
+        let rules: Vec<FaultKind> = self
+            .rules
+            .iter()
+            .filter(|r| r.from == from && r.to == to && r.session.is_none_or(|s| s == session))
+            .map(|r| r.kind)
+            .collect();
+        if rules.is_empty() {
+            None
+        } else {
+            Some(LinkChaos {
+                rules,
+                salt: splitmix(((from as u64) << 40) ^ ((to as u64) << 16) ^ session as u64),
+            })
+        }
+    }
+}
+
+/// What the link writer should do with one outgoing data frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataFate {
+    /// Send normally.
+    Deliver,
+    /// Discard without sending.
+    Drop,
+    /// Send two copies back to back.
+    Duplicate,
+    /// Buffer; release after the data frame with sequence `release_after`
+    /// has been sent.
+    Hold {
+        /// Sequence number whose transmission releases the held frame.
+        release_after: u64,
+    },
+    /// Go silent on this link for the rest of the session.
+    Partition,
+    /// Abort the process.
+    Crash,
+}
+
+/// A [`FaultPlan`] compiled for one directed link in one session.
+#[derive(Clone, Debug)]
+pub struct LinkChaos {
+    rules: Vec<FaultKind>,
+    salt: u64,
+}
+
+impl LinkChaos {
+    /// Decide the fate of the outgoing data frame with sequence `seq`.
+    /// When several rules match, the most severe wins:
+    /// crash > partition > drop > delay > duplicate.
+    pub fn fate(&self, seq: u64) -> DataFate {
+        let mut fate = DataFate::Deliver;
+        for rule in &self.rules {
+            let candidate = match *rule {
+                FaultKind::Crash { after } if seq >= after => DataFate::Crash,
+                FaultKind::Partition { after } if seq >= after => DataFate::Partition,
+                FaultKind::Drop(sel) if sel.matches(self.salt, seq) => DataFate::Drop,
+                FaultKind::Delay { sel, hold } if sel.matches(self.salt, seq) => DataFate::Hold {
+                    release_after: seq.saturating_add(hold.max(1)),
+                },
+                FaultKind::Duplicate(sel) if sel.matches(self.salt, seq) => DataFate::Duplicate,
+                _ => DataFate::Deliver,
+            };
+            if severity(candidate) > severity(fate) {
+                fate = candidate;
+            }
+        }
+        fate
+    }
+}
+
+fn severity(f: DataFate) -> u8 {
+    match f {
+        DataFate::Deliver => 0,
+        DataFate::Duplicate => 1,
+        DataFate::Hold { .. } => 2,
+        DataFate::Drop => 3,
+        DataFate::Partition => 4,
+        DataFate::Crash => 5,
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, well-mixed hash for the `Random`
+/// selector. Quality matters less than determinism and independence.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_pick_the_expected_frames() {
+        let salt = 99;
+        assert!(Selector::At(5).matches(salt, 5));
+        assert!(!Selector::At(5).matches(salt, 6));
+        let every = Selector::Every { every: 3, phase: 1 };
+        let picked: Vec<u64> = (0..10).filter(|&s| every.matches(salt, s)).collect();
+        assert_eq!(picked, vec![1, 4, 7]);
+        assert!(!Selector::Every { every: 0, phase: 0 }.matches(salt, 0));
+    }
+
+    #[test]
+    fn random_selector_is_deterministic_and_roughly_calibrated() {
+        let sel = Selector::Random {
+            seed: 42,
+            per_mille: 250,
+        };
+        let a: Vec<bool> = (0..4000).map(|s| sel.matches(7, s)).collect();
+        let b: Vec<bool> = (0..4000).map(|s| sel.matches(7, s)).collect();
+        assert_eq!(a, b, "same link, same picks");
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!(
+            (700..1300).contains(&hits),
+            "~25% of 4000 expected, got {hits}"
+        );
+        let other: Vec<bool> = (0..4000).map(|s| sel.matches(8, s)).collect();
+        assert_ne!(a, other, "different links decorrelate");
+    }
+
+    #[test]
+    fn link_compilation_filters_by_endpoint_and_session() {
+        let plan = FaultPlan::new().crash(2, 1, 10, 0).with(
+            1,
+            2,
+            FaultKind::Duplicate(Selector::Every { every: 1, phase: 0 }),
+        );
+        assert!(plan.link(2, 1, 0).is_some());
+        assert!(plan.link(2, 1, 1).is_none(), "crash pinned to session 0");
+        assert!(plan.link(1, 2, 3).is_some(), "unpinned rule spans sessions");
+        assert!(plan.link(0, 1, 0).is_none());
+    }
+
+    #[test]
+    fn severity_precedence_resolves_overlapping_rules() {
+        let plan = FaultPlan::new()
+            .with(1, 2, FaultKind::Duplicate(Selector::At(4)))
+            .with(1, 2, FaultKind::Drop(Selector::At(4)))
+            .with(
+                1,
+                2,
+                FaultKind::Delay {
+                    sel: Selector::At(6),
+                    hold: 2,
+                },
+            );
+        let chaos = plan.link(1, 2, 0).unwrap();
+        assert_eq!(chaos.fate(4), DataFate::Drop, "drop beats duplicate");
+        assert_eq!(chaos.fate(5), DataFate::Deliver);
+        assert_eq!(chaos.fate(6), DataFate::Hold { release_after: 8 });
+    }
+
+    #[test]
+    fn partition_and_crash_latch_from_their_threshold() {
+        let chaos = FaultPlan::new()
+            .partition(1, 2, 3, 0)
+            .link(1, 2, 0)
+            .unwrap();
+        assert_eq!(chaos.fate(2), DataFate::Deliver);
+        assert_eq!(chaos.fate(3), DataFate::Partition);
+        assert_eq!(chaos.fate(100), DataFate::Partition);
+        let chaos = FaultPlan::new().crash(1, 2, 3, 0).link(1, 2, 0).unwrap();
+        assert_eq!(chaos.fate(7), DataFate::Crash);
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan::new()
+            .crash(2, 0, 40, 0)
+            .partition(1, 2, 10, 0)
+            .with(
+                1,
+                2,
+                FaultKind::Delay {
+                    sel: Selector::Random {
+                        seed: 1,
+                        per_mille: 100,
+                    },
+                    hold: 3,
+                },
+            );
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -25,6 +25,21 @@
 //!   executive layer owns the schema).
 //! * `Bye` — graceful shutdown: the peer finished sending and will close
 //!   after draining. A connection that dies *without* `Bye` is a crash.
+//! * `Progress` / `SnapshotReq` / `Snapshot` / `SnapshotAck` / `Resume` —
+//!   the checkpoint/recovery plane. Workers report committed GVT
+//!   (`Progress`); the coordinator requests a checkpoint at a GVT
+//!   (`SnapshotReq`), each worker answers with its wire-encoded committed
+//!   delta (`Snapshot`), the coordinator confirms persistence
+//!   (`SnapshotAck`, letting workers advance their fossil pin), and after
+//!   a failure `Resume` re-seeds a worker with the accumulated checkpoint
+//!   payload for a new session epoch.
+//!
+//! `Hello` additionally carries a *session epoch*: recovery re-establishes
+//! the mesh under an incremented session, so connection attempts left over
+//! from a dead session fail the handshake instead of leaking stale frames
+//! into the resumed run. `Data` frames carry a per-link sequence number,
+//! letting receivers drop duplicates, reorder delayed frames back into
+//! send order, and detect gaps (lost frames) as an unclean link failure.
 
 use crate::aggregate::PhysMsg;
 use std::fmt;
@@ -35,7 +50,9 @@ use warp_core::wire::{
 use warp_core::{LpId, VirtualTime};
 
 /// Protocol version carried in `Hello`; bump on any frame-format change.
-pub const PROTO_VERSION: u16 = 1;
+/// v2: session epochs in `Hello`, per-link `Data` sequence numbers, and
+/// the checkpoint/recovery frames.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a frame body. Protects the decoder from allocating
 /// gigabytes off a corrupt or malicious length prefix.
@@ -52,9 +69,16 @@ pub enum Frame {
         proc_id: u32,
         /// Total process count the sender was configured with.
         n_procs: u32,
+        /// Mesh session epoch (0 on a fresh run; incremented by each
+        /// recovery re-establishment). Both sides must agree.
+        session: u32,
     },
     /// Application events between two LPs.
     Data {
+        /// Per-link monotone sequence number, assigned by the sending
+        /// link writer. Lets the receiver deduplicate, restore send
+        /// order, and detect frame loss.
+        seq: u64,
         /// Sender's Mattern epoch at transmission time.
         epoch: u32,
         /// The physical message (src/dst LPs + events).
@@ -80,6 +104,48 @@ pub enum Frame {
     Report(Vec<u8>),
     /// Graceful end-of-stream announcement.
     Bye,
+    /// Worker → coordinator: a freshly announced commit horizon.
+    Progress {
+        /// The GVT the worker's controller LP just announced.
+        gvt: VirtualTime,
+    },
+    /// Coordinator → workers: take a checkpoint of everything committed
+    /// below `gvt`.
+    SnapshotReq {
+        /// Checkpoint id, monotone within a session.
+        ckpt: u32,
+        /// The checkpoint horizon (an announced GVT).
+        gvt: VirtualTime,
+    },
+    /// Worker → coordinator: this worker's committed delta for one
+    /// checkpoint (opaque `warp_core::wire` bytes; `warp-exec` owns the
+    /// schema).
+    Snapshot {
+        /// Checkpoint id being answered.
+        ckpt: u32,
+        /// Echo of the checkpoint horizon.
+        gvt: VirtualTime,
+        /// Wire-encoded per-LP committed windows.
+        payload: Vec<u8>,
+    },
+    /// Coordinator → workers: checkpoint `ckpt` is persisted everywhere;
+    /// history below `gvt` may be fossil-collected.
+    SnapshotAck {
+        /// Checkpoint id now stable.
+        ckpt: u32,
+        /// The persisted horizon.
+        gvt: VirtualTime,
+    },
+    /// Coordinator → worker at the start of a recovery session: rebuild
+    /// from the accumulated checkpoint payload and resume from `gvt`.
+    Resume {
+        /// The session epoch this resume belongs to.
+        session: u32,
+        /// The restore horizon (the last persisted checkpoint GVT).
+        gvt: VirtualTime,
+        /// Concatenated checkpoint deltas (schema owned by `warp-exec`).
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -89,6 +155,11 @@ const TAG_GVT_NEWS: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_REPORT: u8 = 6;
 const TAG_BYE: u8 = 7;
+const TAG_PROGRESS: u8 = 8;
+const TAG_SNAPSHOT_REQ: u8 = 9;
+const TAG_SNAPSHOT: u8 = 10;
+const TAG_SNAPSHOT_ACK: u8 = 11;
+const TAG_RESUME: u8 = 12;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,11 +198,17 @@ impl Frame {
                 version,
                 proc_id,
                 n_procs,
+                session,
             } => {
-                w.u8(TAG_HELLO).u16(*version).u32(*proc_id).u32(*n_procs);
+                w.u8(TAG_HELLO)
+                    .u16(*version)
+                    .u32(*proc_id)
+                    .u32(*n_procs)
+                    .u32(*session);
             }
-            Frame::Data { epoch, msg } => {
+            Frame::Data { seq, epoch, msg } => {
                 w.u8(TAG_DATA)
+                    .u64(*seq)
                     .u32(*epoch)
                     .u32(msg.src.0)
                     .u32(msg.dst.0)
@@ -158,6 +235,32 @@ impl Frame {
             Frame::Bye => {
                 w.u8(TAG_BYE);
             }
+            Frame::Progress { gvt } => {
+                w.u8(TAG_PROGRESS);
+                write_vt(&mut w, *gvt);
+            }
+            Frame::SnapshotReq { ckpt, gvt } => {
+                w.u8(TAG_SNAPSHOT_REQ).u32(*ckpt);
+                write_vt(&mut w, *gvt);
+            }
+            Frame::Snapshot { ckpt, gvt, payload } => {
+                w.u8(TAG_SNAPSHOT).u32(*ckpt);
+                write_vt(&mut w, *gvt);
+                w.bytes(payload);
+            }
+            Frame::SnapshotAck { ckpt, gvt } => {
+                w.u8(TAG_SNAPSHOT_ACK).u32(*ckpt);
+                write_vt(&mut w, *gvt);
+            }
+            Frame::Resume {
+                session,
+                gvt,
+                payload,
+            } => {
+                w.u8(TAG_RESUME).u32(*session);
+                write_vt(&mut w, *gvt);
+                w.bytes(payload);
+            }
         }
         let body = w.finish();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -180,8 +283,10 @@ impl Frame {
                 version: r.u16().map_err(mal)?,
                 proc_id: r.u32().map_err(mal)?,
                 n_procs: r.u32().map_err(mal)?,
+                session: r.u32().map_err(mal)?,
             },
             TAG_DATA => {
+                let seq = r.u64().map_err(mal)?;
                 let epoch = r.u32().map_err(mal)?;
                 let src = LpId(r.u32().map_err(mal)?);
                 let dst = LpId(r.u32().map_err(mal)?);
@@ -199,6 +304,7 @@ impl Frame {
                     events.push(decode_event(&mut r).map_err(mal)?);
                 }
                 Frame::Data {
+                    seq,
                     epoch,
                     msg: PhysMsg { src, dst, events },
                 }
@@ -218,6 +324,27 @@ impl Frame {
             TAG_HEARTBEAT => Frame::Heartbeat,
             TAG_REPORT => Frame::Report(r.bytes().map_err(mal)?.to_vec()),
             TAG_BYE => Frame::Bye,
+            TAG_PROGRESS => Frame::Progress {
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_SNAPSHOT_REQ => Frame::SnapshotReq {
+                ckpt: r.u32().map_err(mal)?,
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_SNAPSHOT => Frame::Snapshot {
+                ckpt: r.u32().map_err(mal)?,
+                gvt: read_vt(&mut r).map_err(mal)?,
+                payload: r.bytes().map_err(mal)?.to_vec(),
+            },
+            TAG_SNAPSHOT_ACK => Frame::SnapshotAck {
+                ckpt: r.u32().map_err(mal)?,
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_RESUME => Frame::Resume {
+                session: r.u32().map_err(mal)?,
+                gvt: read_vt(&mut r).map_err(mal)?,
+                payload: r.bytes().map_err(mal)?.to_vec(),
+            },
             other => return Err(FrameError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -324,8 +451,10 @@ mod tests {
                 version: PROTO_VERSION,
                 proc_id: 2,
                 n_procs: 3,
+                session: 7,
             },
             Frame::Data {
+                seq: 41,
                 epoch: 4,
                 msg: PhysMsg {
                     src: LpId(1),
@@ -348,6 +477,27 @@ mod tests {
             Frame::Heartbeat,
             Frame::Report(b"{\"lp\":0}".to_vec()),
             Frame::Bye,
+            Frame::Progress {
+                gvt: VirtualTime::new(17),
+            },
+            Frame::SnapshotReq {
+                ckpt: 3,
+                gvt: VirtualTime::new(17),
+            },
+            Frame::Snapshot {
+                ckpt: 3,
+                gvt: VirtualTime::new(17),
+                payload: vec![0xAA; 9],
+            },
+            Frame::SnapshotAck {
+                ckpt: 3,
+                gvt: VirtualTime::new(17),
+            },
+            Frame::Resume {
+                session: 2,
+                gvt: VirtualTime::new(17),
+                payload: vec![],
+            },
         ]
     }
 
@@ -411,7 +561,7 @@ mod tests {
     #[test]
     fn impossible_event_count_is_rejected_without_allocation() {
         let mut w = warp_core::wire::PayloadWriter::new();
-        w.u8(2).u32(0).u32(0).u32(1).u32(u32::MAX);
+        w.u8(2).u64(0).u32(0).u32(0).u32(1).u32(u32::MAX);
         let body = w.finish();
         let mut raw = (body.len() as u32).to_le_bytes().to_vec();
         raw.extend_from_slice(&body);

@@ -14,6 +14,9 @@
 //!   length-prefixed, versioned frame codec over the canonical
 //!   `warp_core::wire` encoding, and a full TCP mesh of processes with
 //!   handshakes, heartbeats, and drain-then-close shutdown.
+//! * [`fault`] — deterministic, seeded fault injection (drop / duplicate
+//!   / delay / partition / crash) applied at the sending side of each TCP
+//!   link, so every recovery path is exercised reproducibly.
 //!
 //! The *network itself* — the 10 Mb Ethernet of the paper's testbed — is
 //! modeled by `warp_core::CostModel` (per-message CPU overheads, wire
@@ -23,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
 pub mod policy;
 pub mod tcp;
 
 pub use aggregate::{Aggregator, PhysMsg};
+pub use fault::{FaultKind, FaultPlan, FaultRule, Selector};
 pub use frame::{Frame, FrameDecoder, FrameError, PROTO_VERSION};
 pub use inproc::{mesh, Endpoint};
 pub use policy::AggregationConfig;

@@ -11,7 +11,19 @@
 //! matter) and *accepts* from every peer with a higher id. Both sides of
 //! a fresh connection immediately exchange [`Frame::Hello`]; a protocol
 //! version or topology mismatch aborts establishment with an error
-//! rather than letting two incompatible builds exchange garbage.
+//! rather than letting two incompatible builds exchange garbage. The
+//! `Hello` also carries the mesh *session epoch*: recovery tears the mesh
+//! down and re-establishes it under an incremented session, and an
+//! accepted connection claiming a different session (a zombie dial from
+//! the dead session) is simply dropped — the listener keeps accepting.
+//!
+//! Reliability: each link writer stamps outgoing [`Frame::Data`] frames
+//! with a per-link sequence number; the reader deduplicates, buffers
+//! ahead-of-order frames until the gap fills, and declares the link
+//! uncleanly down if a gap persists past the liveness timeout (a lost
+//! frame cannot be retransmitted — recovery restarts from a checkpoint
+//! instead). A [`FaultPlan`] in the config arms deterministic fault
+//! injection on the sending side of each link (see [`crate::fault`]).
 //!
 //! Liveness: each connection runs a writer thread (sends queued frames,
 //! injects [`Frame::Heartbeat`] when idle) and a reader thread (decodes
@@ -25,7 +37,9 @@
 //!
 //! [`inproc::mesh`]: crate::inproc::mesh
 
+use crate::fault::{DataFate, FaultPlan, LinkChaos};
 use crate::frame::{Frame, FrameDecoder, PROTO_VERSION};
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,26 +55,81 @@ pub struct TcpMeshConfig {
     pub proc_id: u32,
     /// Total number of processes in the mesh.
     pub n_procs: u32,
+    /// Mesh session epoch; both ends of every connection must agree
+    /// (0 on a fresh run, incremented on each recovery re-establishment).
+    pub session: u32,
     /// Idle interval after which the writer injects a heartbeat.
     pub heartbeat_interval: Duration,
-    /// Silence threshold after which a link is declared half-open.
+    /// Silence threshold after which a link is declared half-open. Also
+    /// bounds how long a data-frame sequence gap may persist before the
+    /// link is declared lossy (unclean).
     pub liveness_timeout: Duration,
     /// Total budget for establishing the full mesh (dial retries and
     /// accepts included).
     pub connect_timeout: Duration,
+    /// First dial-retry backoff.
+    pub dial_backoff_start: Duration,
+    /// Backoff ceiling (doubles from `dial_backoff_start` up to this).
+    pub dial_backoff_max: Duration,
+    /// Deterministic fault injection applied on the sending side of each
+    /// link (`None` = healthy links).
+    pub faults: Option<FaultPlan>,
 }
 
 impl TcpMeshConfig {
     /// Defaults tuned for loopback clusters: 500 ms heartbeats, 5 s
-    /// liveness, 30 s establishment budget.
+    /// liveness, 30 s establishment budget, 20 ms → 500 ms dial backoff,
+    /// session 0, no fault injection.
     pub fn new(proc_id: u32, n_procs: u32) -> Self {
         TcpMeshConfig {
             proc_id,
             n_procs,
+            session: 0,
             heartbeat_interval: Duration::from_millis(500),
             liveness_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_secs(30),
+            dial_backoff_start: Duration::from_millis(20),
+            dial_backoff_max: Duration::from_millis(500),
+            faults: None,
         }
+    }
+
+    /// Check the knobs for internal consistency. [`TcpMesh::establish`]
+    /// calls this; executives validate earlier to fail before spawning
+    /// processes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_procs == 0 {
+            return Err("n_procs must be at least 1".into());
+        }
+        if self.proc_id >= self.n_procs {
+            return Err(format!(
+                "proc_id {} out of range for {} procs",
+                self.proc_id, self.n_procs
+            ));
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat_interval must be positive".into());
+        }
+        if self.liveness_timeout <= self.heartbeat_interval {
+            return Err(format!(
+                "liveness_timeout ({:?}) must exceed heartbeat_interval ({:?}) \
+                 or every idle link is declared dead",
+                self.liveness_timeout, self.heartbeat_interval
+            ));
+        }
+        if self.connect_timeout.is_zero() {
+            return Err("connect_timeout must be positive".into());
+        }
+        if self.dial_backoff_start.is_zero() {
+            return Err("dial_backoff_start must be positive".into());
+        }
+        if self.dial_backoff_max < self.dial_backoff_start {
+            return Err(format!(
+                "dial_backoff_max ({:?}) below dial_backoff_start ({:?})",
+                self.dial_backoff_max, self.dial_backoff_start
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -98,6 +167,11 @@ struct Peer {
     /// Set when we start shutting down: bounds the reader's final drain
     /// so joining it cannot block on a peer that never says `Bye`.
     closing: Arc<AtomicBool>,
+    /// Set by `abort` only: tells the writer to exit at its next wakeup
+    /// even if it would otherwise write nothing — a *partitioned* link's
+    /// writer is deliberately silent, so a dead socket alone would never
+    /// make it return, and joining it would hang.
+    aborting: Arc<AtomicBool>,
     writer: JoinHandle<()>,
     reader: JoinHandle<()>,
 }
@@ -204,6 +278,8 @@ impl TcpMesh {
         listener: TcpListener,
         peer_addrs: &[(u32, SocketAddr)],
     ) -> io::Result<TcpMesh> {
+        cfg.validate()
+            .map_err(|m| io::Error::new(io::ErrorKind::InvalidInput, m))?;
         let deadline = Instant::now() + cfg.connect_timeout;
         let n = cfg.n_procs as usize;
         let mut links: Vec<Option<(TcpStream, FrameDecoder)>> = (0..n).map(|_| None).collect();
@@ -219,11 +295,17 @@ impl TcpMesh {
             let cfg = cfg.clone();
             dialers.push(thread::spawn(
                 move || -> io::Result<(u32, TcpStream, FrameDecoder)> {
-                    let stream = dial_with_backoff(addr, deadline)?;
-                    let (id, dec) = handshake(&stream, &cfg, deadline)?;
+                    let stream = dial_with_backoff(&cfg, addr, deadline)?;
+                    let (id, session, dec) = handshake(&stream, &cfg, deadline)?;
                     if id != peer {
                         return Err(proto_err(format!(
                             "dialed proc {peer} at {addr} but it identified as proc {id}"
+                        )));
+                    }
+                    if session != cfg.session {
+                        return Err(proto_err(format!(
+                            "session mismatch dialing proc {peer}: ours {}, peer {session}",
+                            cfg.session
                         )));
                     }
                     Ok((peer, stream, dec))
@@ -255,7 +337,25 @@ impl TcpMesh {
             match listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
-                    let (id, dec) = handshake(&stream, &cfg, deadline)?;
+                    // Bound each accepted handshake separately: a zombie
+                    // connection from a dead session that never writes
+                    // must not pin the whole establishment.
+                    let hs_deadline =
+                        deadline.min(Instant::now() + cfg.liveness_timeout.max(ACCEPT_HS_FLOOR));
+                    let (id, session, dec) = match handshake(&stream, &cfg, hs_deadline) {
+                        Ok(hs) => hs,
+                        // Version/topology mismatches and garbage are a
+                        // fatal build-skew signal...
+                        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
+                        // ...but a connection that stalls or dies mid-
+                        // handshake is just a stale dialer: keep accepting.
+                        Err(_) => continue,
+                    };
+                    if session != cfg.session {
+                        // A dial left over from a dead session; reject the
+                        // connection, not the establishment.
+                        continue;
+                    }
                     if id <= cfg.proc_id || id as usize >= n {
                         return Err(proto_err(format!(
                             "accepted a connection claiming proc id {id}, expected one of {}..{}",
@@ -291,9 +391,15 @@ impl TcpMesh {
             let (cmd_tx, cmd_rx) = mpsc::channel();
             let wr = stream.try_clone()?;
             let hb = cfg.heartbeat_interval;
+            let chaos = cfg
+                .faults
+                .as_ref()
+                .and_then(|p| p.link(cfg.proc_id, peer_id as u32, cfg.session));
+            let aborting = Arc::new(AtomicBool::new(false));
+            let aborting_w = Arc::clone(&aborting);
             let writer = thread::Builder::new()
                 .name(format!("mesh-w{}-{peer_id}", cfg.proc_id))
-                .spawn(move || writer_loop(wr, cmd_rx, hb))?;
+                .spawn(move || writer_loop(wr, cmd_rx, hb, chaos, aborting_w))?;
             let rd = stream.try_clone()?;
             let tx = event_tx.clone();
             let live = cfg.liveness_timeout;
@@ -307,6 +413,7 @@ impl TcpMesh {
                 cmd_tx,
                 stream,
                 closing,
+                aborting,
                 writer,
                 reader,
             });
@@ -341,6 +448,7 @@ impl TcpMesh {
     pub fn abort(mut self) {
         for peer in self.peers.iter().flatten() {
             peer.closing.store(true, Ordering::Relaxed);
+            peer.aborting.store(true, Ordering::Relaxed);
             let _ = peer.stream.shutdown(std::net::Shutdown::Both);
         }
         for peer in self.peers.iter_mut().filter_map(Option::take) {
@@ -351,12 +459,20 @@ impl TcpMesh {
     }
 }
 
+/// Floor on the per-connection handshake budget in the accept loop, so
+/// sub-second liveness settings (tests) don't reject slow genuine peers.
+const ACCEPT_HS_FLOOR: Duration = Duration::from_secs(2);
+
 fn proto_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn dial_with_backoff(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
-    let mut backoff = Duration::from_millis(20);
+fn dial_with_backoff(
+    cfg: &TcpMeshConfig,
+    addr: SocketAddr,
+    deadline: Instant,
+) -> io::Result<TcpStream> {
+    let mut backoff = cfg.dial_backoff_start;
     loop {
         let now = Instant::now();
         if now >= deadline {
@@ -370,25 +486,28 @@ fn dial_with_backoff(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStrea
             Ok(s) => return Ok(s),
             Err(_) => {
                 thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
-                backoff = (backoff * 2).min(Duration::from_millis(500));
+                backoff = (backoff * 2).min(cfg.dial_backoff_max);
             }
         }
     }
 }
 
 /// Exchange `Hello`s on a fresh connection. Returns the peer's claimed
-/// proc id plus a decoder holding any bytes the peer pipelined after
-/// its `Hello` — those must seed the reader, not be dropped.
+/// proc id and session epoch, plus a decoder holding any bytes the peer
+/// pipelined after its `Hello` — those must seed the reader, not be
+/// dropped. The caller decides what a session mismatch means (fatal for
+/// a dialer, skip-the-connection for the accept loop).
 fn handshake(
     stream: &TcpStream,
     cfg: &TcpMeshConfig,
     deadline: Instant,
-) -> io::Result<(u32, FrameDecoder)> {
+) -> io::Result<(u32, u32, FrameDecoder)> {
     stream.set_nodelay(true)?;
     let ours = Frame::Hello {
         version: PROTO_VERSION,
         proc_id: cfg.proc_id,
         n_procs: cfg.n_procs,
+        session: cfg.session,
     };
     (&*stream).write_all(&ours.encode())?;
 
@@ -407,7 +526,13 @@ fn handshake(
         }
         match (&*stream).read(&mut buf) {
             Ok(0) => {
-                return Err(proto_err("peer closed during handshake".into()));
+                // Not `InvalidData`: a vanished dialer is a liveness
+                // accident, not build skew, and the accept loop survives
+                // it.
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                ));
             }
             Ok(n) => dec.push(&buf[..n]),
             Err(e)
@@ -421,6 +546,7 @@ fn handshake(
             version,
             proc_id,
             n_procs,
+            session,
         } => {
             if version != PROTO_VERSION {
                 return Err(proto_err(format!(
@@ -433,7 +559,7 @@ fn handshake(
                     cfg.n_procs
                 )));
             }
-            Ok((proc_id, dec))
+            Ok((proc_id, session, dec))
         }
         other => Err(proto_err(format!(
             "expected Hello as the first frame, got {other:?}"
@@ -441,9 +567,101 @@ fn handshake(
     }
 }
 
-fn writer_loop(stream: TcpStream, cmd_rx: Receiver<WriterCmd>, heartbeat: Duration) {
+/// Per-link outbound state: data-frame sequence stamping, fault
+/// injection, and the buffer of frames a `Delay` rule is holding back.
+struct LinkTx {
+    next_seq: u64,
+    chaos: Option<LinkChaos>,
+    /// Held-back (delayed) encoded frames, keyed by the sequence number
+    /// whose transmission releases them.
+    held: Vec<(u64, Vec<u8>)>,
+    /// A `Partition` rule fired: the link is silent for the session.
+    partitioned: bool,
+}
+
+impl LinkTx {
+    fn new(chaos: Option<LinkChaos>) -> Self {
+        LinkTx {
+            next_seq: 0,
+            chaos,
+            held: Vec::new(),
+            partitioned: false,
+        }
+    }
+
+    /// Stamp and encode one outgoing frame into `out`, applying any
+    /// fault rules. Data frames consume a sequence number even when a
+    /// fault swallows them — that is exactly what makes the loss visible
+    /// to the receiver as a gap.
+    fn stage(&mut self, mut frame: Frame, out: &mut Vec<u8>) {
+        if self.partitioned {
+            return;
+        }
+        let Frame::Data { ref mut seq, .. } = frame else {
+            frame.encode_into(out);
+            return;
+        };
+        let s = self.next_seq;
+        self.next_seq += 1;
+        *seq = s;
+        let fate = self.chaos.as_ref().map_or(DataFate::Deliver, |c| c.fate(s));
+        match fate {
+            DataFate::Deliver => frame.encode_into(out),
+            DataFate::Duplicate => {
+                frame.encode_into(out);
+                frame.encode_into(out);
+            }
+            DataFate::Drop => {}
+            DataFate::Hold { release_after } => {
+                let mut bytes = Vec::new();
+                frame.encode_into(&mut bytes);
+                self.held.push((release_after, bytes));
+            }
+            DataFate::Partition => {
+                // Frames staged earlier in this batch still go out (they
+                // precede the partition point); everything from here on
+                // is swallowed, heartbeats included.
+                self.partitioned = true;
+                self.held.clear();
+                return;
+            }
+            DataFate::Crash => std::process::abort(),
+        }
+        // Frames the current one has now overtaken go out (reordered).
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= s {
+                let (_, bytes) = self.held.remove(i);
+                out.extend_from_slice(&bytes);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Release everything still held — on idle and before `Bye`, so a
+    /// delayed frame is never lost to quiescence or shutdown.
+    fn flush_held(&mut self, out: &mut Vec<u8>) {
+        if self.partitioned {
+            return;
+        }
+        self.held.sort_by_key(|(release, _)| *release);
+        for (_, bytes) in self.held.drain(..) {
+            out.extend_from_slice(&bytes);
+        }
+    }
+}
+
+fn writer_loop(
+    stream: TcpStream,
+    cmd_rx: Receiver<WriterCmd>,
+    heartbeat: Duration,
+    chaos: Option<LinkChaos>,
+    aborting: Arc<AtomicBool>,
+) {
     let mut w = &stream;
     let mut out = Vec::with_capacity(4096);
+    let mut tx = LinkTx::new(chaos);
     let say_bye = |mut w: &TcpStream| {
         let _ = w.write_all(&Frame::Bye.encode());
         let _ = w.flush();
@@ -453,14 +671,14 @@ fn writer_loop(stream: TcpStream, cmd_rx: Receiver<WriterCmd>, heartbeat: Durati
         match cmd_rx.recv_timeout(heartbeat) {
             Ok(WriterCmd::Frame(frame)) => {
                 out.clear();
-                frame.encode_into(&mut out);
+                tx.stage(frame, &mut out);
                 // Opportunistically coalesce whatever else is queued —
                 // without losing a Shutdown hiding behind the frames.
                 let mut shutdown_after = false;
                 loop {
                     match cmd_rx.try_recv() {
                         Ok(WriterCmd::Frame(f)) => {
-                            f.encode_into(&mut out);
+                            tx.stage(f, &mut out);
                             if out.len() > 1 << 20 {
                                 break;
                             }
@@ -472,21 +690,45 @@ fn writer_loop(stream: TcpStream, cmd_rx: Receiver<WriterCmd>, heartbeat: Durati
                         Err(_) => break,
                     }
                 }
-                if w.write_all(&out).is_err() {
+                if shutdown_after {
+                    tx.flush_held(&mut out);
+                }
+                if !out.is_empty() && w.write_all(&out).is_err() {
                     return; // reader reports the dead link
                 }
                 if shutdown_after {
-                    say_bye(w);
+                    if !tx.partitioned {
+                        say_bye(w);
+                    }
                     return;
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if w.write_all(&Frame::Heartbeat.encode()).is_err() {
+                // An abort slams the socket, but only a *write* would
+                // notice — and a partitioned link never writes. The flag
+                // is the sole way its writer learns the mesh is gone.
+                if aborting.load(Ordering::Relaxed) {
+                    return;
+                }
+                if tx.partitioned {
+                    continue; // a partitioned link heartbeats nothing
+                }
+                out.clear();
+                tx.flush_held(&mut out);
+                out.extend_from_slice(&Frame::Heartbeat.encode());
+                if w.write_all(&out).is_err() {
                     return;
                 }
             }
             Ok(WriterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
-                say_bye(w);
+                if !tx.partitioned {
+                    out.clear();
+                    tx.flush_held(&mut out);
+                    if !out.is_empty() && w.write_all(&out).is_err() {
+                        return;
+                    }
+                    say_bye(w);
+                }
                 return;
             }
         }
@@ -518,6 +760,11 @@ fn reader_loop(
     let mut last_byte = Instant::now();
     let mut buf = [0u8; 64 * 1024];
     let mut closing_since: Option<Instant> = None;
+    // Data-frame sequencing: the next expected number, frames that
+    // arrived ahead of a gap, and how long the oldest gap has persisted.
+    let mut expected_seq = 0u64;
+    let mut ahead: BTreeMap<u64, Frame> = BTreeMap::new();
+    let mut gap_since: Option<Instant> = None;
     loop {
         // Once our side starts shutting down, drain for at most the
         // liveness budget: a peer that is not shutting down yet keeps
@@ -534,8 +781,59 @@ fn reader_loop(
             match dec.next() {
                 Ok(Some(Frame::Heartbeat)) => {}
                 Ok(Some(Frame::Bye)) => {
-                    down(true, "peer said Bye".into());
+                    if ahead.is_empty() {
+                        down(true, "peer said Bye".into());
+                    } else {
+                        // The peer finished sending while we still wait
+                        // for a gap to fill: those frames are lost.
+                        down(
+                            false,
+                            format!(
+                                "peer said Bye but data frame {expected_seq} never arrived \
+                                 ({} buffered beyond the gap)",
+                                ahead.len()
+                            ),
+                        );
+                    }
                     return;
+                }
+                Ok(Some(frame @ Frame::Data { .. })) => {
+                    let Frame::Data { seq, .. } = &frame else {
+                        unreachable!()
+                    };
+                    let seq = *seq;
+                    if seq < expected_seq {
+                        // Duplicate of an already-delivered frame.
+                        continue;
+                    }
+                    if seq > expected_seq {
+                        // Ahead of a gap: buffer until the gap fills
+                        // (insert dedups ahead-of-order duplicates too).
+                        ahead.insert(seq, frame);
+                        gap_since.get_or_insert_with(Instant::now);
+                        continue;
+                    }
+                    if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
+                        return;
+                    }
+                    expected_seq += 1;
+                    while let Some(f) = ahead.remove(&expected_seq) {
+                        if events
+                            .send(MeshEvent::Frame {
+                                from: peer,
+                                frame: f,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        expected_seq += 1;
+                    }
+                    gap_since = if ahead.is_empty() {
+                        None
+                    } else {
+                        Some(Instant::now())
+                    };
                 }
                 Ok(Some(frame)) => {
                     if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
@@ -547,6 +845,18 @@ fn reader_loop(
                     down(false, format!("stream corrupt: {e}"));
                     return;
                 }
+            }
+        }
+        // A gap that outlives the liveness budget means the frame was
+        // lost, not reordered — there is no retransmission, so the link
+        // is broken for good.
+        if let Some(t) = gap_since {
+            if t.elapsed() > liveness {
+                down(
+                    false,
+                    format!("data frame {expected_seq} lost (gap persisted past {liveness:?})"),
+                );
+                return;
             }
         }
         match (&stream).read(&mut buf) {
@@ -580,23 +890,52 @@ mod tests {
     use warp_core::gvt::GvtToken;
     use warp_core::VirtualTime;
 
+    use crate::fault::{FaultKind, Selector};
+
     fn fast_cfg(proc_id: u32, n_procs: u32) -> TcpMeshConfig {
         TcpMeshConfig {
-            proc_id,
-            n_procs,
             heartbeat_interval: Duration::from_millis(40),
             liveness_timeout: Duration::from_millis(400),
             connect_timeout: Duration::from_secs(10),
+            ..TcpMeshConfig::new(proc_id, n_procs)
         }
     }
 
     fn pair() -> (TcpMesh, TcpMesh) {
+        pair_with(fast_cfg(0, 2), fast_cfg(1, 2))
+    }
+
+    fn pair_with(cfg0: TcpMeshConfig, cfg1: TcpMeshConfig) -> (TcpMesh, TcpMesh) {
         let l0 = bind_loopback().unwrap();
         let l1 = bind_loopback().unwrap();
         let a0 = l0.local_addr().unwrap();
-        let t = thread::spawn(move || TcpMesh::establish(fast_cfg(1, 2), l1, &[(0, a0)]).unwrap());
-        let m0 = TcpMesh::establish(fast_cfg(0, 2), l0, &[]).unwrap();
+        let t = thread::spawn(move || TcpMesh::establish(cfg1, l1, &[(0, a0)]).unwrap());
+        let m0 = TcpMesh::establish(cfg0, l0, &[]).unwrap();
         (m0, t.join().unwrap())
+    }
+
+    /// An empty-payload data frame; `epoch` doubles as the test's marker.
+    fn data(epoch: u32) -> Frame {
+        Frame::Data {
+            seq: 0, // stamped by the link writer
+            epoch,
+            msg: crate::aggregate::PhysMsg {
+                src: warp_core::LpId(0),
+                dst: warp_core::LpId(1),
+                events: vec![],
+            },
+        }
+    }
+
+    fn recv_data_epochs(m: &TcpMesh, n: usize) -> Vec<u32> {
+        let mut got = Vec::new();
+        while got.len() < n {
+            match expect_frame(m) {
+                (_, Frame::Data { epoch, .. }) => got.push(epoch),
+                (_, other) => panic!("expected Data, got {other:?}"),
+            }
+        }
+        got
     }
 
     fn token(round: u32) -> Frame {
@@ -744,6 +1083,7 @@ mod tests {
                 version: PROTO_VERSION + 1,
                 proc_id: 1,
                 n_procs: 2,
+                session: 0,
             };
             (&s).write_all(&bad.encode()).unwrap();
             // Hold the socket open long enough for the other side to read.
@@ -771,6 +1111,7 @@ mod tests {
                 version: PROTO_VERSION,
                 proc_id: 1,
                 n_procs: 2,
+                session: 0,
             };
             (&s).write_all(&hello.encode()).unwrap();
             let mut payload = Vec::new();
@@ -792,5 +1133,123 @@ mod tests {
         assert_eq!(expect_down(&m0), (1, true));
         m0.shutdown();
         rogue.join().unwrap();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_any_io() {
+        let mut cfg = fast_cfg(0, 2);
+        cfg.liveness_timeout = cfg.heartbeat_interval; // not strictly greater
+        let err = match TcpMesh::establish(cfg, bind_loopback().unwrap(), &[]) {
+            Ok(_) => panic!("invalid config must not establish"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("liveness"), "{err}");
+    }
+
+    #[test]
+    fn duplicated_data_frames_are_deduplicated_in_order() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(
+            0,
+            1,
+            FaultKind::Duplicate(Selector::Every { every: 1, phase: 0 }),
+        ));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..4 {
+            m0.send(1, data(epoch));
+        }
+        m0.send(1, token(77));
+        assert_eq!(recv_data_epochs(&m1, 4), vec![0, 1, 2, 3]);
+        // The token right behind the duplicates proves nothing extra was
+        // delivered in between.
+        assert_eq!(expect_frame(&m1), (0, token(77)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn delayed_data_frames_are_reordered_back() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(
+            0,
+            1,
+            FaultKind::Delay {
+                sel: Selector::At(0),
+                hold: 2,
+            },
+        ));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        // Frame 0 is held until frame 2 ships: wire order 1,2,0,3.
+        for epoch in 0..4 {
+            m0.send(1, data(epoch));
+        }
+        assert_eq!(recv_data_epochs(&m1, 4), vec![0, 1, 2, 3]);
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn dropped_data_frame_surfaces_as_unclean_loss() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(0, 1, FaultKind::Drop(Selector::At(1))));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..3 {
+            m0.send(1, data(epoch));
+        }
+        assert_eq!(recv_data_epochs(&m1, 1), vec![0]);
+        let (peer, clean) = expect_down(&m1);
+        assert_eq!(peer, 0);
+        assert!(!clean, "a lost frame is an unclean link failure");
+        m0.abort();
+        m1.abort();
+    }
+
+    #[test]
+    fn partitioned_link_goes_silent_and_trips_liveness() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().partition(0, 1, 0, 0));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        m0.send(1, data(0)); // swallowed by the partition
+        let (peer, clean) = expect_down(&m1);
+        assert_eq!(peer, 0);
+        assert!(!clean);
+        m0.abort();
+        m1.abort();
+    }
+
+    #[test]
+    fn stale_session_dial_is_skipped_not_fatal() {
+        let listener = bind_loopback().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.session = 1;
+        // A zombie from session 0 dials first; the genuine session-1 peer
+        // arrives behind it. Establishment must skip the zombie and
+        // complete with the real peer.
+        let zombie = thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            let stale = Frame::Hello {
+                version: PROTO_VERSION,
+                proc_id: 1,
+                n_procs: 2,
+                session: 0,
+            };
+            (&s).write_all(&stale.encode()).unwrap();
+            thread::sleep(Duration::from_millis(500));
+        });
+        let real = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(150));
+            let mut cfg1 = fast_cfg(1, 2);
+            cfg1.session = 1;
+            TcpMesh::establish(cfg1, bind_loopback().unwrap(), &[(0, addr)]).unwrap()
+        });
+        let m0 = TcpMesh::establish(cfg0, listener, &[]).unwrap();
+        let m1 = real.join().unwrap();
+        m1.send(0, token(5));
+        assert_eq!(expect_frame(&m0), (1, token(5)));
+        m0.shutdown();
+        m1.shutdown();
+        zombie.join().unwrap();
     }
 }

@@ -45,20 +45,25 @@ fn arb_event() -> impl Strategy<Value = Event> {
 
 fn arb_frame() -> BoxedStrategy<Frame> {
     prop_oneof![
-        (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(version, proc_id, n_procs)| {
-            Frame::Hello {
-                version,
-                proc_id,
-                n_procs,
+        (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(version, proc_id, n_procs, session)| {
+                Frame::Hello {
+                    version,
+                    proc_id,
+                    n_procs,
+                    session,
+                }
             }
-        }),
+        ),
         (
+            any::<u64>(),
             any::<u32>(),
             any::<u32>(),
             any::<u32>(),
             proptest::collection::vec(arb_event(), 0..5),
         )
-            .prop_map(|(epoch, src, dst, events)| Frame::Data {
+            .prop_map(|(seq, epoch, src, dst, events)| Frame::Data {
+                seq,
                 epoch,
                 msg: PhysMsg {
                     src: LpId(src),
@@ -84,6 +89,37 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         Just(Frame::Heartbeat),
         proptest::collection::vec(any::<u8>(), 0..96).prop_map(Frame::Report),
         Just(Frame::Bye),
+        any::<u64>().prop_map(|gvt| Frame::Progress {
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(ckpt, gvt)| Frame::SnapshotReq {
+            ckpt,
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(ckpt, gvt, payload)| Frame::Snapshot {
+                ckpt,
+                gvt: VirtualTime::from_ticks(gvt),
+                payload,
+            }),
+        (any::<u32>(), any::<u64>()).prop_map(|(ckpt, gvt)| Frame::SnapshotAck {
+            ckpt,
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(session, gvt, payload)| Frame::Resume {
+                session,
+                gvt: VirtualTime::from_ticks(gvt),
+                payload,
+            }),
     ]
     .boxed()
 }

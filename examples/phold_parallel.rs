@@ -95,9 +95,8 @@ fn main() {
         "inproc" => run_threaded(&spec),
         "tcp" => {
             let job = ClusterJob {
-                model: ModelSpec::Phold(cfg.clone()),
-                gvt_period: None,
                 collect_traces: true,
+                ..ClusterJob::new(ModelSpec::Phold(cfg.clone()), None)
             };
             let n_workers = (cfg.n_lps as u32).min(2);
             run_distributed_job(&job, n_workers, worker_bin(), Duration::from_secs(300))

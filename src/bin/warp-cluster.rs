@@ -1,0 +1,101 @@
+//! Coordinator CLI for distributed runs.
+//!
+//! Reads a `ClusterJob` as JSON (from a file argument, or stdin when no
+//! file is given), stages it across worker processes, and prints the
+//! merged `RunReport` as JSON on stdout.
+//!
+//! ```text
+//! warp-cluster [JOB.json] [--workers N] [--timeout SECS]
+//! ```
+//!
+//! The worker binary is taken from `WARP_WORKER_BIN`, falling back to a
+//! `warp-worker` sibling of this executable.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::time::Duration;
+use warped_online::cluster::{run_distributed_job, ClusterJob};
+
+fn usage() -> ! {
+    eprintln!("usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS]");
+    std::process::exit(2);
+}
+
+fn worker_bin() -> Result<PathBuf, String> {
+    if let Some(bin) = std::env::var_os("WARP_WORKER_BIN") {
+        return Ok(PathBuf::from(bin));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me.with_file_name("warp-worker");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "no worker binary: set WARP_WORKER_BIN or install warp-worker next to {}",
+            me.display()
+        ))
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut job_file: Option<PathBuf> = None;
+    let mut n_workers: u32 = 2;
+    let mut timeout = Duration::from_secs(300);
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workers" => {
+                n_workers = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--timeout" => {
+                let secs: u64 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => {
+                if job_file.replace(PathBuf::from(arg)).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+
+    let job_json = match &job_file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading job from stdin: {e}"))?;
+            buf
+        }
+    };
+    let job: ClusterJob =
+        serde_json::from_str(&job_json).map_err(|e| format!("undecodable ClusterJob: {e}"))?;
+
+    let report =
+        run_distributed_job(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
+    eprintln!("{}", report.summary_line());
+    println!(
+        "{}",
+        serde_json::to_string(&report).map_err(|e| format!("report encode: {e}"))?
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("warp-cluster: {e}");
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,9 @@
 //! protocol and `warped_online::cluster` for the model vocabulary.
 //!
 //! Exit codes: 0 success, 2 bootstrap/run error (printed to stderr),
-//! 3 a peer process was lost mid-run.
+//! 3 orphaned or unrecoverable — the coordinator died (stdin/stdout
+//! closed, or no recovery instructions arrived in time) or a peer was
+//! lost with recovery disabled.
 
 fn main() {
     if let Err(e) = warp_exec::worker_main(&warped_online::cluster::spec_from_model_json) {

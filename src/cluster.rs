@@ -13,9 +13,10 @@
 //! `warp-worker` binary, done.
 
 use serde::{Deserialize, Serialize};
-use warp_exec::distributed::{run_coordinator, DistConfig, DistError};
+use warp_exec::distributed::{run_coordinator, DistConfig, DistError, NetTuning, RecoveryPolicy};
 use warp_exec::{RunReport, SimulationSpec};
 use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
+use warp_net::FaultPlan;
 
 /// A serializable model choice for distributed runs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -51,9 +52,32 @@ pub struct ClusterJob {
     /// Record per-object committed-trace digests.
     #[serde(default)]
     pub collect_traces: bool,
+    /// Transport tuning (heartbeats, liveness, dial backoff) applied to
+    /// every process in the mesh.
+    #[serde(default)]
+    pub net: NetTuning,
+    /// Checkpoint-and-recovery policy for the run.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault plan to inject into the mesh (`None` =
+    /// healthy links); mostly for chaos tests.
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 impl ClusterJob {
+    /// A job with default transport tuning, recovery on, healthy links.
+    pub fn new(model: ModelSpec, gvt_period: Option<f64>) -> Self {
+        ClusterJob {
+            model,
+            gvt_period,
+            collect_traces: false,
+            net: NetTuning::default(),
+            recovery: RecoveryPolicy::default(),
+            fault: None,
+        }
+    }
+
     /// The fully-configured simulation spec this job describes.
     pub fn spec(&self) -> SimulationSpec {
         let mut spec = self.model.base_spec().with_gvt_period(self.gvt_period);
@@ -94,6 +118,9 @@ pub fn run_distributed_job(
         model,
         n_lps: job.n_lps(),
         timeout,
+        net: job.net.clone(),
+        recovery: job.recovery.clone(),
+        fault: job.fault.clone(),
     })
 }
 
@@ -104,9 +131,8 @@ mod tests {
     #[test]
     fn cluster_job_round_trips_as_json() {
         let job = ClusterJob {
-            model: ModelSpec::Smmp(SmmpConfig::small(50, 7)),
-            gvt_period: None,
             collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Smmp(SmmpConfig::small(50, 7)), None)
         };
         let v = serde_json::to_value(&job).unwrap();
         let spec = spec_from_model_json(&v).unwrap();
@@ -118,20 +144,14 @@ mod tests {
     #[test]
     fn each_model_variant_builds_a_spec() {
         let jobs = [
+            ClusterJob::new(ModelSpec::Phold(PholdConfig::new(50, 1)), Some(0.02)),
             ClusterJob {
-                model: ModelSpec::Phold(PholdConfig::new(50, 1)),
-                gvt_period: Some(0.02),
-                collect_traces: false,
+                collect_traces: true,
+                ..ClusterJob::new(ModelSpec::Smmp(SmmpConfig::small(20, 2)), None)
             },
             ClusterJob {
-                model: ModelSpec::Smmp(SmmpConfig::small(20, 2)),
-                gvt_period: None,
                 collect_traces: true,
-            },
-            ClusterJob {
-                model: ModelSpec::Raid(RaidConfig::small(20, 3)),
-                gvt_period: None,
-                collect_traces: true,
+                ..ClusterJob::new(ModelSpec::Raid(RaidConfig::small(20, 3)), None)
             },
         ];
         for job in jobs {

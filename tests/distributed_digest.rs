@@ -48,9 +48,8 @@ fn assert_distributed_matches_sequential(job: ClusterJob, n_workers: u32) {
 fn smmp_two_workers_commit_the_sequential_history() {
     assert_distributed_matches_sequential(
         ClusterJob {
-            model: ModelSpec::Smmp(SmmpConfig::small(60, 11)),
-            gvt_period: None,
             collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Smmp(SmmpConfig::small(60, 11)), None)
         },
         2,
     );
@@ -60,9 +59,8 @@ fn smmp_two_workers_commit_the_sequential_history() {
 fn raid_two_workers_commit_the_sequential_history() {
     assert_distributed_matches_sequential(
         ClusterJob {
-            model: ModelSpec::Raid(RaidConfig::small(60, 12)),
-            gvt_period: None,
             collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Raid(RaidConfig::small(60, 12)), None)
         },
         2,
     );
@@ -81,9 +79,8 @@ fn phold_multiple_lps_per_worker() {
     };
     assert_distributed_matches_sequential(
         ClusterJob {
-            model: ModelSpec::Phold(cfg),
-            gvt_period: None,
             collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Phold(cfg), None)
         },
         2,
     );

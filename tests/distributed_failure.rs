@@ -25,9 +25,8 @@ fn killed_worker_is_a_clean_error_not_a_hang() {
     let started = Instant::now();
     let result = run_distributed_job(
         &ClusterJob {
-            model: ModelSpec::Smmp(SmmpConfig::small(40, 3)),
-            gvt_period: None,
             collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Smmp(SmmpConfig::small(40, 3)), None)
         },
         2,
         worker_bin(),

@@ -1,0 +1,196 @@
+//! Chaos tests for the distributed executive's checkpoint/recovery
+//! machinery: under a deterministic fault plan — a worker crash, a link
+//! partition, message duplication — the run must still finish and commit
+//! *exactly* the history the sequential golden model commits, with the
+//! recovery count recorded in the merged report.
+//!
+//! Kept separate from `distributed_digest.rs` (fault-free baseline) and
+//! `distributed_failure.rs` (its crash hook is a process-global env var).
+
+use std::path::PathBuf;
+use std::time::Duration;
+use warp_exec::distributed::{NetTuning, RecoveryPolicy};
+use warp_exec::run_sequential;
+use warp_net::{FaultKind, FaultPlan, Selector};
+use warped_online::cluster::{run_distributed_job, ClusterJob, ModelSpec};
+use warped_online::models::PholdConfig;
+
+fn worker_bin() -> PathBuf {
+    std::env::var_os("WARP_WORKER_BIN")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_BIN_EXE_warp-worker")))
+}
+
+/// PHOLD with 4 LPs over 2 workers and plenty of cross-process traffic:
+/// the model every chaos scenario below runs.
+fn phold_job() -> ClusterJob {
+    let cfg = PholdConfig {
+        n_objects: 16,
+        n_lps: 4,
+        population_per_object: 2,
+        ttl: 150,
+        ..PholdConfig::new(150, 5)
+    };
+    ClusterJob {
+        collect_traces: true,
+        recovery: RecoveryPolicy {
+            enabled: true,
+            max_recoveries: 3,
+            ckpt_min_interval_ms: 0,
+        },
+        ..ClusterJob::new(ModelSpec::Phold(cfg), None)
+    }
+}
+
+fn run_with_faults(job: ClusterJob) -> warp_exec::RunReport {
+    let spec = job.spec();
+    let seq = run_sequential(&spec);
+    let dist = run_distributed_job(&job, 2, worker_bin(), Duration::from_secs(120))
+        .expect("distributed run with faults failed");
+
+    assert_eq!(
+        dist.committed_events, seq.committed_events,
+        "committed event counts diverged under faults"
+    );
+    let seq_digests = seq.trace_digests();
+    assert!(
+        !seq_digests.is_empty(),
+        "test must actually compare digests"
+    );
+    assert_eq!(
+        dist.trace_digests(),
+        seq_digests,
+        "faults changed the committed history vs. the sequential golden model"
+    );
+    dist
+}
+
+#[test]
+fn worker_crash_mid_run_recovers_and_commits_the_sequential_history() {
+    // Worker 2 aborts (no Bye, no flush) the moment it sends its 200th
+    // data frame to worker 1, in session 0 only. The coordinator must
+    // respawn it, restore both workers from the checkpoint chain, and
+    // finish with a byte-identical committed trace.
+    let job = ClusterJob {
+        fault: Some(FaultPlan::new().crash(2, 1, 200, 0)),
+        ..phold_job()
+    };
+    let report = run_with_faults(job);
+    assert!(
+        report.recoveries >= 1,
+        "the crash never fired — no recovery was exercised"
+    );
+}
+
+#[test]
+fn link_partition_recovers_with_every_process_surviving() {
+    // The worker-2 → worker-1 link goes completely silent (heartbeats
+    // included) after 150 data frames; worker 1's liveness timeout must
+    // declare it dead and the abort cascade must reach the coordinator,
+    // which re-establishes the mesh with both original processes as
+    // survivors.
+    let job = ClusterJob {
+        net: NetTuning {
+            heartbeat_ms: 100,
+            liveness_ms: 1000,
+            ..NetTuning::default()
+        },
+        fault: Some(FaultPlan::new().partition(2, 1, 150, 0)),
+        ..phold_job()
+    };
+    let report = run_with_faults(job);
+    assert!(
+        report.recoveries >= 1,
+        "the partition never fired — no recovery was exercised"
+    );
+}
+
+#[test]
+fn duplicated_messages_are_absorbed_without_recovery() {
+    // Every data frame from worker 2 to worker 1 is sent twice, in every
+    // session. The receiver's sequence dedup must absorb the copies: no
+    // recovery, same committed history.
+    let job = ClusterJob {
+        fault: Some(FaultPlan::new().with(
+            2,
+            1,
+            FaultKind::Duplicate(Selector::Every { every: 1, phase: 0 }),
+        )),
+        ..phold_job()
+    };
+    let report = run_with_faults(job);
+    assert_eq!(
+        report.recoveries, 0,
+        "duplication alone must not trigger recovery"
+    );
+}
+
+/// A coordinator that dies mid-run must not leave worker processes
+/// behind: each worker notices on its own (mesh slam or closed stdio)
+/// and exits within the liveness bound.
+#[cfg(target_os = "linux")]
+#[test]
+fn workers_exit_on_their_own_when_the_coordinator_dies() {
+    use std::io::Write;
+    use std::process::Command;
+    use std::time::Instant;
+
+    let job = ClusterJob {
+        net: NetTuning {
+            heartbeat_ms: 100,
+            liveness_ms: 1000,
+            ..NetTuning::default()
+        },
+        ..phold_job()
+    };
+    let job_path =
+        std::env::temp_dir().join(format!("warp-orphan-job-{}.json", std::process::id()));
+    let mut f = std::fs::File::create(&job_path).expect("create job file");
+    f.write_all(serde_json::to_string(&job).unwrap().as_bytes())
+        .expect("write job file");
+    drop(f);
+
+    // WARP_COORD_TEST_CRASH makes the coordinator abort() at the first
+    // GVT progress report — a kill -9 as far as the workers can tell.
+    let out = Command::new(env!("CARGO_BIN_EXE_warp-cluster"))
+        .arg(&job_path)
+        .arg("--workers")
+        .arg("2")
+        .env("WARP_WORKER_BIN", worker_bin())
+        .env("WARP_COORD_TEST_CRASH", "1")
+        .env("WARP_ANNOUNCE_WORKERS", "1")
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn warp-cluster");
+    let _ = std::fs::remove_file(&job_path);
+    assert!(
+        !out.status.success(),
+        "the coordinator was supposed to crash"
+    );
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let pids: Vec<u32> = stderr
+        .lines()
+        .filter_map(|l| l.strip_prefix("WORKER_PID "))
+        .filter_map(|rest| rest.split_whitespace().nth(1))
+        .filter_map(|p| p.parse().ok())
+        .collect();
+    assert_eq!(pids.len(), 2, "expected 2 worker pids in: {stderr}");
+
+    // liveness (1s) + the bounded recovery wait (10 × liveness) + slack.
+    let deadline = Instant::now() + Duration::from_secs(45);
+    for pid in pids {
+        loop {
+            if !std::path::Path::new(&format!("/proc/{pid}")).exists() {
+                break;
+            }
+            // A reused pid or a zombie entry both read as "alive"; the
+            // zombie case cannot happen (init reaps orphans promptly).
+            assert!(
+                Instant::now() < deadline,
+                "worker pid {pid} still alive long after its coordinator died"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+}
