@@ -1,0 +1,135 @@
+//! Plot a recorded control trajectory: every χ step the hill-climbers
+//! took, per object, over GVT — the picture of the on-line configurator
+//! at work (converging, oscillating, or stuck).
+//!
+//! ```text
+//! cargo run --release -p warp-bench --bin trajectory [TELEMETRY.jsonl]
+//! ```
+//!
+//! With a file argument, plots a telemetry dump produced by
+//! `warp-cluster --telemetry`, an example's `--telemetry` flag, or any
+//! `TelemetryReport::to_jsonl` output. Without one, runs an adaptive
+//! SMMP configuration with telemetry enabled and plots its own trace.
+
+use std::sync::Arc;
+use warp_bench::scaled;
+use warp_bench::svg::{Chart, Line, Scale};
+use warp_control::{AdaptRule, DynamicCancellation, DynamicCheckpoint};
+use warp_core::policy::ObjectPolicies;
+use warp_exec::run_virtual;
+use warp_models::SmmpConfig;
+use warp_telemetry::{Param, TelemetryReport};
+
+/// Self-generated trace: adaptive SMMP, telemetry on.
+fn record_adaptive_smmp() -> TelemetryReport {
+    let spec = SmmpConfig::paper(scaled(150, 30), 7)
+        .spec()
+        .with_policies(Arc::new(|_| {
+            ObjectPolicies::new(
+                Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+                Box::new(DynamicCheckpoint::with_rule(
+                    1,
+                    64,
+                    32,
+                    AdaptRule::HillClimb,
+                )),
+            )
+        }))
+        .with_gvt_period(Some(0.01))
+        .with_telemetry();
+    let report = run_virtual(&spec);
+    println!("{}", report.summary_line());
+    println!("{}", report.adaptation_summary());
+    report.telemetry.expect("telemetry was enabled")
+}
+
+fn main() {
+    let (telem, source) = match std::env::args().nth(1) {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let telem = TelemetryReport::from_jsonl(&text)
+                .unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+            (telem, path)
+        }
+        None => (record_adaptive_smmp(), "adaptive SMMP".into()),
+    };
+    println!("{}", telem.summary_line());
+
+    // One stepped line per object that ever moved χ; objects are ranked
+    // by how often their tuner acted so a busy trace stays readable.
+    type Step = (Option<u64>, f64, f64);
+    let mut per_object: Vec<(u32, Vec<Step>)> = Vec::new();
+    for ev in telem.events.iter().filter(|e| e.param == Param::Chi) {
+        match per_object.iter_mut().find(|(o, _)| *o == ev.object) {
+            Some((_, steps)) => steps.push((ev.gvt, ev.old, ev.new)),
+            None => per_object.push((ev.object, vec![(ev.gvt, ev.old, ev.new)])),
+        }
+    }
+    assert!(
+        !per_object.is_empty(),
+        "no χ transitions in {source} — was a dynamic checkpoint tuner configured?"
+    );
+    per_object.sort_by_key(|(o, steps)| (std::cmp::Reverse(steps.len()), *o));
+    const MAX_LINES: usize = 8;
+    let dropped = per_object.len().saturating_sub(MAX_LINES);
+    per_object.truncate(MAX_LINES);
+
+    // Prefer GVT on the x-axis; a trace whose events were all drained at
+    // the terminal (infinite) round falls back to the decision index.
+    let gvt_known = per_object
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .filter(|(g, _, _)| g.is_some())
+        .count();
+    let total: usize = per_object.iter().map(|(_, s)| s.len()).sum();
+    let by_gvt = gvt_known * 2 >= total;
+
+    let lines: Vec<Line> = per_object
+        .iter()
+        .map(|(object, steps)| {
+            let mut points = Vec::new();
+            for (i, (gvt, old, new)) in steps.iter().enumerate() {
+                let x = if by_gvt {
+                    match gvt {
+                        Some(g) => *g as f64,
+                        None => continue,
+                    }
+                } else {
+                    i as f64
+                };
+                // Stepped: close the previous interval, then jump.
+                points.push((x, *old));
+                points.push((x, *new));
+            }
+            Line {
+                label: format!("object {object}"),
+                points,
+            }
+        })
+        .collect();
+
+    let chart = Chart {
+        title: format!(
+            "Control trajectory: χ per object ({} transitions{})",
+            total,
+            if dropped > 0 {
+                format!(", {dropped} quieter objects omitted")
+            } else {
+                String::new()
+            }
+        ),
+        x_label: if by_gvt {
+            "GVT (ticks)".into()
+        } else {
+            "control decision #".into()
+        },
+        y_label: "checkpoint interval χ".into(),
+        x_scale: Scale::Linear,
+        lines,
+    };
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/trajectory_chi.svg";
+    std::fs::write(path, chart.render()).expect("write SVG");
+    println!("wrote {path}");
+}

@@ -167,6 +167,12 @@ impl CancellationSelector for DynamicCancellation {
         }
     }
 
+    fn sampled_output(&self) -> Option<f64> {
+        // The Hit Ratio is the control output `O` behind every decision
+        // this selector makes; telemetry records it beside each flip.
+        Some(self.hit_ratio())
+    }
+
     fn name(&self) -> &'static str {
         self.label
     }

@@ -46,8 +46,8 @@ pub use lp::LpRuntime;
 pub use object::{ErasedState, ExecutionContext, ObjectState, SimObject};
 pub use partition::Partition;
 pub use policy::{
-    CancellationMode, CancellationSelector, CheckpointTuner, FixedCancellation, FixedCheckpoint,
-    ObjectPolicies,
+    CancellationMode, CancellationSelector, CheckpointTuner, ControlChange, ControlTransition,
+    FixedCancellation, FixedCheckpoint, ObjectPolicies,
 };
 pub use runtime::ObjectRuntime;
 pub use stats::{CommStats, ObjectStats};

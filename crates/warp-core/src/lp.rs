@@ -241,6 +241,24 @@ impl LpRuntime {
         c
     }
 
+    /// Switch control-transition recording on or off for every object
+    /// (telemetry; off by default, purely observational).
+    pub fn set_record_control(&mut self, on: bool) {
+        for o in &mut self.objects {
+            o.set_record_control(on);
+        }
+    }
+
+    /// Drain the controller decisions recorded across the LP's objects
+    /// since the last drain, in per-object order.
+    pub fn take_control_log(&mut self) -> Vec<crate::policy::ControlTransition> {
+        let mut log = Vec::new();
+        for o in &mut self.objects {
+            log.extend(o.take_control_log());
+        }
+        log
+    }
+
     /// Merged statistics over the LP's objects.
     pub fn stats(&self) -> ObjectStats {
         let mut s = ObjectStats::default();

@@ -10,6 +10,8 @@
 //! crate. The third facet (message aggregation) is configured in the
 //! communication layer — see `warp-net`.
 
+use crate::ids::ObjectId;
+use crate::time::VirtualTime;
 use serde::{Deserialize, Serialize};
 
 /// The cancellation strategy in force at an object.
@@ -57,6 +59,14 @@ pub trait CancellationSelector: Send {
     /// Processed events between control invocations (`0` = never invoke).
     fn period(&self) -> u64 {
         0
+    }
+
+    /// The sampled control output `O` behind the policy's most recent
+    /// decision — the Hit Ratio for the dynamic selectors. `None` for
+    /// static policies, which sample nothing; telemetry records the
+    /// value alongside each strategy flip.
+    fn sampled_output(&self) -> Option<f64> {
+        None
     }
 
     /// Short policy name for reports ("AC", "LC", "DC", ...).
@@ -125,6 +135,55 @@ impl CheckpointTuner for FixedCheckpoint {
     fn name(&self) -> &'static str {
         "periodic"
     }
+}
+
+/// One controller decision, captured at the moment the kernel applied
+/// it: which parameter moved, from what to what, and the sampled output
+/// `O` that drove the transfer function. The kernel records these (when
+/// telemetry recording is switched on — see
+/// [`ObjectRuntime::set_record_control`](crate::runtime::ObjectRuntime::set_record_control))
+/// with the object's local clock; the executive stamps on the GVT and LP
+/// when it drains the log at a control-period boundary.
+///
+/// Checkpoint transitions are recorded at *every* tuner invocation, even
+/// when χ did not move: the dynamic tuners carry internal state (last
+/// `Ec`, walk direction) that updates on every invocation, so replaying
+/// a trajectory from the recorded `sampled_o` sequence only reproduces
+/// the run if no invocation is missing. Cancellation transitions are
+/// recorded only on actual mode flips.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlTransition {
+    /// The object whose controller fired.
+    pub object: ObjectId,
+    /// The object's LVT when the decision was applied.
+    pub lvt: VirtualTime,
+    /// Which parameter moved, and how.
+    pub change: ControlChange,
+}
+
+/// The parameter-specific payload of a [`ControlTransition`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ControlChange {
+    /// A checkpoint-interval tuner invocation (χ hill-climb step).
+    Checkpoint {
+        /// χ before the invocation.
+        old: u32,
+        /// χ after (equal to `old` when the tuner held still).
+        new: u32,
+        /// The sampled cost index `Ec` (save + coast cost) handed to the
+        /// tuner.
+        sampled_o: f64,
+    },
+    /// A cancellation-strategy flip (A2L or L2A).
+    Cancellation {
+        /// Mode before the flip.
+        old: CancellationMode,
+        /// Mode after.
+        new: CancellationMode,
+        /// The selector's sampled output (Hit Ratio), `NaN` when the
+        /// policy exposes none.
+        sampled_o: f64,
+    },
 }
 
 /// Boxed policy pair for one object, with defaults matching the paper's

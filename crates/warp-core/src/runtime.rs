@@ -12,7 +12,7 @@ use crate::error::KernelError;
 use crate::event::{Event, EventId, EventKey};
 use crate::ids::ObjectId;
 use crate::object::{ExecutionContext, SimObject};
-use crate::policy::{CancellationMode, ObjectPolicies};
+use crate::policy::{CancellationMode, ControlChange, ControlTransition, ObjectPolicies};
 use crate::queues::{InputQueue, Inserted, OutputQueue, StateQueue};
 use crate::stats::ObjectStats;
 use crate::time::VirtualTime;
@@ -119,7 +119,19 @@ pub struct ObjectRuntime {
     stats: ObjectStats,
     /// Modeled CPU seconds charged since the executive last drained.
     cost_acc: f64,
+    /// Telemetry: controller decisions since the executive last drained.
+    /// Strictly observational — recording charges no modeled cost and
+    /// never touches the event path, so a run's committed trace is
+    /// byte-identical with recording on or off.
+    control_log: Vec<ControlTransition>,
+    record_control: bool,
 }
+
+/// Upper bound on the undrained control log. Executives drain at every
+/// GVT round; the cap only matters for drivers that never drain (the
+/// sequential golden model), where it stops the log growing with the
+/// run. Oldest entries are kept, newest dropped.
+const CONTROL_LOG_CAP: usize = 1 << 16;
 
 impl ObjectRuntime {
     /// Wrap a simulation object with its per-object policies.
@@ -142,6 +154,8 @@ impl ObjectRuntime {
             monitor_pending: Vec::new(),
             stats: ObjectStats::default(),
             cost_acc: 0.0,
+            control_log: Vec::new(),
+            record_control: false,
         }
     }
 
@@ -178,6 +192,27 @@ impl ObjectRuntime {
     /// Drain the modeled CPU seconds charged since the last drain.
     pub fn take_cost(&mut self) -> f64 {
         std::mem::replace(&mut self.cost_acc, 0.0)
+    }
+
+    /// Switch control-transition recording on or off (off by default).
+    /// Recording is purely observational: it charges no modeled cost.
+    pub fn set_record_control(&mut self, on: bool) {
+        self.record_control = on;
+    }
+
+    /// Drain the controller decisions recorded since the last drain.
+    pub fn take_control_log(&mut self) -> Vec<ControlTransition> {
+        std::mem::take(&mut self.control_log)
+    }
+
+    fn record_transition(&mut self, change: ControlChange) {
+        if self.control_log.len() < CONTROL_LOG_CAP {
+            self.control_log.push(ControlTransition {
+                object: self.id,
+                lvt: self.lvt,
+                change,
+            });
+        }
     }
 
     /// Lower bound this object imposes on GVT: its next unprocessed event
@@ -564,6 +599,18 @@ impl ObjectRuntime {
                 let before = self.policies.cancellation.mode();
                 if let Some(m) = self.policies.cancellation.invoke() {
                     if m != before {
+                        if self.record_control {
+                            let sampled_o = self
+                                .policies
+                                .cancellation
+                                .sampled_output()
+                                .unwrap_or(f64::NAN);
+                            self.record_transition(ControlChange::Cancellation {
+                                old: before,
+                                new: m,
+                                sampled_o,
+                            });
+                        }
                         self.switch_mode(m, out);
                     }
                 }
@@ -581,6 +628,16 @@ impl ObjectRuntime {
                 if let Some(chi) = self.policies.checkpoint.invoke(save, coast) {
                     if chi != before {
                         self.stats.interval_adjustments += 1;
+                    }
+                    if self.record_control {
+                        // Every invocation, moved or not: the tuner's
+                        // internal state advanced either way, and the χ
+                        // trajectory only replays from a gapless log.
+                        self.record_transition(ControlChange::Checkpoint {
+                            old: before,
+                            new: chi,
+                            sampled_o: save + coast,
+                        });
                     }
                 }
             }
@@ -930,6 +987,144 @@ mod tests {
         r.deliver(incoming(8, 0, 61, 50), &cost, &mut out);
         while r.process_next(&cost, &mut out) {}
         assert!(r.stats().straggler_rollbacks == 1);
+    }
+
+    /// Scripted tuner: χ follows a fixed schedule, one step per invoke.
+    struct ScriptedTuner {
+        schedule: Vec<u32>,
+        calls: usize,
+        chi: u32,
+    }
+    impl crate::policy::CheckpointTuner for ScriptedTuner {
+        fn interval(&self) -> u32 {
+            self.chi
+        }
+        fn invoke(&mut self, _save: f64, _coast: f64) -> Option<u32> {
+            if self.calls < self.schedule.len() {
+                self.chi = self.schedule[self.calls];
+            }
+            self.calls += 1;
+            Some(self.chi)
+        }
+        fn period(&self) -> u64 {
+            2
+        }
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    /// Scripted selector: flips mode on every invocation.
+    struct FlipSelector {
+        mode: CancellationMode,
+    }
+    impl crate::policy::CancellationSelector for FlipSelector {
+        fn mode(&self) -> CancellationMode {
+            self.mode
+        }
+        fn invoke(&mut self) -> Option<CancellationMode> {
+            self.mode = match self.mode {
+                CancellationMode::Aggressive => CancellationMode::Lazy,
+                CancellationMode::Lazy => CancellationMode::Aggressive,
+            };
+            Some(self.mode)
+        }
+        fn period(&self) -> u64 {
+            3
+        }
+        fn sampled_output(&self) -> Option<f64> {
+            Some(0.25)
+        }
+        fn name(&self) -> &'static str {
+            "flip"
+        }
+    }
+
+    fn scripted_rt(record: bool) -> ObjectRuntime {
+        let mut r = ObjectRuntime::new(
+            ObjectId(0),
+            Box::new(Acc {
+                peer: ObjectId(1),
+                state: AccState { sum: 0 },
+            }),
+            ObjectPolicies::new(
+                Box::new(FlipSelector {
+                    mode: CancellationMode::Aggressive,
+                }),
+                Box::new(ScriptedTuner {
+                    schedule: vec![2, 2, 5],
+                    calls: 0,
+                    chi: 1,
+                }),
+            ),
+        );
+        r.set_record_control(record);
+        r
+    }
+
+    #[test]
+    fn control_log_captures_every_ckpt_invoke_and_only_mode_flips() {
+        let cost = CostModel::uniform_unit();
+        let mut r = scripted_rt(true);
+        let mut out = Vec::new();
+        r.init(&cost, &mut out);
+        for s in 0..6u64 {
+            r.deliver(incoming(9, s, 10 * (s + 1), 1), &cost, &mut out);
+        }
+        while r.process_next(&cost, &mut out) {}
+        let log = r.take_control_log();
+        // 6 events: ckpt tuner (period 2) invoked at events 2/4/6 — all
+        // three recorded, including the 2→2 hold; selector (period 3)
+        // invoked at events 3/6, flipping both times.
+        let ckpts: Vec<(u32, u32)> = log
+            .iter()
+            .filter_map(|t| match t.change {
+                ControlChange::Checkpoint { old, new, .. } => Some((old, new)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ckpts, vec![(1, 2), (2, 2), (2, 5)]);
+        let flips: Vec<(CancellationMode, CancellationMode, f64)> = log
+            .iter()
+            .filter_map(|t| match t.change {
+                ControlChange::Cancellation {
+                    old,
+                    new,
+                    sampled_o,
+                } => Some((old, new, sampled_o)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flips.len(), 2);
+        assert_eq!(
+            flips[0].0,
+            CancellationMode::Aggressive,
+            "first flip leaves the initial mode"
+        );
+        assert_eq!(flips[0].1, CancellationMode::Lazy);
+        assert_eq!(flips[0].2, 0.25, "sampled output rides along");
+        // Drained: a second take is empty.
+        assert!(r.take_control_log().is_empty());
+    }
+
+    #[test]
+    fn recording_is_off_by_default_and_charges_nothing() {
+        let cost = CostModel::uniform_unit();
+        let mut silent = scripted_rt(false);
+        let mut loud = scripted_rt(true);
+        let mut out = Vec::new();
+        for r in [&mut silent, &mut loud] {
+            r.init(&cost, &mut out);
+            for s in 0..6u64 {
+                r.deliver(incoming(9, s, 10 * (s + 1), 1), &cost, &mut out);
+            }
+            while r.process_next(&cost, &mut out) {}
+        }
+        assert!(silent.take_control_log().is_empty());
+        assert!(!loud.take_control_log().is_empty());
+        // Observation never perturbs the simulation: identical charges.
+        assert_eq!(silent.take_cost(), loud.take_cost());
+        assert_eq!(silent.stats(), loud.stats());
     }
 
     #[test]

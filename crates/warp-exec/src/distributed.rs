@@ -65,6 +65,17 @@
 //! disabled) a lost worker is a clean [`DistError::Worker`], never a
 //! hang.
 //!
+//! Two observational channels ride on the same mesh. Workers with
+//! telemetry enabled piggyback periodic [`Frame::Telemetry`] batches
+//! (drained at GVT rounds) that the coordinator merges into the final
+//! [`RunReport`]; loss or reordering of these frames never affects
+//! correctness. And a **GVT-stall watchdog**
+//! ([`RecoveryPolicy::stall_budget_ms`]) declares a session livelocked
+//! when the committed horizon stops advancing — catching wedged-but-
+//! connected clusters (e.g. a silenced token ring) that per-link
+//! liveness timeouts cannot see — and routes them through the same
+//! recovery path as a crash.
+//!
 //! Orphan hygiene: a worker whose coordinator dies sees either its mesh
 //! link drop or stdin close (the coordinator holds the write end) and
 //! exits non-zero on its own — workers never outlive the coordinator by
@@ -89,6 +100,7 @@ use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{LpId, VirtualTime};
 use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
 use warp_net::{FaultPlan, Frame};
+use warp_telemetry::TelemetryReport;
 
 /// Transport tuning for distributed runs. All knobs that used to be
 /// hard-coded constants; every worker receives the same values in its
@@ -164,6 +176,15 @@ pub struct RecoveryPolicy {
     /// Minimum wall time between checkpoint initiations (milliseconds);
     /// 0 checkpoints at every GVT advance.
     pub ckpt_min_interval_ms: u64,
+    /// GVT stall watchdog: if the committed horizon fails to advance for
+    /// this long (milliseconds) while workers are still running, the
+    /// coordinator declares the session livelocked and recovers it like
+    /// an unclean peer loss. Catches "wedged but connected" failures —
+    /// e.g. a control-plane partition that silences the GVT token ring
+    /// while data links and heartbeats stay healthy — that the transport
+    /// liveness detector can never see. 0 disables the watchdog.
+    #[serde(default)]
+    pub stall_budget_ms: u64,
 }
 
 impl Default for RecoveryPolicy {
@@ -172,6 +193,7 @@ impl Default for RecoveryPolicy {
             enabled: true,
             max_recoveries: 3,
             ckpt_min_interval_ms: 100,
+            stall_budget_ms: 0,
         }
     }
 }
@@ -508,9 +530,20 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     };
     let mut session: u32 = 0;
     let mut recoveries: u64 = 0;
+    // Cluster-wide telemetry, merged from the workers' streamed batches.
+    // Accumulated across sessions: observations from a lost session are
+    // real observations of real (if later re-executed) work.
+    let mut telemetry: Option<TelemetryReport> = None;
 
     loop {
-        let attempt = run_session_as_coordinator(cfg, &mut workers, session, deadline, &mut store);
+        let attempt = run_session_as_coordinator(
+            cfg,
+            &mut workers,
+            session,
+            deadline,
+            &mut store,
+            &mut telemetry,
+        );
         match attempt {
             Ok(SessionEnd::Finished(reports)) => {
                 for (i, w) in workers.iter_mut().enumerate() {
@@ -533,6 +566,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     reports,
                     start.elapsed().as_secs_f64(),
                     recoveries,
+                    telemetry.take().filter(|t| !t.is_empty()),
                 ));
             }
             Ok(SessionEnd::Lost { peer, detail }) => {
@@ -599,6 +633,7 @@ fn run_session_as_coordinator(
     session: u32,
     deadline: Instant,
     store: &mut CkptStore,
+    telemetry: &mut Option<TelemetryReport>,
 ) -> Result<SessionEnd, DistError> {
     let n_procs = cfg.n_workers + 1;
     let listener = bind_loopback()?;
@@ -661,7 +696,7 @@ fn run_session_as_coordinator(
         }
     }
 
-    let end = coordinate(&mesh, cfg, deadline, store);
+    let end = coordinate(&mesh, cfg, deadline, store, telemetry);
     match &end {
         Ok(SessionEnd::Finished(_)) => mesh.shutdown(),
         _ => mesh.abort(),
@@ -672,11 +707,18 @@ fn run_session_as_coordinator(
 /// Pump the mesh until every worker has reported and said goodbye,
 /// driving the checkpoint protocol off `Progress` notifications along
 /// the way. An unclean peer loss ends the session (not the run).
+///
+/// A GVT-stall watchdog (armed by [`RecoveryPolicy::stall_budget_ms`])
+/// runs alongside: if the committed horizon stops advancing while
+/// reports are still outstanding, the session is declared livelocked
+/// and ends as [`SessionEnd::Lost`] — the same recovery path a crash
+/// takes, so the cluster regroups under a fresh session epoch.
 fn coordinate(
     mesh: &TcpMesh,
     cfg: &DistConfig,
     deadline: Instant,
     store: &mut CkptStore,
+    telemetry: &mut Option<TelemetryReport>,
 ) -> Result<SessionEnd, DistError> {
     let n_workers = cfg.n_workers as usize;
     let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
@@ -684,6 +726,14 @@ fn coordinate(
     let mut pending: Option<PendingCkpt> = None;
     let mut last_ckpt_started = Instant::now() - Duration::from_secs(3600);
     let coord_crash = std::env::var_os("WARP_COORD_TEST_CRASH").is_some();
+    let stall_budget = (cfg.recovery.enabled && cfg.recovery.stall_budget_ms > 0)
+        .then(|| Duration::from_millis(cfg.recovery.stall_budget_ms));
+    let mut last_gvt_advance = Instant::now();
+    let mut best_gvt: Option<VirtualTime> = None;
+    // Latest GVT each worker has announced — the blame heuristic when
+    // the watchdog fires (the least-advanced worker is the likeliest
+    // wedge point; recovery regroups everyone regardless).
+    let mut worker_gvt: Vec<Option<VirtualTime>> = vec![None; n_workers];
 
     loop {
         if reports.iter().all(Option::is_some) && closed.iter().all(|&c| c) {
@@ -702,6 +752,29 @@ fn coordinate(
                 "still waiting on workers {missing:?} at the deadline"
             )));
         }
+        if let Some(budget) = stall_budget {
+            // Only while reports are outstanding: after the last report
+            // the run is winding down and GVT has nowhere left to go.
+            let stalled =
+                reports.iter().any(Option::is_none) && last_gvt_advance.elapsed() >= budget;
+            if stalled {
+                let peer = worker_gvt
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, g)| g.unwrap_or(VirtualTime::ZERO))
+                    .map(|(i, _)| i as u32 + 1)
+                    .unwrap_or(1);
+                return Ok(SessionEnd::Lost {
+                    peer,
+                    detail: format!(
+                        "GVT stalled at {} for {}ms (budget {}ms): cluster is livelocked",
+                        best_gvt.map_or_else(|| "-".into(), |g| g.to_string()),
+                        last_gvt_advance.elapsed().as_millis(),
+                        budget.as_millis()
+                    ),
+                });
+            }
+        }
         match mesh.recv_timeout(Duration::from_millis(50)) {
             Some(MeshEvent::Frame { from, frame }) => match frame {
                 Frame::Report(bytes) => {
@@ -709,6 +782,18 @@ fn coordinate(
                         DistError::Protocol(format!("bad report from proc {from}: {e}"))
                     })?;
                     reports[from as usize - 1] = Some(report);
+                    // A report is definite progress: the sender saw ∞.
+                    last_gvt_advance = Instant::now();
+                }
+                Frame::Telemetry(bytes) => {
+                    // Advisory stream; a batch that fails to parse is
+                    // dropped, never fatal.
+                    if let Ok(batch) = serde_json::from_slice::<TelemetryReport>(&bytes) {
+                        match telemetry {
+                            Some(t) => t.merge(batch),
+                            None => *telemetry = Some(batch),
+                        }
+                    }
                 }
                 Frame::Progress { gvt } => {
                     // Test hook: die like a killed coordinator — no
@@ -716,6 +801,11 @@ fn coordinate(
                     // orphan hygiene can be exercised with real processes.
                     if coord_crash {
                         std::process::abort();
+                    }
+                    worker_gvt[from as usize - 1] = Some(gvt);
+                    if best_gvt.is_none_or(|b| gvt > b) {
+                        best_gvt = Some(gvt);
+                        last_gvt_advance = Instant::now();
                     }
                     let due = cfg.recovery.enabled
                         && gvt.is_finite()
@@ -835,7 +925,12 @@ fn regroup(
     Ok(())
 }
 
-fn merge_reports(reports: Vec<WorkerReport>, wall: f64, recoveries: u64) -> RunReport {
+fn merge_reports(
+    reports: Vec<WorkerReport>,
+    wall: f64,
+    recoveries: u64,
+    telemetry: Option<TelemetryReport>,
+) -> RunReport {
     let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
     let mut per_lp: Vec<LpSummary> = reports.into_iter().flat_map(|r| r.per_lp).collect();
     per_lp.sort_by_key(|s| s.lp);
@@ -865,6 +960,7 @@ fn merge_reports(reports: Vec<WorkerReport>, wall: f64, recoveries: u64) -> RunR
         comm,
         per_lp,
         recoveries,
+        telemetry,
     }
 }
 
@@ -941,6 +1037,16 @@ impl LpPort for WorkerPort {
         // Only the controller LP calls this; the coordinator paces the
         // checkpoint protocol off these notifications.
         self.mesh_tx.send(0, Frame::Progress { gvt });
+    }
+    fn wants_telemetry(&self) -> bool {
+        // Stream instead of accumulate: the recorder only exists when
+        // the spec enabled telemetry, so an unconditional `true` costs
+        // nothing on plain runs and keeps worker reports telemetry-free
+        // (the coordinator merges the streamed batches instead).
+        true
+    }
+    fn stream_telemetry(&self, json: Vec<u8>) {
+        self.mesh_tx.send(0, Frame::Telemetry(json));
     }
 }
 

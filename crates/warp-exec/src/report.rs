@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use warp_core::stats::{CommStats, ObjectStats};
+use warp_telemetry::TelemetryReport;
 
 /// Per-object summary (final configuration and trace digest).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -82,6 +83,10 @@ pub struct RunReport {
     /// finish the run (0 everywhere else, and on a fault-free run).
     #[serde(default)]
     pub recoveries: u64,
+    /// The merged observation record — metric series and the control
+    /// trajectory (`None` unless the spec enabled telemetry).
+    #[serde(default)]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -105,6 +110,40 @@ impl RunReport {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// One-line adaptation summary: where the controllers ended up.
+    /// Final χ statistics and the cancellation-mode census come from the
+    /// per-object summaries; the mean DyMA window needs telemetry (`-`
+    /// without it, or when aggregation never adapted).
+    pub fn adaptation_summary(&self) -> String {
+        let objects: Vec<&ObjectSummary> = self
+            .per_lp
+            .iter()
+            .flat_map(|lp| lp.objects.iter())
+            .collect();
+        let (chi, census) = if objects.is_empty() {
+            ("-".into(), "no objects".into())
+        } else {
+            let chis: Vec<u32> = objects.iter().map(|o| o.final_chi).collect();
+            let mean = chis.iter().map(|&c| c as u64).sum::<u64>() as f64 / chis.len() as f64;
+            let lazy = objects.iter().filter(|o| o.final_mode == "Lazy").count();
+            (
+                format!(
+                    "{}..{} (mean {mean:.2})",
+                    chis.iter().min().unwrap(),
+                    chis.iter().max().unwrap()
+                ),
+                format!("{lazy} lazy / {} aggressive", objects.len() - lazy),
+            )
+        };
+        let window = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.mean_dyma_window())
+            .map(|w| format!("{:.3}ms", w * 1e3))
+            .unwrap_or_else(|| "-".into());
+        format!("adaptation: final chi {chi}, modes {census}, mean DyMA window {window}")
     }
 
     /// One-line human summary.
@@ -147,6 +186,7 @@ mod tests {
             },
             timeline: Vec::new(),
             recoveries: 0,
+            telemetry: None,
             per_lp: vec![LpSummary {
                 lp: 0,
                 kernel: ObjectStats::default(),
@@ -172,6 +212,10 @@ mod tests {
         let line = r.summary_line();
         assert!(line.contains("virtual"));
         assert!(line.contains("1000"));
+        let adapt = r.adaptation_summary();
+        assert!(adapt.contains("1 lazy / 0 aggressive"), "{adapt}");
+        assert!(adapt.contains("4..4"), "{adapt}");
+        assert!(adapt.contains("window -"), "no telemetry, no window");
     }
 
     #[test]

@@ -205,5 +205,6 @@ pub fn run_sequential(spec: &SimulationSpec) -> RunReport {
         comm: CommStats::default(),
         per_lp,
         recoveries: 0,
+        telemetry: None,
     }
 }

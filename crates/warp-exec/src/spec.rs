@@ -39,6 +39,11 @@ pub struct SimulationSpec {
     /// Record per-object committed-trace digests in the report (requires
     /// `gvt_period == None` to be meaningful).
     pub collect_traces: bool,
+    /// Record runtime telemetry: per-GVT-round metric samples and the
+    /// control trajectory (every χ tuner invocation, cancellation flip,
+    /// and DyMA window change). Strictly observational — a run's
+    /// committed trace is identical with this on or off.
+    pub telemetry: bool,
     /// Adaptive GVT cadence (extension facet): when set, the virtual
     /// executive re-tunes the GVT period after every round from the
     /// reclaimed/retained history volumes, starting from the law's own
@@ -59,6 +64,7 @@ impl SimulationSpec {
             objects,
             policies: Arc::new(|_| ObjectPolicies::default()),
             collect_traces: false,
+            telemetry: false,
             gvt_law: None,
         }
     }
@@ -103,6 +109,12 @@ impl SimulationSpec {
         self
     }
 
+    /// Enable telemetry recording (metric samples + control trajectory).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Instantiate the LP runtimes for a run.
     pub(crate) fn build_lps(&self) -> Vec<LpRuntime> {
         self.partition.lps().map(|lp| self.build_lp(lp)).collect()
@@ -117,6 +129,8 @@ impl SimulationSpec {
             .iter()
             .map(|&id| warp_core::ObjectRuntime::new(id, (self.objects)(id), (self.policies)(id)))
             .collect();
-        LpRuntime::new(lp, self.partition.clone(), objects, self.cost.clone())
+        let mut rt = LpRuntime::new(lp, self.partition.clone(), objects, self.cost.clone());
+        rt.set_record_control(self.telemetry);
+        rt
     }
 }

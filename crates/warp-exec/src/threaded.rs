@@ -79,6 +79,16 @@ pub(crate) trait LpPort {
     /// what paces the checkpoint protocol; in-process transports ignore
     /// it.
     fn note_gvt(&self, _gvt: VirtualTime) {}
+    /// Should telemetry batches be streamed out instead of accumulated?
+    /// The distributed port says yes: the coordinator merges worker
+    /// streams live (and a worker lost to a fault has still delivered
+    /// everything up to its last GVT round).
+    fn wants_telemetry(&self) -> bool {
+        false
+    }
+    /// Ship one JSON-encoded [`warp_telemetry::TelemetryReport`] batch
+    /// toward the coordinator. Only called when `wants_telemetry()`.
+    fn stream_telemetry(&self, _json: Vec<u8>) {}
 }
 
 impl LpPort for Endpoint<Packet> {
@@ -124,6 +134,7 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         .collect();
     results.sort_by_key(|o| o.summary.lp);
     let gvt_rounds = results.iter().map(|o| o.gvt_rounds).max().unwrap_or(0);
+    let telemetry = merge_telemetry(results.iter_mut().filter_map(|o| o.telemetry.take()));
     let per_lp: Vec<LpSummary> = results.into_iter().map(|o| o.summary).collect();
     let wall = start_all.elapsed().as_secs_f64();
 
@@ -152,7 +163,23 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         comm,
         per_lp,
         recoveries: 0,
+        telemetry,
     }
+}
+
+/// Fold per-LP telemetry reports into one cluster-wide series (`None`
+/// when no LP recorded anything — i.e. telemetry was off).
+pub(crate) fn merge_telemetry(
+    parts: impl Iterator<Item = warp_telemetry::TelemetryReport>,
+) -> Option<warp_telemetry::TelemetryReport> {
+    let mut merged: Option<warp_telemetry::TelemetryReport> = None;
+    for part in parts {
+        match &mut merged {
+            None => merged = Some(part),
+            Some(m) => m.merge(part),
+        }
+    }
+    merged
 }
 
 struct LpThread<P: LpPort> {
@@ -182,6 +209,9 @@ struct LpThread<P: LpPort> {
     fossil_pin: Option<VirtualTime>,
     /// Set by `Packet::Abort`: the summary is garbage, discard it.
     aborted: bool,
+    /// Telemetry collector (`None` unless the spec enabled it). Sampled
+    /// at every GVT round; purely observational.
+    recorder: Option<warp_telemetry::Recorder>,
 }
 
 impl<P: LpPort> LpThread<P> {
@@ -213,6 +243,21 @@ impl<P: LpPort> LpThread<P> {
     }
 
     fn apply_gvt(&mut self, gvt: VirtualTime) {
+        if let Some(rec) = &mut self.recorder {
+            // Sample *before* fossil collection so the retained-history
+            // gauge reflects the pressure the round is about to relieve.
+            rec.observe_lp(gvt, &mut self.lp);
+            for (dst, old, new) in self.agg.take_window_changes() {
+                rec.window_change(gvt, dst.0, old, new);
+            }
+            if self.port.wants_telemetry() {
+                if let Some(batch) = rec.drain() {
+                    if let Ok(json) = serde_json::to_vec(&batch) {
+                        self.port.stream_telemetry(json);
+                    }
+                }
+            }
+        }
         if gvt.is_infinite() {
             self.done = true;
         } else if self.fossil {
@@ -396,6 +441,13 @@ impl<P: LpPort> LpThread<P> {
                 },
             })
             .collect();
+        // Streaming ports already shipped every batch at GVT rounds (the
+        // final one included); returning the tail too would double-count
+        // it at the coordinator.
+        let telemetry = match self.recorder.take() {
+            Some(rec) if !self.port.wants_telemetry() => Some(rec.finish()),
+            _ => None,
+        };
         LpOutcome {
             summary: LpSummary {
                 lp: self.lp.id().0,
@@ -405,6 +457,7 @@ impl<P: LpPort> LpThread<P> {
             },
             gvt_rounds: self.gvt_rounds,
             aborted: self.aborted,
+            telemetry,
         }
     }
 }
@@ -433,6 +486,9 @@ pub(crate) struct LpOutcome {
     pub gvt_rounds: u64,
     /// The thread stopped on `Packet::Abort` rather than GVT = ∞.
     pub aborted: bool,
+    /// Accumulated telemetry (`None` when disabled or when the port
+    /// streamed batches out instead).
+    pub telemetry: Option<warp_telemetry::TelemetryReport>,
 }
 
 /// Drive one LP to completion over any transport. Shared by the
@@ -451,13 +507,20 @@ pub(crate) fn lp_thread<P: LpPort>(
     ckpt_base: Option<VirtualTime>,
 ) -> LpOutcome {
     let my_id = warp_core::LpId(port.id() as u32);
-    let (lp, boot_frontier) = match seed {
+    let (mut lp, boot_frontier) = match seed {
         LpSeed::Fresh => (spec.build_lp(my_id), None),
         LpSeed::Restored { lp, frontier } => (*lp, Some(frontier)),
     };
+    // Restored runtimes are rebuilt outside `build_lp`; re-arm recording.
+    lp.set_record_control(spec.telemetry);
+    let mut agg = Aggregator::new(my_id, spec.aggregation.clone());
+    agg.set_record_windows(spec.telemetry);
+    let recorder = spec
+        .telemetry
+        .then(|| warp_telemetry::Recorder::new(my_id.0));
     let worker = LpThread {
         lp,
-        agg: Aggregator::new(my_id, spec.aggregation.clone()),
+        agg,
         agent: MatternAgent::new(),
         ctrl: if port.id() == 0 {
             Some(GvtController::new())
@@ -480,6 +543,7 @@ pub(crate) fn lp_thread<P: LpPort>(
         ckpt_from: ckpt_base.unwrap_or(VirtualTime::ZERO),
         fossil_pin: ckpt_base,
         aborted: false,
+        recorder,
     };
     worker.run()
 }

@@ -344,7 +344,11 @@ pub fn run_virtual_inspect(
         aggs: spec
             .partition
             .lps()
-            .map(|lp| Aggregator::new(lp, spec.aggregation.clone()))
+            .map(|lp| {
+                let mut agg = Aggregator::new(lp, spec.aggregation.clone());
+                agg.set_record_windows(spec.telemetry);
+                agg
+            })
             .collect(),
         inbox: vec![Vec::new(); n_lps],
         node_of_lp,
@@ -379,6 +383,13 @@ pub fn run_virtual_inspect(
 
     // Main loop.
     let mut timeline: Vec<TimelineSample> = Vec::new();
+    let mut recorders: Vec<warp_telemetry::Recorder> = if spec.telemetry {
+        (0..n_lps as u32)
+            .map(warp_telemetry::Recorder::new)
+            .collect()
+    } else {
+        Vec::new()
+    };
     let debug_trace = std::env::var("WARP_DEBUG_VIRTUAL").is_ok();
     let mut pops: u64 = 0;
     while let Some(HeapItem { at, ev, .. }) = cluster.heap.pop() {
@@ -428,6 +439,14 @@ pub fn run_virtual_inspect(
                         rollbacks: cluster.lps.iter().map(|lp| lp.stats().rollbacks()).sum(),
                         retained: cluster.lps.iter().map(|lp| lp.history_items() as u64).sum(),
                     });
+                }
+                // Telemetry sampling precedes fossil collection so the
+                // retained gauge shows the pressure this round relieves.
+                for (i, rec) in recorders.iter_mut().enumerate() {
+                    rec.observe_lp(g, &mut cluster.lps[i]);
+                    for (dst, old, new) in cluster.aggs[i].take_window_changes() {
+                        rec.window_change(g, dst.0, old, new);
+                    }
                 }
                 if g.is_infinite() && cluster.live == 0 {
                     break;
@@ -546,5 +565,8 @@ pub fn run_virtual_inspect(
         comm,
         per_lp,
         recoveries: 0,
+        telemetry: crate::threaded::merge_telemetry(
+            recorders.into_iter().map(warp_telemetry::Recorder::finish),
+        ),
     }
 }

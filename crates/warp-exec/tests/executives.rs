@@ -269,3 +269,96 @@ fn reports_carry_configuration_details() {
     let json = serde_json::to_string(&tw).unwrap();
     assert!(json.contains("phys_sent"));
 }
+
+// ---------------------------------------------------------------------
+// Telemetry: observation must never perturb the run, and the recorded
+// control trajectory must be the controller's actual decision sequence.
+// ---------------------------------------------------------------------
+
+/// A fully-adaptive spec with telemetry-worthy dynamics: dynamic
+/// cancellation plus a hill-climbing checkpoint tuner. GVT rounds still
+/// happen (the token ring always circulates) but fossil collection
+/// stays off so committed-trace digests remain comparable.
+fn adaptive_spec(seed: u64) -> SimulationSpec {
+    relay_spec(seed, 12, 3, 6, 150).with_policies(Arc::new(|_| {
+        ObjectPolicies::new(
+            Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
+            Box::new(DynamicCheckpoint::with_rule(
+                1,
+                32,
+                32,
+                warp_control::AdaptRule::HillClimb,
+            )),
+        )
+    }))
+}
+
+#[test]
+fn telemetry_is_observational_and_records_the_run() {
+    let base = adaptive_spec(21);
+    let seq = run_sequential(&base);
+    let plain = run_threaded(&base);
+    let observed = run_threaded(&base.clone().with_telemetry());
+
+    // Observation must not change what gets committed.
+    assert_same_traces(&seq, &plain);
+    assert_same_traces(&seq, &observed);
+    assert!(plain.telemetry.is_none(), "telemetry off => no report");
+
+    let telem = observed.telemetry.expect("telemetry on => report present");
+    assert!(!telem.samples.is_empty(), "GVT rounds must produce samples");
+    assert_eq!(telem.dropped_samples, 0, "run too small to overflow rings");
+
+    // Per-LP counter deltas must add back up to the cumulative totals
+    // the summaries report — sampling is lossless bookkeeping.
+    let sampled_executed: u64 = telem.samples.iter().map(|s| s.executed).sum();
+    assert_eq!(
+        sampled_executed, observed.kernel.executed,
+        "sample deltas must sum to the kernel's executed total"
+    );
+}
+
+#[test]
+fn recorded_chi_trajectory_replays_through_a_fresh_tuner() {
+    use std::collections::BTreeMap;
+    use warp_core::policy::CheckpointTuner;
+    use warp_telemetry::{ControlEvent, Param};
+
+    let report = run_threaded(&adaptive_spec(22).with_telemetry());
+    let telem = report.telemetry.expect("telemetry enabled");
+    let mut by_object: BTreeMap<u32, Vec<&ControlEvent>> = BTreeMap::new();
+    for ev in telem.events.iter().filter(|e| e.param == Param::Chi) {
+        by_object.entry(ev.object).or_default().push(ev);
+    }
+    assert!(
+        !by_object.is_empty(),
+        "the hill-climber was never invoked — workload too small"
+    );
+
+    for (object, events) in by_object {
+        // The trajectory is a chain: each step starts where the last
+        // ended, beginning at the configured χ₀.
+        assert_eq!(events[0].old, 1.0, "object {object} must start at χ₀");
+        for w in events.windows(2) {
+            assert_eq!(
+                w[1].old, w[0].new,
+                "object {object}: χ trajectory has a gap"
+            );
+        }
+        // Replaying the recorded cost samples through a *fresh* tuner of
+        // the same configuration must reproduce the recorded decisions:
+        // the trace captures everything the controller acted on.
+        let mut replay =
+            DynamicCheckpoint::with_rule(1, 32, 32, warp_control::AdaptRule::HillClimb);
+        for ev in events {
+            let chi = replay
+                .invoke(ev.sampled_o, 0.0)
+                .expect("dynamic tuner always yields an interval");
+            assert_eq!(
+                chi as f64, ev.new,
+                "object {object}: replay diverged from the recorded trajectory at gvt {:?}",
+                ev.gvt
+            );
+        }
+    }
+}

@@ -101,6 +101,11 @@ pub struct Aggregator {
     config: AggregationConfig,
     buckets: BTreeMap<LpId, Bucket>,
     stats: CommStats,
+    /// Telemetry: `(dst, old window, new window)` per SAAW adjustment
+    /// since the last drain. Only filled once recording is switched on;
+    /// purely observational either way.
+    window_log: Vec<(LpId, f64, f64)>,
+    record_windows: bool,
 }
 
 impl Aggregator {
@@ -111,7 +116,20 @@ impl Aggregator {
             config,
             buckets: BTreeMap::new(),
             stats: CommStats::default(),
+            window_log: Vec::new(),
+            record_windows: false,
         }
+    }
+
+    /// Switch telemetry recording of window adjustments on or off.
+    pub fn set_record_windows(&mut self, on: bool) {
+        self.record_windows = on;
+    }
+
+    /// Drain the `(dst, old, new)` window adjustments recorded since the
+    /// last call.
+    pub fn take_window_changes(&mut self) -> Vec<(LpId, f64, f64)> {
+        std::mem::take(&mut self.window_log)
     }
 
     /// The configured policy (for reports).
@@ -230,9 +248,13 @@ impl Aggregator {
         let events = std::mem::take(&mut bucket.events);
         let n = events.len();
         let age = (now - bucket.opened_at).max(0.0);
-        let (_, adjusted) = bucket.policy.on_aggregate_sent(n, age);
+        let before = bucket.policy.window();
+        let (after, adjusted) = bucket.policy.on_aggregate_sent(n, age);
         if adjusted {
             self.stats.window_adjustments += 1;
+            if self.record_windows {
+                self.window_log.push((dst, before, after));
+            }
         }
         let msg = PhysMsg {
             src: self.src,
@@ -354,6 +376,35 @@ mod tests {
         }
         assert!(agg.stats().window_adjustments > 0, "SAAW never adapted");
         assert!(agg.stats().phys_sent > 0);
+    }
+
+    #[test]
+    fn window_changes_are_logged_only_when_recording() {
+        let drive = |record: bool| {
+            let mut agg = Aggregator::new(LpId(0), AggregationConfig::saaw(1e-3));
+            agg.set_record_windows(record);
+            let mut out = Vec::new();
+            let mut t = 0.0;
+            for round in 0..6 {
+                let n = if round % 2 == 0 { 2 } else { 12 };
+                for s in 0..n {
+                    agg.offer(DST, ev(round * 100 + s, 10), t, &mut out);
+                    t += 1e-4;
+                }
+                t += 2e-3;
+                agg.poll(t, &mut out);
+            }
+            agg
+        };
+        let mut loud = drive(true);
+        let adjustments = loud.stats().window_adjustments;
+        let log = loud.take_window_changes();
+        assert_eq!(log.len() as u64, adjustments);
+        assert!(log.iter().all(|(d, old, new)| *d == DST && old != new));
+        assert!(loud.take_window_changes().is_empty(), "drain empties");
+        let mut quiet = drive(false);
+        assert_eq!(quiet.stats().window_adjustments, adjustments);
+        assert!(quiet.take_window_changes().is_empty(), "off by default");
     }
 
     #[test]

@@ -9,13 +9,23 @@
 //! sequence number rather than wall-clock time, so the same plan perturbs
 //! the same frames on every run.
 //!
-//! Faults apply **only to `Data` frames**. Control traffic (GVT tokens,
-//! heartbeats, checkpoint frames) is deliberately exempt: a duplicated
-//! Mattern token would corrupt the GVT computation itself, which no
-//! transport-level recovery could repair, and dropping heartbeats is
-//! expressed more honestly as a [`FaultKind::Partition`]. What the plan
-//! models is the unreliable *application* channel; what recovery must
-//! guarantee is that the committed trace survives it anyway.
+//! Rules carry a [`FaultScope`]. The default, [`FaultScope::Data`],
+//! perturbs the application channel: `Data` frames, counted by their
+//! per-link sequence number. [`FaultScope::Control`] instead targets the
+//! GVT plane — `Token` and `GvtNews` frames, counted by their own
+//! per-link ordinal — which is how a *wedged-but-connected* worker is
+//! manufactured: data and heartbeats keep flowing, the Mattern ring goes
+//! silent, and only a GVT-progress watchdog can tell anything is wrong.
+//! Control scope deliberately honours only the loss-shaped kinds
+//! (`Drop`, `Partition`, `Crash`); `Duplicate` and `Delay` degrade to
+//! plain delivery, because a duplicated Mattern token corrupts the GVT
+//! computation itself — a fault no transport-level recovery could
+//! repair — and a reordered `GvtNews` could announce horizons backwards.
+//! Heartbeats and the checkpoint frames are exempt in every scope:
+//! dropping heartbeats is expressed more honestly as a
+//! [`FaultKind::Partition`]. What the plan models is an unreliable
+//! channel; what recovery must guarantee is that the committed trace
+//! survives it anyway.
 //!
 //! Plans are plain serde values so they can ride inside `ClusterJob`
 //! specs and `WorkerInit` lines; each rule can be pinned to a session
@@ -100,6 +110,18 @@ pub enum FaultKind {
     },
 }
 
+/// Which frame class a rule perturbs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// `Data` frames, keyed on the per-link data sequence number.
+    #[default]
+    Data,
+    /// `Token` / `GvtNews` frames, keyed on their own per-link ordinal.
+    /// Only `Drop`, `Partition` and `Crash` act in this scope; the
+    /// reordering kinds degrade to delivery (see the module docs).
+    Control,
+}
+
 /// A fault rule: a failure kind scoped to one directed link, optionally
 /// pinned to a session epoch.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -113,6 +135,9 @@ pub struct FaultRule {
     /// re-triggering the same fault.
     #[serde(default)]
     pub session: Option<u32>,
+    /// Which frame class the rule perturbs (default: data).
+    #[serde(default)]
+    pub scope: FaultScope,
     /// What to do to the matching frames.
     pub kind: FaultKind,
 }
@@ -143,6 +168,7 @@ impl FaultPlan {
             from,
             to,
             session: Some(session),
+            scope: FaultScope::Data,
             kind: FaultKind::Crash { after },
         });
         self
@@ -155,31 +181,86 @@ impl FaultPlan {
             from,
             to,
             session: Some(session),
+            scope: FaultScope::Data,
             kind: FaultKind::Partition { after },
         });
         self
     }
 
-    /// Convenience: add an unpinned rule on `from → to`.
+    /// Convenience: silence the GVT plane of `from → to` (tokens and
+    /// GVT news only — data and heartbeats keep flowing) from control
+    /// frame `after` onward, in session `session` only. This wedges the
+    /// Mattern ring while every liveness signal stays green: the fault
+    /// the GVT-progress watchdog exists to catch.
+    pub fn control_partition(mut self, from: u32, to: u32, after: u64, session: u32) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: Some(session),
+            scope: FaultScope::Control,
+            kind: FaultKind::Partition { after },
+        });
+        self
+    }
+
+    /// Convenience: add an unpinned data-scope rule on `from → to`.
     pub fn with(mut self, from: u32, to: u32, kind: FaultKind) -> Self {
         self.rules.push(FaultRule {
             from,
             to,
             session: None,
+            scope: FaultScope::Data,
             kind,
         });
         self
     }
 
-    /// Compile the plan for one directed link in one session: the rules
-    /// that apply, ready for the link writer to consult per data frame.
-    /// `None` when no rule touches the link (the common case — zero
-    /// overhead on healthy links).
+    /// Convenience: add an unpinned rule on `from → to` in an explicit
+    /// scope.
+    pub fn with_scoped(mut self, from: u32, to: u32, scope: FaultScope, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: None,
+            scope,
+            kind,
+        });
+        self
+    }
+
+    /// Compile the plan's data-scope rules for one directed link in one
+    /// session: the rules that apply, ready for the link writer to
+    /// consult per data frame. `None` when no rule touches the link (the
+    /// common case — zero overhead on healthy links).
     pub fn link(&self, from: u32, to: u32, session: u32) -> Option<LinkChaos> {
+        self.compile(from, to, session, FaultScope::Data, 0)
+    }
+
+    /// Compile the plan's control-scope rules (tokens + GVT news) for
+    /// one directed link in one session. A separate chaos stream with
+    /// its own ordinal counter and a decorrelated salt, so the same
+    /// `Random` selector picks independently in each scope.
+    pub fn link_control(&self, from: u32, to: u32, session: u32) -> Option<LinkChaos> {
+        self.compile(from, to, session, FaultScope::Control, 0x5CAF_F01D)
+    }
+
+    fn compile(
+        &self,
+        from: u32,
+        to: u32,
+        session: u32,
+        scope: FaultScope,
+        salt_tweak: u64,
+    ) -> Option<LinkChaos> {
         let rules: Vec<FaultKind> = self
             .rules
             .iter()
-            .filter(|r| r.from == from && r.to == to && r.session.is_none_or(|s| s == session))
+            .filter(|r| {
+                r.from == from
+                    && r.to == to
+                    && r.scope == scope
+                    && r.session.is_none_or(|s| s == session)
+            })
             .map(|r| r.kind)
             .collect();
         if rules.is_empty() {
@@ -187,7 +268,9 @@ impl FaultPlan {
         } else {
             Some(LinkChaos {
                 rules,
-                salt: splitmix(((from as u64) << 40) ^ ((to as u64) << 16) ^ session as u64),
+                salt: splitmix(
+                    ((from as u64) << 40) ^ ((to as u64) << 16) ^ session as u64 ^ salt_tweak,
+                ),
             })
         }
     }
@@ -345,10 +428,48 @@ mod tests {
     }
 
     #[test]
+    fn scopes_compile_to_independent_chaos_streams() {
+        let plan = FaultPlan::new().control_partition(2, 1, 5, 0).with(
+            2,
+            1,
+            FaultKind::Drop(Selector::At(3)),
+        );
+        let data = plan.link(2, 1, 0).expect("data rule present");
+        let ctl = plan.link_control(2, 1, 0).expect("control rule present");
+        assert_eq!(data.fate(3), DataFate::Drop);
+        assert_eq!(data.fate(5), DataFate::Deliver, "partition is control-only");
+        assert_eq!(ctl.fate(3), DataFate::Deliver, "drop is data-only");
+        assert_eq!(ctl.fate(5), DataFate::Partition);
+        assert!(
+            plan.link_control(2, 1, 1).is_none(),
+            "control partition pinned to session 0"
+        );
+        let data_only = FaultPlan::new().crash(2, 1, 0, 0);
+        assert!(data_only.link_control(2, 1, 0).is_none());
+    }
+
+    #[test]
+    fn scope_salts_decorrelate_random_selectors() {
+        let sel = Selector::Random {
+            seed: 9,
+            per_mille: 500,
+        };
+        let plan = FaultPlan::new()
+            .with(1, 2, FaultKind::Drop(sel))
+            .with_scoped(1, 2, FaultScope::Control, FaultKind::Drop(sel));
+        let data = plan.link(1, 2, 0).unwrap();
+        let ctl = plan.link_control(1, 2, 0).unwrap();
+        let d: Vec<DataFate> = (0..256).map(|s| data.fate(s)).collect();
+        let c: Vec<DataFate> = (0..256).map(|s| ctl.fate(s)).collect();
+        assert_ne!(d, c, "same selector must pick differently per scope");
+    }
+
+    #[test]
     fn plans_round_trip_through_json() {
         let plan = FaultPlan::new()
             .crash(2, 0, 40, 0)
             .partition(1, 2, 10, 0)
+            .control_partition(2, 1, 4, 0)
             .with(
                 1,
                 2,
@@ -363,5 +484,10 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+        // Pre-scope plans (no `scope` field) must still parse, as data
+        // scope — old job files stay valid.
+        let legacy = r#"{"rules":[{"from":1,"to":2,"kind":{"Drop":{"At":5}}}]}"#;
+        let plan: FaultPlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(plan.rules[0].scope, FaultScope::Data);
     }
 }

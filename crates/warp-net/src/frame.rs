@@ -23,6 +23,10 @@
 //!   reaches LP threads.
 //! * `Report` — a worker's end-of-run summary (opaque JSON bytes; the
 //!   executive layer owns the schema).
+//! * `Telemetry` — a worker's periodic observability batch (opaque JSON
+//!   bytes, same ownership rule as `Report`), piggybacked on GVT rounds
+//!   so the coordinator can stream cluster-wide metric series without a
+//!   side channel.
 //! * `Bye` — graceful shutdown: the peer finished sending and will close
 //!   after draining. A connection that dies *without* `Bye` is a crash.
 //! * `Progress` / `SnapshotReq` / `Snapshot` / `SnapshotAck` / `Resume` —
@@ -51,8 +55,8 @@ use warp_core::{LpId, VirtualTime};
 
 /// Protocol version carried in `Hello`; bump on any frame-format change.
 /// v2: session epochs in `Hello`, per-link `Data` sequence numbers, and
-/// the checkpoint/recovery frames.
-pub const PROTO_VERSION: u16 = 2;
+/// the checkpoint/recovery frames. v3: the `Telemetry` streaming frame.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Upper bound on a frame body. Protects the decoder from allocating
 /// gigabytes off a corrupt or malicious length prefix.
@@ -146,6 +150,10 @@ pub enum Frame {
         /// Concatenated checkpoint deltas (schema owned by `warp-exec`).
         payload: Vec<u8>,
     },
+    /// Worker → coordinator: a streamed observability batch (opaque to
+    /// the transport; `warp-exec` owns the JSON schema). Purely advisory:
+    /// loss or reordering never affects simulation correctness.
+    Telemetry(Vec<u8>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -160,6 +168,7 @@ const TAG_SNAPSHOT_REQ: u8 = 9;
 const TAG_SNAPSHOT: u8 = 10;
 const TAG_SNAPSHOT_ACK: u8 = 11;
 const TAG_RESUME: u8 = 12;
+const TAG_TELEMETRY: u8 = 13;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,6 +270,9 @@ impl Frame {
                 write_vt(&mut w, *gvt);
                 w.bytes(payload);
             }
+            Frame::Telemetry(bytes) => {
+                w.u8(TAG_TELEMETRY).bytes(bytes);
+            }
         }
         let body = w.finish();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -345,6 +357,7 @@ impl Frame {
                 gvt: read_vt(&mut r).map_err(mal)?,
                 payload: r.bytes().map_err(mal)?.to_vec(),
             },
+            TAG_TELEMETRY => Frame::Telemetry(r.bytes().map_err(mal)?.to_vec()),
             other => return Err(FrameError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -498,6 +511,7 @@ mod tests {
                 gvt: VirtualTime::new(17),
                 payload: vec![],
             },
+            Frame::Telemetry(b"{\"samples\":[]}".to_vec()),
         ]
     }
 

@@ -33,7 +33,7 @@ pub mod policy;
 pub mod tcp;
 
 pub use aggregate::{Aggregator, PhysMsg};
-pub use fault::{FaultKind, FaultPlan, FaultRule, Selector};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultScope, Selector};
 pub use frame::{Frame, FrameDecoder, FrameError, PROTO_VERSION};
 pub use inproc::{mesh, Endpoint};
 pub use policy::AggregationConfig;

@@ -395,11 +395,15 @@ impl TcpMesh {
                 .faults
                 .as_ref()
                 .and_then(|p| p.link(cfg.proc_id, peer_id as u32, cfg.session));
+            let ctl_chaos = cfg
+                .faults
+                .as_ref()
+                .and_then(|p| p.link_control(cfg.proc_id, peer_id as u32, cfg.session));
             let aborting = Arc::new(AtomicBool::new(false));
             let aborting_w = Arc::clone(&aborting);
             let writer = thread::Builder::new()
                 .name(format!("mesh-w{}-{peer_id}", cfg.proc_id))
-                .spawn(move || writer_loop(wr, cmd_rx, hb, chaos, aborting_w))?;
+                .spawn(move || writer_loop(wr, cmd_rx, hb, chaos, ctl_chaos, aborting_w))?;
             let rd = stream.try_clone()?;
             let tx = event_tx.clone();
             let live = cfg.liveness_timeout;
@@ -572,6 +576,14 @@ fn handshake(
 struct LinkTx {
     next_seq: u64,
     chaos: Option<LinkChaos>,
+    /// Control-plane (`Token`/`GvtNews`) chaos: its own rule stream with
+    /// its own ordinal counter, so a control partition silences the GVT
+    /// ring while data and heartbeats keep flowing.
+    ctl_chaos: Option<LinkChaos>,
+    ctl_next_seq: u64,
+    /// A control-scope `Partition` fired: GVT frames vanish, all else
+    /// flows — the wedged-but-connected failure mode.
+    ctl_partitioned: bool,
     /// Held-back (delayed) encoded frames, keyed by the sequence number
     /// whose transmission releases them.
     held: Vec<(u64, Vec<u8>)>,
@@ -580,10 +592,13 @@ struct LinkTx {
 }
 
 impl LinkTx {
-    fn new(chaos: Option<LinkChaos>) -> Self {
+    fn new(chaos: Option<LinkChaos>, ctl_chaos: Option<LinkChaos>) -> Self {
         LinkTx {
             next_seq: 0,
             chaos,
+            ctl_chaos,
+            ctl_next_seq: 0,
+            ctl_partitioned: false,
             held: Vec::new(),
             partitioned: false,
         }
@@ -595,6 +610,29 @@ impl LinkTx {
     /// to the receiver as a gap.
     fn stage(&mut self, mut frame: Frame, out: &mut Vec<u8>) {
         if self.partitioned {
+            return;
+        }
+        if matches!(frame, Frame::Token { .. } | Frame::GvtNews { .. }) {
+            if self.ctl_partitioned {
+                return;
+            }
+            let Some(c) = &self.ctl_chaos else {
+                frame.encode_into(out);
+                return;
+            };
+            let s = self.ctl_next_seq;
+            self.ctl_next_seq += 1;
+            match c.fate(s) {
+                DataFate::Drop => {}
+                DataFate::Partition => self.ctl_partitioned = true,
+                DataFate::Crash => std::process::abort(),
+                // Duplicate/Hold degrade to delivery: a duplicated
+                // Mattern token or a reordered GvtNews corrupts the GVT
+                // computation itself (see the fault module docs).
+                DataFate::Deliver | DataFate::Duplicate | DataFate::Hold { .. } => {
+                    frame.encode_into(out)
+                }
+            }
             return;
         }
         let Frame::Data { ref mut seq, .. } = frame else {
@@ -657,11 +695,12 @@ fn writer_loop(
     cmd_rx: Receiver<WriterCmd>,
     heartbeat: Duration,
     chaos: Option<LinkChaos>,
+    ctl_chaos: Option<LinkChaos>,
     aborting: Arc<AtomicBool>,
 ) {
     let mut w = &stream;
     let mut out = Vec::with_capacity(4096);
-    let mut tx = LinkTx::new(chaos);
+    let mut tx = LinkTx::new(chaos, ctl_chaos);
     let say_bye = |mut w: &TcpStream| {
         let _ = w.write_all(&Frame::Bye.encode());
         let _ = w.flush();

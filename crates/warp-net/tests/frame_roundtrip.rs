@@ -120,6 +120,7 @@ fn arb_frame() -> BoxedStrategy<Frame> {
                 gvt: VirtualTime::from_ticks(gvt),
                 payload,
             }),
+        proptest::collection::vec(any::<u8>(), 0..96).prop_map(Frame::Telemetry),
     ]
     .boxed()
 }

@@ -8,9 +8,15 @@
 //! on-line; it shrinks as runs grow longer).
 //!
 //! ```text
-//! cargo run --release --example adaptive_vs_static
+//! cargo run --release --example adaptive_vs_static [--telemetry OUT.jsonl]
 //! ```
+//!
+//! With `--telemetry`, the adaptive run also records its metric series
+//! and control trajectory — every χ step and cancellation flip the
+//! controllers made while converging — dumps them as JSONL, and prints
+//! a one-line adaptation summary.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use warped_online::control::{AdaptRule, DynamicCancellation, DynamicCheckpoint};
 use warped_online::core::policy::{
@@ -20,6 +26,22 @@ use warped_online::exec::run_virtual;
 use warped_online::models::SmmpConfig;
 
 fn main() {
+    let mut telemetry_out: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            telemetry_out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                eprintln!("--telemetry needs an output path");
+                std::process::exit(2);
+            })));
+        } else if let Some(v) = a.strip_prefix("--telemetry=") {
+            telemetry_out = Some(PathBuf::from(v));
+        } else {
+            eprintln!("usage: adaptive_vs_static [--telemetry OUT.jsonl]");
+            std::process::exit(2);
+        }
+    }
+
     let cfg = SmmpConfig::paper(600, 3);
     println!(
         "SMMP {} objects / {} LPs — static grid vs on-line configuration\n",
@@ -55,7 +77,7 @@ fn main() {
         }
     }
 
-    let spec = cfg.spec().with_policies(Arc::new(|_| {
+    let mut spec = cfg.spec().with_policies(Arc::new(|_| {
         ObjectPolicies::new(
             Box::new(DynamicCancellation::dc(16, 0.45, 0.2, 16)),
             // The accelerated hill-climb converges from chi=1 within a few
@@ -68,6 +90,9 @@ fn main() {
             )),
         )
     }));
+    if telemetry_out.is_some() {
+        spec = spec.with_telemetry();
+    }
     let r = run_virtual(&spec);
     println!(
         "{:>12} {:>12} {:>12.4} {:>12.0}",
@@ -78,4 +103,18 @@ fn main() {
         r.completion_seconds,
         100.0 * (best_static - r.completion_seconds) / best_static,
     );
+
+    if let Some(path) = &telemetry_out {
+        let dump = r
+            .telemetry
+            .as_ref()
+            .map(warped_online::telemetry::TelemetryReport::to_jsonl)
+            .unwrap_or_default();
+        std::fs::write(path, dump).unwrap_or_else(|e| {
+            eprintln!("writing {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("{}", r.adaptation_summary());
+        println!("telemetry written to {}", path.display());
+    }
 }

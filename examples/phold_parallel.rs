@@ -3,7 +3,7 @@
 //! collection — cross-checked against the sequential golden model.
 //!
 //! ```text
-//! cargo run --release --example phold_parallel [n_lps] [ttl] [--transport inproc|tcp]
+//! cargo run --release --example phold_parallel [n_lps] [ttl] [--transport inproc|tcp] [--telemetry OUT.jsonl]
 //! ```
 //!
 //! `--transport inproc` (default) runs every LP as a thread in this
@@ -12,6 +12,10 @@
 //! `warp-worker` processes exchanging frames over loopback TCP. Both
 //! print committed-events/sec and verify the committed history against
 //! the sequential run.
+//!
+//! `--telemetry OUT.jsonl` records metric series and the control
+//! trajectory during the parallel run, dumps them as JSONL, and prints
+//! a one-line adaptation summary.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -51,6 +55,7 @@ fn worker_bin() -> PathBuf {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut transport = "inproc".to_string();
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut positional = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -61,6 +66,13 @@ fn main() {
             });
         } else if let Some(v) = a.strip_prefix("--transport=") {
             transport = v.to_string();
+        } else if a == "--telemetry" {
+            telemetry_out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                eprintln!("--telemetry needs an output path");
+                std::process::exit(2);
+            })));
+        } else if let Some(v) = a.strip_prefix("--telemetry=") {
+            telemetry_out = Some(PathBuf::from(v));
         } else {
             positional.push(a);
         }
@@ -87,7 +99,10 @@ fn main() {
         cfg.expected_hops()
     );
 
-    let spec = cfg.spec().with_traces().with_gvt_period(None);
+    let mut spec = cfg.spec().with_traces().with_gvt_period(None);
+    if telemetry_out.is_some() {
+        spec = spec.with_telemetry();
+    }
     let seq = run_sequential(&spec);
     println!("{}", seq.summary_line());
 
@@ -96,6 +111,7 @@ fn main() {
         "tcp" => {
             let job = ClusterJob {
                 collect_traces: true,
+                telemetry: telemetry_out.is_some(),
                 ..ClusterJob::new(ModelSpec::Phold(cfg.clone()), None)
             };
             let n_workers = (cfg.n_lps as u32).min(2);
@@ -125,6 +141,20 @@ fn main() {
         "committed histories identical across {} objects ✓",
         cfg.n_objects
     );
+
+    if let Some(path) = &telemetry_out {
+        let dump = par
+            .telemetry
+            .as_ref()
+            .map(warped_online::telemetry::TelemetryReport::to_jsonl)
+            .unwrap_or_default();
+        std::fs::write(path, dump).unwrap_or_else(|e| {
+            eprintln!("writing {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("{}", par.adaptation_summary());
+        println!("telemetry written to {}", path.display());
+    }
 
     if transport == "inproc" {
         // And once more with GVT + fossil collection on (memory-bounded).

@@ -5,8 +5,15 @@
 //! merged `RunReport` as JSON on stdout.
 //!
 //! ```text
-//! warp-cluster [JOB.json] [--workers N] [--timeout SECS]
+//! warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]
+//! warp-cluster stats TELEMETRY.jsonl
 //! ```
+//!
+//! `--telemetry` forces telemetry on for the job and writes the merged
+//! cluster-wide record (metric samples + control-trajectory events) as
+//! JSONL; a one-line adaptation summary goes to stderr. The `stats`
+//! subcommand re-reads such a file — validating every line against the
+//! telemetry schema — and prints its summary.
 //!
 //! The worker binary is taken from `WARP_WORKER_BIN`, falling back to a
 //! `warp-worker` sibling of this executable.
@@ -14,11 +21,26 @@
 use std::io::Read;
 use std::path::PathBuf;
 use std::time::Duration;
+use warp_telemetry::TelemetryReport;
 use warped_online::cluster::{run_distributed_job, ClusterJob};
 
 fn usage() -> ! {
-    eprintln!("usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS]");
+    eprintln!(
+        "usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]\n\
+         \x20      warp-cluster stats TELEMETRY.jsonl"
+    );
     std::process::exit(2);
+}
+
+/// `warp-cluster stats FILE`: parse (and thereby schema-check) a
+/// telemetry dump, print what it contains.
+fn run_stats(path: &PathBuf) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let report =
+        TelemetryReport::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}", report.summary_line());
+    Ok(())
 }
 
 fn worker_bin() -> Result<PathBuf, String> {
@@ -41,10 +63,22 @@ fn run() -> Result<(), String> {
     let mut job_file: Option<PathBuf> = None;
     let mut n_workers: u32 = 2;
     let mut timeout = Duration::from_secs(300);
+    let mut telemetry_out: Option<PathBuf> = None;
 
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("stats") {
+        argv.next();
+        let path = argv.next().map(PathBuf::from).unwrap_or_else(|| usage());
+        if argv.next().is_some() {
+            usage();
+        }
+        return run_stats(&path);
+    }
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--telemetry" => {
+                telemetry_out = Some(argv.next().map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
             "--workers" => {
                 n_workers = argv
                     .next()
@@ -80,12 +114,24 @@ fn run() -> Result<(), String> {
             buf
         }
     };
-    let job: ClusterJob =
+    let mut job: ClusterJob =
         serde_json::from_str(&job_json).map_err(|e| format!("undecodable ClusterJob: {e}"))?;
+    if telemetry_out.is_some() {
+        job.telemetry = true;
+    }
 
     let report =
         run_distributed_job(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
     eprintln!("{}", report.summary_line());
+    if let Some(path) = &telemetry_out {
+        let dump = report
+            .telemetry
+            .as_ref()
+            .map(TelemetryReport::to_jsonl)
+            .unwrap_or_default();
+        std::fs::write(path, dump).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("{}", report.adaptation_summary());
+    }
     println!(
         "{}",
         serde_json::to_string(&report).map_err(|e| format!("report encode: {e}"))?

@@ -52,6 +52,11 @@ pub struct ClusterJob {
     /// Record per-object committed-trace digests.
     #[serde(default)]
     pub collect_traces: bool,
+    /// Record telemetry on every worker (metric series + control
+    /// trajectory), streamed to the coordinator and merged into the
+    /// final report. Purely observational: never perturbs the run.
+    #[serde(default)]
+    pub telemetry: bool,
     /// Transport tuning (heartbeats, liveness, dial backoff) applied to
     /// every process in the mesh.
     #[serde(default)]
@@ -72,6 +77,7 @@ impl ClusterJob {
             model,
             gvt_period,
             collect_traces: false,
+            telemetry: false,
             net: NetTuning::default(),
             recovery: RecoveryPolicy::default(),
             fault: None,
@@ -83,6 +89,9 @@ impl ClusterJob {
         let mut spec = self.model.base_spec().with_gvt_period(self.gvt_period);
         if self.collect_traces {
             spec = spec.with_traces();
+        }
+        if self.telemetry {
+            spec = spec.with_telemetry();
         }
         spec
     }
@@ -132,12 +141,14 @@ mod tests {
     fn cluster_job_round_trips_as_json() {
         let job = ClusterJob {
             collect_traces: true,
+            telemetry: true,
             ..ClusterJob::new(ModelSpec::Smmp(SmmpConfig::small(50, 7)), None)
         };
         let v = serde_json::to_value(&job).unwrap();
         let spec = spec_from_model_json(&v).unwrap();
         assert_eq!(spec.partition.n_lps() as u32, job.n_lps());
         assert!(spec.collect_traces);
+        assert!(spec.telemetry, "telemetry must reach every worker's spec");
         assert_eq!(spec.gvt_period, None);
     }
 

@@ -6,3 +6,4 @@ pub use warp_core as core;
 pub use warp_exec as exec;
 pub use warp_models as models;
 pub use warp_net as net;
+pub use warp_telemetry as telemetry;

@@ -37,6 +37,7 @@ fn phold_job() -> ClusterJob {
             enabled: true,
             max_recoveries: 3,
             ckpt_min_interval_ms: 0,
+            stall_budget_ms: 0,
         },
         ..ClusterJob::new(ModelSpec::Phold(cfg), None)
     }

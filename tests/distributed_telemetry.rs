@@ -1,0 +1,123 @@
+//! Distributed telemetry and the GVT stall watchdog.
+//!
+//! Telemetry is strictly observational: a run with workers streaming
+//! `Telemetry` frames must commit byte-identical history to the same
+//! run with telemetry off (and to the sequential golden model). And a
+//! cluster that is *wedged but connected* — data links and heartbeats
+//! healthy, GVT token ring silenced by a control-plane partition — must
+//! be caught by the coordinator's stall watchdog and recovered through
+//! the ordinary checkpoint path.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use warp_exec::distributed::{NetTuning, RecoveryPolicy};
+use warp_exec::run_sequential;
+use warp_net::FaultPlan;
+use warped_online::cluster::{run_distributed_job, ClusterJob, ModelSpec};
+use warped_online::models::PholdConfig;
+
+fn worker_bin() -> PathBuf {
+    std::env::var_os("WARP_WORKER_BIN")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_BIN_EXE_warp-worker")))
+}
+
+/// PHOLD with 4 LPs over 2 workers — enough cross-process traffic to
+/// make the telemetry stream and the token ring worth watching.
+fn phold_job() -> ClusterJob {
+    let cfg = PholdConfig {
+        n_objects: 16,
+        n_lps: 4,
+        population_per_object: 2,
+        ttl: 150,
+        ..PholdConfig::new(150, 5)
+    };
+    ClusterJob {
+        collect_traces: true,
+        ..ClusterJob::new(ModelSpec::Phold(cfg), None)
+    }
+}
+
+#[test]
+fn streamed_telemetry_never_perturbs_the_committed_history() {
+    let plain_job = phold_job();
+    let seq = run_sequential(&plain_job.spec());
+    let seq_digests = seq.trace_digests();
+    assert!(
+        !seq_digests.is_empty(),
+        "test must actually compare digests"
+    );
+
+    let plain = run_distributed_job(&plain_job, 2, worker_bin(), Duration::from_secs(120))
+        .expect("telemetry-off run failed");
+    let observed_job = ClusterJob {
+        telemetry: true,
+        ..phold_job()
+    };
+    let observed = run_distributed_job(&observed_job, 2, worker_bin(), Duration::from_secs(120))
+        .expect("telemetry-on run failed");
+
+    for report in [&plain, &observed] {
+        assert_eq!(report.committed_events, seq.committed_events);
+        assert_eq!(
+            report.trace_digests(),
+            seq_digests,
+            "distributed history diverged from the sequential golden model"
+        );
+    }
+    assert!(plain.telemetry.is_none(), "telemetry off => none merged");
+    let telem = observed
+        .telemetry
+        .as_ref()
+        .expect("telemetry on => the coordinator merged the streamed batches");
+    assert!(
+        !telem.samples.is_empty(),
+        "workers never streamed a sample to the coordinator"
+    );
+    let lps: std::collections::BTreeSet<u32> = telem.samples.iter().map(|s| s.lp).collect();
+    assert_eq!(
+        lps.len(),
+        4,
+        "cluster-wide series must cover every LP, got {lps:?}"
+    );
+}
+
+#[test]
+fn stall_watchdog_recovers_a_livelocked_worker() {
+    // Control-plane partition: from frame 5 of session 0, worker 2's
+    // Token/GvtNews frames to worker 1 vanish while data frames and
+    // heartbeats keep flowing. No liveness timeout can fire — both
+    // workers look perfectly healthy — but GVT stops advancing, so only
+    // the coordinator's stall watchdog can end the session. Recovery
+    // bumps the epoch (the fault is pinned to session 0), and the rerun
+    // must commit exactly the sequential history.
+    let job = ClusterJob {
+        net: NetTuning {
+            heartbeat_ms: 100,
+            liveness_ms: 1000,
+            ..NetTuning::default()
+        },
+        recovery: RecoveryPolicy {
+            enabled: true,
+            max_recoveries: 3,
+            ckpt_min_interval_ms: 0,
+            stall_budget_ms: 2000,
+        },
+        fault: Some(FaultPlan::new().control_partition(2, 1, 5, 0)),
+        ..phold_job()
+    };
+    let seq = run_sequential(&job.spec());
+    let dist = run_distributed_job(&job, 2, worker_bin(), Duration::from_secs(120))
+        .expect("watchdog-triggered recovery failed");
+
+    assert!(
+        dist.recoveries >= 1,
+        "the control partition never livelocked the cluster — watchdog untested"
+    );
+    assert_eq!(dist.committed_events, seq.committed_events);
+    assert_eq!(
+        dist.trace_digests(),
+        seq.trace_digests(),
+        "recovery from a livelock changed the committed history"
+    );
+}
