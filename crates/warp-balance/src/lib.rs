@@ -1,0 +1,623 @@
+//! Cluster-level load balancing: on-line configuration of the
+//! worker↔LP assignment.
+//!
+//! The paper frames every Time Warp configuration decision as a
+//! feedback loop: a sampled output `O`, a configured parameter `I`, a
+//! transfer function `T` with a dead zone so the controller ignores
+//! noise, and a control period `P`. The per-LP controllers
+//! (`warp-control`) apply that model to χ, cancellation mode and the
+//! DyMA window; this crate scales the same structure to the cluster.
+//!
+//! * `O` — per-LP progress counters sampled at every GVT round
+//!   ([`LpLoad`]: committed-event counters, rollbacks, retained history
+//!   items, and the LP's *LVT lead* over GVT).
+//! * `I` — the LP→worker [`Assignment`].
+//! * `T` — [`BalanceController::observe`]: an imbalance index over
+//!   per-worker mean LVT leads with a dead zone
+//!   ([`BalancePolicy::dead_zone`]) and a patience counter
+//!   ([`BalancePolicy::patience`]) that only fires after the *same*
+//!   worker has been the straggler for `P` consecutive rounds.
+//!
+//! When the controller fires it proposes a [`Rebalance`]: a greedy move
+//! of the hottest LP blocks off the slowest worker onto the worker with
+//! the most headroom. The executive applies it by ending the session at
+//! a checkpoint barrier and regrouping under the new assignment — this
+//! crate is pure policy and owns no transport or state transfer.
+//!
+//! Why LVT lead rather than raw event rates: under GVT pacing the
+//! *committed* rates of all workers converge to the slowest worker's
+//! rate (the cluster advances in lock-step at the horizon), so rates
+//! carry almost no signal about *which* worker is slow. The optimism
+//! front does: a slow host's LPs sit at the horizon (lead ≈ 0) while
+//! everyone else speculates far ahead of it.
+
+use serde::{Deserialize, Serialize};
+
+/// An explicit LP→worker map. Worker (process) ids are 1-based — proc 0
+/// is the coordinator and never owns LPs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// `owner[lp]` = 1-based worker proc id.
+    owner: Vec<u32>,
+    n_workers: u32,
+}
+
+impl Assignment {
+    /// The seed assignment: contiguous blocks, sized as evenly as the
+    /// division allows (the first `n_lps % n_workers` workers take one
+    /// extra LP), so no worker is ever left idle.
+    pub fn contiguous(n_lps: u32, n_workers: u32) -> Result<Self, String> {
+        if n_workers == 0 {
+            return Err("n_workers must be >= 1".into());
+        }
+        if n_lps < n_workers {
+            return Err(format!(
+                "{n_lps} LPs cannot cover {n_workers} workers (need n_lps >= n_workers)"
+            ));
+        }
+        let base = n_lps / n_workers;
+        let extra = n_lps % n_workers;
+        let mut owner = Vec::with_capacity(n_lps as usize);
+        for w in 1..=n_workers {
+            let block = base + u32::from(w <= extra);
+            owner.extend(std::iter::repeat_n(w, block as usize));
+        }
+        Self::from_owners(owner, n_workers)
+    }
+
+    /// Build from an explicit owner vector, validating that every owner
+    /// is a real worker and every worker keeps at least one LP (a
+    /// worker process with zero LPs would idle the GVT ring).
+    pub fn from_owners(owner: Vec<u32>, n_workers: u32) -> Result<Self, String> {
+        if n_workers == 0 {
+            return Err("n_workers must be >= 1".into());
+        }
+        if owner.is_empty() {
+            return Err("empty assignment".into());
+        }
+        let mut counts = vec![0u32; n_workers as usize];
+        for (lp, &w) in owner.iter().enumerate() {
+            if w == 0 || w > n_workers {
+                return Err(format!("lp {lp} assigned to invalid worker {w}"));
+            }
+            counts[(w - 1) as usize] += 1;
+        }
+        if let Some(idle) = counts.iter().position(|&c| c == 0) {
+            return Err(format!("worker {} owns no LPs", idle + 1));
+        }
+        Ok(Self { owner, n_workers })
+    }
+
+    pub fn n_lps(&self) -> u32 {
+        self.owner.len() as u32
+    }
+
+    pub fn n_workers(&self) -> u32 {
+        self.n_workers
+    }
+
+    /// Which worker process hosts `lp`.
+    pub fn proc_of(&self, lp: u32) -> u32 {
+        self.owner[lp as usize]
+    }
+
+    /// The LPs hosted by worker `proc`, in ascending id order.
+    pub fn lps_of(&self, proc: u32) -> Vec<u32> {
+        (0..self.n_lps())
+            .filter(|&lp| self.proc_of(lp) == proc)
+            .collect()
+    }
+
+    /// The raw owner vector, for the wire (`WorkerInit`/`SessionLine`).
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+}
+
+/// Knobs for the cluster balance loop. Defaults leave it disabled; the
+/// enabled defaults mirror the per-LP controllers: a wide dead zone and
+/// several rounds of patience so the assignment never thrashes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BalancePolicy {
+    /// Master switch. Off by default: migration needs the checkpoint
+    /// machinery, so enabling it also requires recovery to be enabled.
+    pub enabled: bool,
+    /// Dead zone for the imbalance index in `[0, 1)`: spreads below
+    /// this are noise and leave the controller idle.
+    pub dead_zone: f64,
+    /// Consecutive out-of-dead-zone GVT rounds — blaming the *same*
+    /// straggler — required before a migration fires (the `P` of the
+    /// paper's control loop).
+    pub patience: u32,
+    /// Initial GVT rounds of each session to ignore while EWMA state
+    /// warms up (leads are transient right after a resume replay).
+    pub warmup_rounds: u32,
+    /// Maximum LP blocks moved per migration.
+    pub max_moves: u32,
+    /// Floor on LPs left on the donor worker (a worker must keep at
+    /// least one LP to stay in the GVT ring).
+    pub min_lps: u32,
+    /// Total migrations allowed per run (each costs a checkpoint
+    /// barrier plus a session regroup).
+    pub max_migrations: u32,
+}
+
+impl Default for BalancePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            dead_zone: 0.5,
+            patience: 3,
+            warmup_rounds: 2,
+            max_moves: 1,
+            min_lps: 1,
+            max_migrations: 4,
+        }
+    }
+}
+
+impl BalancePolicy {
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.dead_zone) {
+            return Err(format!("dead_zone {} outside [0, 1)", self.dead_zone));
+        }
+        if self.patience == 0 {
+            return Err("patience must be >= 1".into());
+        }
+        if self.max_moves == 0 {
+            return Err("max_moves must be >= 1".into());
+        }
+        if self.min_lps == 0 {
+            return Err("min_lps must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One LP's sampled output `O` at a GVT round. Counters are cumulative
+/// over the LP's lifetime (the controller differences them itself).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LpLoad {
+    /// Events executed, including ones later rolled back.
+    pub executed: u64,
+    /// Events undone by rollback.
+    pub rolled_back: u64,
+    /// Retained history items (input queue + output log + snapshots) —
+    /// the memory-pressure gauge.
+    pub retained: u64,
+    /// `lvt_front - gvt` in ticks: how far ahead of the committed
+    /// horizon the LP has speculated. The straggler signal.
+    pub lvt_lead: u64,
+}
+
+/// One LP block changing owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    pub lp: u32,
+    pub from: u32,
+    pub to: u32,
+}
+
+/// A proposed reconfiguration: the new assignment plus the diff and the
+/// imbalance index that triggered it.
+#[derive(Clone, Debug)]
+pub struct Rebalance {
+    pub assignment: Assignment,
+    pub moves: Vec<Move>,
+    pub imbalance: f64,
+}
+
+/// EWMA smoothing factor for per-LP rate/lead estimates. Heavier on the
+/// new sample than the per-LP controllers use because GVT rounds are
+/// already coarse.
+const ALPHA: f64 = 0.5;
+
+/// The cluster-level transfer function `T`.
+///
+/// Feed it one complete round of per-LP loads per GVT round via
+/// [`observe`](Self::observe); it returns `Some(Rebalance)` on the rare
+/// round where a migration should fire. The executive recreates the
+/// controller whenever a session starts, which doubles as the cooldown
+/// after a migration or recovery.
+pub struct BalanceController {
+    policy: BalancePolicy,
+    n_lps: u32,
+    n_workers: u32,
+    last: Vec<LpLoad>,
+    /// EWMA of per-round executed-event deltas — ranks LPs by heat when
+    /// choosing which block to move.
+    rate: Vec<f64>,
+    /// EWMA of the LVT lead — the per-LP straggler signal.
+    lead: Vec<f64>,
+    rounds: u32,
+    suspect: Option<u32>,
+    strikes: u32,
+    migrations: u32,
+}
+
+impl BalanceController {
+    pub fn new(policy: BalancePolicy, n_lps: u32, n_workers: u32) -> Self {
+        Self {
+            policy,
+            n_lps,
+            n_workers,
+            last: vec![LpLoad::default(); n_lps as usize],
+            rate: vec![0.0; n_lps as usize],
+            lead: vec![0.0; n_lps as usize],
+            rounds: 0,
+            suspect: None,
+            strikes: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Ingest one complete GVT round of loads (`per_lp[lp]` for every
+    /// LP) under the current assignment. Returns a proposal when the
+    /// imbalance index has sat outside the dead zone, blaming the same
+    /// worker, for `patience` consecutive rounds.
+    pub fn observe(&mut self, assign: &Assignment, per_lp: &[LpLoad]) -> Option<Rebalance> {
+        assert_eq!(per_lp.len(), self.n_lps as usize, "incomplete load round");
+        for (lp, load) in per_lp.iter().enumerate() {
+            let d_exec = load.executed.saturating_sub(self.last[lp].executed);
+            self.rate[lp] = ALPHA * d_exec as f64 + (1.0 - ALPHA) * self.rate[lp];
+            self.lead[lp] = ALPHA * load.lvt_lead as f64 + (1.0 - ALPHA) * self.lead[lp];
+            self.last[lp] = *load;
+        }
+        self.rounds += 1;
+        if self.rounds <= self.policy.warmup_rounds || self.migrations >= self.policy.max_migrations
+        {
+            return None;
+        }
+
+        let lead = self.worker_leads(assign);
+        let max_l = lead.iter().cloned().fold(f64::MIN, f64::max);
+        let (slow_idx, min_l) = lead
+            .iter()
+            .cloned()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one worker");
+        let imbalance = (max_l - min_l) / max_l.max(1.0);
+        if imbalance <= self.policy.dead_zone {
+            self.suspect = None;
+            self.strikes = 0;
+            return None;
+        }
+        let slow = slow_idx as u32 + 1;
+        if self.suspect == Some(slow) {
+            self.strikes += 1;
+        } else {
+            self.suspect = Some(slow);
+            self.strikes = 1;
+        }
+        if self.strikes < self.policy.patience {
+            return None;
+        }
+
+        let proposal = self.plan_moves(assign, &lead, slow, imbalance)?;
+        self.suspect = None;
+        self.strikes = 0;
+        self.migrations += 1;
+        Some(proposal)
+    }
+
+    /// Per-worker mean LVT lead under `assign` (index `w-1`).
+    fn worker_leads(&self, assign: &Assignment) -> Vec<f64> {
+        let mut sum = vec![0.0; self.n_workers as usize];
+        let mut count = vec![0u32; self.n_workers as usize];
+        for lp in 0..self.n_lps {
+            let w = (assign.proc_of(lp) - 1) as usize;
+            sum[w] += self.lead[lp as usize];
+            count[w] += 1;
+        }
+        sum.iter()
+            .zip(&count)
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Greedy bin-packing step: move up to `max_moves` of the hottest
+    /// LPs off the straggler onto the worker with the most headroom.
+    fn plan_moves(
+        &self,
+        assign: &Assignment,
+        lead: &[f64],
+        slow: u32,
+        imbalance: f64,
+    ) -> Option<Rebalance> {
+        let mut owner = assign.owners().to_vec();
+        let mut moves = Vec::new();
+        for _ in 0..self.policy.max_moves {
+            let donor: Vec<u32> = (0..self.n_lps)
+                .filter(|&lp| owner[lp as usize] == slow)
+                .collect();
+            if donor.len() <= self.policy.min_lps as usize {
+                break;
+            }
+            // Hottest LP on the donor; ties break to the lowest id so
+            // the plan is deterministic across runs.
+            let lp = donor
+                .into_iter()
+                .max_by(|&a, &b| {
+                    self.rate[a as usize]
+                        .total_cmp(&self.rate[b as usize])
+                        .then(b.cmp(&a))
+                })
+                .expect("donor worker owns LPs");
+            let to = (0..self.n_workers)
+                .filter(|&w| w + 1 != slow)
+                .max_by(|&a, &b| {
+                    lead[a as usize]
+                        .total_cmp(&lead[b as usize])
+                        .then(b.cmp(&a))
+                })
+                .map(|w| w + 1)?;
+            owner[lp as usize] = to;
+            moves.push(Move { lp, from: slow, to });
+        }
+        if moves.is_empty() {
+            return None;
+        }
+        let assignment = Assignment::from_owners(owner, self.n_workers).ok()?;
+        Some(Rebalance {
+            assignment,
+            moves,
+            imbalance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BalancePolicy {
+        BalancePolicy {
+            enabled: true,
+            dead_zone: 0.5,
+            patience: 3,
+            warmup_rounds: 1,
+            max_moves: 1,
+            min_lps: 1,
+            max_migrations: 2,
+        }
+    }
+
+    /// A load round where the LPs of `slow` (1-based) sit at the
+    /// horizon while everyone else leads by `lead` ticks.
+    fn round(assign: &Assignment, slow: u32, lead: u64, round_no: u64) -> Vec<LpLoad> {
+        (0..assign.n_lps())
+            .map(|lp| {
+                let mine = assign.proc_of(lp) == slow;
+                LpLoad {
+                    executed: round_no * if mine { 10 } else { 40 },
+                    rolled_back: 0,
+                    retained: 8,
+                    lvt_lead: if mine { 0 } else { lead },
+                }
+            })
+            .collect()
+    }
+
+    fn balanced(assign: &Assignment, round_no: u64) -> Vec<LpLoad> {
+        (0..assign.n_lps())
+            .map(|_| LpLoad {
+                executed: round_no * 20,
+                rolled_back: 0,
+                retained: 8,
+                lvt_lead: 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_splits_into_near_even_blocks() {
+        let a = Assignment::contiguous(10, 3).unwrap();
+        // 10 = 4 + 3 + 3 → blocks [0..4), [4..7), [7..10).
+        assert_eq!(a.owners(), &[1, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(a.proc_of(0), 1);
+        assert_eq!(a.proc_of(9), 3);
+        assert_eq!(a.lps_of(2), vec![4, 5, 6]);
+        assert!(
+            Assignment::contiguous(2, 3).is_err(),
+            "more workers than LPs"
+        );
+        assert!(Assignment::contiguous(3, 0).is_err());
+    }
+
+    #[test]
+    fn contiguous_never_leaves_a_worker_idle() {
+        for n_workers in 1..=8u32 {
+            for n_lps in n_workers..=24 {
+                let a = Assignment::contiguous(n_lps, n_workers)
+                    .unwrap_or_else(|e| panic!("{n_lps} lps / {n_workers} workers: {e}"));
+                for w in 1..=n_workers {
+                    assert!(
+                        !a.lps_of(w).is_empty(),
+                        "{n_lps}/{n_workers}: worker {w} idle"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_owners_rejects_bad_maps() {
+        assert!(
+            Assignment::from_owners(vec![1, 2, 0], 2).is_err(),
+            "proc 0 is the coordinator"
+        );
+        assert!(
+            Assignment::from_owners(vec![1, 2, 3], 2).is_err(),
+            "unknown worker"
+        );
+        assert!(
+            Assignment::from_owners(vec![1, 1, 1], 2).is_err(),
+            "worker 2 idle"
+        );
+        assert!(Assignment::from_owners(vec![], 1).is_err());
+        assert!(Assignment::from_owners(vec![2, 1, 2], 2).is_ok());
+    }
+
+    #[test]
+    fn balanced_load_stays_inside_the_dead_zone() {
+        let assign = Assignment::contiguous(6, 3).unwrap();
+        let mut ctl = BalanceController::new(policy(), 6, 3);
+        for r in 1..=50 {
+            assert!(
+                ctl.observe(&assign, &balanced(&assign, r)).is_none(),
+                "round {r} fired"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_fires_only_after_patience_rounds() {
+        let assign = Assignment::contiguous(6, 3).unwrap();
+        let mut ctl = BalanceController::new(policy(), 6, 3);
+        // Warmup round + two strikes: nothing fires.
+        for r in 1..=3 {
+            assert!(
+                ctl.observe(&assign, &round(&assign, 3, 500, r)).is_none(),
+                "round {r}"
+            );
+        }
+        // Third consecutive strike blaming worker 3 → migration.
+        let reb = ctl
+            .observe(&assign, &round(&assign, 3, 500, 4))
+            .expect("fires on patience");
+        assert!(reb.imbalance > 0.5);
+        assert_eq!(reb.moves.len(), 1);
+        let mv = reb.moves[0];
+        assert_eq!(mv.from, 3);
+        assert_ne!(mv.to, 3);
+        assert_eq!(assign.proc_of(mv.lp), 3, "moved LP came off the straggler");
+        assert_eq!(reb.assignment.proc_of(mv.lp), mv.to);
+        // Every other LP kept its owner.
+        for lp in 0..6 {
+            if lp != mv.lp {
+                assert_eq!(reb.assignment.proc_of(lp), assign.proc_of(lp));
+            }
+        }
+    }
+
+    #[test]
+    fn changing_the_suspect_resets_the_strike_count() {
+        let assign = Assignment::contiguous(6, 3).unwrap();
+        let mut ctl = BalanceController::new(policy(), 6, 3);
+        let mut r = 0;
+        let mut next = |ctl: &mut BalanceController, slow| {
+            r += 1;
+            ctl.observe(&assign, &round(&assign, slow, 500, r))
+        };
+        assert!(next(&mut ctl, 3).is_none()); // warmup
+        assert!(next(&mut ctl, 3).is_none()); // strike 1 on worker 3
+        assert!(next(&mut ctl, 3).is_none()); // strike 2 on worker 3
+        assert!(next(&mut ctl, 1).is_none()); // blame moves → strike 1 on worker 1
+        assert!(next(&mut ctl, 1).is_none()); // strike 2 on worker 1
+        let reb = next(&mut ctl, 1).expect("strike 3 on worker 1 fires");
+        assert_eq!(reb.moves[0].from, 1);
+    }
+
+    #[test]
+    fn min_lps_floor_blocks_the_last_block() {
+        let assign = Assignment::from_owners(vec![1, 2, 2, 2, 2, 2], 2).unwrap();
+        let mut ctl = BalanceController::new(policy(), 6, 2);
+        // Worker 1 is the straggler but owns exactly min_lps LPs: the
+        // controller must never propose emptying it below the floor.
+        for r in 1..=20 {
+            assert!(
+                ctl.observe(&assign, &round(&assign, 1, 500, r)).is_none(),
+                "round {r} proposed a move below the min_lps floor"
+            );
+        }
+    }
+
+    #[test]
+    fn max_migrations_caps_the_run() {
+        let assign = Assignment::contiguous(6, 3).unwrap();
+        let mut ctl = BalanceController::new(policy(), 6, 3);
+        let mut fired = 0;
+        for r in 1..=60 {
+            if ctl.observe(&assign, &round(&assign, 3, 500, r)).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 2, "policy allows exactly max_migrations");
+    }
+
+    #[test]
+    fn moves_the_hottest_lp_off_the_straggler() {
+        let assign = Assignment::contiguous(6, 3).unwrap(); // worker 3 owns LPs 4, 5
+        let mut ctl = BalanceController::new(policy(), 6, 3);
+        let mut reb = None;
+        for r in 1..=10u64 {
+            let loads: Vec<LpLoad> = (0..6)
+                .map(|lp| LpLoad {
+                    // LP 5 executes twice as hot as LP 4.
+                    executed: r * if lp == 5 { 30 } else { 15 },
+                    rolled_back: 0,
+                    retained: 8,
+                    lvt_lead: if assign.proc_of(lp) == 3 { 0 } else { 400 },
+                })
+                .collect();
+            if let Some(p) = ctl.observe(&assign, &loads) {
+                reb = Some(p);
+                break;
+            }
+        }
+        assert_eq!(
+            reb.expect("fires").moves[0].lp,
+            5,
+            "hottest block moves first"
+        );
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(BalancePolicy::default().validate().is_ok());
+        assert!(BalancePolicy {
+            dead_zone: 1.0,
+            ..policy()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancePolicy {
+            dead_zone: -0.1,
+            ..policy()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancePolicy {
+            patience: 0,
+            ..policy()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancePolicy {
+            max_moves: 0,
+            ..policy()
+        }
+        .validate()
+        .is_err());
+        assert!(BalancePolicy {
+            min_lps: 0,
+            ..policy()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn policy_round_trips_through_json_with_defaults() {
+        let p = BalancePolicy {
+            enabled: true,
+            ..BalancePolicy::default()
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: BalancePolicy = serde_json::from_str(&json).unwrap();
+        assert!(back.enabled);
+        assert_eq!(back.patience, p.patience);
+        assert_eq!(back.max_migrations, p.max_migrations);
+    }
+}

@@ -1,8 +1,10 @@
 //! The distributed executive: the kernel across OS *processes*.
 //!
 //! Topology: one **coordinator** (mesh process 0, no LPs — pure control
-//! plane) plus `n_workers` **worker** processes, each owning a
-//! contiguous block of the simulation's LPs. Every process joins a full
+//! plane) plus `n_workers` **worker** processes, each owning a set of
+//! the simulation's LPs (contiguous blocks at start; arbitrary after a
+//! migration — the explicit [`warp_balance::Assignment`] map travels in
+//! every [`WorkerInit`]/[`SessionLine`]). Every process joins a full
 //! TCP mesh ([`warp_net::tcp`]); inside a worker, each of its LPs runs
 //! the *same* `lp_thread` loop the threaded executive uses, plugged into
 //! a [`WorkerPort`] that routes packets to co-resident LPs over local
@@ -76,14 +78,37 @@
 //! liveness timeouts cannot see — and routes them through the same
 //! recovery path as a crash.
 //!
+//! # On-line load balancing (LP migration)
+//!
+//! With [`BalancePolicy::enabled`] (requires recovery), workers also
+//! stream one [`Frame::LoadReport`] per LP at every GVT round. The
+//! coordinator buckets a complete round of reports and feeds it to a
+//! [`warp_balance::BalanceController`] — the cluster-level instance of
+//! the paper's on-line configuration loop, where the sampled output `O`
+//! is each LP's LVT lead over GVT and the input `I` is the LP↔worker
+//! assignment. When the controller (after its dead-zone/patience
+//! hysteresis) proposes a new assignment, migration reuses the recovery
+//! machinery wholesale: the coordinator drives one extra checkpoint
+//! barrier so the chains cover everything committed, re-keys the stored
+//! delta chains under the new owner map, broadcasts [`Frame::Rebalance`]
+//! (workers abort their LP threads exactly as on a peer loss and
+//! re-announce `LISTEN`), then regroups into a new session whose
+//! `Resume` restores every LP on its *new* owner. Because restoration
+//! replays committed history through the normal kernel paths, the
+//! committed trace digest is unchanged by any migration. Migrations are
+//! recorded as [`MigrationRecord`]s in the final report and as
+//! `Param::Assignment` control events in the telemetry trajectory.
+//!
 //! Orphan hygiene: a worker whose coordinator dies sees either its mesh
 //! link drop or stdin close (the coordinator holds the write end) and
 //! exits non-zero on its own — workers never outlive the coordinator by
 //! more than the liveness timeout plus a bounded wait for recovery
 //! instructions.
 
-use crate::report::{LpSummary, RunReport};
-use crate::snapshot::{decode_resume, encode_delta, encode_resume, merge_logs, LpDelta};
+use crate::report::{LpSummary, MigrationMove, MigrationRecord, RunReport};
+use crate::snapshot::{
+    decode_resume, encode_delta, encode_resume, merge_logs, rekey_chains, LpDelta,
+};
 use crate::spec::SimulationSpec;
 use crate::threaded::{lp_thread, CkptPart, LpOutcome, LpPort, LpSeed, Packet};
 use serde::{Deserialize, Serialize};
@@ -94,13 +119,14 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use warp_balance::{Assignment, BalanceController, BalancePolicy, LpLoad};
 use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{LpId, VirtualTime};
 use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
 use warp_net::{FaultPlan, Frame};
-use warp_telemetry::TelemetryReport;
+use warp_telemetry::{ControlEvent, Param, TelemetryReport};
 
 /// Transport tuning for distributed runs. All knobs that used to be
 /// hard-coded constants; every worker receives the same values in its
@@ -219,6 +245,13 @@ pub struct DistConfig {
     pub net: NetTuning,
     /// Checkpoint-and-recovery policy.
     pub recovery: RecoveryPolicy,
+    /// On-line load-balancing policy. Enabling it requires
+    /// `recovery.enabled` — migration rides the checkpoint machinery.
+    pub balance: BalancePolicy,
+    /// Artificial per-worker slowdowns for balance experiments: each
+    /// `(proc_id, gap_us)` pair caps that worker process at one executed
+    /// event per `gap_us` microseconds. Empty = full speed everywhere.
+    pub handicaps: Vec<(u32, u64)>,
     /// Deterministic fault plan injected into every process's mesh
     /// (`None` = healthy links).
     pub fault: Option<FaultPlan>,
@@ -235,6 +268,8 @@ impl DistConfig {
             timeout: Duration::from_secs(120),
             net: NetTuning::default(),
             recovery: RecoveryPolicy::default(),
+            balance: BalancePolicy::default(),
+            handicaps: Vec::new(),
             fault: None,
         }
     }
@@ -282,47 +317,6 @@ impl From<io::Error> for DistError {
     }
 }
 
-/// Deterministic LP→process placement: contiguous blocks of
-/// `ceil(n_lps / n_workers)` LPs, worker `w` (mesh proc `w`, 1-based)
-/// owning block `w - 1`. Both sides compute this independently from
-/// `(n_lps, n_workers)`, so it never travels on the wire.
-#[derive(Clone, Copy, Debug)]
-pub struct LpAssignment {
-    n_lps: u32,
-    per_worker: u32,
-}
-
-impl LpAssignment {
-    /// Build the assignment; requires at least one LP per worker.
-    pub fn new(n_lps: u32, n_workers: u32) -> Result<Self, DistError> {
-        if n_workers == 0 {
-            return Err(DistError::InvalidConfig("need at least one worker".into()));
-        }
-        if n_lps < n_workers {
-            return Err(DistError::InvalidConfig(format!(
-                "{n_lps} LPs cannot cover {n_workers} workers (every worker needs ≥ 1 LP)"
-            )));
-        }
-        Ok(LpAssignment {
-            n_lps,
-            per_worker: n_lps.div_ceil(n_workers),
-        })
-    }
-
-    /// Mesh process id owning a global LP.
-    pub fn proc_of(&self, lp: u32) -> u32 {
-        debug_assert!(lp < self.n_lps);
-        1 + lp / self.per_worker
-    }
-
-    /// The contiguous global LP range owned by a worker process.
-    pub fn lps_of(&self, proc_id: u32) -> std::ops::Range<u32> {
-        debug_assert!(proc_id >= 1);
-        let start = (proc_id - 1) * self.per_worker;
-        start.min(self.n_lps)..(start + self.per_worker).min(self.n_lps)
-    }
-}
-
 /// The first line of JSON a worker reads on stdin.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkerInit {
@@ -348,6 +342,20 @@ pub struct WorkerInit {
     /// Whether the checkpoint/recovery protocol is armed.
     #[serde(default)]
     pub recovery: bool,
+    /// Explicit LP→worker owner map (`assignment[lp]` = owning proc id).
+    /// Empty means the contiguous default for `(n_lps, n_procs - 1)` —
+    /// the pre-migration wire format.
+    #[serde(default)]
+    pub assignment: Vec<u32>,
+    /// Whether the load balancer is armed (workers then stream one
+    /// [`Frame::LoadReport`] per LP at each GVT round).
+    #[serde(default)]
+    pub balance: bool,
+    /// Artificial slowdown: minimum microseconds between executed events
+    /// across this whole worker process (0 = full speed). Test/benchmark
+    /// knob for balance experiments.
+    #[serde(default)]
+    pub handicap_us: u64,
     /// Deterministic fault plan for this process's mesh links.
     #[serde(default)]
     pub fault: Option<FaultPlan>,
@@ -364,6 +372,10 @@ pub struct SessionLine {
     pub peers: Vec<(u32, String)>,
     /// Mesh establishment budget, milliseconds.
     pub connect_ms: u64,
+    /// The LP→worker owner map for the new session (empty = unchanged).
+    /// Carries the migrated placement after a [`Frame::Rebalance`].
+    #[serde(default)]
+    pub assignment: Vec<u32>,
 }
 
 /// A worker's end-of-run payload (travels as `Frame::Report` bytes).
@@ -473,6 +485,13 @@ enum SessionEnd {
     /// A worker was lost uncleanly; the session is unrecoverable but the
     /// run may not be.
     Lost { peer: u32, detail: String },
+    /// The load balancer ended the session on purpose: the cluster
+    /// regroups under `next` with the chains re-keyed to the new owners.
+    Rebalance {
+        next: Assignment,
+        moves: Vec<warp_balance::Move>,
+        imbalance: f64,
+    },
 }
 
 /// Checkpoint chains and horizon: everything the coordinator must keep
@@ -503,8 +522,24 @@ struct PendingCkpt {
 pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     let start = Instant::now();
     let deadline = start + cfg.timeout;
-    LpAssignment::new(cfg.n_lps, cfg.n_workers)?; // validate early
+    let mut assign =
+        Assignment::contiguous(cfg.n_lps, cfg.n_workers).map_err(DistError::InvalidConfig)?;
     cfg.net.validate().map_err(DistError::InvalidConfig)?;
+    cfg.balance.validate().map_err(DistError::InvalidConfig)?;
+    if cfg.balance.enabled && !cfg.recovery.enabled {
+        return Err(DistError::InvalidConfig(
+            "load balancing requires recovery: migration rides the checkpoint/resume machinery"
+                .into(),
+        ));
+    }
+    for &(proc_id, _) in &cfg.handicaps {
+        if proc_id == 0 || proc_id > cfg.n_workers {
+            return Err(DistError::InvalidConfig(format!(
+                "handicap names proc {proc_id}, outside 1..={}",
+                cfg.n_workers
+            )));
+        }
+    }
     let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
 
     let mut workers: Vec<WorkerProc> = Vec::new();
@@ -530,6 +565,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     };
     let mut session: u32 = 0;
     let mut recoveries: u64 = 0;
+    let mut migrations: Vec<MigrationRecord> = Vec::new();
     // Cluster-wide telemetry, merged from the workers' streamed batches.
     // Accumulated across sessions: observations from a lost session are
     // real observations of real (if later re-executed) work.
@@ -543,6 +579,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
             deadline,
             &mut store,
             &mut telemetry,
+            &assign,
+            migrations.len() as u32,
         );
         match attempt {
             Ok(SessionEnd::Finished(reports)) => {
@@ -566,8 +604,66 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     reports,
                     start.elapsed().as_secs_f64(),
                     recoveries,
+                    migrations,
                     telemetry.take().filter(|t| !t.is_empty()),
                 ));
+            }
+            Ok(SessionEnd::Rebalance {
+                next,
+                moves,
+                imbalance,
+            }) => {
+                // A planned reconfiguration: not charged to the recovery
+                // budget. Re-key the stored chains so each worker's next
+                // `Resume` carries exactly the LPs it now owns.
+                session += 1;
+                match rekey_chains(&store.chains, cfg.n_workers, |lp| next.proc_of(lp)) {
+                    Ok(chains) => store.chains = chains,
+                    Err(e) => {
+                        kill_all(&mut workers);
+                        return Err(DistError::Protocol(format!(
+                            "re-keying checkpoint chains for migration: {e}"
+                        )));
+                    }
+                }
+                let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                let batch = TelemetryReport {
+                    events: moves
+                        .iter()
+                        .map(|m| ControlEvent {
+                            gvt,
+                            lp: m.lp,
+                            object: m.lp,
+                            lvt: None,
+                            param: Param::Assignment,
+                            old: m.from as f64,
+                            new: m.to as f64,
+                            sampled_o: imbalance,
+                        })
+                        .collect(),
+                    ..TelemetryReport::default()
+                };
+                match &mut telemetry {
+                    Some(t) => t.merge(batch),
+                    None => telemetry = Some(batch),
+                }
+                migrations.push(MigrationRecord {
+                    gvt,
+                    imbalance,
+                    moves: moves
+                        .iter()
+                        .map(|m| MigrationMove {
+                            lp: m.lp,
+                            from: m.from,
+                            to: m.to,
+                        })
+                        .collect(),
+                });
+                assign = next;
+                if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
+                    kill_all(&mut workers);
+                    return Err(e);
+                }
             }
             Ok(SessionEnd::Lost { peer, detail }) => {
                 if !cfg.recovery.enabled || recoveries >= cfg.recovery.max_recoveries as u64 {
@@ -627,6 +723,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
 /// One coordinator session: distribute addresses and session lines,
 /// establish the mesh, resume workers from the checkpoint store (when
 /// past session 0), then pump frames to the end of the session.
+#[allow(clippy::too_many_arguments)]
 fn run_session_as_coordinator(
     cfg: &DistConfig,
     workers: &mut [WorkerProc],
@@ -634,6 +731,8 @@ fn run_session_as_coordinator(
     deadline: Instant,
     store: &mut CkptStore,
     telemetry: &mut Option<TelemetryReport>,
+    assign: &Assignment,
+    migrations_done: u32,
 ) -> Result<SessionEnd, DistError> {
     let n_procs = cfg.n_workers + 1;
     let listener = bind_loopback()?;
@@ -657,6 +756,14 @@ fn run_session_as_coordinator(
                 net: cfg.net.clone(),
                 connect_ms: remaining_ms(deadline),
                 recovery: cfg.recovery.enabled,
+                assignment: assign.owners().to_vec(),
+                balance: cfg.balance.enabled,
+                handicap_us: cfg
+                    .handicaps
+                    .iter()
+                    .find(|(p, _)| *p == proc_id)
+                    .map(|(_, us)| *us)
+                    .unwrap_or(0),
                 fault: cfg.fault.clone(),
             })
         } else {
@@ -664,6 +771,7 @@ fn run_session_as_coordinator(
                 session,
                 peers: peers.clone(),
                 connect_ms: remaining_ms(deadline),
+                assignment: assign.owners().to_vec(),
             })
         }
         .map_err(|e| DistError::Protocol(format!("init encode: {e}")))?;
@@ -696,9 +804,19 @@ fn run_session_as_coordinator(
         }
     }
 
-    let end = coordinate(&mesh, cfg, deadline, store, telemetry);
+    let end = coordinate(
+        &mesh,
+        cfg,
+        deadline,
+        store,
+        telemetry,
+        assign,
+        migrations_done,
+    );
     match &end {
-        Ok(SessionEnd::Finished(_)) => mesh.shutdown(),
+        // A rebalance drains cleanly too: the queued `Rebalance` frames
+        // must reach every worker before the links close.
+        Ok(SessionEnd::Finished(_)) | Ok(SessionEnd::Rebalance { .. }) => mesh.shutdown(),
         _ => mesh.abort(),
     }
     end
@@ -713,18 +831,44 @@ fn run_session_as_coordinator(
 /// reports are still outstanding, the session is declared livelocked
 /// and ends as [`SessionEnd::Lost`] — the same recovery path a crash
 /// takes, so the cluster regroups under a fresh session epoch.
+#[allow(clippy::too_many_arguments)]
 fn coordinate(
     mesh: &TcpMesh,
     cfg: &DistConfig,
     deadline: Instant,
     store: &mut CkptStore,
     telemetry: &mut Option<TelemetryReport>,
+    assign: &Assignment,
+    migrations_done: u32,
 ) -> Result<SessionEnd, DistError> {
     let n_workers = cfg.n_workers as usize;
     let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
     let mut closed = vec![false; n_workers];
     let mut pending: Option<PendingCkpt> = None;
     let mut last_ckpt_started = Instant::now() - Duration::from_secs(3600);
+    // The cluster-level configuration loop. A fresh controller per
+    // session doubles as the cooldown after a migration or recovery;
+    // the per-run migration cap carries across sessions via the
+    // remaining budget.
+    let mut balancer = (cfg.balance.enabled
+        && cfg.recovery.enabled
+        && migrations_done < cfg.balance.max_migrations)
+        .then(|| {
+            let mut policy = cfg.balance.clone();
+            policy.max_migrations = cfg.balance.max_migrations - migrations_done;
+            BalanceController::new(policy, cfg.n_lps, cfg.n_workers)
+        });
+    // One GVT round's worth of per-LP load reports, bucketed by gvt. A
+    // report from a newer round discards any incomplete older bucket.
+    let mut loads: Vec<Option<LpLoad>> = vec![None; cfg.n_lps as usize];
+    let mut load_gvt: Option<VirtualTime> = None;
+    // A migration the controller proposed, waiting on its checkpoint
+    // barrier before the session can be ended on purpose.
+    struct PlannedRebalance {
+        plan: warp_balance::Rebalance,
+        barrier_fired: bool,
+    }
+    let mut planned: Option<PlannedRebalance> = None;
     let coord_crash = std::env::var_os("WARP_COORD_TEST_CRASH").is_some();
     let stall_budget = (cfg.recovery.enabled && cfg.recovery.stall_budget_ms > 0)
         .then(|| Duration::from_millis(cfg.recovery.stall_budget_ms));
@@ -775,6 +919,43 @@ fn coordinate(
                 });
             }
         }
+        // Drive a planned migration: first a checkpoint barrier so the
+        // chains cover everything committed, then end the session with a
+        // broadcast `Rebalance` — workers abort and regroup exactly as
+        // they would after a peer loss, but on purpose.
+        if let Some(p) = planned.as_mut() {
+            if pending.is_none() {
+                if p.barrier_fired {
+                    for w in 1..=n_workers as u32 {
+                        mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                    }
+                    let p = planned.take().unwrap();
+                    return Ok(SessionEnd::Rebalance {
+                        next: p.plan.assignment,
+                        moves: p.plan.moves,
+                        imbalance: p.plan.imbalance,
+                    });
+                }
+                if let Some(gvt) = best_gvt.filter(|g| g.is_finite() && *g > store.horizon) {
+                    let ckpt = store.next_ckpt;
+                    store.next_ckpt += 1;
+                    last_ckpt_started = Instant::now();
+                    pending = Some(PendingCkpt {
+                        ckpt,
+                        gvt,
+                        parts: (0..n_workers).map(|_| None).collect(),
+                    });
+                    for w in 1..=n_workers as u32 {
+                        mesh.send(w, Frame::SnapshotReq { ckpt, gvt });
+                    }
+                    p.barrier_fired = true;
+                } else if store.horizon > VirtualTime::ZERO {
+                    // The horizon already sits at the frontier; there is
+                    // nothing new to capture before moving.
+                    p.barrier_fired = true;
+                }
+            }
+        }
         match mesh.recv_timeout(Duration::from_millis(50)) {
             Some(MeshEvent::Frame { from, frame }) => match frame {
                 Frame::Report(bytes) => {
@@ -784,6 +965,10 @@ fn coordinate(
                     reports[from as usize - 1] = Some(report);
                     // A report is definite progress: the sender saw ∞.
                     last_gvt_advance = Instant::now();
+                    // The run is winding down; migrating now would only
+                    // throw away finished work.
+                    planned = None;
+                    balancer = None;
                 }
                 Frame::Telemetry(bytes) => {
                     // Advisory stream; a batch that fails to parse is
@@ -807,6 +992,11 @@ fn coordinate(
                         best_gvt = Some(gvt);
                         last_gvt_advance = Instant::now();
                     }
+                    if !gvt.is_finite() {
+                        // GVT = ∞: reports are imminent; stand down.
+                        planned = None;
+                        balancer = None;
+                    }
                     let due = cfg.recovery.enabled
                         && gvt.is_finite()
                         && gvt > store.horizon
@@ -824,6 +1014,45 @@ fn coordinate(
                         });
                         for w in 1..=n_workers as u32 {
                             mesh.send(w, Frame::SnapshotReq { ckpt, gvt });
+                        }
+                    }
+                }
+                Frame::LoadReport {
+                    gvt,
+                    lp,
+                    executed,
+                    rolled_back,
+                    retained,
+                    lvt_lead,
+                } => {
+                    // Advisory, like telemetry: a malformed or stale
+                    // report is dropped, never fatal.
+                    if balancer.is_some() && gvt.is_finite() && (lp as usize) < loads.len() {
+                        if load_gvt != Some(gvt) {
+                            if load_gvt.is_some_and(|g| gvt < g) {
+                                continue; // straggling report from an old round
+                            }
+                            load_gvt = Some(gvt);
+                            loads.iter_mut().for_each(|l| *l = None);
+                        }
+                        loads[lp as usize] = Some(LpLoad {
+                            executed,
+                            rolled_back,
+                            retained,
+                            lvt_lead,
+                        });
+                        if loads.iter().all(Option::is_some) {
+                            let bucket: Vec<LpLoad> = loads.iter().map(|l| l.unwrap()).collect();
+                            let proposal =
+                                balancer.as_mut().and_then(|b| b.observe(assign, &bucket));
+                            if let Some(plan) = proposal {
+                                if planned.is_none() {
+                                    planned = Some(PlannedRebalance {
+                                        plan,
+                                        barrier_fired: false,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -929,6 +1158,7 @@ fn merge_reports(
     reports: Vec<WorkerReport>,
     wall: f64,
     recoveries: u64,
+    migrations: Vec<MigrationRecord>,
     telemetry: Option<TelemetryReport>,
 ) -> RunReport {
     let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
@@ -960,6 +1190,7 @@ fn merge_reports(
         comm,
         per_lp,
         recoveries,
+        migrations,
         telemetry,
     }
 }
@@ -981,6 +1212,39 @@ fn kill_all(children: &mut [WorkerProc]) {
 // Worker
 // ---------------------------------------------------------------------
 
+/// Process-wide execution rate limiter: enforces a minimum gap between
+/// executed events across *all* of a worker's LP threads, so a handicap
+/// models a genuinely slow machine — moving LPs off it really does
+/// raise cluster throughput. Checkpoint replay during a restore is not
+/// throttled (the port's `throttle` hook only fires in the batch loop).
+struct EventThrottle {
+    gap: Duration,
+    next: Mutex<Instant>,
+}
+
+impl EventThrottle {
+    fn new(gap_us: u64) -> Self {
+        EventThrottle {
+            gap: Duration::from_micros(gap_us),
+            next: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Claim the next execution slot, sleeping outside the lock.
+    fn pace(&self) {
+        let wake = {
+            let mut next = self.next.lock().unwrap();
+            let at = (*next).max(Instant::now());
+            *next = at + self.gap;
+            at
+        };
+        let now = Instant::now();
+        if wake > now {
+            std::thread::sleep(wake - now);
+        }
+    }
+}
+
 /// An LP's transport inside a worker process: packets for co-resident
 /// LPs go over local channels, everything else becomes a frame on the
 /// TCP mesh addressed to the owning process.
@@ -988,10 +1252,14 @@ struct WorkerPort {
     lp: u32,
     n_lps: u32,
     my_proc: u32,
-    assign: LpAssignment,
+    assign: Arc<Assignment>,
     locals: Arc<Vec<Option<Sender<Packet>>>>,
     mesh_tx: MeshSender,
     rx: Receiver<Packet>,
+    /// Stream per-LP load reports to the coordinator at GVT rounds.
+    balance: bool,
+    /// Artificial slowdown shared by every LP thread in this process.
+    throttle: Option<Arc<EventThrottle>>,
 }
 
 impl LpPort for WorkerPort {
@@ -1047,6 +1315,27 @@ impl LpPort for WorkerPort {
     }
     fn stream_telemetry(&self, json: Vec<u8>) {
         self.mesh_tx.send(0, Frame::Telemetry(json));
+    }
+    fn wants_load(&self) -> bool {
+        self.balance
+    }
+    fn report_load(&self, gvt: VirtualTime, load: warp_balance::LpLoad) {
+        self.mesh_tx.send(
+            0,
+            Frame::LoadReport {
+                gvt,
+                lp: self.lp,
+                executed: load.executed,
+                rolled_back: load.rolled_back,
+                retained: load.retained,
+                lvt_lead: load.lvt_lead,
+            },
+        );
+    }
+    fn throttle(&self) {
+        if let Some(t) = &self.throttle {
+            t.pace();
+        }
     }
 }
 
@@ -1121,6 +1410,9 @@ enum WorkerSessionEnd {
     Finished,
     /// A peer was lost; LP state is discarded, awaiting recovery.
     PeerLost(String),
+    /// The coordinator announced a migration; LP state is discarded,
+    /// awaiting the new session's assignment and `Resume`.
+    Rebalance,
 }
 
 /// The worker's life after bootstrap: run mesh sessions until one
@@ -1135,7 +1427,19 @@ pub fn run_worker(
     listener: std::net::TcpListener,
     stdin_rx: Receiver<String>,
 ) -> Result<(), String> {
-    let assign = LpAssignment::new(init.n_lps, init.n_procs - 1).map_err(|e| e.to_string())?;
+    let mut assign = if init.assignment.is_empty() {
+        Assignment::contiguous(init.n_lps, init.n_procs - 1)
+    } else {
+        Assignment::from_owners(init.assignment.clone(), init.n_procs - 1)
+    }
+    .map_err(|e| format!("assignment: {e}"))?;
+    if assign.n_lps() != init.n_lps {
+        return Err(format!(
+            "assignment covers {} LPs but the model has {}",
+            assign.n_lps(),
+            init.n_lps
+        ));
+    }
     let mut session = init.session;
     let mut peers = init.peers.clone();
     let mut connect_ms = init.connect_ms;
@@ -1143,54 +1447,67 @@ pub fn run_worker(
 
     loop {
         let lst = listener.take().expect("listener staged for this session");
-        match run_session_as_worker(init, &spec, assign, session, &peers, connect_ms, lst)? {
-            WorkerSessionEnd::Finished => return Ok(()),
-            WorkerSessionEnd::PeerLost(detail) => {
-                eprintln!(
-                    "warp-worker (proc {}): session {session} lost a peer ({detail}); awaiting recovery",
-                    init.proc_id
-                );
-                if !init.recovery {
-                    std::process::exit(3);
-                }
-                let lst = bind_loopback().map_err(|e| format!("re-bind: {e}"))?;
-                let addr = lst.local_addr().map_err(|e| format!("local_addr: {e}"))?;
-                if !announce_listen(&addr.to_string()) {
-                    eprintln!(
-                        "warp-worker (proc {}): orphaned (stdout closed); exiting",
+        let why =
+            match run_session_as_worker(init, &spec, &assign, session, &peers, connect_ms, lst)? {
+                WorkerSessionEnd::Finished => return Ok(()),
+                WorkerSessionEnd::PeerLost(detail) => {
+                    if !init.recovery {
+                        eprintln!(
+                        "warp-worker (proc {}): session {session} lost a peer ({detail}); exiting",
                         init.proc_id
                     );
-                    std::process::exit(3);
-                }
-                // The coordinator needs time to notice, reap, and
-                // respawn; but a coordinator that died will never write
-                // again — bound the wait and die rather than linger.
-                let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
-                    .max(Duration::from_secs(30));
-                match stdin_rx.recv_timeout(wait) {
-                    Ok(line) => {
-                        let sl: SessionLine = serde_json::from_str(&line)
-                            .map_err(|e| format!("parsing session line: {e}"))?;
-                        session = sl.session;
-                        peers = sl.peers;
-                        connect_ms = sl.connect_ms;
-                        listener = Some(lst);
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        eprintln!(
-                            "warp-worker (proc {}): coordinator closed stdin; exiting",
-                            init.proc_id
-                        );
                         std::process::exit(3);
                     }
-                    Err(RecvTimeoutError::Timeout) => {
-                        eprintln!(
-                            "warp-worker (proc {}): no recovery instructions within {wait:?}; exiting",
-                            init.proc_id
-                        );
-                        std::process::exit(3);
-                    }
+                    format!("lost a peer ({detail}); awaiting recovery")
                 }
+                WorkerSessionEnd::Rebalance => {
+                    "ended for LP migration; awaiting new assignment".into()
+                }
+            };
+        eprintln!(
+            "warp-worker (proc {}): session {session} {why}",
+            init.proc_id
+        );
+        let lst = bind_loopback().map_err(|e| format!("re-bind: {e}"))?;
+        let addr = lst.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        if !announce_listen(&addr.to_string()) {
+            eprintln!(
+                "warp-worker (proc {}): orphaned (stdout closed); exiting",
+                init.proc_id
+            );
+            std::process::exit(3);
+        }
+        // The coordinator needs time to notice, reap, and
+        // respawn; but a coordinator that died will never write
+        // again — bound the wait and die rather than linger.
+        let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
+            .max(Duration::from_secs(30));
+        match stdin_rx.recv_timeout(wait) {
+            Ok(line) => {
+                let sl: SessionLine = serde_json::from_str(&line)
+                    .map_err(|e| format!("parsing session line: {e}"))?;
+                session = sl.session;
+                peers = sl.peers;
+                connect_ms = sl.connect_ms;
+                if !sl.assignment.is_empty() {
+                    assign = Assignment::from_owners(sl.assignment, init.n_procs - 1)
+                        .map_err(|e| format!("session assignment: {e}"))?;
+                }
+                listener = Some(lst);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                eprintln!(
+                    "warp-worker (proc {}): coordinator closed stdin; exiting",
+                    init.proc_id
+                );
+                std::process::exit(3);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                eprintln!(
+                    "warp-worker (proc {}): no recovery instructions within {wait:?}; exiting",
+                    init.proc_id
+                );
+                std::process::exit(3);
             }
         }
     }
@@ -1202,13 +1519,13 @@ pub fn run_worker(
 fn run_session_as_worker(
     init: &WorkerInit,
     spec: &SimulationSpec,
-    assign: LpAssignment,
+    assign: &Assignment,
     session: u32,
     peers: &[(u32, String)],
     connect_ms: u64,
     listener: std::net::TcpListener,
 ) -> Result<WorkerSessionEnd, String> {
-    let my_lps = assign.lps_of(init.proc_id);
+    let my_lps: Vec<u32> = assign.lps_of(init.proc_id);
     let peer_addrs: Vec<(u32, SocketAddr)> = peers
         .iter()
         .filter(|(id, _)| *id < init.proc_id)
@@ -1295,7 +1612,7 @@ fn run_session_as_worker(
         Some((horizon, payload)) => {
             let deltas = decode_resume(&payload).map_err(|e| format!("resume decode: {e}"))?;
             let mut logs = merge_logs(&deltas).map_err(|e| format!("resume merge: {e}"))?;
-            for lp in my_lps.clone() {
+            for &lp in &my_lps {
                 let mut rt = Box::new(spec.build_lp(LpId(lp)));
                 let mut frontier = Vec::new();
                 rt.restore_committed(logs.remove(&lp).unwrap_or_default(), horizon, &mut frontier);
@@ -1304,7 +1621,7 @@ fn run_session_as_worker(
             Some(horizon)
         }
         None => {
-            for lp in my_lps.clone() {
+            for &lp in &my_lps {
                 seeds.push((lp, LpSeed::Fresh));
             }
             init.recovery.then_some(VirtualTime::ZERO)
@@ -1321,6 +1638,8 @@ fn run_session_as_worker(
     }
     let locals = Arc::new(locals);
     let mesh_tx = mesh.sender();
+    let assign_arc = Arc::new(assign.clone());
+    let throttle = (init.handicap_us > 0).then(|| Arc::new(EventThrottle::new(init.handicap_us)));
 
     let handles: Vec<_> = seeds
         .into_iter()
@@ -1330,10 +1649,12 @@ fn run_session_as_worker(
                 lp,
                 n_lps: init.n_lps,
                 my_proc: init.proc_id,
-                assign,
+                assign: Arc::clone(&assign_arc),
                 locals: Arc::clone(&locals),
                 mesh_tx: mesh_tx.clone(),
                 rx,
+                balance: init.balance,
+                throttle: throttle.clone(),
             };
             let spec = spec.clone();
             std::thread::spawn(move || lp_thread(spec, port, seed, ckpt_base))
@@ -1362,6 +1683,10 @@ fn run_session_as_worker(
         RouteEnd::Lost { mesh, detail } => {
             mesh.abort();
             Ok(WorkerSessionEnd::PeerLost(detail))
+        }
+        RouteEnd::Rebalance(mesh) => {
+            mesh.abort();
+            Ok(WorkerSessionEnd::Rebalance)
         }
         RouteEnd::Stopped(mesh) => {
             if outcomes.iter().any(|o| o.aborted) {
@@ -1393,6 +1718,9 @@ enum RouteEnd {
         /// What the failure detector observed.
         detail: String,
     },
+    /// The coordinator announced a migration; every local LP got
+    /// `Packet::Abort` and the session ends on purpose.
+    Rebalance(TcpMesh),
 }
 
 /// Dispatch inbound mesh traffic to local LP channels until told to
@@ -1455,6 +1783,10 @@ fn route_inbound(
     };
 
     for (from, frame) in backlog {
+        if matches!(frame, Frame::Rebalance { .. }) {
+            fan_local(&|| Packet::Abort);
+            return RouteEnd::Rebalance(mesh);
+        }
         if let Err(detail) = handle(frame, from, &mut ckpt_from) {
             eprintln!(
                 "warp-worker (proc {}): protocol violation: {detail}",
@@ -1470,6 +1802,12 @@ fn route_inbound(
         }
         match mesh.recv_timeout(Duration::from_millis(20)) {
             Some(MeshEvent::Frame { from, frame }) => {
+                if matches!(frame, Frame::Rebalance { .. }) {
+                    // A planned session end: abort the LP threads exactly
+                    // as on a peer loss, but report it as a migration.
+                    fan_local(&|| Packet::Abort);
+                    return RouteEnd::Rebalance(mesh);
+                }
                 if let Err(detail) = handle(frame, from, &mut ckpt_from) {
                     eprintln!(
                         "warp-worker (proc {}): protocol violation: {detail}",
@@ -1535,25 +1873,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn assignment_covers_all_lps_contiguously() {
+    fn assignment_covers_all_lps() {
         for (n_lps, n_workers) in [(4u32, 2u32), (5, 2), (7, 3), (3, 3), (16, 4), (9, 4)] {
-            let a = LpAssignment::new(n_lps, n_workers).unwrap();
+            let a = Assignment::contiguous(n_lps, n_workers).unwrap();
             let mut seen = Vec::new();
             for w in 1..=n_workers {
-                let r = a.lps_of(w);
-                for lp in r {
+                for lp in a.lps_of(w) {
                     assert_eq!(a.proc_of(lp), w, "lp {lp} ({n_lps}/{n_workers})");
                     seen.push(lp);
                 }
             }
+            seen.sort_unstable();
             assert_eq!(seen, (0..n_lps).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn assignment_rejects_degenerate_shapes() {
-        assert!(LpAssignment::new(4, 0).is_err());
-        assert!(LpAssignment::new(2, 3).is_err());
+        assert!(Assignment::contiguous(4, 0).is_err());
+        assert!(Assignment::contiguous(2, 3).is_err());
     }
 
     #[test]
@@ -1568,6 +1906,9 @@ mod tests {
             net: NetTuning::default(),
             connect_ms: 10_000,
             recovery: true,
+            assignment: vec![1, 1, 1, 2, 2, 1, 2, 2],
+            balance: true,
+            handicap_us: 250,
             fault: Some(FaultPlan::new().crash(2, 1, 100, 0)),
         };
         let line = serde_json::to_string(&init).unwrap();
@@ -1579,7 +1920,22 @@ mod tests {
         assert_eq!(back.model, init.model);
         assert_eq!(back.net.heartbeat_ms, 250);
         assert!(back.recovery);
+        assert_eq!(back.assignment, init.assignment);
+        assert!(back.balance);
+        assert_eq!(back.handicap_us, 250);
         assert!(back.fault.is_some());
+    }
+
+    #[test]
+    fn legacy_worker_init_defaults_the_balance_fields() {
+        // A pre-migration init line (no assignment/balance/handicap)
+        // must still parse: empty map = contiguous default, balancer off.
+        let line = r#"{"proc_id":1,"n_procs":2,"n_lps":4,"peers":[[0,"127.0.0.1:1"]],
+                       "model":null,"connect_ms":1000}"#;
+        let back: WorkerInit = serde_json::from_str(line).unwrap();
+        assert!(back.assignment.is_empty());
+        assert!(!back.balance);
+        assert_eq!(back.handicap_us, 0);
     }
 
     #[test]
@@ -1588,11 +1944,48 @@ mod tests {
             session: 3,
             peers: vec![(0, "127.0.0.1:9".into())],
             connect_ms: 5_000,
+            assignment: vec![2, 1, 1, 2],
         };
         let line = serde_json::to_string(&sl).unwrap();
         let back: SessionLine = serde_json::from_str(&line).unwrap();
         assert_eq!(back.session, 3);
         assert_eq!(back.peers, sl.peers);
+        assert_eq!(back.assignment, vec![2, 1, 1, 2]);
+        // Legacy line without an assignment defaults to "unchanged".
+        let legacy = r#"{"session":1,"peers":[[0,"127.0.0.1:9"]],"connect_ms":100}"#;
+        let back: SessionLine = serde_json::from_str(legacy).unwrap();
+        assert!(back.assignment.is_empty());
+    }
+
+    #[test]
+    fn balance_without_recovery_is_rejected() {
+        let mut cfg = DistConfig::new(
+            1,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            2,
+        );
+        cfg.balance.enabled = true;
+        cfg.recovery.enabled = false;
+        match run_coordinator(&cfg) {
+            Err(DistError::InvalidConfig(m)) => assert!(m.contains("recovery"), "{m}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_handicap_is_rejected() {
+        let mut cfg = DistConfig::new(
+            2,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            4,
+        );
+        cfg.handicaps.push((3, 500));
+        match run_coordinator(&cfg) {
+            Err(DistError::InvalidConfig(m)) => assert!(m.contains("handicap"), "{m}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

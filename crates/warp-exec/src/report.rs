@@ -53,6 +53,30 @@ pub struct TimelineSample {
     pub retained: u64,
 }
 
+/// One LP move inside a [`MigrationRecord`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MigrationMove {
+    /// The migrated LP.
+    pub lp: u32,
+    /// Worker the LP left.
+    pub from: u32,
+    /// Worker the LP landed on.
+    pub to: u32,
+}
+
+/// One on-line reconfiguration of the LP↔worker assignment performed by
+/// the distributed executive's load balancer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// GVT at which the migration barrier committed (`None` if the
+    /// horizon was still at virtual time zero).
+    pub gvt: Option<u64>,
+    /// The imbalance index that triggered the move.
+    pub imbalance: f64,
+    /// The LPs that changed owner.
+    pub moves: Vec<MigrationMove>,
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
@@ -83,6 +107,10 @@ pub struct RunReport {
     /// finish the run (0 everywhere else, and on a fault-free run).
     #[serde(default)]
     pub recoveries: u64,
+    /// LP migrations the distributed load balancer performed (empty
+    /// everywhere else, and when balancing was off or never triggered).
+    #[serde(default)]
+    pub migrations: Vec<MigrationRecord>,
     /// The merged observation record — metric series and the control
     /// trajectory (`None` unless the spec enabled telemetry).
     #[serde(default)]
@@ -143,7 +171,27 @@ impl RunReport {
             .and_then(|t| t.mean_dyma_window())
             .map(|w| format!("{:.3}ms", w * 1e3))
             .unwrap_or_else(|| "-".into());
-        format!("adaptation: final chi {chi}, modes {census}, mean DyMA window {window}")
+        let migrations = if self.migrations.is_empty() {
+            "none".into()
+        } else {
+            let detail: Vec<String> = self
+                .migrations
+                .iter()
+                .map(|m| {
+                    let gvt = m.gvt.map(|g| g.to_string()).unwrap_or_else(|| "-".into());
+                    let moves: Vec<String> = m
+                        .moves
+                        .iter()
+                        .map(|mv| format!("lp{} w{}→w{}", mv.lp, mv.from, mv.to))
+                        .collect();
+                    format!("gvt {gvt}: {}", moves.join(", "))
+                })
+                .collect();
+            format!("{} ({})", self.migrations.len(), detail.join("; "))
+        };
+        format!(
+            "adaptation: final chi {chi}, modes {census}, mean DyMA window {window}, migrations {migrations}"
+        )
     }
 
     /// One-line human summary.
@@ -186,6 +234,7 @@ mod tests {
             },
             timeline: Vec::new(),
             recoveries: 0,
+            migrations: Vec::new(),
             telemetry: None,
             per_lp: vec![LpSummary {
                 lp: 0,
@@ -216,6 +265,28 @@ mod tests {
         assert!(adapt.contains("1 lazy / 0 aggressive"), "{adapt}");
         assert!(adapt.contains("4..4"), "{adapt}");
         assert!(adapt.contains("window -"), "no telemetry, no window");
+        assert!(adapt.contains("migrations none"), "{adapt}");
+    }
+
+    #[test]
+    fn migrations_show_up_in_the_adaptation_summary() {
+        let mut r = report();
+        r.migrations.push(MigrationRecord {
+            gvt: Some(144),
+            imbalance: 0.8,
+            moves: vec![MigrationMove {
+                lp: 3,
+                from: 2,
+                to: 1,
+            }],
+        });
+        let adapt = r.adaptation_summary();
+        assert!(adapt.contains("migrations 1"), "{adapt}");
+        assert!(adapt.contains("gvt 144: lp3 w2→w1"), "{adapt}");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.migrations.len(), 1);
+        assert_eq!(back.migrations[0].moves[0].lp, 3);
     }
 
     #[test]

@@ -205,6 +205,7 @@ pub fn run_sequential(spec: &SimulationSpec) -> RunReport {
         comm: CommStats::default(),
         per_lp,
         recoveries: 0,
+        migrations: Vec::new(),
         telemetry: None,
     }
 }

@@ -124,7 +124,12 @@ pub(crate) fn decode_resume(buf: &[u8]) -> io::Result<Vec<Vec<u8>>> {
 
 /// Merge an ordered delta chain into per-LP committed logs ready for
 /// [`warp_core::LpRuntime::restore_committed`]: events append in
-/// checkpoint order, which is committed order.
+/// checkpoint order, which is committed order. Replay requires each
+/// object's log in [`Event::key`] order, so the merge canonicalizes:
+/// out-of-order chains are sorted back into key order and overlapping
+/// windows (the same checkpoint present in two deltas) deduplicate by
+/// key. For the well-formed chains the coordinator ships — disjoint
+/// ascending windows — both passes are no-ops.
 pub(crate) fn merge_logs(
     deltas: &[Vec<u8>],
 ) -> io::Result<HashMap<u32, HashMap<ObjectId, Vec<Event>>>> {
@@ -138,7 +143,63 @@ pub(crate) fn merge_logs(
             }
         }
     }
+    for per_obj in merged.values_mut() {
+        for log in per_obj.values_mut() {
+            log.sort_by_key(|a| a.key());
+            log.dedup_by(|a, b| a.key() == b.key());
+        }
+    }
     Ok(merged)
+}
+
+/// Regroup a full set of per-worker delta chains under a new LP→worker
+/// assignment (`owner_of(lp)` → 1-based worker id): for each checkpoint
+/// index the per-LP deltas of *all* workers are pooled and re-encoded
+/// per new owner, preserving the window bounds. Chains must describe
+/// the same checkpoint sequence (every complete checkpoint has one
+/// delta per worker with identical windows) — the invariant `CkptStore`
+/// maintains.
+pub(crate) fn rekey_chains(
+    chains: &[Vec<Vec<u8>>],
+    n_workers: u32,
+    owner_of: impl Fn(u32) -> u32,
+) -> io::Result<Vec<Vec<Vec<u8>>>> {
+    let depth = chains.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n_workers as usize];
+    for k in 0..depth {
+        let mut window: Option<(VirtualTime, VirtualTime)> = None;
+        let mut grouped: Vec<Vec<LpDelta>> = vec![Vec::new(); n_workers as usize];
+        for chain in chains {
+            let Some(blob) = chain.get(k) else { continue };
+            let (from, below, lps) = decode_delta(blob)?;
+            match window {
+                None => window = Some((from, below)),
+                Some(w) if w != (from, below) => {
+                    return Err(err(format!(
+                        "checkpoint {k}: window mismatch across workers \
+                         ({:?}..{:?} vs {:?}..{:?})",
+                        w.0, w.1, from, below
+                    )));
+                }
+                Some(_) => {}
+            }
+            for d in lps {
+                let w = owner_of(d.lp);
+                if w == 0 || w > n_workers {
+                    return Err(err(format!("lp {} assigned to invalid worker {w}", d.lp)));
+                }
+                grouped[(w - 1) as usize].push(d);
+            }
+        }
+        let (from, below) = window.ok_or_else(|| err(format!("checkpoint {k} has no deltas")))?;
+        for (chain, mut lps) in out.iter_mut().zip(grouped) {
+            // Deterministic order regardless of which worker held a
+            // block before the move.
+            lps.sort_by_key(|d| d.lp);
+            chain.push(encode_delta(from, below, &lps));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -224,6 +285,167 @@ mod tests {
             vec![2, 3, 6]
         );
         assert_eq!(merged[&0][&ObjectId(0)].len(), 1);
+    }
+
+    #[test]
+    fn merge_restores_key_order_from_an_out_of_order_chain() {
+        // Chain delivered newest-first: the merge must not trust chain
+        // order but re-sort each object's log into Event::key order,
+        // which is what replay_committed requires.
+        let newer = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[delta(1, vec![(2, vec![ev(3, 3, 2, 6), ev(3, 4, 2, 8)])])],
+        );
+        let older = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2), ev(3, 2, 2, 3)])])],
+        );
+        let merged = merge_logs(&[newer, older]).unwrap();
+        let log = &merged[&1][&ObjectId(2)];
+        assert_eq!(
+            log.iter().map(|e| e.recv_time.ticks()).collect::<Vec<_>>(),
+            vec![2, 3, 6, 8]
+        );
+        let mut keys: Vec<_> = log.iter().map(|e| e.key()).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys, sorted);
+        keys.dedup();
+        assert_eq!(keys.len(), log.len());
+    }
+
+    #[test]
+    fn merge_deduplicates_overlapping_windows() {
+        // The same checkpoint window shipped twice (e.g. a duplicated
+        // Snapshot frame surviving into a chain) must not double-commit
+        // its events on replay.
+        let window = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2), ev(3, 2, 2, 3)])])],
+        );
+        let next = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[delta(1, vec![(2, vec![ev(3, 3, 2, 6)])])],
+        );
+        let merged = merge_logs(&[window.clone(), window, next]).unwrap();
+        let log = &merged[&1][&ObjectId(2)];
+        assert_eq!(
+            log.iter().map(|e| e.recv_time.ticks()).collect::<Vec<_>>(),
+            vec![2, 3, 6],
+            "overlap must collapse to one copy per event"
+        );
+    }
+
+    #[test]
+    fn merge_interleaves_scrambled_overlapping_chains() {
+        // Worst case: chains out of order *and* overlapping. The merged
+        // log must equal the clean merge of the distinct windows.
+        let a = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(0, vec![(0, vec![ev(1, 1, 0, 1), ev(1, 2, 0, 3)])])],
+        );
+        let b = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[delta(0, vec![(0, vec![ev(1, 3, 0, 5)])])],
+        );
+        let c = encode_delta(
+            VirtualTime::new(9),
+            VirtualTime::new(12),
+            &[delta(0, vec![(0, vec![ev(1, 4, 0, 10)])])],
+        );
+        let scrambled = merge_logs(&[c.clone(), a.clone(), b.clone(), a.clone()]).unwrap();
+        let clean = merge_logs(&[a, b, c]).unwrap();
+        assert_eq!(scrambled, clean);
+    }
+
+    #[test]
+    fn rekey_regroups_blocks_under_a_new_owner_map() {
+        // Two workers, two checkpoints; then LP 1 moves from worker 1 to
+        // worker 2.
+        let w1 = vec![
+            encode_delta(
+                VirtualTime::ZERO,
+                VirtualTime::new(4),
+                &[
+                    delta(0, vec![(0, vec![ev(1, 1, 0, 2)])]),
+                    delta(1, vec![(2, vec![ev(3, 1, 2, 3)])]),
+                ],
+            ),
+            encode_delta(
+                VirtualTime::new(4),
+                VirtualTime::new(9),
+                &[
+                    delta(0, vec![(0, vec![ev(1, 2, 0, 6)])]),
+                    delta(1, vec![(2, vec![ev(3, 2, 2, 7)])]),
+                ],
+            ),
+        ];
+        let w2 = vec![
+            encode_delta(
+                VirtualTime::ZERO,
+                VirtualTime::new(4),
+                &[delta(2, vec![(4, vec![ev(5, 1, 4, 2)])])],
+            ),
+            encode_delta(
+                VirtualTime::new(4),
+                VirtualTime::new(9),
+                &[delta(2, vec![(4, vec![ev(5, 2, 4, 8)])])],
+            ),
+        ];
+        let owner = |lp: u32| if lp == 0 { 1 } else { 2 };
+        let rekeyed = rekey_chains(&[w1.clone(), w2.clone()], 2, owner).unwrap();
+        assert_eq!(rekeyed.len(), 2);
+        assert_eq!(rekeyed[0].len(), 2, "chain depth preserved");
+        assert_eq!(rekeyed[1].len(), 2);
+
+        // Worker 1 keeps only LP 0; worker 2 now owns LPs 1 and 2.
+        for k in 0..2 {
+            let (from, below, lps) = decode_delta(&rekeyed[0][k]).unwrap();
+            let (of, ob, _) = decode_delta(&w1[k]).unwrap();
+            assert_eq!((from, below), (of, ob), "windows preserved");
+            assert_eq!(lps.iter().map(|d| d.lp).collect::<Vec<_>>(), vec![0]);
+            let (_, _, lps) = decode_delta(&rekeyed[1][k]).unwrap();
+            assert_eq!(lps.iter().map(|d| d.lp).collect::<Vec<_>>(), vec![1, 2]);
+        }
+
+        // The merged committed logs are identical either way: rekeying
+        // moves bytes between chains, never changes history.
+        let mut before = merge_logs(&w1).unwrap();
+        before.extend(merge_logs(&w2).unwrap());
+        let mut after = merge_logs(&rekeyed[0]).unwrap();
+        after.extend(merge_logs(&rekeyed[1]).unwrap());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rekey_rejects_inconsistent_chains() {
+        let a = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(0, vec![(0, vec![ev(1, 1, 0, 2)])])],
+        );
+        let skewed = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(5),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2)])])],
+        );
+        assert!(
+            rekey_chains(&[vec![a.clone()], vec![skewed]], 2, |_| 1).is_err(),
+            "mismatched windows at the same checkpoint index"
+        );
+        assert!(
+            rekey_chains(&[vec![a]], 2, |_| 7).is_err(),
+            "owner map pointing at a worker that does not exist"
+        );
     }
 
     #[test]

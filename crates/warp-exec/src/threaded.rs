@@ -89,6 +89,21 @@ pub(crate) trait LpPort {
     /// Ship one JSON-encoded [`warp_telemetry::TelemetryReport`] batch
     /// toward the coordinator. Only called when `wants_telemetry()`.
     fn stream_telemetry(&self, _json: Vec<u8>) {}
+    /// Should per-LP load samples be reported at GVT rounds? The
+    /// distributed port says yes when the cluster balance controller is
+    /// armed; in-process transports have no one to rebalance.
+    fn wants_load(&self) -> bool {
+        false
+    }
+    /// Ship one LP's cumulative load counters for the GVT round toward
+    /// the coordinator's balance controller. Only called when
+    /// `wants_load()`. Advisory: loss only delays a migration decision.
+    fn report_load(&self, _gvt: VirtualTime, _load: warp_balance::LpLoad) {}
+    /// Host-speed pacing hook, called once per optimistically executed
+    /// event. The distributed port uses it to emulate a slow host (a
+    /// process-wide rate limit) for balance tests; everywhere else it is
+    /// free.
+    fn throttle(&self) {}
 }
 
 impl LpPort for Endpoint<Packet> {
@@ -163,6 +178,7 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         comm,
         per_lp,
         recoveries: 0,
+        migrations: Vec::new(),
         telemetry,
     }
 }
@@ -257,6 +273,23 @@ impl<P: LpPort> LpThread<P> {
                     }
                 }
             }
+        }
+        if self.port.wants_load() && gvt.is_finite() {
+            let stats = self.lp.stats();
+            let front = self.lp.lvt_front();
+            self.port.report_load(
+                gvt,
+                warp_balance::LpLoad {
+                    executed: stats.executed,
+                    rolled_back: stats.rolled_back,
+                    retained: self.lp.history_items() as u64,
+                    lvt_lead: if front.is_finite() {
+                        front.ticks().saturating_sub(gvt.ticks())
+                    } else {
+                        0
+                    },
+                },
+            );
         }
         if gvt.is_infinite() {
             self.done = true;
@@ -390,6 +423,7 @@ impl<P: LpPort> LpThread<P> {
                     break;
                 }
                 idle = false;
+                self.port.throttle();
             }
             self.offer_remote(remote);
 

@@ -565,6 +565,7 @@ pub fn run_virtual_inspect(
         comm,
         per_lp,
         recoveries: 0,
+        migrations: Vec::new(),
         telemetry: crate::threaded::merge_telemetry(
             recorders.into_iter().map(warp_telemetry::Recorder::finish),
         ),

@@ -59,6 +59,14 @@ pub enum Selector {
         /// Fire probability in thousandths (1000 = every frame).
         per_mille: u16,
     },
+    /// Every frame from this sequence number onward. `Drop(From(n))` is
+    /// an *asymmetric partition*: the directed link swallows all its
+    /// data while the reverse direction — and this direction's
+    /// heartbeats — keep flowing. Because nothing later ever arrives,
+    /// the receiver sees no sequence gap and liveness stays green; only
+    /// the GVT plane betrays the fault (the Mattern counts never
+    /// reconcile), so the stall watchdog is the detector.
+    From(u64),
 }
 
 impl Selector {
@@ -72,6 +80,7 @@ impl Selector {
                 (splitmix(seed ^ salt ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1000)
                     < per_mille as u64
             }
+            Selector::From(n) => seq >= n,
         }
     }
 }
@@ -183,6 +192,25 @@ impl FaultPlan {
             session: Some(session),
             scope: FaultScope::Data,
             kind: FaultKind::Partition { after },
+        });
+        self
+    }
+
+    /// Convenience: an *asymmetric* partition — from data frame `after`
+    /// onward the directed link `from → to` silently discards every data
+    /// frame, while `to → from` and this link's heartbeats keep flowing,
+    /// in session `session` only. Unlike [`FaultPlan::partition`] no
+    /// liveness timeout ever fires (the link looks healthy end to end)
+    /// and no sequence gap is ever observed (no later frame arrives to
+    /// reveal one); the run wedges with every connection green until the
+    /// GVT-progress watchdog declares a stall.
+    pub fn asym_partition(mut self, from: u32, to: u32, after: u64, session: u32) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            session: Some(session),
+            scope: FaultScope::Data,
+            kind: FaultKind::Drop(Selector::From(after)),
         });
         self
     }
@@ -425,6 +453,36 @@ mod tests {
         assert_eq!(chaos.fate(100), DataFate::Partition);
         let chaos = FaultPlan::new().crash(1, 2, 3, 0).link(1, 2, 0).unwrap();
         assert_eq!(chaos.fate(7), DataFate::Crash);
+    }
+
+    #[test]
+    fn asym_partition_drops_one_direction_only() {
+        let plan = FaultPlan::new().asym_partition(2, 1, 5, 0);
+        let forward = plan.link(2, 1, 0).expect("forward link is shaped");
+        assert_eq!(forward.fate(4), DataFate::Deliver, "pre-threshold flows");
+        assert_eq!(forward.fate(5), DataFate::Drop, "threshold frame dropped");
+        assert_eq!(forward.fate(5000), DataFate::Drop, "latched forever");
+        assert!(
+            plan.link(1, 2, 0).is_none(),
+            "reverse direction is untouched"
+        );
+        assert!(
+            plan.link_control(2, 1, 0).is_none(),
+            "tokens and GVT news still flow forward — the ring wedges on \
+             the data counts, not on a silenced control plane"
+        );
+        assert!(plan.link(2, 1, 1).is_none(), "pinned to session 0");
+    }
+
+    #[test]
+    fn from_selector_matches_a_latched_suffix() {
+        assert!(!Selector::From(3).matches(0, 2));
+        assert!(Selector::From(3).matches(0, 3));
+        assert!(Selector::From(3).matches(0, u64::MAX));
+        assert!(Selector::From(0).matches(7, 0), "zero threshold = all");
+        let json = serde_json::to_string(&Selector::From(3)).unwrap();
+        let back: Selector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Selector::From(3));
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   bytes, same ownership rule as `Report`), piggybacked on GVT rounds
 //!   so the coordinator can stream cluster-wide metric series without a
 //!   side channel.
+//! * `LoadReport` — one LP's cumulative progress counters at a GVT round
+//!   (same advisory contract as `Telemetry`); the coordinator's balance
+//!   controller samples these to decide LP migrations.
+//! * `Rebalance` — coordinator announcement that the session ends at a
+//!   checkpoint barrier so the cluster can regroup under a new LP
+//!   assignment.
 //! * `Bye` — graceful shutdown: the peer finished sending and will close
 //!   after draining. A connection that dies *without* `Bye` is a crash.
 //! * `Progress` / `SnapshotReq` / `Snapshot` / `SnapshotAck` / `Resume` —
@@ -56,7 +62,8 @@ use warp_core::{LpId, VirtualTime};
 /// Protocol version carried in `Hello`; bump on any frame-format change.
 /// v2: session epochs in `Hello`, per-link `Data` sequence numbers, and
 /// the checkpoint/recovery frames. v3: the `Telemetry` streaming frame.
-pub const PROTO_VERSION: u16 = 3;
+/// v4: the load-balance plane (`LoadReport`, `Rebalance`).
+pub const PROTO_VERSION: u16 = 4;
 
 /// Upper bound on a frame body. Protects the decoder from allocating
 /// gigabytes off a corrupt or malicious length prefix.
@@ -154,6 +161,34 @@ pub enum Frame {
     /// the transport; `warp-exec` owns the JSON schema). Purely advisory:
     /// loss or reordering never affects simulation correctness.
     Telemetry(Vec<u8>),
+    /// Worker → coordinator: one LP's cumulative load counters at a GVT
+    /// round — the sampled output `O` of the cluster-level balance
+    /// controller. Advisory like `Telemetry`: loss only delays a
+    /// migration decision, never affects correctness.
+    LoadReport {
+        /// The GVT round the sample belongs to.
+        gvt: VirtualTime,
+        /// The reporting LP (global id).
+        lp: u32,
+        /// Events executed so far, including ones later rolled back.
+        executed: u64,
+        /// Events undone by rollback so far.
+        rolled_back: u64,
+        /// Retained history items (input queue + output log + state
+        /// snapshots) at the sample instant.
+        retained: u64,
+        /// `lvt_front - gvt` in ticks: the LP's speculation lead over
+        /// the committed horizon.
+        lvt_lead: u64,
+    },
+    /// Coordinator → workers: end this session cleanly at the checkpoint
+    /// barrier so the cluster can regroup under a new LP assignment.
+    /// Workers treat it like a planned recovery: abort local LP threads,
+    /// re-announce, and await the next session's `Resume`.
+    Rebalance {
+        /// The checkpoint horizon the new session will resume from.
+        gvt: VirtualTime,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -169,6 +204,8 @@ const TAG_SNAPSHOT: u8 = 10;
 const TAG_SNAPSHOT_ACK: u8 = 11;
 const TAG_RESUME: u8 = 12;
 const TAG_TELEMETRY: u8 = 13;
+const TAG_LOAD_REPORT: u8 = 14;
+const TAG_REBALANCE: u8 = 15;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -273,6 +310,26 @@ impl Frame {
             Frame::Telemetry(bytes) => {
                 w.u8(TAG_TELEMETRY).bytes(bytes);
             }
+            Frame::LoadReport {
+                gvt,
+                lp,
+                executed,
+                rolled_back,
+                retained,
+                lvt_lead,
+            } => {
+                w.u8(TAG_LOAD_REPORT);
+                write_vt(&mut w, *gvt);
+                w.u32(*lp)
+                    .u64(*executed)
+                    .u64(*rolled_back)
+                    .u64(*retained)
+                    .u64(*lvt_lead);
+            }
+            Frame::Rebalance { gvt } => {
+                w.u8(TAG_REBALANCE);
+                write_vt(&mut w, *gvt);
+            }
         }
         let body = w.finish();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -358,6 +415,17 @@ impl Frame {
                 payload: r.bytes().map_err(mal)?.to_vec(),
             },
             TAG_TELEMETRY => Frame::Telemetry(r.bytes().map_err(mal)?.to_vec()),
+            TAG_LOAD_REPORT => Frame::LoadReport {
+                gvt: read_vt(&mut r).map_err(mal)?,
+                lp: r.u32().map_err(mal)?,
+                executed: r.u64().map_err(mal)?,
+                rolled_back: r.u64().map_err(mal)?,
+                retained: r.u64().map_err(mal)?,
+                lvt_lead: r.u64().map_err(mal)?,
+            },
+            TAG_REBALANCE => Frame::Rebalance {
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
             other => return Err(FrameError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -512,6 +580,17 @@ mod tests {
                 payload: vec![],
             },
             Frame::Telemetry(b"{\"samples\":[]}".to_vec()),
+            Frame::LoadReport {
+                gvt: VirtualTime::new(17),
+                lp: 5,
+                executed: 420,
+                rolled_back: 12,
+                retained: 96,
+                lvt_lead: 33,
+            },
+            Frame::Rebalance {
+                gvt: VirtualTime::new(17),
+            },
         ]
     }
 

@@ -121,6 +121,27 @@ fn arb_frame() -> BoxedStrategy<Frame> {
                 payload,
             }),
         proptest::collection::vec(any::<u8>(), 0..96).prop_map(Frame::Telemetry),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(gvt, lp, executed, rolled_back, retained, lvt_lead)| {
+                Frame::LoadReport {
+                    gvt: VirtualTime::from_ticks(gvt),
+                    lp,
+                    executed,
+                    rolled_back,
+                    retained,
+                    lvt_lead,
+                }
+            }),
+        any::<u64>().prop_map(|gvt| Frame::Rebalance {
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
     ]
     .boxed()
 }

@@ -76,6 +76,11 @@ pub enum Param {
     /// DyMA aggregation window in modeled seconds (`object` is the
     /// *destination LP* of the adjusted bucket; `sampled_o` is `-1`).
     Window,
+    /// LP→worker assignment: the cluster balancer migrated an LP
+    /// (`lp`/`object` are the migrated LP; `old`/`new` are the source
+    /// and destination worker ids; `sampled_o` is the imbalance index
+    /// that triggered the move). Recorded by the coordinator.
+    Assignment,
 }
 
 /// One controller decision: the paper's `(O, I)` pair caught in the act,
@@ -505,13 +510,14 @@ impl TelemetryReport {
             .map(|w| format!("{w:.3}"))
             .unwrap_or_else(|| "-".into());
         format!(
-            "telemetry: {} samples, {} events ({} χ moves, {} mode flips, {} window moves), \
-             max finite gvt {}, mean DyMA window {}, dropped {}/{}",
+            "telemetry: {} samples, {} events ({} χ moves, {} mode flips, {} window moves, \
+             {} migrations), max finite gvt {}, mean DyMA window {}, dropped {}/{}",
             self.samples.len(),
             self.events.len(),
             self.moves_of(Param::Chi),
             self.moves_of(Param::Cancellation),
             self.moves_of(Param::Window),
+            self.moves_of(Param::Assignment),
             max_gvt,
             window,
             self.dropped_samples,

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]
+//!              [--balance] [--slow PROC:MICROS]
 //! warp-cluster stats TELEMETRY.jsonl
 //! ```
 //!
@@ -14,6 +15,11 @@
 //! JSONL; a one-line adaptation summary goes to stderr. The `stats`
 //! subcommand re-reads such a file — validating every line against the
 //! telemetry schema — and prints its summary.
+//!
+//! `--balance` arms the on-line load balancer (LP migration; implies
+//! recovery). `--slow PROC:MICROS` artificially caps worker `PROC` at
+//! one executed event per `MICROS` microseconds — a reproducible
+//! "slow machine" for balance experiments (repeatable).
 //!
 //! The worker binary is taken from `WARP_WORKER_BIN`, falling back to a
 //! `warp-worker` sibling of this executable.
@@ -27,6 +33,7 @@ use warped_online::cluster::{run_distributed_job, ClusterJob};
 fn usage() -> ! {
     eprintln!(
         "usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]\n\
+         \x20                [--balance] [--slow PROC:MICROS]\n\
          \x20      warp-cluster stats TELEMETRY.jsonl"
     );
     std::process::exit(2);
@@ -64,6 +71,8 @@ fn run() -> Result<(), String> {
     let mut n_workers: u32 = 2;
     let mut timeout = Duration::from_secs(300);
     let mut telemetry_out: Option<PathBuf> = None;
+    let mut balance = false;
+    let mut handicaps: Vec<(u32, u64)> = Vec::new();
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("stats") {
@@ -92,6 +101,17 @@ fn run() -> Result<(), String> {
                     .unwrap_or_else(|| usage());
                 timeout = Duration::from_secs(secs);
             }
+            "--balance" => balance = true,
+            "--slow" => {
+                let spec = argv.next().unwrap_or_else(|| usage());
+                let (proc_id, gap) = spec.split_once(':').unwrap_or_else(|| usage());
+                let pair = proc_id
+                    .parse()
+                    .ok()
+                    .zip(gap.parse().ok())
+                    .unwrap_or_else(|| usage());
+                handicaps.push(pair);
+            }
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
             _ => {
@@ -119,10 +139,19 @@ fn run() -> Result<(), String> {
     if telemetry_out.is_some() {
         job.telemetry = true;
     }
+    if balance {
+        job.balance.enabled = true;
+        job.recovery.enabled = true;
+    }
+    job.handicaps.extend(handicaps);
 
     let report =
         run_distributed_job(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
     eprintln!("{}", report.summary_line());
+    if !report.migrations.is_empty() && telemetry_out.is_none() {
+        // With --telemetry the adaptation summary prints below anyway.
+        eprintln!("{}", report.adaptation_summary());
+    }
     if let Some(path) = &telemetry_out {
         let dump = report
             .telemetry

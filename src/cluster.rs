@@ -13,6 +13,7 @@
 //! `warp-worker` binary, done.
 
 use serde::{Deserialize, Serialize};
+use warp_balance::BalancePolicy;
 use warp_exec::distributed::{run_coordinator, DistConfig, DistError, NetTuning, RecoveryPolicy};
 use warp_exec::{RunReport, SimulationSpec};
 use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
@@ -64,6 +65,14 @@ pub struct ClusterJob {
     /// Checkpoint-and-recovery policy for the run.
     #[serde(default)]
     pub recovery: RecoveryPolicy,
+    /// On-line LP-migration policy (needs `recovery.enabled`).
+    #[serde(default)]
+    pub balance: BalancePolicy,
+    /// Artificial per-worker slowdowns, `(proc_id, gap_us)` pairs: that
+    /// worker executes at most one event per `gap_us` microseconds.
+    /// Benchmark/chaos knob for balance experiments.
+    #[serde(default)]
+    pub handicaps: Vec<(u32, u64)>,
     /// Deterministic fault plan to inject into the mesh (`None` =
     /// healthy links); mostly for chaos tests.
     #[serde(default)]
@@ -80,6 +89,8 @@ impl ClusterJob {
             telemetry: false,
             net: NetTuning::default(),
             recovery: RecoveryPolicy::default(),
+            balance: BalancePolicy::default(),
+            handicaps: Vec::new(),
             fault: None,
         }
     }
@@ -129,6 +140,8 @@ pub fn run_distributed_job(
         timeout,
         net: job.net.clone(),
         recovery: job.recovery.clone(),
+        balance: job.balance.clone(),
+        handicaps: job.handicaps.clone(),
         fault: job.fault.clone(),
     })
 }

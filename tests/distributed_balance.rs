@@ -1,0 +1,180 @@
+//! On-line load balancing (LP migration) across worker processes.
+//!
+//! A worker handicapped with a per-event execution gap models the
+//! paper's heterogeneous cluster: the balancer must notice the skewed
+//! LVT leads, wait out its hysteresis, and migrate LPs off the slow
+//! machine — all without perturbing the committed history (every run
+//! here is digest-checked against the sequential golden model).
+
+use std::path::PathBuf;
+use std::time::Duration;
+use warp_balance::BalancePolicy;
+use warp_exec::distributed::RecoveryPolicy;
+use warp_exec::run_sequential;
+use warp_telemetry::Param;
+use warped_online::cluster::{run_distributed_job, ClusterJob, ModelSpec};
+use warped_online::models::PholdConfig;
+
+fn worker_bin() -> PathBuf {
+    std::env::var_os("WARP_WORKER_BIN")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_BIN_EXE_warp-worker")))
+}
+
+/// PHOLD spread over 6 LPs / 3 workers with enough events that the
+/// balancer has time to observe, decide, and migrate mid-run.
+fn phold_job() -> ClusterJob {
+    let cfg = PholdConfig {
+        n_objects: 18,
+        n_lps: 6,
+        population_per_object: 2,
+        ttl: 220,
+        ..PholdConfig::new(220, 11)
+    };
+    ClusterJob {
+        collect_traces: true,
+        recovery: RecoveryPolicy {
+            enabled: true,
+            max_recoveries: 3,
+            ckpt_min_interval_ms: 0,
+            stall_budget_ms: 0,
+        },
+        ..ClusterJob::new(ModelSpec::Phold(cfg), None)
+    }
+}
+
+fn assert_matches_sequential(job: &ClusterJob, dist: &warp_exec::RunReport) {
+    let seq = run_sequential(&job.spec());
+    assert_eq!(
+        dist.committed_events, seq.committed_events,
+        "committed event counts diverged"
+    );
+    let seq_digests = seq.trace_digests();
+    assert!(
+        !seq_digests.is_empty(),
+        "test must actually compare digests"
+    );
+    assert_eq!(
+        dist.trace_digests(),
+        seq_digests,
+        "migration changed the committed history vs. the sequential golden model"
+    );
+}
+
+#[test]
+fn slowed_worker_triggers_migration_and_commits_the_sequential_history() {
+    // Worker 3 executes at most one event per 400µs; the others run at
+    // full speed. The imbalance index must leave the dead zone, survive
+    // the patience rounds, and fire at least one migration — after
+    // which the committed trace must still be byte-identical to the
+    // sequential run.
+    let job = ClusterJob {
+        balance: BalancePolicy {
+            enabled: true,
+            dead_zone: 0.4,
+            patience: 3,
+            warmup_rounds: 2,
+            max_moves: 1,
+            min_lps: 1,
+            max_migrations: 3,
+        },
+        handicaps: vec![(3, 400)],
+        telemetry: true,
+        ..phold_job()
+    };
+    let dist = run_distributed_job(&job, 3, worker_bin(), Duration::from_secs(120))
+        .expect("balanced distributed run failed");
+
+    assert_matches_sequential(&job, &dist);
+    assert!(
+        !dist.migrations.is_empty(),
+        "the slowed worker never shed an LP: {}",
+        dist.adaptation_summary()
+    );
+    for m in &dist.migrations {
+        assert!(!m.moves.is_empty(), "a migration record with no moves");
+        for mv in &m.moves {
+            assert_eq!(mv.from, 3, "only the handicapped worker should donate");
+            assert_ne!(mv.to, 3, "an LP migrated back onto the slow worker");
+        }
+    }
+    // Migrations must also appear on the control trajectory.
+    let telemetry = dist.telemetry.as_ref().expect("telemetry was enabled");
+    let assignment_events = telemetry
+        .events
+        .iter()
+        .filter(|e| e.param == Param::Assignment)
+        .count();
+    assert!(
+        assignment_events >= dist.migrations.iter().map(|m| m.moves.len()).sum::<usize>(),
+        "migrations missing from the telemetry trajectory"
+    );
+}
+
+#[test]
+fn balanced_cluster_never_migrates_inside_the_dead_zone() {
+    // No handicap and a wide dead zone: whatever lead jitter the run
+    // produces must stay inside the hysteresis, so the assignment never
+    // moves even though the balancer is armed.
+    let job = ClusterJob {
+        balance: BalancePolicy {
+            enabled: true,
+            dead_zone: 0.85,
+            patience: 6,
+            warmup_rounds: 2,
+            max_moves: 1,
+            min_lps: 1,
+            max_migrations: 3,
+        },
+        ..phold_job()
+    };
+    let dist = run_distributed_job(&job, 3, worker_bin(), Duration::from_secs(120))
+        .expect("balanced (healthy) distributed run failed");
+    assert_matches_sequential(&job, &dist);
+    assert!(
+        dist.migrations.is_empty(),
+        "hysteresis failed: migrated a balanced cluster ({})",
+        dist.adaptation_summary()
+    );
+}
+
+#[test]
+fn migration_recovers_throughput_lost_to_a_slow_worker() {
+    // The paper's payoff metric: committed events per second with the
+    // balancer on vs. off, same handicapped cluster. The margin is kept
+    // modest (10%) because CI machines are noisy; the real effect (the
+    // slow worker drops from 2 LPs to 1) is closer to 2x.
+    let slow = |balance: bool| ClusterJob {
+        balance: BalancePolicy {
+            enabled: balance,
+            dead_zone: 0.4,
+            patience: 3,
+            warmup_rounds: 2,
+            max_moves: 1,
+            min_lps: 1,
+            max_migrations: 3,
+        },
+        handicaps: vec![(3, 500)],
+        ..phold_job()
+    };
+
+    let static_run = run_distributed_job(&slow(false), 3, worker_bin(), Duration::from_secs(120))
+        .expect("static (handicapped) run failed");
+    assert_matches_sequential(&slow(false), &static_run);
+    assert!(static_run.migrations.is_empty());
+
+    let balanced_run = run_distributed_job(&slow(true), 3, worker_bin(), Duration::from_secs(120))
+        .expect("balanced (handicapped) run failed");
+    assert_matches_sequential(&slow(true), &balanced_run);
+    assert!(
+        !balanced_run.migrations.is_empty(),
+        "no migration fired; the comparison is meaningless"
+    );
+
+    assert!(
+        balanced_run.events_per_second >= 1.1 * static_run.events_per_second,
+        "migration did not pay: static {:.0} ev/s vs balanced {:.0} ev/s",
+        static_run.events_per_second,
+        balanced_run.events_per_second
+    );
+}
