@@ -189,6 +189,39 @@ impl LpRuntime {
         }
     }
 
+    /// Fossil collection under a recovery pin: committed sends landing at
+    /// or after `keep_sends_from` are retained past their generating
+    /// events' fossilization, so a later
+    /// [`rollback_to_horizon`](Self::rollback_to_horizon) can still
+    /// harvest the outgoing frontier (see
+    /// [`ObjectRuntime::fossil_collect_retaining`]).
+    pub fn fossil_collect_retaining(&mut self, gvt: VirtualTime, keep_sends_from: VirtualTime) {
+        for o in &mut self.objects {
+            o.fossil_collect_retaining(gvt, keep_sends_from);
+        }
+    }
+
+    /// Roll every object back *in place* to the recovery horizon, then
+    /// re-deliver the LP's outgoing frontier — committed sends landing at
+    /// or beyond `horizon` — locally by insertion and remotely via `out`.
+    /// The survivor's counterpart of
+    /// [`restore_committed`](Self::restore_committed): same resulting
+    /// contract (committed state below the horizon, frontier re-offered)
+    /// without replaying the committed log from scratch. Requires that
+    /// fossil collection was pinned at or below `horizon` for the whole
+    /// session (see [`ObjectRuntime::rollback_to_horizon`] for the exact
+    /// preconditions).
+    pub fn rollback_to_horizon(&mut self, horizon: VirtualTime, out: &mut Vec<Event>) {
+        let mut frontier = Vec::new();
+        // Harvest from every object before routing: a frontier event
+        // delivered into an object that has not rolled back yet would be
+        // destroyed by its own rollback.
+        for o in &mut self.objects {
+            frontier.extend(o.rollback_to_horizon(horizon, &self.cost));
+        }
+        self.route(frontier, out);
+    }
+
     /// Per-object committed events with receive time in `[from, below)`.
     /// With `below` at an announced GVT this is a checkpoint delta: the
     /// events are stable everywhere and consecutive windows concatenate
@@ -538,6 +571,61 @@ mod tests {
         while fresh.process_one(&mut out) {}
         let got: Vec<_> = fresh.objects().iter().map(|o| o.trace_digest()).collect();
         assert_eq!(got, want, "restored run diverged from the original");
+    }
+
+    #[test]
+    fn in_place_rollback_reproduces_the_run() {
+        // Run a local ping-pong to completion, roll the *same* LP back in
+        // place to a mid-run horizon, and let it finish again: the
+        // committed trace must match the original — the survivor path and
+        // the rebuild path are interchangeable.
+        let part = Arc::new(Partition::round_robin(2, 1));
+        let mut lp = build_lp(
+            part,
+            LpId(0),
+            vec![
+                (
+                    ObjectId(0),
+                    Ping {
+                        peer: ObjectId(1),
+                        start: true,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+                (
+                    ObjectId(1),
+                    Ping {
+                        peer: ObjectId(0),
+                        start: false,
+                        state: PingState { bounces: 0 },
+                    },
+                ),
+            ],
+        );
+        let mut out = Vec::new();
+        lp.init(&mut out);
+        while lp.process_one(&mut out) {}
+        let want: Vec<_> = lp.objects().iter().map(|o| o.trace_digest()).collect();
+        let executed_full = lp.stats().executed;
+
+        let horizon = VirtualTime::new(4);
+        lp.rollback_to_horizon(horizon, &mut out);
+        assert!(out.is_empty(), "single-LP frontier is all local");
+        assert_eq!(
+            lp.next_time(),
+            horizon,
+            "the frontier event at the horizon was re-delivered"
+        );
+        let mut resumed = 0;
+        while lp.process_one(&mut out) {
+            resumed += 1;
+        }
+        assert!(
+            (resumed as u64) < executed_full,
+            "survivor replays only the post-horizon tail"
+        );
+        let got: Vec<_> = lp.objects().iter().map(|o| o.trace_digest()).collect();
+        assert_eq!(got, want, "in-place rollback diverged from the original");
     }
 
     #[test]

@@ -198,6 +198,27 @@ impl InputQueue {
         keep as u64
     }
 
+    /// Key of the first *processed* event received at or after `at`, if
+    /// any. An in-place rollback to a resume horizon `h` un-processes
+    /// from exactly this key (or nothing, when the whole history is
+    /// below `h`).
+    pub fn first_processed_at_or_after(&self, at: VirtualTime) -> Option<EventKey> {
+        let idx = self.events[..self.processed].partition_point(|e| e.recv_time < at);
+        (idx < self.processed).then(|| self.events[idx].key())
+    }
+
+    /// Discard every unprocessed event and every stored orphan anti,
+    /// returning how many events were dropped. Used by the in-place
+    /// survivor restore: the dead session's in-flight traffic is
+    /// discarded cluster-wide and the frontier is re-delivered, so a
+    /// retained pending copy would collide with its re-sent twin.
+    pub fn discard_unprocessed(&mut self) -> u64 {
+        let n = self.events.len() - self.processed;
+        self.events.truncate(self.processed);
+        self.orphan_antis.clear();
+        n as u64
+    }
+
     /// All unprocessed events (test/diagnostic helper).
     pub fn pending(&self) -> &[Event] {
         &self.events[self.processed..]
@@ -353,6 +374,42 @@ mod tests {
         // still has to execute; fossils are processed history only).
         assert_eq!(q.fossil_collect_before(ev(1, 99, 100).key()), 0);
         assert_eq!(q.pending_len(), 1);
+    }
+
+    #[test]
+    fn first_processed_at_or_after_scans_only_history() {
+        let mut q = InputQueue::new();
+        for s in 0..4 {
+            q.insert(ev(1, s, 10 * (s + 1)));
+        }
+        for _ in 0..3 {
+            q.mark_processed(); // history: t = 10, 20, 30; pending: t = 40
+        }
+        assert_eq!(
+            q.first_processed_at_or_after(VirtualTime::new(15)),
+            Some(ev(1, 1, 20).key())
+        );
+        assert_eq!(
+            q.first_processed_at_or_after(VirtualTime::new(20)),
+            Some(ev(1, 1, 20).key())
+        );
+        // Beyond the processed history: the pending t=40 event must not
+        // be reported (it is not rollback material).
+        assert_eq!(q.first_processed_at_or_after(VirtualTime::new(31)), None);
+    }
+
+    #[test]
+    fn discard_unprocessed_clears_future_and_orphans() {
+        let mut q = InputQueue::new();
+        q.insert(ev(1, 0, 10));
+        q.mark_processed();
+        q.insert(ev(1, 1, 20));
+        q.insert(ev(2, 9, 99).to_anti()); // orphan
+        assert_eq!(q.discard_unprocessed(), 1);
+        assert_eq!(q.processed_len(), 1);
+        assert_eq!(q.pending_len(), 0);
+        // The orphan store is empty again: a fresh positive enqueues.
+        assert_eq!(q.insert(ev(2, 9, 99)), Inserted::Enqueued);
     }
 
     #[test]

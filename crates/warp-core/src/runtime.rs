@@ -546,7 +546,15 @@ impl ObjectRuntime {
             }
         }
 
-        // Restore the newest snapshot before the rollback point.
+        self.restore_and_coast(key, cost);
+    }
+
+    /// The state-restoration tail shared by every rollback flavour:
+    /// restore the newest snapshot before `key`, truncate newer
+    /// snapshots, and coast forward over the still-valid events between
+    /// the snapshot and `key`, suppressing their sends. The input queue
+    /// must already be un-processed back to `key`.
+    fn restore_and_coast(&mut self, key: EventKey, cost: &CostModel) {
         let (pos, restored_bytes) = {
             let (pos, snap) = self
                 .states
@@ -561,8 +569,6 @@ impl ObjectRuntime {
         self.charge(c);
         self.states.truncate_from(key);
 
-        // Coast forward: replay the still-valid events between the
-        // snapshot and the rollback point, suppressing their sends.
         let start = self.input.replay_start(pos);
         let end = self.input.processed_len();
         for i in start..end {
@@ -732,6 +738,69 @@ impl ObjectRuntime {
             let c = self.output.fossil_collect_before(bound);
             self.stats.fossils_collected += a + b + c;
         }
+    }
+
+    /// Fossil collection under a recovery pin: identical to
+    /// [`fossil_collect`](Self::fossil_collect) except that committed
+    /// sends landing at or after `keep_sends_from` (the pin) are retained
+    /// even once their generating events fossilize. They are the object's
+    /// *outgoing frontier* should a recovery later roll this survivor
+    /// back in place to a horizon `h ≥ keep_sends_from`; see
+    /// [`rollback_to_horizon`](Self::rollback_to_horizon).
+    pub fn fossil_collect_retaining(&mut self, gvt: VirtualTime, keep_sends_from: VirtualTime) {
+        if let Some(bound) = self.states.fossil_bound(gvt) {
+            let a = self.states.fossil_collect_before(bound);
+            let b = self.input.fossil_collect_before(bound);
+            let c = self
+                .output
+                .fossil_collect_before_retaining(bound, keep_sends_from);
+            self.stats.fossils_collected += a + b + c;
+        }
+    }
+
+    /// Roll this object back *in place* to the recovery horizon `h`,
+    /// undoing every event received at or after `h` and discarding all
+    /// unprocessed input, then return the object's outgoing frontier: its
+    /// committed sends that land at or beyond `h`. Used when a survivor
+    /// of a worker crash re-joins a resumed session without rebuilding
+    /// from its full committed log.
+    ///
+    /// Preconditions (guaranteed by the recovery protocol): GVT reached
+    /// at least `h` before the session aborted (so every event below `h`
+    /// is committed here and at every peer), and fossil collection was
+    /// pinned at or below `h` (so a restorable snapshot strictly below
+    /// `h` and the cross-horizon sends both survive — see
+    /// [`fossil_collect_retaining`](Self::fossil_collect_retaining)).
+    ///
+    /// Held-back cancellation obligations are dropped *without* emitting
+    /// anti-messages: every process discards the dead session's state and
+    /// traffic above `h`, and an owed anti-message for a send landing
+    /// below `h` would have blocked GVT from ever reaching `h`.
+    /// Discarded speculative sends vanish silently for the same reason.
+    /// Unprocessed input must be discarded (not retained) because the
+    /// resumed session re-delivers the frontier from scratch and a
+    /// retained copy would collide with the re-delivery.
+    pub fn rollback_to_horizon(&mut self, h: VirtualTime, cost: &CostModel) -> Vec<Event> {
+        self.lazy_pending.clear();
+        self.monitor_pending.clear();
+        if let Some(first) = self.input.first_processed_at_or_after(h) {
+            let n = self.input.unprocess_from(first);
+            self.stats.rolled_back += n;
+            self.stats.cost_rollback += cost.rollback_fixed;
+            self.charge(cost.rollback_fixed);
+            // Speculative sends above the horizon die with the session;
+            // no strategy consultation, no antis.
+            let _ = self.output.take_from(first);
+            self.restore_and_coast(first, cost);
+        }
+        self.input.discard_unprocessed();
+        self.trace(&format!("rollback_to_horizon {h}: lvt={}", self.lvt));
+        self.output
+            .records()
+            .iter()
+            .filter(|r| r.event.recv_time >= h)
+            .map(|r| r.event.clone())
+            .collect()
     }
 }
 
@@ -987,6 +1056,91 @@ mod tests {
         r.deliver(incoming(8, 0, 61, 50), &cost, &mut out);
         while r.process_next(&cost, &mut out) {}
         assert!(r.stats().straggler_rollbacks == 1);
+    }
+
+    #[test]
+    fn rollback_to_horizon_undoes_speculation_and_harvests_frontier() {
+        let cost = CostModel::uniform_unit();
+        let mut r = rt(CancellationMode::Lazy, 1);
+        let mut out = Vec::new();
+        r.init(&cost, &mut out);
+        for (s, t, v) in [(0u64, 10u64, 5u64), (1, 30, 7), (2, 50, 11)] {
+            r.deliver(incoming(9, s, t, v), &cost, &mut out);
+        }
+        while r.process_next(&cost, &mut out) {}
+        // One event still unprocessed at abort time.
+        r.deliver(incoming(9, 3, 70, 13), &cost, &mut out);
+        out.clear();
+
+        // Roll back in place to horizon 40: t=10/t=30 stay committed,
+        // t=50 is undone, the unprocessed t=70 is discarded.
+        let frontier = r.rollback_to_horizon(VirtualTime::new(40), &cost);
+        assert_eq!(r.lvt(), VirtualTime::new(30));
+        assert_eq!(r.stats().rolled_back, 1);
+        let hist = r.committed_history();
+        assert_eq!(hist.len(), 2);
+        assert!(hist.iter().all(|e| e.recv_time < VirtualTime::new(40)));
+        // The committed send from t=30 lands at 40 — frontier material.
+        // The t=10 send (recv 20) is history; the t=50 send died silently.
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].recv_time, VirtualTime::new(40));
+        let mut rd = PayloadReader::new(&frontier[0].payload);
+        assert_eq!(rd.u64().unwrap(), 12);
+        assert!(out.is_empty(), "no anti-messages for the dead session");
+
+        // The resumed session delivers fresh traffic; the survivor picks
+        // up exactly where a rebuilt replica would: sum is 5 + 7 = 12.
+        r.deliver(incoming(8, 0, 45, 100), &cost, &mut out);
+        while r.process_next(&cost, &mut out) {}
+        let send = out
+            .iter()
+            .find(|e| !e.is_anti() && e.recv_time == VirtualTime::new(55))
+            .unwrap();
+        let mut rd = PayloadReader::new(&send.payload);
+        assert_eq!(rd.u64().unwrap(), 112);
+    }
+
+    #[test]
+    fn rollback_to_horizon_zero_rewinds_to_init() {
+        let cost = CostModel::uniform_unit();
+        let mut r = rt(CancellationMode::Aggressive, 1);
+        let mut out = Vec::new();
+        r.init(&cost, &mut out);
+        for (s, t, v) in [(0u64, 10u64, 5u64), (1, 30, 7)] {
+            r.deliver(incoming(9, s, t, v), &cost, &mut out);
+        }
+        while r.process_next(&cost, &mut out) {}
+        out.clear();
+        let frontier = r.rollback_to_horizon(VirtualTime::ZERO, &cost);
+        assert_eq!(r.lvt(), VirtualTime::ZERO);
+        assert!(r.committed_history().is_empty());
+        assert!(frontier.is_empty(), "init sent nothing");
+        assert_eq!(r.stats().rolled_back, 2);
+    }
+
+    #[test]
+    fn pinned_collection_preserves_in_place_recovery_material() {
+        let cost = CostModel::uniform_unit();
+        let mut r = rt(CancellationMode::Aggressive, 2);
+        let mut out = Vec::new();
+        r.init(&cost, &mut out);
+        for s in 0..10u64 {
+            r.deliver(incoming(9, s, 10 * (s + 1), 1), &cost, &mut out);
+        }
+        while r.process_next(&cost, &mut out) {}
+        out.clear();
+        // GVT advanced past the pin at 60; the executive caps the fossil
+        // bound below the pin (here 59) and keeps cross-pin sends.
+        r.fossil_collect_retaining(VirtualTime::new(59), VirtualTime::new(60));
+        assert!(r.stats().fossils_collected > 0);
+
+        // In-place recovery to the pinned horizon must still find a
+        // restorable snapshot and the committed send landing at 60.
+        let frontier = r.rollback_to_horizon(VirtualTime::new(60), &cost);
+        assert_eq!(r.stats().rolled_back, 5, "events t=60..=100 undone");
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].recv_time, VirtualTime::new(60));
+        assert_eq!(r.lvt(), VirtualTime::new(50));
     }
 
     /// Scripted tuner: χ follows a fixed schedule, one step per invoke.

@@ -7,7 +7,7 @@
 //! every [`WorkerInit`]/[`SessionLine`]). Every process joins a full
 //! TCP mesh ([`warp_net::tcp`]); inside a worker, each of its LPs runs
 //! the *same* `lp_thread` loop the threaded executive uses, plugged into
-//! a [`WorkerPort`] that routes packets to co-resident LPs over local
+//! a `WorkerPort` that routes packets to co-resident LPs over local
 //! channels and to remote LPs as [`Frame`]s over the mesh. The Mattern
 //! GVT token circulates in global LP-id order exactly as in the threaded
 //! executive — the token ring simply spans process boundaries now — and
@@ -49,7 +49,19 @@
 //! per-worker deltas to an in-memory chain once **all** workers have
 //! answered. Only then does it broadcast `SnapshotAck`, which lets the
 //! workers' fossil collectors advance past the old horizon — history a
-//! persisted checkpoint does not yet cover is pinned in memory.
+//! persisted checkpoint does not yet cover is pinned in memory (state
+//! and input strictly below the pin, plus the output records whose
+//! sends land at or beyond it: the raw material of an in-place resume).
+//!
+//! With [`RecoveryPolicy::store_dir`] set, every committed delta is
+//! also spilled to a per-worker, CRC-checked **segment file** as it
+//! arrives — a durable shadow of the chains (format in
+//! `docs/recovery-store.md`, read back via
+//! [`load_checkpoint_segment`]). [`RecoveryPolicy::compact_after`]
+//! bounds chain depth: once any chain reaches it, every worker's chain
+//! is merged into a single delta spanning the full committed range —
+//! uniformly, so migration re-keying keeps seeing identical windows —
+//! and the segments are atomically rewritten.
 //!
 //! When a peer is lost *uncleanly* (crash, half-open link past the
 //! liveness timeout, or an unrecoverable sequence gap), every survivor
@@ -57,15 +69,25 @@
 //! `LISTEN` on stdout, and waits on stdin; the coordinator reaps dead
 //! workers, respawns them, distributes the new peer list (a new-session
 //! [`WorkerInit`] to respawned processes, a [`SessionLine`] to
-//! survivors), re-establishes the mesh under the bumped epoch, and sends
-//! every worker a `Frame::Resume` carrying its full delta chain. Each
-//! worker rebuilds its LPs by replaying the committed logs through the
-//! normal kernel paths and re-ships the regenerated event frontier; the
-//! run continues from the checkpoint horizon and must commit exactly
-//! the history the sequential golden model commits. Recovery is bounded
-//! by [`RecoveryPolicy::max_recoveries`]; past that (or with recovery
-//! disabled) a lost worker is a clean [`DistError::Worker`], never a
-//! hang.
+//! survivors), re-establishes the mesh under the bumped epoch, and
+//! **streams** every worker its delta chain as an ordered
+//! [`Frame::ResumeChunk`] sequence — chunked at
+//! [`RecoveryPolicy::resume_chunk_bytes`] and reassembled by the worker,
+//! so a resume payload is never bounded by the transport's frame cap
+//! ([`NetTuning::max_frame_bytes`]). How a worker re-seeds each LP then
+//! depends on what it still holds: a **survivor** whose LP thread was
+//! aborted hands its live runtime back to the session loop, and the next
+//! resume rolls that runtime back *in place* to the checkpoint horizon
+//! (undo speculation above it, harvest the retained output frontier) —
+//! no object init, no replay of committed history. Everything else —
+//! respawned processes, migrated-in LPs — is rebuilt by replaying the
+//! committed logs through the normal kernel paths. Both paths re-ship
+//! the regenerated frontier and must commit exactly the history the
+//! sequential golden model commits; [`ResumeStats`] in the final report
+//! counts each path and the events full rebuilds replayed. Recovery is
+//! bounded by [`RecoveryPolicy::max_recoveries`]; past that (or with
+//! recovery disabled) a lost worker is a clean [`DistError::Worker`],
+//! never a hang.
 //!
 //! Two observational channels ride on the same mesh. Workers with
 //! telemetry enabled piggyback periodic [`Frame::Telemetry`] batches
@@ -105,17 +127,19 @@
 //! more than the liveness timeout plus a bounded wait for recovery
 //! instructions.
 
-use crate::report::{LpSummary, MigrationMove, MigrationRecord, RunReport};
+use crate::report::{LpSummary, MigrationMove, MigrationRecord, ResumeStats, RunReport};
 use crate::snapshot::{
-    decode_resume, encode_delta, encode_resume, merge_logs, rekey_chains, LpDelta,
+    compact_chain, decode_resume, encode_delta, encode_resume, merge_logs, rekey_chains,
+    store::SegmentStore, LpDelta, SnapshotError,
 };
 use crate::spec::SimulationSpec;
 use crate::threaded::{lp_thread, CkptPart, LpOutcome, LpPort, LpSeed, Packet};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -144,6 +168,13 @@ pub struct NetTuning {
     pub connect_backoff_start_ms: u64,
     /// Dial-retry backoff ceiling (milliseconds).
     pub connect_backoff_max_ms: u64,
+    /// Frame-size cap (bytes) every process's decoder enforces; bounds
+    /// worst-case memory per link and, together with
+    /// [`RecoveryPolicy::resume_chunk_bytes`], the frames of a streamed
+    /// resume. 0 = the protocol default
+    /// ([`warp_net::frame::MAX_FRAME_BYTES`]).
+    #[serde(default)]
+    pub max_frame_bytes: u64,
 }
 
 impl Default for NetTuning {
@@ -153,6 +184,7 @@ impl Default for NetTuning {
             liveness_ms: 3000,
             connect_backoff_start_ms: 20,
             connect_backoff_max_ms: 500,
+            max_frame_bytes: 0,
         }
     }
 }
@@ -180,7 +212,22 @@ impl NetTuning {
                 self.connect_backoff_max_ms, self.connect_backoff_start_ms
             ));
         }
+        if self.max_frame_bytes != 0 && self.max_frame_bytes < 1024 {
+            return Err(format!(
+                "max_frame_bytes ({}) below the 1024-byte floor: even a handshake would not fit",
+                self.max_frame_bytes
+            ));
+        }
         Ok(())
+    }
+
+    /// The effective frame cap in bytes (protocol default when unset).
+    pub fn frame_cap(&self) -> usize {
+        if self.max_frame_bytes == 0 {
+            warp_net::frame::MAX_FRAME_BYTES
+        } else {
+            self.max_frame_bytes as usize
+        }
     }
 
     fn heartbeat(&self) -> Duration {
@@ -211,6 +258,23 @@ pub struct RecoveryPolicy {
     /// liveness detector can never see. 0 disables the watchdog.
     #[serde(default)]
     pub stall_budget_ms: u64,
+    /// Directory for the durable checkpoint store: committed delta
+    /// chains are spilled to per-worker segment files as each checkpoint
+    /// completes (see `docs/recovery-store.md` for the format). `None`
+    /// keeps the chains in coordinator memory only.
+    #[serde(default)]
+    pub store_dir: Option<String>,
+    /// Compact each worker's delta chain into a single merged delta
+    /// whenever its depth reaches this many checkpoints (0 = never).
+    /// Compaction runs uniformly across all workers, preserving the
+    /// identical-window invariant migration re-keying relies on.
+    #[serde(default)]
+    pub compact_after: u32,
+    /// Payload bytes per [`Frame::ResumeChunk`] when streaming a resume
+    /// (0 = 1 MiB). Always clamped below the transport's frame cap, so
+    /// a resume is never bounded by [`NetTuning::max_frame_bytes`].
+    #[serde(default)]
+    pub resume_chunk_bytes: u64,
 }
 
 impl Default for RecoveryPolicy {
@@ -220,6 +284,9 @@ impl Default for RecoveryPolicy {
             max_recoveries: 3,
             ckpt_min_interval_ms: 100,
             stall_budget_ms: 0,
+            store_dir: None,
+            compact_after: 0,
+            resume_chunk_bytes: 0,
         }
     }
 }
@@ -383,6 +450,10 @@ pub struct SessionLine {
 struct WorkerReport {
     gvt_rounds: u64,
     per_lp: Vec<LpSummary>,
+    /// Resume accounting accumulated across this worker's sessions
+    /// (rebuild vs. in-place rollback counts, replayed events).
+    #[serde(default)]
+    resume: ResumeStats,
 }
 
 // ---------------------------------------------------------------------
@@ -503,6 +574,43 @@ struct CkptStore {
     horizon: VirtualTime,
     /// Monotone checkpoint id across the whole run.
     next_ckpt: u32,
+    /// Durable spill of the chains: one segment file per worker,
+    /// appended as checkpoints commit (`None` = in-memory only).
+    segments: Option<SegmentStore>,
+    /// Coordinator-side resume/store accounting for the run report.
+    stats: ResumeStats,
+}
+
+impl CkptStore {
+    /// Collapse every worker's chain into one delta spanning the full
+    /// committed range, mirroring the rewrite to the segment files.
+    /// Applied uniformly across workers: `rekey_chains` relies on every
+    /// chain carrying identical windows at identical depths.
+    fn compact(&mut self) -> Result<(), SnapshotError> {
+        for w in 0..self.chains.len() {
+            if self.chains[w].len() < 2 {
+                continue;
+            }
+            let merged = compact_chain(&self.chains[w])?;
+            self.chains[w] = vec![merged];
+            if let Some(seg) = self.segments.as_mut() {
+                seg.rewrite(w as u32 + 1, &self.chains[w])?;
+            }
+        }
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Mirror the in-memory chains to the segment files wholesale —
+    /// after migration re-keying has moved LPs between chains.
+    fn rewrite_segments(&mut self) -> Result<(), SnapshotError> {
+        if let Some(seg) = self.segments.as_mut() {
+            for (w, chain) in self.chains.iter().enumerate() {
+                seg.rewrite(w as u32 + 1, chain)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A checkpoint in flight: parts received so far, by worker.
@@ -540,6 +648,21 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
             )));
         }
     }
+    if cfg.recovery.store_dir.is_some() && !cfg.recovery.enabled {
+        return Err(DistError::InvalidConfig(
+            "recovery.store_dir set but recovery is disabled: the store would never see a checkpoint"
+                .into(),
+        ));
+    }
+    // Open the durable store before any worker exists, so a bad
+    // directory fails the run without orphaning processes.
+    let segments = match &cfg.recovery.store_dir {
+        Some(dir) => Some(
+            SegmentStore::create(Path::new(dir), cfg.n_workers)
+                .map_err(|e| DistError::InvalidConfig(format!("checkpoint store at {dir}: {e}")))?,
+        ),
+        None => None,
+    };
     let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
 
     let mut workers: Vec<WorkerProc> = Vec::new();
@@ -562,6 +685,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
         chains: (0..cfg.n_workers).map(|_| Vec::new()).collect(),
         horizon: VirtualTime::ZERO,
         next_ckpt: 0,
+        segments,
+        stats: ResumeStats::default(),
     };
     let mut session: u32 = 0;
     let mut recoveries: u64 = 0;
@@ -600,12 +725,16 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         }
                     }
                 }
+                if let Some(seg) = &store.segments {
+                    store.stats.store_spilled_bytes = seg.spilled_bytes;
+                }
                 return Ok(merge_reports(
                     reports,
                     start.elapsed().as_secs_f64(),
                     recoveries,
                     migrations,
                     telemetry.take().filter(|t| !t.is_empty()),
+                    store.stats,
                 ));
             }
             Ok(SessionEnd::Rebalance {
@@ -625,6 +754,14 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                             "re-keying checkpoint chains for migration: {e}"
                         )));
                     }
+                }
+                // The durable store must mirror the re-keyed ownership,
+                // or its segments would replay LPs to the wrong workers.
+                if let Err(e) = store.rewrite_segments() {
+                    kill_all(&mut workers);
+                    return Err(DistError::Io(io::Error::other(format!(
+                        "checkpoint store rewrite after migration: {e}"
+                    ))));
                 }
                 let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
                 let batch = TelemetryReport {
@@ -787,20 +924,21 @@ fn run_session_as_coordinator(
         dial_backoff_start: Duration::from_millis(cfg.net.connect_backoff_start_ms),
         dial_backoff_max: Duration::from_millis(cfg.net.connect_backoff_max_ms),
         faults: cfg.fault.clone(),
+        max_frame_bytes: cfg.net.frame_cap(),
         ..TcpMeshConfig::new(0, n_procs)
     };
     let mesh = TcpMesh::establish(mesh_cfg, listener, &[])?;
 
     if session > 0 {
+        // Stream each worker's chain as a ResumeChunk sequence: the
+        // resume payload is unbounded (it grows with the committed
+        // history), so it must never have to fit one frame.
+        let chunk = resume_chunk_len(&cfg.recovery, &cfg.net);
         for w in 1..n_procs {
-            mesh.send(
-                w,
-                Frame::Resume {
-                    session,
-                    gvt: store.horizon,
-                    payload: encode_resume(&store.chains[w as usize - 1]),
-                },
-            );
+            let payload = encode_resume(&store.chains[w as usize - 1]);
+            store.stats.resume_bytes += payload.len() as u64;
+            store.stats.resume_chunks +=
+                send_resume_chunks(&mesh, w, session, store.horizon, &payload, chunk);
         }
     }
 
@@ -820,6 +958,55 @@ fn run_session_as_coordinator(
         _ => mesh.abort(),
     }
     end
+}
+
+/// Payload bytes per [`Frame::ResumeChunk`]: the configured size
+/// (default 1 MiB) clamped so every chunk frame — payload plus tag,
+/// session, gvt, seq/last fields, and length prefixes — stays under the
+/// transport's frame cap.
+fn resume_chunk_len(recovery: &RecoveryPolicy, net: &NetTuning) -> usize {
+    const DEFAULT_CHUNK: usize = 1 << 20;
+    const CHUNK_MARGIN: usize = 64;
+    let want = if recovery.resume_chunk_bytes == 0 {
+        DEFAULT_CHUNK
+    } else {
+        recovery.resume_chunk_bytes as usize
+    };
+    want.clamp(1, net.frame_cap().saturating_sub(CHUNK_MARGIN).max(1))
+}
+
+/// Stream one worker's resume payload as an ordered `ResumeChunk`
+/// sequence. Returns the number of chunks sent — always at least one,
+/// because the final chunk's `last` marker is what releases the worker.
+fn send_resume_chunks(
+    mesh: &TcpMesh,
+    to: u32,
+    session: u32,
+    gvt: VirtualTime,
+    payload: &[u8],
+    chunk: usize,
+) -> u64 {
+    let mut seq = 0u32;
+    let mut off = 0usize;
+    loop {
+        let end = (off + chunk).min(payload.len());
+        let last = end == payload.len();
+        mesh.send(
+            to,
+            Frame::ResumeChunk {
+                session,
+                gvt,
+                seq,
+                last,
+                payload: payload[off..end].to_vec(),
+            },
+        );
+        seq += 1;
+        off = end;
+        if last {
+            return seq as u64;
+        }
+    }
 }
 
 /// Pump the mesh until every worker has reported and said goodbye,
@@ -1064,9 +1251,34 @@ fn coordinate(
                         if p.parts.iter().all(Option::is_some) {
                             let done = pending.take().unwrap();
                             for (w, part) in done.parts.into_iter().enumerate() {
-                                store.chains[w].push(part.unwrap());
+                                let part = part.unwrap();
+                                // Spill before the in-memory append: a
+                                // checkpoint is only durable once every
+                                // part reached its segment file.
+                                if let Some(seg) = store.segments.as_mut() {
+                                    seg.append(w as u32 + 1, &part).map_err(|e| {
+                                        DistError::Io(io::Error::other(format!(
+                                            "checkpoint store append: {e}"
+                                        )))
+                                    })?;
+                                }
+                                store.chains[w].push(part);
                             }
                             store.horizon = done.gvt;
+                            // Deltas below the new horizon are superseded
+                            // once the chain is deep enough: merge them so
+                            // neither memory nor a future resume pays for
+                            // dead intermediate windows.
+                            if cfg.recovery.compact_after > 0
+                                && store
+                                    .chains
+                                    .iter()
+                                    .any(|c| c.len() >= cfg.recovery.compact_after.max(2) as usize)
+                            {
+                                store.compact().map_err(|e| {
+                                    DistError::Protocol(format!("checkpoint compaction: {e}"))
+                                })?;
+                            }
                             for w in 1..=n_workers as u32 {
                                 mesh.send(
                                     w,
@@ -1160,7 +1372,11 @@ fn merge_reports(
     recoveries: u64,
     migrations: Vec<MigrationRecord>,
     telemetry: Option<TelemetryReport>,
+    mut resume: ResumeStats,
 ) -> RunReport {
+    for r in &reports {
+        resume.merge(&r.resume);
+    }
     let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
     let mut per_lp: Vec<LpSummary> = reports.into_iter().flat_map(|r| r.per_lp).collect();
     per_lp.sort_by_key(|s| s.lp);
@@ -1192,7 +1408,24 @@ fn merge_reports(
         recoveries,
         migrations,
         telemetry,
+        resume,
     }
+}
+
+/// Path of worker `worker`'s (1-based) segment file inside a checkpoint
+/// store directory (`worker-<n>.seg`) — the layout
+/// [`RecoveryPolicy::store_dir`] writes.
+pub fn checkpoint_segment_path(dir: &Path, worker: u32) -> PathBuf {
+    crate::snapshot::store::segment_path(dir, worker)
+}
+
+/// Read back one worker's on-disk checkpoint segment: the 1-based
+/// worker id recorded in its header, plus the ordered delta chain. For
+/// audit tooling and tests; a truncated, corrupted, or foreign file is
+/// a typed error (formatted), never a silently shorter chain. The
+/// format is documented in `docs/recovery-store.md`.
+pub fn load_checkpoint_segment(path: &Path) -> Result<(u32, Vec<Vec<u8>>), String> {
+    crate::snapshot::store::load_segment(path).map_err(|e| e.to_string())
 }
 
 fn remaining_ms(deadline: Instant) -> u64 {
@@ -1444,26 +1677,39 @@ pub fn run_worker(
     let mut peers = init.peers.clone();
     let mut connect_ms = init.connect_ms;
     let mut listener = Some(listener);
+    // Runtimes handed back by aborted sessions, keyed by LP: a survivor
+    // re-seeds these by in-place rollback to the resume horizon instead
+    // of rebuilding from committed logs. Only the immediately preceding
+    // participation is ever valid (the seeding path clears the map).
+    let mut retained: HashMap<u32, Box<warp_core::LpRuntime>> = HashMap::new();
+    let mut resume_stats = ResumeStats::default();
 
     loop {
         let lst = listener.take().expect("listener staged for this session");
-        let why =
-            match run_session_as_worker(init, &spec, &assign, session, &peers, connect_ms, lst)? {
-                WorkerSessionEnd::Finished => return Ok(()),
-                WorkerSessionEnd::PeerLost(detail) => {
-                    if !init.recovery {
-                        eprintln!(
+        let why = match run_session_as_worker(
+            init,
+            &spec,
+            &assign,
+            session,
+            &peers,
+            connect_ms,
+            lst,
+            &mut retained,
+            &mut resume_stats,
+        )? {
+            WorkerSessionEnd::Finished => return Ok(()),
+            WorkerSessionEnd::PeerLost(detail) => {
+                if !init.recovery {
+                    eprintln!(
                         "warp-worker (proc {}): session {session} lost a peer ({detail}); exiting",
                         init.proc_id
                     );
-                        std::process::exit(3);
-                    }
-                    format!("lost a peer ({detail}); awaiting recovery")
+                    std::process::exit(3);
                 }
-                WorkerSessionEnd::Rebalance => {
-                    "ended for LP migration; awaiting new assignment".into()
-                }
-            };
+                format!("lost a peer ({detail}); awaiting recovery")
+            }
+            WorkerSessionEnd::Rebalance => "ended for LP migration; awaiting new assignment".into(),
+        };
         eprintln!(
             "warp-worker (proc {}): session {session} {why}",
             init.proc_id
@@ -1515,7 +1761,9 @@ pub fn run_worker(
 
 /// One worker session: establish the mesh under the session epoch,
 /// seed the LPs (fresh on session 0, restored from the coordinator's
-/// `Resume` otherwise), run them, and either report cleanly or abort.
+/// streamed resume otherwise — in place when a retained runtime exists),
+/// run them, and either report cleanly or abort.
+#[allow(clippy::too_many_arguments)]
 fn run_session_as_worker(
     init: &WorkerInit,
     spec: &SimulationSpec,
@@ -1524,6 +1772,8 @@ fn run_session_as_worker(
     peers: &[(u32, String)],
     connect_ms: u64,
     listener: std::net::TcpListener,
+    retained: &mut HashMap<u32, Box<warp_core::LpRuntime>>,
+    resume_stats: &mut ResumeStats,
 ) -> Result<WorkerSessionEnd, String> {
     let my_lps: Vec<u32> = assign.lps_of(init.proc_id);
     let peer_addrs: Vec<(u32, SocketAddr)> = peers
@@ -1548,6 +1798,7 @@ fn run_session_as_worker(
                 .max(init.net.connect_backoff_start_ms.max(1)),
         ),
         faults: init.fault.clone(),
+        max_frame_bytes: init.net.frame_cap(),
         ..TcpMeshConfig::new(init.proc_id, init.n_procs)
     };
     let mesh = TcpMesh::establish(mesh_cfg, listener, &peer_addrs)
@@ -1560,13 +1811,18 @@ fn run_session_as_worker(
         std::process::exit(9);
     }
 
-    // Session > 0: wait for the coordinator's Resume (other peers may
-    // already be running and sending — buffer their frames).
+    // Session > 0: wait for the coordinator's resume stream (other
+    // peers may already be running and sending — buffer their frames).
+    // The payload arrives as an ordered ResumeChunk sequence reassembled
+    // here; the monolithic Resume frame is still honored for protocol
+    // compatibility.
     let mut backlog: Vec<(u32, Frame)> = Vec::new();
     let restore = if session > 0 {
         let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
             .max(Duration::from_secs(30));
         let resume_deadline = Instant::now() + wait;
+        let mut chunks: Vec<u8> = Vec::new();
+        let mut next_seq = 0u32;
         loop {
             if Instant::now() >= resume_deadline {
                 return Err(format!(
@@ -1588,6 +1844,33 @@ fn run_session_as_worker(
                     }
                     break Some((gvt, payload));
                 }
+                Some(MeshEvent::Frame {
+                    frame:
+                        Frame::ResumeChunk {
+                            session: s,
+                            gvt,
+                            seq,
+                            last,
+                            payload,
+                        },
+                    ..
+                }) => {
+                    if s != session {
+                        return Err(format!(
+                            "ResumeChunk for session {s} inside session {session}"
+                        ));
+                    }
+                    if seq != next_seq {
+                        return Err(format!(
+                            "ResumeChunk {seq} out of order in session {session} (expected {next_seq})"
+                        ));
+                    }
+                    next_seq += 1;
+                    chunks.extend_from_slice(&payload);
+                    if last {
+                        break Some((gvt, std::mem::take(&mut chunks)));
+                    }
+                }
                 Some(MeshEvent::Frame { from, frame }) => backlog.push((from, frame)),
                 Some(MeshEvent::PeerDown {
                     clean: false,
@@ -1604,18 +1887,35 @@ fn run_session_as_worker(
         None
     };
 
-    // Seed this worker's LPs: fresh builds, or checkpoint replays whose
-    // regenerated frontier (sends at or beyond the horizon) ships at
-    // LP-thread boot exactly like init output would.
+    // Seed this worker's LPs. Fresh builds on session 0; on a resume,
+    // an LP whose runtime survived the lost session rolls back in place
+    // to the horizon (no init, no replay), anything else is rebuilt by
+    // replaying its committed log. Either way the regenerated frontier
+    // (sends at or beyond the horizon) ships at LP-thread boot exactly
+    // like init output would.
     let mut seeds: Vec<(u32, LpSeed)> = Vec::new();
     let ckpt_base = match restore {
         Some((horizon, payload)) => {
             let deltas = decode_resume(&payload).map_err(|e| format!("resume decode: {e}"))?;
             let mut logs = merge_logs(&deltas).map_err(|e| format!("resume merge: {e}"))?;
             for &lp in &my_lps {
-                let mut rt = Box::new(spec.build_lp(LpId(lp)));
+                let log = logs.remove(&lp).unwrap_or_default();
                 let mut frontier = Vec::new();
-                rt.restore_committed(logs.remove(&lp).unwrap_or_default(), horizon, &mut frontier);
+                let rt = match retained.remove(&lp) {
+                    Some(mut rt) => {
+                        rt.rollback_to_horizon(horizon, &mut frontier);
+                        resume_stats.lps_rolled_back += 1;
+                        rt
+                    }
+                    None => {
+                        let mut rt = Box::new(spec.build_lp(LpId(lp)));
+                        resume_stats.replayed_events +=
+                            log.values().map(|evs| evs.len() as u64).sum::<u64>();
+                        rt.restore_committed(log, horizon, &mut frontier);
+                        resume_stats.lps_rebuilt += 1;
+                        rt
+                    }
+                };
                 seeds.push((lp, LpSeed::Restored { lp: rt, frontier }));
             }
             Some(horizon)
@@ -1627,6 +1927,10 @@ fn run_session_as_worker(
             init.recovery.then_some(VirtualTime::ZERO)
         }
     };
+    // Anything still retained belongs to an LP that migrated away; the
+    // next handback must come from *this* session or not at all — a
+    // stale runtime may be missing history a newer horizon commits.
+    retained.clear();
 
     // Local delivery channels for this process's LPs.
     let mut locals: Vec<Option<Sender<Packet>>> = (0..init.n_lps).map(|_| None).collect();
@@ -1682,27 +1986,44 @@ fn run_session_as_worker(
     match route_end {
         RouteEnd::Lost { mesh, detail } => {
             mesh.abort();
+            stash_retained(retained, outcomes);
             Ok(WorkerSessionEnd::PeerLost(detail))
         }
         RouteEnd::Rebalance(mesh) => {
             mesh.abort();
+            stash_retained(retained, outcomes);
             Ok(WorkerSessionEnd::Rebalance)
         }
         RouteEnd::Stopped(mesh) => {
             if outcomes.iter().any(|o| o.aborted) {
                 // The abort raced GVT = ∞; treat the session as lost.
                 mesh.abort();
+                stash_retained(retained, outcomes);
                 return Ok(WorkerSessionEnd::PeerLost("aborted mid-run".into()));
             }
             outcomes.sort_by_key(|o| o.summary.lp);
             let report = WorkerReport {
                 gvt_rounds: outcomes.iter().map(|o| o.gvt_rounds).max().unwrap_or(0),
                 per_lp: outcomes.into_iter().map(|o| o.summary).collect(),
+                resume: resume_stats.clone(),
             };
             let bytes = serde_json::to_vec(&report).map_err(|e| format!("report encode: {e}"))?;
             mesh.send(0, Frame::Report(bytes));
             mesh.shutdown();
             Ok(WorkerSessionEnd::Finished)
+        }
+    }
+}
+
+/// Keep the runtimes aborted LP threads handed back, keyed by LP, for
+/// the next session's in-place rollback.
+fn stash_retained(
+    retained: &mut HashMap<u32, Box<warp_core::LpRuntime>>,
+    outcomes: Vec<LpOutcome>,
+) {
+    for mut o in outcomes {
+        if let Some(rt) = o.runtime.take() {
+            retained.insert(o.summary.lp, rt);
         }
     }
 }
@@ -2007,6 +2328,60 @@ mod tests {
             ..NetTuning::default()
         };
         assert!(t.validate().is_err());
+        let t = NetTuning {
+            max_frame_bytes: 512,
+            ..NetTuning::default()
+        };
+        assert!(t.validate().is_err(), "512 is below the 1024-byte floor");
+    }
+
+    #[test]
+    fn frame_cap_resolves_zero_to_the_protocol_default() {
+        let t = NetTuning::default();
+        assert_eq!(t.frame_cap(), warp_net::frame::MAX_FRAME_BYTES);
+        let t = NetTuning {
+            max_frame_bytes: 65536,
+            ..NetTuning::default()
+        };
+        assert!(t.validate().is_ok());
+        assert_eq!(t.frame_cap(), 65536);
+    }
+
+    #[test]
+    fn resume_chunks_obey_the_frame_cap() {
+        // Default: 1 MiB chunks under the default cap.
+        assert_eq!(
+            resume_chunk_len(&RecoveryPolicy::default(), &NetTuning::default()),
+            1 << 20
+        );
+        // An explicit chunk size is honored when it fits.
+        let r = RecoveryPolicy {
+            resume_chunk_bytes: 100,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(resume_chunk_len(&r, &NetTuning::default()), 100);
+        // A small frame cap clamps the chunk below it, margin included.
+        let n = NetTuning {
+            max_frame_bytes: 2048,
+            ..NetTuning::default()
+        };
+        assert_eq!(resume_chunk_len(&RecoveryPolicy::default(), &n), 2048 - 64);
+    }
+
+    #[test]
+    fn legacy_recovery_policy_defaults_the_store_fields() {
+        // A pre-store config line must parse with the store off and the
+        // default chunking — wire compatibility with older coordinators.
+        let raw =
+            r#"{"enabled":true,"max_recoveries":3,"ckpt_min_interval_ms":100,"stall_budget_ms":0}"#;
+        let p: RecoveryPolicy = serde_json::from_str(raw).unwrap();
+        assert_eq!(p.store_dir, None);
+        assert_eq!(p.compact_after, 0);
+        assert_eq!(p.resume_chunk_bytes, 0);
+        let raw = r#"{"heartbeat_ms":250,"liveness_ms":3000,"connect_backoff_start_ms":20,"connect_backoff_max_ms":500}"#;
+        let t: NetTuning = serde_json::from_str(raw).unwrap();
+        assert_eq!(t.max_frame_bytes, 0);
+        assert_eq!(t.frame_cap(), warp_net::frame::MAX_FRAME_BYTES);
     }
 
     #[test]

@@ -29,9 +29,10 @@ pub mod threaded;
 pub mod virtual_cluster;
 
 pub use distributed::{
-    run_coordinator, worker_main, DistConfig, DistError, NetTuning, RecoveryPolicy,
+    checkpoint_segment_path, load_checkpoint_segment, run_coordinator, worker_main, DistConfig,
+    DistError, NetTuning, RecoveryPolicy,
 };
-pub use report::{LpSummary, ObjectSummary, RunReport};
+pub use report::{LpSummary, ObjectSummary, ResumeStats, RunReport};
 pub use sequential::run_sequential;
 pub use spec::{ObjectFactory, PolicyFactory, SimulationSpec};
 pub use threaded::run_threaded;

@@ -77,6 +77,45 @@ pub struct MigrationRecord {
     pub moves: Vec<MigrationMove>,
 }
 
+/// Resume and durable-store accounting for distributed runs. All zero
+/// for the in-process executives and for fault-free distributed runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResumeStats {
+    /// Total resume payload bytes the coordinator streamed to workers
+    /// across all recoveries (before chunking overhead).
+    pub resume_bytes: u64,
+    /// `ResumeChunk` frames sent. More than one per worker per recovery
+    /// means a chain outgrew the configured chunk size.
+    pub resume_chunks: u64,
+    /// Delta-chain compactions the checkpoint store performed.
+    pub compactions: u64,
+    /// Delta bytes written to the on-disk segment store (appends and
+    /// compaction/migration rewrites; 0 when the store is off).
+    pub store_spilled_bytes: u64,
+    /// LPs re-seeded by a full rebuild: object init plus replay of every
+    /// committed event below the restore horizon.
+    pub lps_rebuilt: u64,
+    /// LPs recovered by in-place incremental rollback on a surviving
+    /// worker — no replay of committed history at all.
+    pub lps_rolled_back: u64,
+    /// Committed events replayed during full rebuilds: the work the
+    /// incremental path avoids.
+    pub replayed_events: u64,
+}
+
+impl ResumeStats {
+    /// Accumulate another worker's (or session's) counters.
+    pub fn merge(&mut self, other: &ResumeStats) {
+        self.resume_bytes += other.resume_bytes;
+        self.resume_chunks += other.resume_chunks;
+        self.compactions += other.compactions;
+        self.store_spilled_bytes += other.store_spilled_bytes;
+        self.lps_rebuilt += other.lps_rebuilt;
+        self.lps_rolled_back += other.lps_rolled_back;
+        self.replayed_events += other.replayed_events;
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
@@ -115,6 +154,10 @@ pub struct RunReport {
     /// trajectory (`None` unless the spec enabled telemetry).
     #[serde(default)]
     pub telemetry: Option<TelemetryReport>,
+    /// Resume and checkpoint-store accounting (all zero outside the
+    /// distributed executive). Kept last so legacy reports parse.
+    #[serde(default)]
+    pub resume: ResumeStats,
 }
 
 impl RunReport {
@@ -236,6 +279,7 @@ mod tests {
             recoveries: 0,
             migrations: Vec::new(),
             telemetry: None,
+            resume: ResumeStats::default(),
             per_lp: vec![LpSummary {
                 lp: 0,
                 kernel: ObjectStats::default(),
@@ -296,5 +340,30 @@ mod tests {
         assert!(json.contains("\"executive\":\"virtual\""));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.committed_events, 1000);
+    }
+
+    #[test]
+    fn resume_stats_roundtrip_and_default_for_legacy_reports() {
+        let mut r = report();
+        r.resume.resume_bytes = 1 << 20;
+        r.resume.resume_chunks = 17;
+        r.resume.lps_rolled_back = 3;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.resume, r.resume);
+
+        // A report written before the store existed has no `resume` key;
+        // it must parse with zeroed counters (the field is declared last
+        // so the key sits at the tail of the serialized object).
+        let cut = json.find(",\"resume\"").expect("resume serialized last");
+        let legacy = format!("{}}}", &json[..cut]);
+        let old: RunReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.resume, ResumeStats::default());
+
+        let mut sum = ResumeStats::default();
+        sum.merge(&r.resume);
+        sum.merge(&r.resume);
+        assert_eq!(sum.resume_chunks, 34);
+        assert_eq!(sum.lps_rolled_back, 6);
     }
 }

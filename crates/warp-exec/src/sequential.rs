@@ -207,5 +207,6 @@ pub fn run_sequential(spec: &SimulationSpec) -> RunReport {
         recoveries: 0,
         migrations: Vec::new(),
         telemetry: None,
+        resume: Default::default(),
     }
 }

@@ -11,15 +11,93 @@
 //! both object state and the cross-checkpoint event frontier.
 //!
 //! Everything is encoded with the canonical `warp_core::wire` layer so
-//! the snapshot format inherits the codec's determinism guarantees.
+//! the snapshot format inherits the codec's determinism guarantees. The
+//! [`store`] submodule adds the durable face of the same data: delta
+//! chains spilled to per-worker segment files as checkpoints commit.
+//!
+//! Malformed input surfaces as a typed [`SnapshotError`] rather than a
+//! bare I/O error, so callers (and tests) can tell a truncated payload
+//! from a corrupted one from a failing disk.
+
+pub(crate) mod store;
 
 use std::collections::HashMap;
-use std::io;
+use std::fmt;
 
 use warp_core::wire::{
     decode_event, encode_event, read_vt, write_vt, PayloadReader, PayloadWriter,
 };
 use warp_core::{Event, ObjectId, VirtualTime};
+
+/// Failure decoding or validating checkpoint material.
+///
+/// The distinction matters operationally: `Truncated` on the final delta
+/// of a chain usually means a crash mid-append (recoverable by dropping
+/// the tail), `BadCrc`/`Corrupt` mean the bytes themselves lie and the
+/// store cannot be trusted, and `Io` is the filesystem failing underneath
+/// an otherwise healthy store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SnapshotError {
+    /// Input ended before the structure it promised was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+        /// The underlying decoder message.
+        detail: String,
+    },
+    /// A payload decoded fully but left unconsumed bytes — the producer
+    /// and consumer disagree about the format.
+    TrailingBytes {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Structurally invalid content: bad ids, window mismatches, or a
+    /// segment file whose header is not ours.
+    Corrupt(String),
+    /// A durable-store segment record failed its CRC check.
+    BadCrc {
+        /// Zero-based record index within the segment file.
+        record: usize,
+        /// Checksum stored alongside the record.
+        stored: u32,
+        /// Checksum recomputed over the record's payload.
+        computed: u32,
+    },
+    /// Filesystem failure underneath the durable store.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { context, detail } => {
+                write!(f, "truncated {context}: {detail}")
+            }
+            SnapshotError::TrailingBytes { context } => {
+                write!(f, "{context} has trailing bytes")
+            }
+            SnapshotError::Corrupt(detail) => write!(f, "corrupt checkpoint data: {detail}"),
+            SnapshotError::BadCrc {
+                record,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "segment record {record} failed its CRC check \
+                 (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            SnapshotError::Io(detail) => write!(f, "checkpoint store I/O: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}
 
 /// One LP's committed-window contribution to a checkpoint.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,8 +109,11 @@ pub(crate) struct LpDelta {
     pub objects: Vec<(ObjectId, Vec<Event>)>,
 }
 
-fn err(detail: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+fn truncated(context: &'static str, e: impl fmt::Display) -> SnapshotError {
+    SnapshotError::Truncated {
+        context,
+        detail: e.to_string(),
+    }
 }
 
 /// Encode one worker's checkpoint delta (all its LPs) plus the window
@@ -57,38 +138,33 @@ pub(crate) fn encode_delta(from: VirtualTime, below: VirtualTime, lps: &[LpDelta
 }
 
 /// Decode a `Frame::Snapshot` payload back into (window, deltas).
-pub(crate) fn decode_delta(buf: &[u8]) -> io::Result<(VirtualTime, VirtualTime, Vec<LpDelta>)> {
+pub(crate) fn decode_delta(
+    buf: &[u8],
+) -> Result<(VirtualTime, VirtualTime, Vec<LpDelta>), SnapshotError> {
     let mut r = PayloadReader::new(buf);
-    let from = read_vt(&mut r).map_err(|e| err(format!("snapshot window: {e}")))?;
-    let below = read_vt(&mut r).map_err(|e| err(format!("snapshot window: {e}")))?;
-    let n_lps = r
-        .u32()
-        .map_err(|e| err(format!("snapshot lp count: {e}")))?;
+    let from = read_vt(&mut r).map_err(|e| truncated("snapshot window", e))?;
+    let below = read_vt(&mut r).map_err(|e| truncated("snapshot window", e))?;
+    let n_lps = r.u32().map_err(|e| truncated("snapshot lp count", e))?;
     let mut lps = Vec::with_capacity(n_lps as usize);
     for _ in 0..n_lps {
-        let lp = r.u32().map_err(|e| err(format!("snapshot lp id: {e}")))?;
-        let n_objs = r
-            .u32()
-            .map_err(|e| err(format!("snapshot object count: {e}")))?;
+        let lp = r.u32().map_err(|e| truncated("snapshot lp id", e))?;
+        let n_objs = r.u32().map_err(|e| truncated("snapshot object count", e))?;
         let mut objects = Vec::with_capacity(n_objs as usize);
         for _ in 0..n_objs {
-            let oid = ObjectId(
-                r.u32()
-                    .map_err(|e| err(format!("snapshot object id: {e}")))?,
-            );
-            let n_ev = r
-                .u32()
-                .map_err(|e| err(format!("snapshot event count: {e}")))?;
+            let oid = ObjectId(r.u32().map_err(|e| truncated("snapshot object id", e))?);
+            let n_ev = r.u32().map_err(|e| truncated("snapshot event count", e))?;
             let mut events = Vec::with_capacity(n_ev as usize);
             for _ in 0..n_ev {
-                events.push(decode_event(&mut r).map_err(|e| err(format!("snapshot event: {e}")))?);
+                events.push(decode_event(&mut r).map_err(|e| truncated("snapshot event", e))?);
             }
             objects.push((oid, events));
         }
         lps.push(LpDelta { lp, objects });
     }
     if r.remaining() != 0 {
-        return Err(err("snapshot payload has trailing bytes"));
+        return Err(SnapshotError::TrailingBytes {
+            context: "snapshot payload",
+        });
     }
     Ok((from, below, lps))
 }
@@ -105,19 +181,24 @@ pub(crate) fn encode_resume(deltas: &[Vec<u8>]) -> Vec<u8> {
 }
 
 /// Split a `Frame::Resume` payload back into the ordered delta chain.
-pub(crate) fn decode_resume(buf: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+/// A truncated final delta is an error, never a shorter chain: silently
+/// tolerating it would resume a worker from a partial history and
+/// commit a diverged trace.
+pub(crate) fn decode_resume(buf: &[u8]) -> Result<Vec<Vec<u8>>, SnapshotError> {
     let mut r = PayloadReader::new(buf);
-    let n = r.u32().map_err(|e| err(format!("resume count: {e}")))?;
+    let n = r.u32().map_err(|e| truncated("resume count", e))?;
     let mut deltas = Vec::with_capacity(n as usize);
     for _ in 0..n {
         deltas.push(
             r.bytes()
-                .map_err(|e| err(format!("resume delta: {e}")))?
+                .map_err(|e| truncated("resume delta", e))?
                 .to_vec(),
         );
     }
     if r.remaining() != 0 {
-        return Err(err("resume payload has trailing bytes"));
+        return Err(SnapshotError::TrailingBytes {
+            context: "resume payload",
+        });
     }
     Ok(deltas)
 }
@@ -132,7 +213,7 @@ pub(crate) fn decode_resume(buf: &[u8]) -> io::Result<Vec<Vec<u8>>> {
 /// ascending windows — both passes are no-ops.
 pub(crate) fn merge_logs(
     deltas: &[Vec<u8>],
-) -> io::Result<HashMap<u32, HashMap<ObjectId, Vec<Event>>>> {
+) -> Result<HashMap<u32, HashMap<ObjectId, Vec<Event>>>, SnapshotError> {
     let mut merged: HashMap<u32, HashMap<ObjectId, Vec<Event>>> = HashMap::new();
     for blob in deltas {
         let (_, _, lps) = decode_delta(blob)?;
@@ -163,7 +244,7 @@ pub(crate) fn rekey_chains(
     chains: &[Vec<Vec<u8>>],
     n_workers: u32,
     owner_of: impl Fn(u32) -> u32,
-) -> io::Result<Vec<Vec<Vec<u8>>>> {
+) -> Result<Vec<Vec<Vec<u8>>>, SnapshotError> {
     let depth = chains.iter().map(Vec::len).max().unwrap_or(0);
     let mut out: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n_workers as usize];
     for k in 0..depth {
@@ -175,7 +256,7 @@ pub(crate) fn rekey_chains(
             match window {
                 None => window = Some((from, below)),
                 Some(w) if w != (from, below) => {
-                    return Err(err(format!(
+                    return Err(SnapshotError::Corrupt(format!(
                         "checkpoint {k}: window mismatch across workers \
                          ({:?}..{:?} vs {:?}..{:?})",
                         w.0, w.1, from, below
@@ -186,12 +267,16 @@ pub(crate) fn rekey_chains(
             for d in lps {
                 let w = owner_of(d.lp);
                 if w == 0 || w > n_workers {
-                    return Err(err(format!("lp {} assigned to invalid worker {w}", d.lp)));
+                    return Err(SnapshotError::Corrupt(format!(
+                        "lp {} assigned to invalid worker {w}",
+                        d.lp
+                    )));
                 }
                 grouped[(w - 1) as usize].push(d);
             }
         }
-        let (from, below) = window.ok_or_else(|| err(format!("checkpoint {k} has no deltas")))?;
+        let (from, below) = window
+            .ok_or_else(|| SnapshotError::Corrupt(format!("checkpoint {k} has no deltas")))?;
         for (chain, mut lps) in out.iter_mut().zip(grouped) {
             // Deterministic order regardless of which worker held a
             // block before the move.
@@ -200,6 +285,50 @@ pub(crate) fn rekey_chains(
         }
     }
     Ok(out)
+}
+
+/// Collapse a delta chain into a single delta spanning
+/// `[first.from, last.below)`. Windows must be contiguous and ascending —
+/// the invariant `CkptStore` maintains. Per-object logs merge in
+/// [`Event::key`] order and deduplicate, which is exactly the
+/// canonicalization [`merge_logs`] applies on resume, so replaying the
+/// compacted chain commits the same trace as replaying the original.
+pub(crate) fn compact_chain(chain: &[Vec<u8>]) -> Result<Vec<u8>, SnapshotError> {
+    let first = chain
+        .first()
+        .ok_or_else(|| SnapshotError::Corrupt("compacting an empty chain".into()))?;
+    let (from, _, _) = decode_delta(first)?;
+    let mut merged: HashMap<u32, HashMap<ObjectId, Vec<Event>>> = HashMap::new();
+    let mut cursor = from;
+    for blob in chain {
+        let (f, b, lps) = decode_delta(blob)?;
+        if f != cursor || b < f {
+            return Err(SnapshotError::Corrupt(format!(
+                "compaction: non-contiguous windows (reached {cursor}, next is {f}..{b})"
+            )));
+        }
+        cursor = b;
+        for d in lps {
+            let per_obj = merged.entry(d.lp).or_default();
+            for (oid, events) in d.objects {
+                per_obj.entry(oid).or_default().extend(events);
+            }
+        }
+    }
+    let mut lps: Vec<LpDelta> = merged
+        .into_iter()
+        .map(|(lp, objs)| {
+            let mut objects: Vec<(ObjectId, Vec<Event>)> = objs.into_iter().collect();
+            objects.sort_by_key(|(oid, _)| *oid);
+            for (_, log) in &mut objects {
+                log.sort_by_key(|e| e.key());
+                log.dedup_by(|a, b| a.key() == b.key());
+            }
+            LpDelta { lp, objects }
+        })
+        .collect();
+    lps.sort_by_key(|d| d.lp);
+    Ok(encode_delta(from, cursor, &lps))
 }
 
 #[cfg(test)]
@@ -449,12 +578,107 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_payloads_are_rejected() {
-        assert!(decode_delta(&[1, 2, 3]).is_err());
-        assert!(decode_resume(&[0, 0, 0, 9]).is_err());
+    fn corrupt_payloads_are_rejected_with_typed_errors() {
+        assert!(matches!(
+            decode_delta(&[1, 2, 3]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_resume(&[0, 0, 0, 9]),
+            Err(SnapshotError::Truncated { .. })
+        ));
         let good = encode_delta(VirtualTime::ZERO, VirtualTime::new(1), &[]);
         let mut trailing = good.clone();
         trailing.push(0);
-        assert!(decode_delta(&trailing).is_err());
+        assert!(matches!(
+            decode_delta(&trailing),
+            Err(SnapshotError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_final_delta_is_an_error_not_a_shorter_chain() {
+        // Regression: a resume payload whose last delta is cut short must
+        // fail loudly. Resuming from a partial chain would silently
+        // commit a diverged trace.
+        let a = encode_delta(
+            VirtualTime::ZERO,
+            VirtualTime::new(4),
+            &[delta(1, vec![(2, vec![ev(3, 1, 2, 2)])])],
+        );
+        let b = encode_delta(
+            VirtualTime::new(4),
+            VirtualTime::new(9),
+            &[delta(1, vec![(2, vec![ev(3, 2, 2, 6)])])],
+        );
+        let resume = encode_resume(&[a.clone(), b]);
+        let cut = resume[..resume.len() - 3].to_vec();
+        match decode_resume(&cut) {
+            Err(SnapshotError::Truncated { context, .. }) => {
+                assert_eq!(context, "resume delta");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The intact prefix alone still decodes — proving the cut hit
+        // only the final delta, which must not be silently dropped.
+        assert_eq!(
+            decode_resume(&encode_resume(std::slice::from_ref(&a))).unwrap(),
+            [a]
+        );
+    }
+
+    #[test]
+    fn compaction_is_replay_equivalent() {
+        // Three contiguous windows collapse to one delta spanning the
+        // full range whose merged logs are byte-identical to the
+        // original chain's — the property that makes compaction safe.
+        let chain = vec![
+            encode_delta(
+                VirtualTime::ZERO,
+                VirtualTime::new(4),
+                &[
+                    delta(0, vec![(0, vec![ev(1, 1, 0, 1), ev(1, 2, 0, 3)])]),
+                    delta(1, vec![(2, vec![ev(3, 1, 2, 2)])]),
+                ],
+            ),
+            encode_delta(
+                VirtualTime::new(4),
+                VirtualTime::new(9),
+                &[delta(0, vec![(0, vec![ev(1, 3, 0, 5)])])],
+            ),
+            encode_delta(
+                VirtualTime::new(9),
+                VirtualTime::new(12),
+                &[
+                    delta(0, vec![(0, vec![])]),
+                    delta(1, vec![(2, vec![ev(3, 2, 2, 10)])]),
+                ],
+            ),
+        ];
+        let compacted = compact_chain(&chain).unwrap();
+        let (from, below, lps) = decode_delta(&compacted).unwrap();
+        assert_eq!(from, VirtualTime::ZERO);
+        assert_eq!(below, VirtualTime::new(12));
+        assert_eq!(
+            lps.iter().map(|d| d.lp).collect::<Vec<_>>(),
+            vec![0, 1],
+            "deterministic LP order"
+        );
+        assert_eq!(
+            merge_logs(&[compacted]).unwrap(),
+            merge_logs(&chain).unwrap(),
+            "compaction changed the committed history"
+        );
+    }
+
+    #[test]
+    fn compaction_rejects_gappy_chains() {
+        let a = encode_delta(VirtualTime::ZERO, VirtualTime::new(4), &[]);
+        let c = encode_delta(VirtualTime::new(9), VirtualTime::new(12), &[]);
+        assert!(matches!(
+            compact_chain(&[a, c]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(compact_chain(&[]).is_err());
     }
 }

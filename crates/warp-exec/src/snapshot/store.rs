@@ -1,0 +1,322 @@
+//! Durable spill-to-disk backing for the coordinator's checkpoint store.
+//!
+//! The in-memory delta chains (`CkptStore` in the distributed executive)
+//! are authoritative while the coordinator lives; this module gives them
+//! a durable shadow so an operator can audit what a recovery would
+//! replay, and so the chains survive the coordinator process itself. One
+//! append-only *segment file* per worker, written as each checkpoint
+//! commits:
+//!
+//! ```text
+//! header:  "WSEG" | u32 version | u32 worker-id (1-based)
+//! records: repeat [u32 len][u32 crc32][payload]        (little-endian)
+//! ```
+//!
+//! Each payload is one `Frame::Snapshot` delta, exactly as the worker
+//! shipped it; the CRC32 (IEEE) guards it against torn writes and bit
+//! rot. Compaction and migration re-keying rewrite a segment via a
+//! temporary file renamed into place, so a crash mid-rewrite leaves
+//! either the old or the new segment, never a hybrid. A crash mid-append
+//! leaves a truncated final record, which [`load_segment`] reports as
+//! [`SnapshotError::Truncated`] — distinguishable from a corrupted
+//! ([`SnapshotError::BadCrc`]) or foreign ([`SnapshotError::Corrupt`])
+//! file.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use super::SnapshotError;
+
+/// Segment file magic.
+pub(crate) const SEG_MAGIC: &[u8; 4] = b"WSEG";
+/// Segment format version.
+pub(crate) const SEG_VERSION: u32 = 1;
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Path of worker `w`'s (1-based) segment file under `dir`.
+pub(crate) fn segment_path(dir: &Path, worker: u32) -> PathBuf {
+    dir.join(format!("worker-{worker}.seg"))
+}
+
+/// The open per-worker segment files of one run.
+#[derive(Debug)]
+pub(crate) struct SegmentStore {
+    dir: PathBuf,
+    files: Vec<File>,
+    /// Total delta payload bytes written (appends and rewrites), for the
+    /// run report.
+    pub(crate) spilled_bytes: u64,
+}
+
+impl SegmentStore {
+    /// Create (or truncate) the segment files for `n_workers` workers
+    /// under `dir`, creating the directory if needed. A fresh run never
+    /// resumes another run's chains, so stale segments are discarded.
+    pub(crate) fn create(dir: &Path, n_workers: u32) -> Result<Self, SnapshotError> {
+        fs::create_dir_all(dir)?;
+        let mut files = Vec::with_capacity(n_workers as usize);
+        for w in 1..=n_workers {
+            files.push(fresh_segment(&segment_path(dir, w), w)?);
+        }
+        Ok(SegmentStore {
+            dir: dir.to_path_buf(),
+            files,
+            spilled_bytes: 0,
+        })
+    }
+
+    /// Append one committed delta to worker `w`'s (1-based) segment.
+    pub(crate) fn append(&mut self, worker: u32, delta: &[u8]) -> Result<(), SnapshotError> {
+        let f = &mut self.files[(worker - 1) as usize];
+        f.write_all(&(delta.len() as u32).to_le_bytes())?;
+        f.write_all(&crc32(delta).to_le_bytes())?;
+        f.write_all(delta)?;
+        self.spilled_bytes += delta.len() as u64;
+        Ok(())
+    }
+
+    /// Replace worker `w`'s (1-based) whole on-disk chain — after
+    /// compaction or migration re-keying. Writes a sibling temporary
+    /// file and renames it into place so the replacement is atomic at
+    /// the filesystem level.
+    pub(crate) fn rewrite(&mut self, worker: u32, chain: &[Vec<u8>]) -> Result<(), SnapshotError> {
+        let path = segment_path(&self.dir, worker);
+        let tmp = self.dir.join(format!("worker-{worker}.seg.tmp"));
+        {
+            let mut f = fresh_segment(&tmp, worker)?;
+            for delta in chain {
+                f.write_all(&(delta.len() as u32).to_le_bytes())?;
+                f.write_all(&crc32(delta).to_le_bytes())?;
+                f.write_all(delta)?;
+                self.spilled_bytes += delta.len() as u64;
+            }
+        }
+        fs::rename(&tmp, &path)?;
+        self.files[(worker - 1) as usize] = OpenOptions::new().append(true).open(&path)?;
+        Ok(())
+    }
+}
+
+fn fresh_segment(path: &Path, worker: u32) -> Result<File, SnapshotError> {
+    let mut f = File::create(path)?;
+    f.write_all(SEG_MAGIC)?;
+    f.write_all(&SEG_VERSION.to_le_bytes())?;
+    f.write_all(&worker.to_le_bytes())?;
+    Ok(f)
+}
+
+/// Read a segment file back into `(worker_id, delta_chain)`, validating
+/// the header and every record's CRC. Errors are typed: a short file is
+/// [`SnapshotError::Truncated`] (crash mid-append — the intact prefix is
+/// *not* returned, the caller must decide), a checksum mismatch is
+/// [`SnapshotError::BadCrc`], and a foreign header is
+/// [`SnapshotError::Corrupt`].
+pub(crate) fn load_segment(path: &Path) -> Result<(u32, Vec<Vec<u8>>), SnapshotError> {
+    let buf = fs::read(path)?;
+    if buf.len() < 12 {
+        return Err(SnapshotError::Truncated {
+            context: "segment header",
+            detail: format!("{} bytes, header needs 12", buf.len()),
+        });
+    }
+    if &buf[0..4] != SEG_MAGIC {
+        return Err(SnapshotError::Corrupt(format!(
+            "{}: not a checkpoint segment (bad magic)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != SEG_VERSION {
+        return Err(SnapshotError::Corrupt(format!(
+            "{}: segment version {version}, this build reads {SEG_VERSION}",
+            path.display()
+        )));
+    }
+    let worker = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let mut chain = Vec::new();
+    let mut pos = 12usize;
+    let mut record = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 8 {
+            return Err(SnapshotError::Truncated {
+                context: "segment record header",
+                detail: format!("record {record}: {} trailing bytes", buf.len() - pos),
+            });
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        pos += 8;
+        if buf.len() - pos < len {
+            return Err(SnapshotError::Truncated {
+                context: "segment record payload",
+                detail: format!(
+                    "record {record}: {len} bytes promised, {} present",
+                    buf.len() - pos
+                ),
+            });
+        }
+        let payload = &buf[pos..pos + len];
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(SnapshotError::BadCrc {
+                record,
+                stored,
+                computed,
+            });
+        }
+        chain.push(payload.to_vec());
+        pos += len;
+        record += 1;
+    }
+    Ok((worker, chain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("warp-seg-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_per_worker() {
+        let dir = scratch("roundtrip");
+        let mut store = SegmentStore::create(&dir, 2).unwrap();
+        store.append(1, b"alpha").unwrap();
+        store.append(2, b"beta").unwrap();
+        store.append(1, b"gamma-longer-delta").unwrap();
+        assert_eq!(store.spilled_bytes, 5 + 4 + 18);
+
+        let (w, chain) = load_segment(&segment_path(&dir, 1)).unwrap();
+        assert_eq!(w, 1);
+        assert_eq!(
+            chain,
+            vec![b"alpha".to_vec(), b"gamma-longer-delta".to_vec()]
+        );
+        let (w, chain) = load_segment(&segment_path(&dir, 2)).unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(chain, vec![b"beta".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_record_is_a_typed_error() {
+        // Regression: a crash mid-append leaves a short final record.
+        // Loading must say Truncated — never silently return a shorter
+        // chain, and never confuse it with corruption.
+        let dir = scratch("truncated");
+        let mut store = SegmentStore::create(&dir, 1).unwrap();
+        store.append(1, b"first-delta").unwrap();
+        store.append(1, b"second-delta").unwrap();
+        drop(store);
+        let path = segment_path(&dir, 1);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            load_segment(&path),
+            Err(SnapshotError::Truncated {
+                context: "segment record payload",
+                ..
+            })
+        ));
+        // Cutting into the record header is still Truncated, not BadCrc.
+        fs::write(&path, &full[..full.len() - b"second-delta".len() - 3]).unwrap();
+        assert!(matches!(
+            load_segment(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_crc() {
+        let dir = scratch("crc");
+        let mut store = SegmentStore::create(&dir, 1).unwrap();
+        store.append(1, b"precious-checkpoint-delta").unwrap();
+        drop(store);
+        let path = segment_path(&dir, 1);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_segment(&path),
+            Err(SnapshotError::BadCrc { record: 0, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_as_corrupt() {
+        let dir = scratch("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-segment");
+        fs::write(&path, b"GIF89a-definitely-not-warp").unwrap();
+        assert!(matches!(
+            load_segment(&path),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        fs::write(&path, b"short").unwrap();
+        assert!(matches!(
+            load_segment(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_the_chain_and_keeps_appending() {
+        let dir = scratch("rewrite");
+        let mut store = SegmentStore::create(&dir, 1).unwrap();
+        store.append(1, b"one").unwrap();
+        store.append(1, b"two").unwrap();
+        store.append(1, b"three").unwrap();
+        // Compaction: the three records collapse into one.
+        store.rewrite(1, &[b"one+two+three".to_vec()]).unwrap();
+        // The store keeps working after the rename.
+        store.append(1, b"four").unwrap();
+        let (_, chain) = load_segment(&segment_path(&dir, 1)).unwrap();
+        assert_eq!(chain, vec![b"one+two+three".to_vec(), b"four".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -180,6 +180,7 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         recoveries: 0,
         migrations: Vec::new(),
         telemetry,
+        resume: Default::default(),
     }
 }
 
@@ -294,14 +295,19 @@ impl<P: LpPort> LpThread<P> {
         if gvt.is_infinite() {
             self.done = true;
         } else if self.fossil {
-            let bound = match self.fossil_pin {
-                None => gvt,
-                // Keep everything with recv ≥ pin: `fossil_bound` may
-                // resolve the pin itself to a snapshot *at* the pin, so
-                // collect strictly below it.
-                Some(pin) => gvt.min(VirtualTime::from_ticks(pin.ticks().saturating_sub(1))),
-            };
-            self.lp.fossil_collect(bound);
+            match self.fossil_pin {
+                None => self.lp.fossil_collect(gvt),
+                // Keep state and input with recv ≥ pin: `fossil_bound`
+                // may resolve the pin itself to a snapshot *at* the pin,
+                // so collect strictly below it. Output records whose
+                // sends land at or beyond the pin are retained too —
+                // they are the frontier an in-place rollback to the pin
+                // must re-ship.
+                Some(pin) => {
+                    let bound = gvt.min(VirtualTime::from_ticks(pin.ticks().saturating_sub(1)));
+                    self.lp.fossil_collect_retaining(bound, pin);
+                }
+            }
         }
     }
 
@@ -492,6 +498,11 @@ impl<P: LpPort> LpThread<P> {
             gvt_rounds: self.gvt_rounds,
             aborted: self.aborted,
             telemetry,
+            runtime: if self.aborted {
+                Some(Box::new(self.lp))
+            } else {
+                None
+            },
         }
     }
 }
@@ -523,6 +534,10 @@ pub(crate) struct LpOutcome {
     /// Accumulated telemetry (`None` when disabled or when the port
     /// streamed batches out instead).
     pub telemetry: Option<warp_telemetry::TelemetryReport>,
+    /// The runtime itself, handed back on abort so a surviving worker
+    /// can roll it back in place at the next resume instead of
+    /// rebuilding from committed logs (`None` on clean completion).
+    pub runtime: Option<Box<warp_core::LpRuntime>>,
 }
 
 /// Drive one LP to completion over any transport. Shared by the

@@ -569,5 +569,6 @@ pub fn run_virtual_inspect(
         telemetry: crate::threaded::merge_telemetry(
             recorders.into_iter().map(warp_telemetry::Recorder::finish),
         ),
+        resume: Default::default(),
     }
 }

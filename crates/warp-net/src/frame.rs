@@ -42,7 +42,9 @@
 //!   delta (`Snapshot`), the coordinator confirms persistence
 //!   (`SnapshotAck`, letting workers advance their fossil pin), and after
 //!   a failure `Resume` re-seeds a worker with the accumulated checkpoint
-//!   payload for a new session epoch.
+//!   payload for a new session epoch. `ResumeChunk` (v5) streams that
+//!   payload as a contiguous sequence of bounded slices instead, so a
+//!   long job's delta chain is never limited by the frame-size cap.
 //!
 //! `Hello` additionally carries a *session epoch*: recovery re-establishes
 //! the mesh under an incremented session, so connection attempts left over
@@ -62,11 +64,13 @@ use warp_core::{LpId, VirtualTime};
 /// Protocol version carried in `Hello`; bump on any frame-format change.
 /// v2: session epochs in `Hello`, per-link `Data` sequence numbers, and
 /// the checkpoint/recovery frames. v3: the `Telemetry` streaming frame.
-/// v4: the load-balance plane (`LoadReport`, `Rebalance`).
-pub const PROTO_VERSION: u16 = 4;
+/// v4: the load-balance plane (`LoadReport`, `Rebalance`). v5: the
+/// chunked `ResumeChunk` stream replacing monolithic `Resume` payloads.
+pub const PROTO_VERSION: u16 = 5;
 
-/// Upper bound on a frame body. Protects the decoder from allocating
-/// gigabytes off a corrupt or malicious length prefix.
+/// Default upper bound on a frame body. Protects the decoder from
+/// allocating gigabytes off a corrupt or malicious length prefix.
+/// [`FrameDecoder::with_limit`] can lower (or raise) the bound per link.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// One protocol message.
@@ -157,6 +161,25 @@ pub enum Frame {
         /// Concatenated checkpoint deltas (schema owned by `warp-exec`).
         payload: Vec<u8>,
     },
+    /// Coordinator → worker: one slice of a streamed resume payload
+    /// (protocol v5). The coordinator splits the encoded checkpoint
+    /// chain at a configurable chunk size and sends the pieces in `seq`
+    /// order over the same FIFO link; the worker concatenates payloads
+    /// until `last` and then decodes exactly as it would a monolithic
+    /// [`Frame::Resume`]. This keeps individual frames far below the
+    /// frame-size cap no matter how long the delta chain has grown.
+    ResumeChunk {
+        /// The session epoch this resume belongs to.
+        session: u32,
+        /// The restore horizon (the last persisted checkpoint GVT).
+        gvt: VirtualTime,
+        /// Zero-based chunk index; must arrive contiguously.
+        seq: u32,
+        /// True on the final chunk of the stream.
+        last: bool,
+        /// This chunk's slice of the concatenated checkpoint deltas.
+        payload: Vec<u8>,
+    },
     /// Worker → coordinator: a streamed observability batch (opaque to
     /// the transport; `warp-exec` owns the JSON schema). Purely advisory:
     /// loss or reordering never affects simulation correctness.
@@ -206,13 +229,16 @@ const TAG_RESUME: u8 = 12;
 const TAG_TELEMETRY: u8 = 13;
 const TAG_LOAD_REPORT: u8 = 14;
 const TAG_REBALANCE: u8 = 15;
+const TAG_RESUME_CHUNK: u8 = 16;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FrameError {
     /// Unknown frame tag — desynchronized stream or version skew.
     BadTag(u8),
-    /// Declared frame length exceeds [`MAX_FRAME_BYTES`].
+    /// Declared frame length exceeds the decoder's frame-body cap
+    /// ([`MAX_FRAME_BYTES`] unless lowered via
+    /// [`FrameDecoder::with_limit`]).
     TooLarge(usize),
     /// The body did not decode as the tag's schema.
     Malformed(String),
@@ -223,10 +249,7 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::BadTag(t) => write!(f, "unknown frame tag {t:#x}"),
             FrameError::TooLarge(n) => {
-                write!(
-                    f,
-                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
-                )
+                write!(f, "frame of {n} bytes exceeds the receiver's frame cap")
             }
             FrameError::Malformed(m) => write!(f, "malformed frame body: {m}"),
         }
@@ -306,6 +329,17 @@ impl Frame {
                 w.u8(TAG_RESUME).u32(*session);
                 write_vt(&mut w, *gvt);
                 w.bytes(payload);
+            }
+            Frame::ResumeChunk {
+                session,
+                gvt,
+                seq,
+                last,
+                payload,
+            } => {
+                w.u8(TAG_RESUME_CHUNK).u32(*session);
+                write_vt(&mut w, *gvt);
+                w.u32(*seq).u8(u8::from(*last)).bytes(payload);
             }
             Frame::Telemetry(bytes) => {
                 w.u8(TAG_TELEMETRY).bytes(bytes);
@@ -414,6 +448,27 @@ impl Frame {
                 gvt: read_vt(&mut r).map_err(mal)?,
                 payload: r.bytes().map_err(mal)?.to_vec(),
             },
+            TAG_RESUME_CHUNK => {
+                let session = r.u32().map_err(mal)?;
+                let gvt = read_vt(&mut r).map_err(mal)?;
+                let seq = r.u32().map_err(mal)?;
+                let last = match r.u8().map_err(mal)? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(FrameError::Malformed(format!(
+                            "ResumeChunk `last` flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Frame::ResumeChunk {
+                    session,
+                    gvt,
+                    seq,
+                    last,
+                    payload: r.bytes().map_err(mal)?.to_vec(),
+                }
+            }
             TAG_TELEMETRY => Frame::Telemetry(r.bytes().map_err(mal)?.to_vec()),
             TAG_LOAD_REPORT => Frame::LoadReport {
                 gvt: read_vt(&mut r).map_err(mal)?,
@@ -444,17 +499,38 @@ impl Frame {
 /// drain complete frames with [`next`](FrameDecoder::next). Partial
 /// frames stay buffered until their remaining bytes arrive; decode
 /// errors are sticky (a desynchronized stream cannot be resynchronized).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
     poisoned: bool,
+    limit: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::with_limit(MAX_FRAME_BYTES)
+    }
 }
 
 impl FrameDecoder {
-    /// Fresh decoder with an empty buffer.
+    /// Fresh decoder with an empty buffer and the default
+    /// [`MAX_FRAME_BYTES`] body cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh decoder enforcing a custom frame-body cap. Tests and
+    /// memory-constrained deployments lower it; the sender must keep
+    /// its frames (chunked resume payloads in particular) under the
+    /// receiver's cap or the link is declared corrupt.
+    pub fn with_limit(limit: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            poisoned: false,
+            limit,
+        }
     }
 
     /// Append received bytes.
@@ -485,7 +561,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
-        if len > MAX_FRAME_BYTES {
+        if len > self.limit {
             self.poisoned = true;
             return Err(FrameError::TooLarge(len));
         }
@@ -579,6 +655,13 @@ mod tests {
                 gvt: VirtualTime::new(17),
                 payload: vec![],
             },
+            Frame::ResumeChunk {
+                session: 2,
+                gvt: VirtualTime::new(17),
+                seq: 3,
+                last: true,
+                payload: vec![0x5C; 7],
+            },
             Frame::Telemetry(b"{\"samples\":[]}".to_vec()),
             Frame::LoadReport {
                 gvt: VirtualTime::new(17),
@@ -621,6 +704,38 @@ mod tests {
             }
         }
         assert_eq!(got, sample_frames());
+    }
+
+    #[test]
+    fn custom_decoder_limit_rejects_frames_the_default_allows() {
+        let big = Frame::Telemetry(vec![0u8; 4096]);
+        let bytes = big.encode();
+        let mut strict = FrameDecoder::with_limit(1024);
+        strict.push(&bytes);
+        assert!(matches!(strict.next(), Err(FrameError::TooLarge(_))));
+        let mut lax = FrameDecoder::new();
+        lax.push(&bytes);
+        assert_eq!(lax.next().unwrap(), Some(big));
+    }
+
+    #[test]
+    fn resume_chunk_bad_last_flag_is_malformed() {
+        let f = Frame::ResumeChunk {
+            session: 1,
+            gvt: VirtualTime::new(5),
+            seq: 0,
+            last: false,
+            payload: vec![1, 2, 3],
+        };
+        let mut raw = f.encode();
+        // The `last` flag is the byte just before the length-prefixed
+        // payload (u32 len + 3 payload bytes) at the end of the frame.
+        let flag_pos = raw.len() - 3 - 4 - 1;
+        assert_eq!(raw[flag_pos], 0, "expected the cleared `last` flag here");
+        raw[flag_pos] = 7;
+        let mut d = FrameDecoder::new();
+        d.push(&raw);
+        assert!(matches!(d.next(), Err(FrameError::Malformed(_))));
     }
 
     #[test]

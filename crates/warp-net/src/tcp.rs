@@ -74,6 +74,11 @@ pub struct TcpMeshConfig {
     /// Deterministic fault injection applied on the sending side of each
     /// link (`None` = healthy links).
     pub faults: Option<FaultPlan>,
+    /// Frame-body cap enforced by this process's decoders
+    /// ([`crate::frame::MAX_FRAME_BYTES`] by default). Lowering it bounds
+    /// per-link memory and forces senders — the chunked resume stream in
+    /// particular — to keep individual frames small.
+    pub max_frame_bytes: usize,
 }
 
 impl TcpMeshConfig {
@@ -91,6 +96,7 @@ impl TcpMeshConfig {
             dial_backoff_start: Duration::from_millis(20),
             dial_backoff_max: Duration::from_millis(500),
             faults: None,
+            max_frame_bytes: crate::frame::MAX_FRAME_BYTES,
         }
     }
 
@@ -127,6 +133,14 @@ impl TcpMeshConfig {
             return Err(format!(
                 "dial_backoff_max ({:?}) below dial_backoff_start ({:?})",
                 self.dial_backoff_max, self.dial_backoff_start
+            ));
+        }
+        // Control frames (Hello, tokens, acks) must always fit; 1 KiB
+        // is far above any of them and far below a useful data cap.
+        if self.max_frame_bytes < 1024 {
+            return Err(format!(
+                "max_frame_bytes ({}) below the 1024-byte floor control frames need",
+                self.max_frame_bytes
             ));
         }
         Ok(())
@@ -515,7 +529,7 @@ fn handshake(
     };
     (&*stream).write_all(&ours.encode())?;
 
-    let mut dec = FrameDecoder::new();
+    let mut dec = FrameDecoder::with_limit(cfg.max_frame_bytes);
     let mut buf = [0u8; 4096];
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
     let frame = loop {

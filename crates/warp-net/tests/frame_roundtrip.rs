@@ -120,6 +120,20 @@ fn arb_frame() -> BoxedStrategy<Frame> {
                 gvt: VirtualTime::from_ticks(gvt),
                 payload,
             }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(session, gvt, seq, last, payload)| Frame::ResumeChunk {
+                session,
+                gvt: VirtualTime::from_ticks(gvt),
+                seq,
+                last,
+                payload,
+            }),
         proptest::collection::vec(any::<u8>(), 0..96).prop_map(Frame::Telemetry),
         (
             any::<u64>(),
@@ -184,6 +198,86 @@ proptest! {
         }
 
         prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A resume payload split into `ResumeChunk` frames at *arbitrary*
+    /// chunk boundaries — then pushed through the codec with *arbitrary*
+    /// TCP segmentation on top — reassembles to exactly the original
+    /// bytes, with the sequence numbers contiguous and only the final
+    /// chunk flagged `last`. This is the wire half of the streamed
+    /// resume protocol (the executive's reassembly loop applies the
+    /// same seq/last rules).
+    #[test]
+    fn resume_chunk_streams_reassemble_under_any_segmentation(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..97, 1..16),
+        tcp_chunks in proptest::collection::vec(1usize..53, 1..24),
+    ) {
+        // Split the payload into chunk frames at the given widths
+        // (cycled); always at least one chunk, even for empty payloads.
+        let mut frames = Vec::new();
+        let mut off = 0;
+        let mut seq = 0u32;
+        loop {
+            let width = cuts[seq as usize % cuts.len()].min(payload.len() - off);
+            let end = off + width;
+            let last = end == payload.len();
+            frames.push(Frame::ResumeChunk {
+                session: 7,
+                gvt: VirtualTime::from_ticks(42),
+                seq,
+                last,
+                payload: payload[off..end].to_vec(),
+            });
+            seq += 1;
+            off = end;
+            if last {
+                break;
+            }
+        }
+
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+
+        // Decode under arbitrary TCP segmentation and reassemble.
+        let mut dec = FrameDecoder::new();
+        let mut rebuilt = Vec::new();
+        let mut next_seq = 0u32;
+        let mut finished = false;
+        let mut pos = 0;
+        let mut turn = 0;
+        while pos < stream.len() {
+            let n = tcp_chunks[turn % tcp_chunks.len()].min(stream.len() - pos);
+            turn += 1;
+            dec.push(&stream[pos..pos + n]);
+            pos += n;
+            loop {
+                match dec.next() {
+                    Ok(Some(Frame::ResumeChunk { session, gvt, seq, last, payload })) => {
+                        prop_assert_eq!(session, 7);
+                        prop_assert_eq!(gvt, VirtualTime::from_ticks(42));
+                        prop_assert_eq!(seq, next_seq);
+                        prop_assert!(!finished, "chunk after the last chunk");
+                        next_seq += 1;
+                        rebuilt.extend_from_slice(&payload);
+                        finished = last;
+                    }
+                    Ok(Some(other)) => return Err(proptest::prelude::TestCaseError(format!(
+                        "non-ResumeChunk frame decoded: {other:?}"
+                    ))),
+                    Ok(None) => break,
+                    Err(e) => return Err(proptest::prelude::TestCaseError(format!(
+                        "decoder rejected a valid stream: {e}"
+                    ))),
+                }
+            }
+        }
+
+        prop_assert!(finished, "no chunk carried the last flag");
+        prop_assert_eq!(&rebuilt, &payload);
         prop_assert_eq!(dec.pending(), 0);
     }
 

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]
-//!              [--balance] [--slow PROC:MICROS]
+//!              [--balance] [--slow PROC:MICROS] [--store-dir DIR]
+//!              [--max-frame-bytes N] [--resume-chunk-bytes N]
 //! warp-cluster stats TELEMETRY.jsonl
 //! ```
 //!
@@ -21,6 +22,13 @@
 //! one executed event per `MICROS` microseconds — a reproducible
 //! "slow machine" for balance experiments (repeatable).
 //!
+//! `--store-dir DIR` spills committed checkpoint delta chains to
+//! per-worker segment files under `DIR` (implies recovery; see
+//! `docs/recovery-store.md`). `--max-frame-bytes N` caps every frame
+//! the mesh accepts; `--resume-chunk-bytes N` sets the payload size of
+//! the streamed resume chunks (both override the job's `net`/`recovery`
+//! settings).
+//!
 //! The worker binary is taken from `WARP_WORKER_BIN`, falling back to a
 //! `warp-worker` sibling of this executable.
 
@@ -33,7 +41,8 @@ use warped_online::cluster::{run_distributed_job, ClusterJob};
 fn usage() -> ! {
     eprintln!(
         "usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]\n\
-         \x20                [--balance] [--slow PROC:MICROS]\n\
+         \x20                [--balance] [--slow PROC:MICROS] [--store-dir DIR]\n\
+         \x20                [--max-frame-bytes N] [--resume-chunk-bytes N]\n\
          \x20      warp-cluster stats TELEMETRY.jsonl"
     );
     std::process::exit(2);
@@ -73,6 +82,9 @@ fn run() -> Result<(), String> {
     let mut telemetry_out: Option<PathBuf> = None;
     let mut balance = false;
     let mut handicaps: Vec<(u32, u64)> = Vec::new();
+    let mut store_dir: Option<String> = None;
+    let mut max_frame_bytes: Option<u64> = None;
+    let mut resume_chunk_bytes: Option<u64> = None;
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("stats") {
@@ -102,6 +114,23 @@ fn run() -> Result<(), String> {
                 timeout = Duration::from_secs(secs);
             }
             "--balance" => balance = true,
+            "--store-dir" => {
+                store_dir = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--max-frame-bytes" => {
+                max_frame_bytes = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--resume-chunk-bytes" => {
+                resume_chunk_bytes = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--slow" => {
                 let spec = argv.next().unwrap_or_else(|| usage());
                 let (proc_id, gap) = spec.split_once(':').unwrap_or_else(|| usage());
@@ -142,6 +171,16 @@ fn run() -> Result<(), String> {
     if balance {
         job.balance.enabled = true;
         job.recovery.enabled = true;
+    }
+    if let Some(dir) = store_dir {
+        job.recovery.store_dir = Some(dir);
+        job.recovery.enabled = true;
+    }
+    if let Some(n) = max_frame_bytes {
+        job.net.max_frame_bytes = n;
+    }
+    if let Some(n) = resume_chunk_bytes {
+        job.recovery.resume_chunk_bytes = n;
     }
     job.handicaps.extend(handicaps);
 

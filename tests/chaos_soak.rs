@@ -34,6 +34,7 @@ fn phold_job(ttl: u32, max_recoveries: u32, stall_budget_ms: u64) -> ClusterJob 
             max_recoveries,
             ckpt_min_interval_ms: 0,
             stall_budget_ms,
+            ..RecoveryPolicy::default()
         },
         ..ClusterJob::new(ModelSpec::Phold(cfg), None)
     }

@@ -38,6 +38,7 @@ fn phold_job() -> ClusterJob {
             max_recoveries: 3,
             ckpt_min_interval_ms: 0,
             stall_budget_ms: 0,
+            ..RecoveryPolicy::default()
         },
         ..ClusterJob::new(ModelSpec::Phold(cfg), None)
     }

@@ -38,6 +38,7 @@ fn phold_job() -> ClusterJob {
             max_recoveries: 3,
             ckpt_min_interval_ms: 0,
             stall_budget_ms: 0,
+            ..RecoveryPolicy::default()
         },
         ..ClusterJob::new(ModelSpec::Phold(cfg), None)
     }
@@ -124,6 +125,110 @@ fn duplicated_messages_are_absorbed_without_recovery() {
         report.recoveries, 0,
         "duplication alone must not trigger recovery"
     );
+}
+
+#[test]
+fn crash_recovery_streams_the_resume_in_chunks_and_rolls_survivors_back() {
+    // Same crash as above, but with a tiny resume-chunk size so the
+    // checkpoint chain cannot possibly travel as one frame: the resume
+    // must arrive as an ordered ResumeChunk stream. Worker 1 survives
+    // the session, so its LPs must be rolled back in place (no replay)
+    // while the respawned worker 2 rebuilds its LPs from the chain —
+    // and the committed history must still match the golden model.
+    // Full speed, the 200th frame beats the first 5 ms GVT round and
+    // the chain is still empty when the crash lands; the handicap
+    // stretches the pre-crash window across many checkpoint commits.
+    let job = ClusterJob {
+        recovery: RecoveryPolicy {
+            resume_chunk_bytes: 200,
+            ..phold_job().recovery
+        },
+        handicaps: vec![(1, 200), (2, 200)],
+        fault: Some(FaultPlan::new().crash(2, 1, 200, 0)),
+        ..phold_job()
+    };
+    let report = run_with_faults(job);
+    assert!(
+        report.recoveries >= 1,
+        "the crash never fired — no recovery was exercised"
+    );
+    let r = &report.resume;
+    assert!(
+        r.resume_chunks > 2,
+        "resume was not actually chunked: {r:?}"
+    );
+    assert!(
+        r.resume_bytes > 200,
+        "checkpoint chain smaller than one chunk — nothing streamed: {r:?}"
+    );
+    assert!(
+        r.lps_rolled_back >= 1,
+        "the survivor rebuilt from scratch instead of rolling back: {r:?}"
+    );
+    assert!(
+        r.lps_rebuilt >= 1,
+        "the respawned worker never rebuilt an LP: {r:?}"
+    );
+    // The incremental path is observably cheaper: every replayed event
+    // was charged to a rebuilt LP, none to a rolled-back one.
+    assert!(
+        r.replayed_events > 0,
+        "rebuilt LPs should have replayed committed history: {r:?}"
+    );
+}
+
+#[test]
+fn checkpoint_store_spills_compacts_and_reloads_cleanly() {
+    // With a store directory configured, every committed checkpoint
+    // delta must be spilled to the per-worker segment files as it
+    // arrives, superseded deltas compacted away, and recovery must
+    // still commit the sequential history (the resume is served from
+    // the compacted chains). Afterwards the segments must load back
+    // with the right worker ids and CRC-clean records.
+    let dir = std::env::temp_dir().join(format!(
+        "warp-ckpt-store-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let job = ClusterJob {
+        recovery: RecoveryPolicy {
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            compact_after: 3,
+            ..phold_job().recovery
+        },
+        fault: Some(FaultPlan::new().crash(2, 1, 200, 0)),
+        ..phold_job()
+    };
+    let report = run_with_faults(job);
+    assert!(
+        report.recoveries >= 1,
+        "the crash never fired — no recovery was exercised"
+    );
+    assert!(
+        report.resume.store_spilled_bytes > 0,
+        "no checkpoint bytes reached the store: {:?}",
+        report.resume
+    );
+    assert!(
+        report.resume.compactions >= 1,
+        "chains of >= 3 deltas were never compacted: {:?}",
+        report.resume
+    );
+    for worker in 1..=2u32 {
+        let path = warp_exec::checkpoint_segment_path(&dir, worker);
+        let (id, chain) = warp_exec::load_checkpoint_segment(&path)
+            .unwrap_or_else(|e| panic!("segment for worker {worker} unreadable: {e}"));
+        assert_eq!(id, worker, "segment header names the wrong worker");
+        assert!(
+            !chain.is_empty(),
+            "worker {worker} spilled bytes but its chain read back empty"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A coordinator that dies mid-run must not leave worker processes

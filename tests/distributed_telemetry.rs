@@ -102,6 +102,7 @@ fn stall_watchdog_recovers_a_livelocked_worker() {
             max_recoveries: 3,
             ckpt_min_interval_ms: 0,
             stall_budget_ms: 2000,
+            ..RecoveryPolicy::default()
         },
         fault: Some(FaultPlan::new().control_partition(2, 1, 5, 0)),
         ..phold_job()
