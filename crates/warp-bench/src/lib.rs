@@ -10,6 +10,7 @@
 //! | `fig8_smmp_dyma` | Fig. 8 — SMMP execution time vs aggregate age (FAW/SAAW/none) |
 //! | `fig9_raid_dyma` | Fig. 9 — RAID execution time vs aggregate age |
 //! | `table_throughput` | §8 text — committed events/second baselines |
+//! | `phold_distributed` | `BENCH_phold_distributed.json` — real-mesh committed ev/s trajectory point |
 //!
 //! Experiments run on the deterministic virtual-cluster executive with
 //! the SPARC/10 Mb-Ethernet cost model; "execution time" is modeled

@@ -121,13 +121,52 @@
 //! recorded as [`MigrationRecord`]s in the final report and as
 //! `Param::Assignment` control events in the telemetry trajectory.
 //!
+//! # Elastic membership (growing and shrinking the worker set)
+//!
+//! With [`ElasticPolicy::enabled`] (requires recovery, like balancing),
+//! the same per-LP [`Frame::LoadReport`] stream also feeds a
+//! [`warp_elastic::ElasticController`] — the paper's configuration loop
+//! pointed at the *worker count itself*. When cluster-wide pressure
+//! (the spread of LVT leads) stays outside the controller's dead zone
+//! for its patience window, the coordinator drives a **scale
+//! transition** through the identical barrier-checkpoint machinery a
+//! migration uses: one extra checkpoint so the chains cover everything
+//! committed, then the session ends on purpose under the internal
+//! `SessionEnd::Scale` reason (never charged to the recovery budget).
+//!
+//! *Scale-out* admits a fresh worker into the successor session: the
+//! coordinator either spawns another copy of the worker binary
+//! ([`ElasticPolicy::spawn`]) or adopts a process that dialed the
+//! admission listener with a [`Frame::Join`] handshake (`join_main`,
+//! the `--join` flag of a worker binary; the listener's address is
+//! published via [`DistConfig::admit_file`]). The newcomer is seeded
+//! exactly like a respawned worker — chains re-keyed to the grown
+//! [`warp_balance::Assignment`], streamed as `ResumeChunk`s — and runs
+//! one **probation** session: if the very next session is lost blaming
+//! the newcomer, the coordinator *evicts* it and falls back to the
+//! pre-scale membership (chains re-keyed back, recorded as a
+//! `"fallback"` [`ScaleRecord`]) rather than burning recoveries on a
+//! bad admission.
+//!
+//! *Scale-in* retires the highest-numbered worker: after the barrier
+//! checkpoint, the coordinator sends the retiree [`Frame::Retire`] and
+//! the survivors [`Frame::Rebalance`]; the retiree aborts its LP
+//! threads, answers [`Frame::DrainAck`], closes cleanly, and **exits
+//! 0** — its LPs restore on the survivors from the re-keyed chains.
+//! Every transition lands in the report as a [`ScaleRecord`] and in the
+//! telemetry trajectory as a `Param::ClusterSize` control event, and
+//! because restoration replays committed history through the normal
+//! kernel paths, the committed trace digest is unchanged by any scale.
+//!
 //! Orphan hygiene: a worker whose coordinator dies sees either its mesh
 //! link drop or stdin close (the coordinator holds the write end) and
 //! exits non-zero on its own — workers never outlive the coordinator by
 //! more than the liveness timeout plus a bounded wait for recovery
 //! instructions.
 
-use crate::report::{LpSummary, MigrationMove, MigrationRecord, ResumeStats, RunReport};
+use crate::report::{
+    LpSummary, MigrationMove, MigrationRecord, ResumeStats, RunReport, ScaleRecord,
+};
 use crate::snapshot::{
     compact_chain, decode_resume, encode_delta, encode_resume, merge_logs, rekey_chains,
     store::SegmentStore, LpDelta, SnapshotError,
@@ -137,17 +176,18 @@ use crate::threaded::{lp_thread, CkptPart, LpOutcome, LpPort, LpSeed, Packet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::SocketAddr;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 use warp_balance::{Assignment, BalanceController, BalancePolicy, LpLoad};
 use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{LpId, VirtualTime};
+use warp_elastic::{ElasticController, ElasticPolicy, ScaleDirection, ScalePlan};
 use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
 use warp_net::{FaultPlan, Frame};
 use warp_telemetry::{ControlEvent, Param, TelemetryReport};
@@ -319,6 +359,21 @@ pub struct DistConfig {
     /// `(proc_id, gap_us)` pair caps that worker process at one executed
     /// event per `gap_us` microseconds. Empty = full speed everywhere.
     pub handicaps: Vec<(u32, u64)>,
+    /// Optional budget on each handicap: `(proc_id, n_events)` pairs
+    /// bounding how many executed events the matching slowdown paces
+    /// before the worker runs at full speed again — cumulative across
+    /// sessions, so a recovery or scale never re-arms a spent handicap.
+    /// Models a *transient* skew (the scale-in half of an elastic
+    /// experiment needs the pressure to go away again).
+    pub handicap_events: Vec<(u32, u64)>,
+    /// Elastic-membership policy: grow/shrink the worker set between
+    /// `min_workers` and `max_workers` off the same load stream the
+    /// balancer reads. Enabling it requires `recovery.enabled`.
+    pub elastic: ElasticPolicy,
+    /// With elastic membership on, write the admission listener's
+    /// address to this file once it is bound, so external `--join`
+    /// workers (and tests) can find it.
+    pub admit_file: Option<PathBuf>,
     /// Deterministic fault plan injected into every process's mesh
     /// (`None` = healthy links).
     pub fault: Option<FaultPlan>,
@@ -337,6 +392,9 @@ impl DistConfig {
             recovery: RecoveryPolicy::default(),
             balance: BalancePolicy::default(),
             handicaps: Vec::new(),
+            handicap_events: Vec::new(),
+            elastic: ElasticPolicy::default(),
+            admit_file: None,
             fault: None,
         }
     }
@@ -423,6 +481,12 @@ pub struct WorkerInit {
     /// knob for balance experiments.
     #[serde(default)]
     pub handicap_us: u64,
+    /// Budget on the slowdown: pace only the first this-many executed
+    /// events, then run at full speed (0 = unlimited). Counted once per
+    /// process across all its sessions — a transient-skew knob for
+    /// elastic experiments.
+    #[serde(default)]
+    pub handicap_events: u64,
     /// Deterministic fault plan for this process's mesh links.
     #[serde(default)]
     pub fault: Option<FaultPlan>,
@@ -443,6 +507,10 @@ pub struct SessionLine {
     /// Carries the migrated placement after a [`Frame::Rebalance`].
     #[serde(default)]
     pub assignment: Vec<u32>,
+    /// Total mesh size for the new session (0 = unchanged). Carries the
+    /// grown or shrunk cluster shape after an elastic scale.
+    #[serde(default)]
+    pub n_procs: u32,
 }
 
 /// A worker's end-of-run payload (travels as `Frame::Report` bytes).
@@ -460,18 +528,54 @@ struct WorkerReport {
 // Coordinator
 // ---------------------------------------------------------------------
 
-/// A spawned worker process plus its stdout line stream. The reader
-/// thread lives for the child's whole life because recovery needs a
-/// *second* `LISTEN` line from survivors, long after bootstrap.
+/// How the coordinator talks to one worker's control plane: the stdio
+/// pipes of a child it spawned, or the admission socket of a process
+/// that dialed in with [`Frame::Join`]. The line protocol on top is
+/// identical either way.
+enum Ctl {
+    /// A spawned child; lines ride its piped stdio.
+    Child(Child),
+    /// A joined remote; lines ride the (cloned) admission stream.
+    Remote(TcpStream),
+}
+
+/// A worker process plus its control-line stream. The reader thread
+/// lives for the worker's whole life because recovery needs a *second*
+/// `LISTEN` line from survivors, long after bootstrap.
 struct WorkerProc {
-    child: Child,
+    ctl: Ctl,
     lines: Receiver<Result<String, String>>,
-    /// Next stdin line must be a full [`WorkerInit`] (fresh spawn) vs. a
-    /// [`SessionLine`] (survivor of a previous session).
+    /// Next control line must be a full [`WorkerInit`] (fresh spawn or
+    /// admission) vs. a [`SessionLine`] (survivor of a previous session).
     fresh: bool,
     /// A `LISTEN` address consumed early (while sorting survivors from
     /// corpses) and not yet used for a session.
     pending_listen: Option<String>,
+}
+
+/// Feed lines from any byte stream into a channel; the channel closing
+/// means EOF (the worker is gone).
+fn spawn_line_reader<R: Read + Send + 'static>(src: R) -> Receiver<Result<String, String>> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(src);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if tx.send(Ok(line.trim().to_string())).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(format!("control read failed: {e}")));
+                    break;
+                }
+            }
+        }
+    });
+    rx
 }
 
 impl WorkerProc {
@@ -482,31 +586,78 @@ impl WorkerProc {
             .stderr(Stdio::inherit())
             .spawn()?;
         let stdout = child.stdout.take().expect("worker stdout piped");
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let mut reader = BufReader::new(stdout);
-            loop {
-                let mut line = String::new();
-                match reader.read_line(&mut line) {
-                    Ok(0) => break,
-                    Ok(_) => {
-                        if tx.send(Ok(line.trim().to_string())).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(Err(format!("stdout read failed: {e}")));
-                        break;
-                    }
-                }
-            }
-        });
         Ok(WorkerProc {
-            child,
-            lines: rx,
+            lines: spawn_line_reader(stdout),
+            ctl: Ctl::Child(child),
             fresh: true,
             pending_listen: None,
         })
+    }
+
+    /// Adopt a worker that dialed the admission listener (its
+    /// [`Frame::Join`] handshake already consumed by the acceptor).
+    fn from_stream(stream: TcpStream) -> io::Result<WorkerProc> {
+        let read_half = stream.try_clone()?;
+        Ok(WorkerProc {
+            lines: spawn_line_reader(read_half),
+            ctl: Ctl::Remote(stream),
+            fresh: true,
+            pending_listen: None,
+        })
+    }
+
+    fn is_remote(&self) -> bool {
+        matches!(self.ctl, Ctl::Remote(_))
+    }
+
+    /// OS pid for diagnostics (0 for a joined remote).
+    fn pid(&self) -> u32 {
+        match &self.ctl {
+            Ctl::Child(c) => c.id(),
+            Ctl::Remote(_) => 0,
+        }
+    }
+
+    /// Wait for a clean exit after the final report: a child must exit
+    /// 0; a joined remote counts as clean once it closes its control
+    /// socket (there is no exit status to observe across the wire).
+    fn wait_success(&mut self, proc_id: u32, deadline: Instant) -> Result<(), DistError> {
+        match &mut self.ctl {
+            Ctl::Child(c) => match c.wait() {
+                Ok(status) if status.success() => Ok(()),
+                Ok(status) => Err(DistError::Worker {
+                    proc_id,
+                    detail: format!("exited with {status} after reporting"),
+                }),
+                Err(e) => Err(DistError::Io(e)),
+            },
+            Ctl::Remote(_) => loop {
+                match self
+                    .lines
+                    .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+                {
+                    Ok(_) => {} // stray output; keep draining
+                    Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(DistError::Timeout(format!(
+                            "joined worker (proc {proc_id}) never closed its control socket"
+                        )))
+                    }
+                }
+            },
+        }
+    }
+
+    fn kill(&mut self) {
+        match &mut self.ctl {
+            Ctl::Child(c) => {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            Ctl::Remote(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
     }
 
     /// Wait for the worker's `LISTEN <addr>` announcement.
@@ -537,15 +688,100 @@ impl WorkerProc {
     }
 
     fn send_line(&mut self, proc_id: u32, line: &str) -> Result<(), DistError> {
-        let stdin = self.child.stdin.as_mut().expect("worker stdin piped");
-        stdin
-            .write_all(line.as_bytes())
-            .and_then(|_| stdin.write_all(b"\n"))
-            .and_then(|_| stdin.flush())
+        let sink: &mut dyn Write = match &mut self.ctl {
+            Ctl::Child(c) => c.stdin.as_mut().expect("worker stdin piped"),
+            Ctl::Remote(s) => s,
+        };
+        sink.write_all(line.as_bytes())
+            .and_then(|_| sink.write_all(b"\n"))
+            .and_then(|_| sink.flush())
             .map_err(|e| DistError::Worker {
                 proc_id,
-                detail: format!("died before reading its stdin line: {e}"),
+                detail: format!("died before reading its control line: {e}"),
             })
+    }
+}
+
+/// The elastic admission point: workers started with `--join` dial this
+/// listener, present a [`Frame::Join`] handshake, and wait in `queue`
+/// until a scale-out adopts them. The acceptor thread holds only a
+/// [`Weak`] reference, so it dies with the coordinator that created it.
+struct Admission {
+    queue: Mutex<Vec<WorkerProc>>,
+    addr: String,
+}
+
+impl Admission {
+    /// Bind the listener, start the acceptor thread, and publish the
+    /// address to `admit_file` when asked.
+    fn start(admit_file: Option<&Path>) -> Result<Arc<Admission>, DistError> {
+        let listener = bind_loopback()?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        if let Some(path) = admit_file {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+        let admission = Arc::new(Admission {
+            queue: Mutex::new(Vec::new()),
+            addr,
+        });
+        let weak: Weak<Admission> = Arc::downgrade(&admission);
+        std::thread::spawn(move || loop {
+            let Some(adm) = weak.upgrade() else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Some(w) = admit(stream) {
+                        adm.queue.lock().unwrap().push(w);
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    drop(adm);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => return,
+            }
+        });
+        Ok(admission)
+    }
+
+    fn joiners_waiting(&self) -> bool {
+        !self.queue.lock().unwrap().is_empty()
+    }
+
+    fn take_joiner(&self) -> Option<WorkerProc> {
+        let mut q = self.queue.lock().unwrap();
+        if q.is_empty() {
+            None
+        } else {
+            Some(q.remove(0))
+        }
+    }
+}
+
+/// Consume exactly one length-prefixed [`Frame::Join`] from a dialing
+/// worker — reading *only* the frame's own bytes, so the line protocol
+/// that follows on the same stream is untouched — and adopt it when the
+/// protocol versions match. Anything else is dropped silently; the
+/// admission listener must shrug off port scanners and stale dialers.
+fn admit(mut stream: TcpStream) -> Option<WorkerProc> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > 64 {
+        return None; // a Join frame is a handful of bytes
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    let mut dec = warp_net::frame::FrameDecoder::new();
+    dec.push(&len_buf);
+    dec.push(&body);
+    match dec.next() {
+        Ok(Some(Frame::Join { version })) if version == warp_net::frame::PROTO_VERSION => {
+            let _ = stream.set_read_timeout(None);
+            WorkerProc::from_stream(stream).ok()
+        }
+        _ => None,
     }
 }
 
@@ -563,6 +799,11 @@ enum SessionEnd {
         moves: Vec<warp_balance::Move>,
         imbalance: f64,
     },
+    /// The elastic controller ended the session on purpose: the cluster
+    /// regroups with one worker more (`ScaleDirection::Out`) or fewer
+    /// (`ScaleDirection::In`) under the plan's grown/shrunk assignment.
+    /// On scale-in the retiree has already answered [`Frame::DrainAck`].
+    Scale { plan: ScalePlan },
 }
 
 /// Checkpoint chains and horizon: everything the coordinator must keep
@@ -611,6 +852,16 @@ impl CkptStore {
         }
         Ok(())
     }
+
+    /// After an elastic scale: grow or shrink the durable store's
+    /// segment roster to the new worker count (fresh files appear,
+    /// retired files are deleted), then mirror the re-keyed chains.
+    fn resize_segments(&mut self, n_workers: u32) -> Result<(), SnapshotError> {
+        if let Some(seg) = self.segments.as_mut() {
+            seg.resize(n_workers)?;
+        }
+        self.rewrite_segments()
+    }
 }
 
 /// A checkpoint in flight: parts received so far, by worker.
@@ -634,17 +885,37 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
         Assignment::contiguous(cfg.n_lps, cfg.n_workers).map_err(DistError::InvalidConfig)?;
     cfg.net.validate().map_err(DistError::InvalidConfig)?;
     cfg.balance.validate().map_err(DistError::InvalidConfig)?;
+    cfg.elastic.validate().map_err(DistError::InvalidConfig)?;
     if cfg.balance.enabled && !cfg.recovery.enabled {
         return Err(DistError::InvalidConfig(
             "load balancing requires recovery: migration rides the checkpoint/resume machinery"
                 .into(),
         ));
     }
-    for &(proc_id, _) in &cfg.handicaps {
-        if proc_id == 0 || proc_id > cfg.n_workers {
+    if cfg.elastic.enabled && !cfg.recovery.enabled {
+        return Err(DistError::InvalidConfig(
+            "elastic membership requires recovery: scaling rides the checkpoint/resume machinery"
+                .into(),
+        ));
+    }
+    if cfg.elastic.enabled
+        && (cfg.n_workers < cfg.elastic.min_workers || cfg.n_workers > cfg.elastic.max_workers)
+    {
+        return Err(DistError::InvalidConfig(format!(
+            "initial worker count {} outside the elastic bounds {}..={}",
+            cfg.n_workers, cfg.elastic.min_workers, cfg.elastic.max_workers
+        )));
+    }
+    // A handicap may name any proc the cluster can ever grow to hold.
+    let max_procs = if cfg.elastic.enabled {
+        cfg.elastic.max_workers.max(cfg.n_workers)
+    } else {
+        cfg.n_workers
+    };
+    for &(proc_id, _) in cfg.handicaps.iter().chain(&cfg.handicap_events) {
+        if proc_id == 0 || proc_id > max_procs {
             return Err(DistError::InvalidConfig(format!(
-                "handicap names proc {proc_id}, outside 1..={}",
-                cfg.n_workers
+                "handicap names proc {proc_id}, outside 1..={max_procs}"
             )));
         }
     }
@@ -664,13 +935,22 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
         None => None,
     };
     let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
+    // The admission point outlives every session: a `--join` worker may
+    // dial in long before pressure warrants adopting it.
+    let admission = if cfg.elastic.enabled {
+        let a = Admission::start(cfg.admit_file.as_deref())?;
+        eprintln!("coordinator: admission point at {}", a.addr);
+        Some(a)
+    } else {
+        None
+    };
 
     let mut workers: Vec<WorkerProc> = Vec::new();
     for i in 0..cfg.n_workers {
         match WorkerProc::spawn(&cfg.worker_bin) {
             Ok(w) => {
                 if announce {
-                    eprintln!("WORKER_PID {} {}", i + 1, w.child.id());
+                    eprintln!("WORKER_PID {} {}", i + 1, w.pid());
                 }
                 workers.push(w);
             }
@@ -691,6 +971,12 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     let mut session: u32 = 0;
     let mut recoveries: u64 = 0;
     let mut migrations: Vec<MigrationRecord> = Vec::new();
+    let mut scales: Vec<ScaleRecord> = Vec::new();
+    // A newcomer admitted by the last scale-out, on probation for one
+    // session: `(proc_id, pre-scale assignment, pressure)`. If the very
+    // next session is lost blaming it, the coordinator evicts it and
+    // falls back instead of burning the recovery budget on it.
+    let mut probation: Option<(u32, Assignment, f64)> = None;
     // Cluster-wide telemetry, merged from the workers' streamed batches.
     // Accumulated across sessions: observations from a lost session are
     // real observations of real (if later re-executed) work.
@@ -706,23 +992,15 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
             &mut telemetry,
             &assign,
             migrations.len() as u32,
+            scales.len() as u32,
+            admission.as_deref(),
         );
         match attempt {
             Ok(SessionEnd::Finished(reports)) => {
                 for (i, w) in workers.iter_mut().enumerate() {
-                    match w.child.wait() {
-                        Ok(status) if status.success() => {}
-                        Ok(status) => {
-                            kill_all(&mut workers);
-                            return Err(DistError::Worker {
-                                proc_id: i as u32 + 1,
-                                detail: format!("exited with {status} after reporting"),
-                            });
-                        }
-                        Err(e) => {
-                            kill_all(&mut workers);
-                            return Err(DistError::Io(e));
-                        }
+                    if let Err(e) = w.wait_success(i as u32 + 1, deadline) {
+                        kill_all(&mut workers);
+                        return Err(e);
                     }
                 }
                 if let Some(seg) = &store.segments {
@@ -733,6 +1011,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     start.elapsed().as_secs_f64(),
                     recoveries,
                     migrations,
+                    scales,
                     telemetry.take().filter(|t| !t.is_empty()),
                     store.stats,
                 ));
@@ -746,7 +1025,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 // budget. Re-key the stored chains so each worker's next
                 // `Resume` carries exactly the LPs it now owns.
                 session += 1;
-                match rekey_chains(&store.chains, cfg.n_workers, |lp| next.proc_of(lp)) {
+                probation = None;
+                match rekey_chains(&store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
                     Ok(chains) => store.chains = chains,
                     Err(e) => {
                         kill_all(&mut workers);
@@ -802,7 +1082,168 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     return Err(e);
                 }
             }
+            Ok(SessionEnd::Scale { plan }) => {
+                // A planned capacity change: like a rebalance, never
+                // charged to the recovery budget.
+                session += 1;
+                probation = None;
+                let next = plan.assignment.clone();
+                match plan.direction {
+                    ScaleDirection::Out => {
+                        // Prefer a worker that already dialed in; spawn
+                        // a fresh copy of the binary otherwise. The
+                        // newcomer runs its first session on probation.
+                        let newcomer = match admission.as_ref().and_then(|a| a.take_joiner()) {
+                            Some(w) => w,
+                            None => match WorkerProc::spawn(&cfg.worker_bin) {
+                                Ok(w) => w,
+                                Err(e) => {
+                                    kill_all(&mut workers);
+                                    return Err(DistError::Io(e));
+                                }
+                            },
+                        };
+                        if announce {
+                            eprintln!("WORKER_PID {} {}", plan.to_workers, newcomer.pid());
+                        }
+                        workers.push(newcomer);
+                        probation = Some((plan.to_workers, assign.clone(), plan.pressure));
+                    }
+                    ScaleDirection::In => {
+                        // The retiree already answered `DrainAck`; all
+                        // that is left is its clean exit.
+                        let mut retiree =
+                            workers.pop().expect("scale-in retires an existing worker");
+                        if let Err(e) = retiree.wait_success(plan.from_workers, deadline) {
+                            kill_all(&mut workers);
+                            return Err(e);
+                        }
+                    }
+                }
+                match rekey_chains(&store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
+                    Ok(chains) => store.chains = chains,
+                    Err(e) => {
+                        kill_all(&mut workers);
+                        return Err(DistError::Protocol(format!(
+                            "re-keying checkpoint chains for scale: {e}"
+                        )));
+                    }
+                }
+                if let Err(e) = store.resize_segments(next.n_workers()) {
+                    kill_all(&mut workers);
+                    return Err(DistError::Io(io::Error::other(format!(
+                        "checkpoint store resize after scale: {e}"
+                    ))));
+                }
+                let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                let batch = TelemetryReport {
+                    events: vec![ControlEvent {
+                        gvt,
+                        lp: 0,
+                        object: 0,
+                        lvt: None,
+                        param: Param::ClusterSize,
+                        old: plan.from_workers as f64,
+                        new: plan.to_workers as f64,
+                        sampled_o: plan.pressure,
+                    }],
+                    ..TelemetryReport::default()
+                };
+                match &mut telemetry {
+                    Some(t) => t.merge(batch),
+                    None => telemetry = Some(batch),
+                }
+                scales.push(ScaleRecord {
+                    gvt,
+                    direction: match plan.direction {
+                        ScaleDirection::Out => "out".into(),
+                        ScaleDirection::In => "in".into(),
+                    },
+                    from_workers: plan.from_workers,
+                    to_workers: plan.to_workers,
+                    pressure: plan.pressure,
+                    moves: plan
+                        .moves
+                        .iter()
+                        .map(|m| MigrationMove {
+                            lp: m.lp,
+                            from: m.from,
+                            to: m.to,
+                        })
+                        .collect(),
+                });
+                assign = next;
+                if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
+                    kill_all(&mut workers);
+                    return Err(e);
+                }
+            }
             Ok(SessionEnd::Lost { peer, detail }) => {
+                // A newcomer that dies on probation is *evicted*, not
+                // recovered: fall back to the pre-scale membership (the
+                // chains re-key back losslessly) so one bad admission
+                // cannot wedge the cluster.
+                if probation.as_ref().is_some_and(|(p, _, _)| *p == peer) {
+                    let (newbie, pre_assign, _) = probation.take().unwrap();
+                    eprintln!(
+                        "warp-coordinator: evicting probation worker {newbie} ({detail}); \
+                         falling back to {} workers",
+                        pre_assign.n_workers()
+                    );
+                    let mut evicted = workers.pop().expect("probation newcomer still listed");
+                    evicted.kill();
+                    match rekey_chains(&store.chains, pre_assign.n_workers(), |lp| {
+                        pre_assign.proc_of(lp)
+                    }) {
+                        Ok(chains) => store.chains = chains,
+                        Err(e) => {
+                            kill_all(&mut workers);
+                            return Err(DistError::Protocol(format!(
+                                "re-keying checkpoint chains for eviction: {e}"
+                            )));
+                        }
+                    }
+                    if let Err(e) = store.resize_segments(pre_assign.n_workers()) {
+                        kill_all(&mut workers);
+                        return Err(DistError::Io(io::Error::other(format!(
+                            "checkpoint store resize after eviction: {e}"
+                        ))));
+                    }
+                    let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                    let batch = TelemetryReport {
+                        events: vec![ControlEvent {
+                            gvt,
+                            lp: 0,
+                            object: 0,
+                            lvt: None,
+                            param: Param::ClusterSize,
+                            old: newbie as f64,
+                            new: pre_assign.n_workers() as f64,
+                            sampled_o: -1.0,
+                        }],
+                        ..TelemetryReport::default()
+                    };
+                    match &mut telemetry {
+                        Some(t) => t.merge(batch),
+                        None => telemetry = Some(batch),
+                    }
+                    scales.push(ScaleRecord {
+                        gvt,
+                        direction: "fallback".into(),
+                        from_workers: newbie,
+                        to_workers: pre_assign.n_workers(),
+                        pressure: -1.0,
+                        moves: Vec::new(),
+                    });
+                    assign = pre_assign;
+                    recoveries += 1;
+                    session += 1;
+                    if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
+                        kill_all(&mut workers);
+                        return Err(e);
+                    }
+                    continue;
+                }
                 if !cfg.recovery.enabled || recoveries >= cfg.recovery.max_recoveries as u64 {
                     kill_all(&mut workers);
                     return Err(DistError::Worker {
@@ -824,8 +1265,11 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
             Err(e) => {
                 // A failure *outside* the mesh (bootstrap I/O, a worker
                 // dying mid-handshake): recoverable by a full restart of
-                // every worker, state restored from the chains.
-                let retryable = matches!(e, DistError::Io(_) | DistError::Worker { .. });
+                // every worker, state restored from the chains. A joined
+                // remote cannot be respawned from here, so its loss is
+                // final.
+                let retryable = matches!(e, DistError::Io(_) | DistError::Worker { .. })
+                    && !workers.iter().any(WorkerProc::is_remote);
                 if !cfg.recovery.enabled
                     || !retryable
                     || recoveries >= cfg.recovery.max_recoveries as u64
@@ -836,13 +1280,14 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 }
                 recoveries += 1;
                 session += 1;
+                let n_restart = workers.len();
                 kill_all(&mut workers);
                 workers.clear();
-                for i in 0..cfg.n_workers {
+                for i in 0..n_restart {
                     match WorkerProc::spawn(&cfg.worker_bin) {
                         Ok(w) => {
                             if announce {
-                                eprintln!("WORKER_PID {} {}", i + 1, w.child.id());
+                                eprintln!("WORKER_PID {} {}", i + 1, w.pid());
                             }
                             workers.push(w);
                         }
@@ -870,8 +1315,12 @@ fn run_session_as_coordinator(
     telemetry: &mut Option<TelemetryReport>,
     assign: &Assignment,
     migrations_done: u32,
+    scales_done: u32,
+    admission: Option<&Admission>,
 ) -> Result<SessionEnd, DistError> {
-    let n_procs = cfg.n_workers + 1;
+    // The mesh is sized by the *current* membership, not the starting
+    // config — elastic scales change it between sessions.
+    let n_procs = assign.n_workers() + 1;
     let listener = bind_loopback()?;
     let coord_addr = listener.local_addr()?;
 
@@ -894,12 +1343,18 @@ fn run_session_as_coordinator(
                 connect_ms: remaining_ms(deadline),
                 recovery: cfg.recovery.enabled,
                 assignment: assign.owners().to_vec(),
-                balance: cfg.balance.enabled,
+                balance: cfg.balance.enabled || cfg.elastic.enabled,
                 handicap_us: cfg
                     .handicaps
                     .iter()
                     .find(|(p, _)| *p == proc_id)
                     .map(|(_, us)| *us)
+                    .unwrap_or(0),
+                handicap_events: cfg
+                    .handicap_events
+                    .iter()
+                    .find(|(p, _)| *p == proc_id)
+                    .map(|(_, n)| *n)
                     .unwrap_or(0),
                 fault: cfg.fault.clone(),
             })
@@ -909,6 +1364,7 @@ fn run_session_as_coordinator(
                 peers: peers.clone(),
                 connect_ms: remaining_ms(deadline),
                 assignment: assign.owners().to_vec(),
+                n_procs,
             })
         }
         .map_err(|e| DistError::Protocol(format!("init encode: {e}")))?;
@@ -950,11 +1406,16 @@ fn run_session_as_coordinator(
         telemetry,
         assign,
         migrations_done,
+        scales_done,
+        admission,
     );
     match &end {
-        // A rebalance drains cleanly too: the queued `Rebalance` frames
-        // must reach every worker before the links close.
-        Ok(SessionEnd::Finished(_)) | Ok(SessionEnd::Rebalance { .. }) => mesh.shutdown(),
+        // A rebalance or scale drains cleanly too: the queued
+        // `Rebalance`/`Retire` frames must reach every worker before
+        // the links close.
+        Ok(SessionEnd::Finished(_) | SessionEnd::Rebalance { .. } | SessionEnd::Scale { .. }) => {
+            mesh.shutdown()
+        }
         _ => mesh.abort(),
     }
     end
@@ -1027,8 +1488,10 @@ fn coordinate(
     telemetry: &mut Option<TelemetryReport>,
     assign: &Assignment,
     migrations_done: u32,
+    scales_done: u32,
+    admission: Option<&Admission>,
 ) -> Result<SessionEnd, DistError> {
-    let n_workers = cfg.n_workers as usize;
+    let n_workers = assign.n_workers() as usize;
     let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
     let mut closed = vec![false; n_workers];
     let mut pending: Option<PendingCkpt> = None;
@@ -1043,19 +1506,40 @@ fn coordinate(
         .then(|| {
             let mut policy = cfg.balance.clone();
             policy.max_migrations = cfg.balance.max_migrations - migrations_done;
-            BalanceController::new(policy, cfg.n_lps, cfg.n_workers)
+            BalanceController::new(policy, cfg.n_lps, assign.n_workers())
+        });
+    // The capacity-level configuration loop, same lifecycle rules: a
+    // fresh controller per session, the per-run scale cap carried via
+    // the remaining budget (fallback evictions count against it, which
+    // is what stops a crash-looping admission from retrying forever).
+    let mut elastic = (cfg.elastic.enabled
+        && cfg.recovery.enabled
+        && scales_done < cfg.elastic.max_scales)
+        .then(|| {
+            let mut policy = cfg.elastic.clone();
+            policy.max_scales = cfg.elastic.max_scales - scales_done;
+            ElasticController::new(policy, cfg.n_lps)
         });
     // One GVT round's worth of per-LP load reports, bucketed by gvt. A
     // report from a newer round discards any incomplete older bucket.
     let mut loads: Vec<Option<LpLoad>> = vec![None; cfg.n_lps as usize];
     let mut load_gvt: Option<VirtualTime> = None;
-    // A migration the controller proposed, waiting on its checkpoint
-    // barrier before the session can be ended on purpose.
-    struct PlannedRebalance {
-        plan: warp_balance::Rebalance,
+    // A reconfiguration a controller proposed — migration or scale —
+    // waiting on its checkpoint barrier before the session can be ended
+    // on purpose.
+    enum Transition {
+        Rebalance(warp_balance::Rebalance),
+        Scale(ScalePlan),
+    }
+    struct PlannedTransition {
+        t: Transition,
         barrier_fired: bool,
     }
-    let mut planned: Option<PlannedRebalance> = None;
+    let mut planned: Option<PlannedTransition> = None;
+    // A scale-in past its barrier: `Retire` went to the retiree and
+    // `Rebalance` to the survivors; the session ends once the retiree
+    // answers `DrainAck`. Survivor aborts are expected in this window.
+    let mut draining: Option<ScalePlan> = None;
     let coord_crash = std::env::var_os("WARP_COORD_TEST_CRASH").is_some();
     let stall_budget = (cfg.recovery.enabled && cfg.recovery.stall_budget_ms > 0)
         .then(|| Duration::from_millis(cfg.recovery.stall_budget_ms));
@@ -1086,8 +1570,11 @@ fn coordinate(
         if let Some(budget) = stall_budget {
             // Only while reports are outstanding: after the last report
             // the run is winding down and GVT has nowhere left to go.
-            let stalled =
-                reports.iter().any(Option::is_none) && last_gvt_advance.elapsed() >= budget;
+            // A drain window is excluded too — the cluster stalls there
+            // by design, and the retiree's ack or loss resolves it.
+            let stalled = reports.iter().any(Option::is_none)
+                && draining.is_none()
+                && last_gvt_advance.elapsed() >= budget;
             if stalled {
                 let peer = worker_gvt
                     .iter()
@@ -1106,24 +1593,43 @@ fn coordinate(
                 });
             }
         }
-        // Drive a planned migration: first a checkpoint barrier so the
-        // chains cover everything committed, then end the session with a
-        // broadcast `Rebalance` — workers abort and regroup exactly as
-        // they would after a peer loss, but on purpose.
+        // Drive a planned transition (migration or scale): first a
+        // checkpoint barrier so the chains cover everything committed,
+        // then end the session on purpose — a broadcast `Rebalance`
+        // (everyone aborts and regroups), except the scale-in retiree,
+        // which gets `Retire` and must answer `DrainAck` before the
+        // session is declared over.
         if let Some(p) = planned.as_mut() {
             if pending.is_none() {
                 if p.barrier_fired {
-                    for w in 1..=n_workers as u32 {
-                        mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                    match planned.take().unwrap().t {
+                        Transition::Rebalance(plan) => {
+                            for w in 1..=n_workers as u32 {
+                                mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                            }
+                            return Ok(SessionEnd::Rebalance {
+                                next: plan.assignment,
+                                moves: plan.moves,
+                                imbalance: plan.imbalance,
+                            });
+                        }
+                        Transition::Scale(plan) => match plan.retired() {
+                            None => {
+                                for w in 1..=n_workers as u32 {
+                                    mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                                }
+                                return Ok(SessionEnd::Scale { plan });
+                            }
+                            Some(retiree) => {
+                                mesh.send(retiree, Frame::Retire { gvt: store.horizon });
+                                for w in (1..=n_workers as u32).filter(|w| *w != retiree) {
+                                    mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                                }
+                                draining = Some(plan);
+                            }
+                        },
                     }
-                    let p = planned.take().unwrap();
-                    return Ok(SessionEnd::Rebalance {
-                        next: p.plan.assignment,
-                        moves: p.plan.moves,
-                        imbalance: p.plan.imbalance,
-                    });
-                }
-                if let Some(gvt) = best_gvt.filter(|g| g.is_finite() && *g > store.horizon) {
+                } else if let Some(gvt) = best_gvt.filter(|g| g.is_finite() && *g > store.horizon) {
                     let ckpt = store.next_ckpt;
                     store.next_ckpt += 1;
                     last_ckpt_started = Instant::now();
@@ -1152,10 +1658,11 @@ fn coordinate(
                     reports[from as usize - 1] = Some(report);
                     // A report is definite progress: the sender saw ∞.
                     last_gvt_advance = Instant::now();
-                    // The run is winding down; migrating now would only
-                    // throw away finished work.
+                    // The run is winding down; migrating or scaling now
+                    // would only throw away finished work.
                     planned = None;
                     balancer = None;
+                    elastic = None;
                 }
                 Frame::Telemetry(bytes) => {
                     // Advisory stream; a batch that fails to parse is
@@ -1183,11 +1690,13 @@ fn coordinate(
                         // GVT = ∞: reports are imminent; stand down.
                         planned = None;
                         balancer = None;
+                        elastic = None;
                     }
                     let due = cfg.recovery.enabled
                         && gvt.is_finite()
                         && gvt > store.horizon
                         && pending.is_none()
+                        && draining.is_none()
                         && last_ckpt_started.elapsed()
                             >= Duration::from_millis(cfg.recovery.ckpt_min_interval_ms);
                     if due {
@@ -1214,7 +1723,10 @@ fn coordinate(
                 } => {
                     // Advisory, like telemetry: a malformed or stale
                     // report is dropped, never fatal.
-                    if balancer.is_some() && gvt.is_finite() && (lp as usize) < loads.len() {
+                    if (balancer.is_some() || elastic.is_some())
+                        && gvt.is_finite()
+                        && (lp as usize) < loads.len()
+                    {
                         if load_gvt != Some(gvt) {
                             if load_gvt.is_some_and(|g| gvt < g) {
                                 continue; // straggling report from an old round
@@ -1230,12 +1742,26 @@ fn coordinate(
                         });
                         if loads.iter().all(Option::is_some) {
                             let bucket: Vec<LpLoad> = loads.iter().map(|l| l.unwrap()).collect();
-                            let proposal =
+                            // Both controllers observe every complete
+                            // round (their filters must track the live
+                            // load), but at most one transition is in
+                            // flight; migration wins a tie.
+                            let can_add =
+                                cfg.elastic.spawn || admission.is_some_and(|a| a.joiners_waiting());
+                            let bal_prop =
                                 balancer.as_mut().and_then(|b| b.observe(assign, &bucket));
-                            if let Some(plan) = proposal {
-                                if planned.is_none() {
-                                    planned = Some(PlannedRebalance {
-                                        plan,
+                            let ela_prop = elastic
+                                .as_mut()
+                                .and_then(|e| e.observe(assign, &bucket, can_add));
+                            if planned.is_none() && draining.is_none() {
+                                if let Some(plan) = bal_prop {
+                                    planned = Some(PlannedTransition {
+                                        t: Transition::Rebalance(plan),
+                                        barrier_fired: false,
+                                    });
+                                } else if let Some(plan) = ela_prop {
+                                    planned = Some(PlannedTransition {
+                                        t: Transition::Scale(plan),
                                         barrier_fired: false,
                                     });
                                 }
@@ -1292,6 +1818,15 @@ fn coordinate(
                     }
                     let _ = gvt;
                 }
+                Frame::DrainAck { .. } => {
+                    // The scale-in retiree confirms it aborted its LPs
+                    // and is about to close cleanly and exit; the
+                    // session is over on purpose. A stray ack outside a
+                    // drain window is stale traffic, ignored.
+                    if let Some(plan) = draining.take() {
+                        return Ok(SessionEnd::Scale { plan });
+                    }
+                }
                 other => {
                     return Err(DistError::Protocol(format!(
                         "coordinator received unexpected {other:?} from proc {from}"
@@ -1303,7 +1838,24 @@ fn coordinate(
                 clean,
                 detail,
             }) => {
-                if clean && reports[peer as usize - 1].is_some() {
+                if let Some(plan) = draining.as_ref() {
+                    if peer == plan.from_workers {
+                        if clean {
+                            // The retiree closed cleanly before its ack
+                            // was read (the frames can race); a clean
+                            // close past the barrier means it drained.
+                            return Ok(SessionEnd::Scale {
+                                plan: draining.take().unwrap(),
+                            });
+                        }
+                        return Ok(SessionEnd::Lost {
+                            peer,
+                            detail: format!("crashed while draining for retirement: {detail}"),
+                        });
+                    }
+                    // Survivors abort on `Rebalance` while the retiree
+                    // drains; their going down here is the plan working.
+                } else if clean && reports[peer as usize - 1].is_some() {
                     closed[peer as usize - 1] = true;
                 } else {
                     return Ok(SessionEnd::Lost {
@@ -1334,10 +1886,16 @@ fn regroup(
     for (i, w) in workers.iter_mut().enumerate() {
         let proc_id = i as u32 + 1;
         loop {
-            if let Ok(Some(_status)) = w.child.try_wait() {
+            let reaped = match &mut w.ctl {
+                Ctl::Child(c) => matches!(c.try_wait(), Ok(Some(_))),
+                // A remote's death shows up as its line stream closing,
+                // handled below; there is no status to reap.
+                Ctl::Remote(_) => false,
+            };
+            if reaped {
                 let mut respawned = WorkerProc::spawn(&cfg.worker_bin)?;
                 if announce {
-                    eprintln!("WORKER_PID {} {}", proc_id, respawned.child.id());
+                    eprintln!("WORKER_PID {} {}", proc_id, respawned.pid());
                 }
                 std::mem::swap(w, &mut respawned);
                 break;
@@ -1352,6 +1910,14 @@ fn regroup(
                 }
                 Ok(Err(detail)) => {
                     return Err(DistError::Worker { proc_id, detail });
+                }
+                Err(mpsc::TryRecvError::Disconnected) if w.is_remote() => {
+                    // A joined worker is gone for good once its control
+                    // socket closes — there is no binary to respawn.
+                    return Err(DistError::Worker {
+                        proc_id,
+                        detail: "joined worker closed its control socket during recovery".into(),
+                    });
                 }
                 Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => {}
             }
@@ -1371,6 +1937,7 @@ fn merge_reports(
     wall: f64,
     recoveries: u64,
     migrations: Vec<MigrationRecord>,
+    scales: Vec<ScaleRecord>,
     telemetry: Option<TelemetryReport>,
     mut resume: ResumeStats,
 ) -> RunReport {
@@ -1407,6 +1974,7 @@ fn merge_reports(
         per_lp,
         recoveries,
         migrations,
+        scales,
         telemetry,
         resume,
     }
@@ -1436,8 +2004,7 @@ fn remaining_ms(deadline: Instant) -> u64 {
 
 fn kill_all(children: &mut [WorkerProc]) {
     for w in children.iter_mut() {
-        let _ = w.child.kill();
-        let _ = w.child.wait();
+        w.kill();
     }
 }
 
@@ -1450,21 +2017,47 @@ fn kill_all(children: &mut [WorkerProc]) {
 /// models a genuinely slow machine — moving LPs off it really does
 /// raise cluster throughput. Checkpoint replay during a restore is not
 /// throttled (the port's `throttle` hook only fires in the batch loop).
+///
+/// An optional **event budget** makes the handicap transient: only the
+/// first `n` paced events sleep, then the worker runs at full speed.
+/// The counter lives in the worker's session loop, not the session, so
+/// a recovery or an elastic scale never re-arms a spent handicap —
+/// exactly what a scale-out-then-back-in experiment needs.
 struct EventThrottle {
     gap: Duration,
     next: Mutex<Instant>,
+    /// Remaining paced events (`None` = unlimited).
+    budget: Option<AtomicU64>,
 }
 
 impl EventThrottle {
-    fn new(gap_us: u64) -> Self {
+    fn new(gap_us: u64, budget_events: u64) -> Self {
         EventThrottle {
             gap: Duration::from_micros(gap_us),
             next: Mutex::new(Instant::now()),
+            budget: (budget_events > 0).then(|| AtomicU64::new(budget_events)),
         }
     }
 
     /// Claim the next execution slot, sleeping outside the lock.
     fn pace(&self) {
+        if let Some(budget) = &self.budget {
+            let mut cur = budget.load(Ordering::Relaxed);
+            loop {
+                if cur == 0 {
+                    return; // handicap spent: full speed from here on
+                }
+                match budget.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
         let wake = {
             let mut next = self.next.lock().unwrap();
             let at = (*next).max(Instant::now());
@@ -1572,6 +2165,32 @@ impl LpPort for WorkerPort {
     }
 }
 
+/// The worker's control channel back to the coordinator: stdout for a
+/// spawned child, the admission socket for a `--join` worker. The line
+/// protocol on top (`LISTEN <addr>` announcements) is identical.
+pub enum ControlOut {
+    /// Spawned child: announce on stdout.
+    Stdout,
+    /// Joined remote: announce on the admission stream.
+    Stream(TcpStream),
+}
+
+impl ControlOut {
+    /// Send `LISTEN <addr>`; false when the channel is broken — nobody
+    /// is listening, the worker is already orphaned.
+    fn announce(&mut self, addr: &str) -> bool {
+        match self {
+            ControlOut::Stdout => {
+                let mut out = io::stdout();
+                writeln!(out, "LISTEN {addr}")
+                    .and_then(|_| out.flush())
+                    .is_ok()
+            }
+            ControlOut::Stream(s) => writeln!(s, "LISTEN {addr}").and_then(|_| s.flush()).is_ok(),
+        }
+    }
+}
+
 /// Entry point for a worker binary: speak the bootstrap protocol on
 /// stdio, then run this process's share of the simulation — across as
 /// many sessions as the coordinator asks for.
@@ -1582,20 +2201,57 @@ impl LpPort for WorkerPort {
 pub fn worker_main(
     build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
 ) -> Result<(), String> {
-    let stdin_rx = spawn_stdin_reader();
+    let ctl_rx = spawn_control_reader(io::stdin());
+    worker_boot(build, ctl_rx, ControlOut::Stdout)
+}
+
+/// Entry point for a worker binary dialing *into* a running elastic
+/// coordinator (the `--join ADDR` path): connect to the admission
+/// listener, present a [`Frame::Join`] handshake, then speak exactly
+/// the spawned-worker bootstrap protocol over the same socket. The
+/// worker idles in the coordinator's admission queue until a scale-out
+/// adopts it; if the coordinator exits first, the socket closes and the
+/// worker exits on its own like any orphan.
+pub fn join_main(
+    coordinator: &str,
+    build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+) -> Result<(), String> {
+    let mut stream = TcpStream::connect(coordinator)
+        .map_err(|e| format!("dialing admission listener {coordinator}: {e}"))?;
+    let hello = Frame::Join {
+        version: warp_net::frame::PROTO_VERSION,
+    };
+    stream
+        .write_all(&hello.encode())
+        .and_then(|_| stream.flush())
+        .map_err(|e| format!("join handshake: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cloning admission stream: {e}"))?;
+    let ctl_rx = spawn_control_reader(read_half);
+    worker_boot(build, ctl_rx, ControlOut::Stream(stream))
+}
+
+/// Shared bootstrap past the control channel: bind, announce, read the
+/// [`WorkerInit`], build the model, run sessions.
+fn worker_boot(
+    build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+    ctl_rx: Receiver<String>,
+    mut ctl_out: ControlOut,
+) -> Result<(), String> {
     let listener = bind_loopback().map_err(|e| format!("bind: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    if !announce_listen(&addr.to_string()) {
-        // Nobody is reading our stdout: we are already orphaned.
+    if !ctl_out.announce(&addr.to_string()) {
+        // Nobody is reading our control channel: already orphaned.
         std::process::exit(3);
     }
 
-    let line = match stdin_rx.recv() {
+    let line = match ctl_rx.recv() {
         Ok(line) => line,
         Err(_) => {
-            eprintln!("warp-worker: coordinator closed stdin before init; exiting");
+            eprintln!("warp-worker: coordinator closed the control channel before init; exiting");
             std::process::exit(3);
         }
     };
@@ -1609,17 +2265,16 @@ pub fn worker_main(
             init.n_lps
         ));
     }
-    run_worker(&init, spec, listener, stdin_rx)
+    run_worker(&init, spec, listener, ctl_rx, &mut ctl_out)
 }
 
-/// Read stdin line by line on a dedicated thread. The channel closing
-/// means EOF: the coordinator is gone, and a worker without a
-/// coordinator must not linger.
-fn spawn_stdin_reader() -> Receiver<String> {
+/// Read control lines on a dedicated thread. The channel closing means
+/// EOF: the coordinator is gone, and a worker without a coordinator
+/// must not linger.
+fn spawn_control_reader<R: Read + Send + 'static>(src: R) -> Receiver<String> {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let stdin = io::stdin();
-        let mut lines = stdin.lock().lines();
+        let mut lines = BufReader::new(src).lines();
         while let Some(Ok(line)) = lines.next() {
             if tx.send(line).is_err() {
                 break;
@@ -1627,14 +2282,6 @@ fn spawn_stdin_reader() -> Receiver<String> {
         }
     });
     rx
-}
-
-/// Print `LISTEN <addr>`; false when stdout is a broken pipe (orphaned).
-fn announce_listen(addr: &str) -> bool {
-    let mut out = io::stdout();
-    writeln!(out, "LISTEN {addr}")
-        .and_then(|_| out.flush())
-        .is_ok()
 }
 
 /// How a worker session ended.
@@ -1646,6 +2293,10 @@ enum WorkerSessionEnd {
     /// The coordinator announced a migration; LP state is discarded,
     /// awaiting the new session's assignment and `Resume`.
     Rebalance,
+    /// The coordinator retired this worker in a scale-in: its LPs are
+    /// drained to the survivors via the checkpoint chains, `DrainAck`
+    /// is sent, and the process exits 0.
+    Retire,
 }
 
 /// The worker's life after bootstrap: run mesh sessions until one
@@ -1658,12 +2309,16 @@ pub fn run_worker(
     init: &WorkerInit,
     spec: SimulationSpec,
     listener: std::net::TcpListener,
-    stdin_rx: Receiver<String>,
+    ctl_rx: Receiver<String>,
+    ctl_out: &mut ControlOut,
 ) -> Result<(), String> {
+    // Mesh size is per *session* now, not per run: elastic scales grow
+    // and shrink it via [`SessionLine::n_procs`].
+    let mut n_procs = init.n_procs;
     let mut assign = if init.assignment.is_empty() {
-        Assignment::contiguous(init.n_lps, init.n_procs - 1)
+        Assignment::contiguous(init.n_lps, n_procs - 1)
     } else {
-        Assignment::from_owners(init.assignment.clone(), init.n_procs - 1)
+        Assignment::from_owners(init.assignment.clone(), n_procs - 1)
     }
     .map_err(|e| format!("assignment: {e}"))?;
     if assign.n_lps() != init.n_lps {
@@ -1677,6 +2332,10 @@ pub fn run_worker(
     let mut peers = init.peers.clone();
     let mut connect_ms = init.connect_ms;
     let mut listener = Some(listener);
+    // One throttle for the process's whole life: its event budget must
+    // not re-arm when a recovery or scale starts a new session.
+    let throttle = (init.handicap_us > 0)
+        .then(|| Arc::new(EventThrottle::new(init.handicap_us, init.handicap_events)));
     // Runtimes handed back by aborted sessions, keyed by LP: a survivor
     // re-seeds these by in-place rollback to the resume horizon instead
     // of rebuilding from committed logs. Only the immediately preceding
@@ -1690,14 +2349,23 @@ pub fn run_worker(
             init,
             &spec,
             &assign,
+            n_procs,
             session,
             &peers,
             connect_ms,
             lst,
             &mut retained,
             &mut resume_stats,
+            throttle.clone(),
         )? {
             WorkerSessionEnd::Finished => return Ok(()),
+            WorkerSessionEnd::Retire => {
+                eprintln!(
+                    "warp-worker (proc {}): retired by scale-in at session {session}; exiting",
+                    init.proc_id
+                );
+                return Ok(());
+            }
             WorkerSessionEnd::PeerLost(detail) => {
                 if !init.recovery {
                     eprintln!(
@@ -1716,9 +2384,9 @@ pub fn run_worker(
         );
         let lst = bind_loopback().map_err(|e| format!("re-bind: {e}"))?;
         let addr = lst.local_addr().map_err(|e| format!("local_addr: {e}"))?;
-        if !announce_listen(&addr.to_string()) {
+        if !ctl_out.announce(&addr.to_string()) {
             eprintln!(
-                "warp-worker (proc {}): orphaned (stdout closed); exiting",
+                "warp-worker (proc {}): orphaned (control channel closed); exiting",
                 init.proc_id
             );
             std::process::exit(3);
@@ -1728,22 +2396,25 @@ pub fn run_worker(
         // again — bound the wait and die rather than linger.
         let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
             .max(Duration::from_secs(30));
-        match stdin_rx.recv_timeout(wait) {
+        match ctl_rx.recv_timeout(wait) {
             Ok(line) => {
                 let sl: SessionLine = serde_json::from_str(&line)
                     .map_err(|e| format!("parsing session line: {e}"))?;
                 session = sl.session;
                 peers = sl.peers;
                 connect_ms = sl.connect_ms;
+                if sl.n_procs != 0 {
+                    n_procs = sl.n_procs;
+                }
                 if !sl.assignment.is_empty() {
-                    assign = Assignment::from_owners(sl.assignment, init.n_procs - 1)
+                    assign = Assignment::from_owners(sl.assignment, n_procs - 1)
                         .map_err(|e| format!("session assignment: {e}"))?;
                 }
                 listener = Some(lst);
             }
             Err(RecvTimeoutError::Disconnected) => {
                 eprintln!(
-                    "warp-worker (proc {}): coordinator closed stdin; exiting",
+                    "warp-worker (proc {}): coordinator closed the control channel; exiting",
                     init.proc_id
                 );
                 std::process::exit(3);
@@ -1768,12 +2439,14 @@ fn run_session_as_worker(
     init: &WorkerInit,
     spec: &SimulationSpec,
     assign: &Assignment,
+    n_procs: u32,
     session: u32,
     peers: &[(u32, String)],
     connect_ms: u64,
     listener: std::net::TcpListener,
     retained: &mut HashMap<u32, Box<warp_core::LpRuntime>>,
     resume_stats: &mut ResumeStats,
+    throttle: Option<Arc<EventThrottle>>,
 ) -> Result<WorkerSessionEnd, String> {
     let my_lps: Vec<u32> = assign.lps_of(init.proc_id);
     let peer_addrs: Vec<(u32, SocketAddr)> = peers
@@ -1799,7 +2472,7 @@ fn run_session_as_worker(
         ),
         faults: init.fault.clone(),
         max_frame_bytes: init.net.frame_cap(),
-        ..TcpMeshConfig::new(init.proc_id, init.n_procs)
+        ..TcpMeshConfig::new(init.proc_id, n_procs)
     };
     let mesh = TcpMesh::establish(mesh_cfg, listener, &peer_addrs)
         .map_err(|e| format!("mesh establishment: {e}"))?;
@@ -1809,6 +2482,19 @@ fn run_session_as_worker(
     // can be exercised end-to-end with the real binary.
     if std::env::var_os("WARP_WORKER_TEST_CRASH").is_some() {
         std::process::exit(9);
+    }
+    // Test hook for the elastic eviction path: a *newly admitted*
+    // worker (fresh spawn into a non-zero session) whose proc id
+    // matches the value dies right after joining its first mesh — mid
+    // scale-out, before it is seeded. Value-keyed so that respawned
+    // survivors in the same test run never match.
+    if let Some(v) = std::env::var_os("WARP_JOIN_TEST_CRASH") {
+        if session == init.session
+            && init.session > 0
+            && v.to_string_lossy() == init.proc_id.to_string()
+        {
+            std::process::exit(9);
+        }
     }
 
     // Session > 0: wait for the coordinator's resume stream (other
@@ -1943,7 +2629,6 @@ fn run_session_as_worker(
     let locals = Arc::new(locals);
     let mesh_tx = mesh.sender();
     let assign_arc = Arc::new(assign.clone());
-    let throttle = (init.handicap_us > 0).then(|| Arc::new(EventThrottle::new(init.handicap_us)));
 
     let handles: Vec<_> = seeds
         .into_iter()
@@ -1994,6 +2679,15 @@ fn run_session_as_worker(
             stash_retained(retained, outcomes);
             Ok(WorkerSessionEnd::Rebalance)
         }
+        RouteEnd::Retire { mesh, gvt } => {
+            // Everything this worker owns below the barrier horizon is
+            // already in the coordinator's chains; speculation above it
+            // is discarded like any aborted session. Confirm the drain,
+            // flush it with a clean close, and let the caller exit 0.
+            mesh.send(0, Frame::DrainAck { gvt });
+            mesh.shutdown();
+            Ok(WorkerSessionEnd::Retire)
+        }
         RouteEnd::Stopped(mesh) => {
             if outcomes.iter().any(|o| o.aborted) {
                 // The abort raced GVT = ∞; treat the session as lost.
@@ -2042,6 +2736,14 @@ enum RouteEnd {
     /// The coordinator announced a migration; every local LP got
     /// `Packet::Abort` and the session ends on purpose.
     Rebalance(TcpMesh),
+    /// The coordinator retired this worker; every local LP got
+    /// `Packet::Abort` and the caller must `DrainAck` and exit cleanly.
+    Retire {
+        /// The mesh, for the drain acknowledgement and clean close.
+        mesh: TcpMesh,
+        /// The barrier horizon announced in the `Retire` frame.
+        gvt: VirtualTime,
+    },
 }
 
 /// Dispatch inbound mesh traffic to local LP channels until told to
@@ -2108,6 +2810,10 @@ fn route_inbound(
             fan_local(&|| Packet::Abort);
             return RouteEnd::Rebalance(mesh);
         }
+        if let Frame::Retire { gvt } = frame {
+            fan_local(&|| Packet::Abort);
+            return RouteEnd::Retire { mesh, gvt };
+        }
         if let Err(detail) = handle(frame, from, &mut ckpt_from) {
             eprintln!(
                 "warp-worker (proc {}): protocol violation: {detail}",
@@ -2128,6 +2834,12 @@ fn route_inbound(
                     // as on a peer loss, but report it as a migration.
                     fan_local(&|| Packet::Abort);
                     return RouteEnd::Rebalance(mesh);
+                }
+                if let Frame::Retire { gvt } = frame {
+                    // A planned *final* session end for this process:
+                    // abort the LP threads, then drain and exit.
+                    fan_local(&|| Packet::Abort);
+                    return RouteEnd::Retire { mesh, gvt };
                 }
                 if let Err(detail) = handle(frame, from, &mut ckpt_from) {
                     eprintln!(
@@ -2230,6 +2942,7 @@ mod tests {
             assignment: vec![1, 1, 1, 2, 2, 1, 2, 2],
             balance: true,
             handicap_us: 250,
+            handicap_events: 5_000,
             fault: Some(FaultPlan::new().crash(2, 1, 100, 0)),
         };
         let line = serde_json::to_string(&init).unwrap();
@@ -2244,6 +2957,7 @@ mod tests {
         assert_eq!(back.assignment, init.assignment);
         assert!(back.balance);
         assert_eq!(back.handicap_us, 250);
+        assert_eq!(back.handicap_events, 5_000);
         assert!(back.fault.is_some());
     }
 
@@ -2257,6 +2971,7 @@ mod tests {
         assert!(back.assignment.is_empty());
         assert!(!back.balance);
         assert_eq!(back.handicap_us, 0);
+        assert_eq!(back.handicap_events, 0);
     }
 
     #[test]
@@ -2266,16 +2981,75 @@ mod tests {
             peers: vec![(0, "127.0.0.1:9".into())],
             connect_ms: 5_000,
             assignment: vec![2, 1, 1, 2],
+            n_procs: 3,
         };
         let line = serde_json::to_string(&sl).unwrap();
         let back: SessionLine = serde_json::from_str(&line).unwrap();
         assert_eq!(back.session, 3);
         assert_eq!(back.peers, sl.peers);
         assert_eq!(back.assignment, vec![2, 1, 1, 2]);
-        // Legacy line without an assignment defaults to "unchanged".
+        assert_eq!(back.n_procs, 3);
+        // Legacy line without an assignment or mesh size defaults to
+        // "unchanged" for both.
         let legacy = r#"{"session":1,"peers":[[0,"127.0.0.1:9"]],"connect_ms":100}"#;
         let back: SessionLine = serde_json::from_str(legacy).unwrap();
         assert!(back.assignment.is_empty());
+        assert_eq!(back.n_procs, 0);
+    }
+
+    #[test]
+    fn elastic_without_recovery_is_rejected() {
+        let mut cfg = DistConfig::new(
+            2,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            4,
+        );
+        cfg.elastic.enabled = true;
+        cfg.elastic.max_workers = 3;
+        cfg.recovery.enabled = false;
+        match run_coordinator(&cfg) {
+            Err(DistError::InvalidConfig(m)) => assert!(m.contains("recovery"), "{m}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_bounds_must_bracket_the_initial_worker_count() {
+        let mut cfg = DistConfig::new(
+            1,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            4,
+        );
+        cfg.elastic.enabled = true;
+        cfg.elastic.min_workers = 2;
+        cfg.elastic.max_workers = 3;
+        match run_coordinator(&cfg) {
+            Err(DistError::InvalidConfig(m)) => assert!(m.contains("elastic bounds"), "{m}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_widens_the_legal_handicap_range() {
+        // Proc 3 does not exist at start, but the cluster may grow to
+        // hold it — a handicap naming it must pass validation (and the
+        // run then fails on the missing binary, not the handicap).
+        let mut cfg = DistConfig::new(
+            2,
+            PathBuf::from("/nonexistent/warp-worker"),
+            serde_json::json!(null),
+            6,
+        );
+        cfg.elastic.enabled = true;
+        cfg.elastic.max_workers = 3;
+        cfg.handicaps.push((3, 500));
+        cfg.handicap_events.push((3, 1000));
+        match run_coordinator(&cfg) {
+            Err(DistError::Io(_)) => {}
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
     }
 
     #[test]

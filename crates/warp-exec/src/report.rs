@@ -77,6 +77,28 @@ pub struct MigrationRecord {
     pub moves: Vec<MigrationMove>,
 }
 
+/// One elastic membership change performed by the distributed
+/// executive's elastic controller (or its recovery fallback).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScaleRecord {
+    /// GVT at which the scale barrier committed (`None` if the horizon
+    /// was still at virtual time zero).
+    pub gvt: Option<u64>,
+    /// `"out"` (worker added), `"in"` (worker retired), or
+    /// `"fallback"` (a scale-out undone because the newcomer died
+    /// before proving itself; charged to the recovery budget).
+    pub direction: String,
+    /// Worker count before the change.
+    pub from_workers: u32,
+    /// Worker count after the change.
+    pub to_workers: u32,
+    /// The pressure index that triggered the scale (`-1` for a
+    /// fallback).
+    pub pressure: f64,
+    /// The LPs that changed owner across the membership change.
+    pub moves: Vec<MigrationMove>,
+}
+
 /// Resume and durable-store accounting for distributed runs. All zero
 /// for the in-process executives and for fault-free distributed runs.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,6 +172,11 @@ pub struct RunReport {
     /// everywhere else, and when balancing was off or never triggered).
     #[serde(default)]
     pub migrations: Vec<MigrationRecord>,
+    /// Elastic membership changes the distributed executive performed
+    /// (empty everywhere else, and when elasticity was off or never
+    /// triggered).
+    #[serde(default)]
+    pub scales: Vec<ScaleRecord>,
     /// The merged observation record — metric series and the control
     /// trajectory (`None` unless the spec enabled telemetry).
     #[serde(default)]
@@ -232,8 +259,24 @@ impl RunReport {
                 .collect();
             format!("{} ({})", self.migrations.len(), detail.join("; "))
         };
+        let scales = if self.scales.is_empty() {
+            "none".into()
+        } else {
+            let detail: Vec<String> = self
+                .scales
+                .iter()
+                .map(|s| {
+                    let gvt = s.gvt.map(|g| g.to_string()).unwrap_or_else(|| "-".into());
+                    format!(
+                        "gvt {gvt}: {} {}→{} workers",
+                        s.direction, s.from_workers, s.to_workers
+                    )
+                })
+                .collect();
+            format!("{} ({})", self.scales.len(), detail.join("; "))
+        };
         format!(
-            "adaptation: final chi {chi}, modes {census}, mean DyMA window {window}, migrations {migrations}"
+            "adaptation: final chi {chi}, modes {census}, mean DyMA window {window}, migrations {migrations}, scales {scales}"
         )
     }
 
@@ -278,6 +321,7 @@ mod tests {
             timeline: Vec::new(),
             recoveries: 0,
             migrations: Vec::new(),
+            scales: Vec::new(),
             telemetry: None,
             resume: ResumeStats::default(),
             per_lp: vec![LpSummary {
@@ -331,6 +375,43 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.migrations.len(), 1);
         assert_eq!(back.migrations[0].moves[0].lp, 3);
+    }
+
+    #[test]
+    fn scales_show_up_in_the_adaptation_summary_and_default_for_legacy_reports() {
+        let mut r = report();
+        assert!(
+            r.adaptation_summary().contains("scales none"),
+            "{}",
+            r.adaptation_summary()
+        );
+        r.scales.push(ScaleRecord {
+            gvt: Some(96),
+            direction: "out".into(),
+            from_workers: 2,
+            to_workers: 3,
+            pressure: 0.7,
+            moves: vec![MigrationMove {
+                lp: 5,
+                from: 1,
+                to: 3,
+            }],
+        });
+        let adapt = r.adaptation_summary();
+        assert!(adapt.contains("scales 1"), "{adapt}");
+        assert!(adapt.contains("gvt 96: out 2→3 workers"), "{adapt}");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scales.len(), 1);
+        assert_eq!(back.scales[0].to_workers, 3);
+
+        // A report written before elasticity existed has no `scales`
+        // key; it must parse with an empty list.
+        let cut = json.find(",\"scales\"").expect("scales serialized");
+        let end = json[cut + 1..].find(",\"telemetry\"").unwrap() + cut + 1;
+        let legacy = format!("{}{}", &json[..cut], &json[end..]);
+        let old: RunReport = serde_json::from_str(&legacy).unwrap();
+        assert!(old.scales.is_empty());
     }
 
     #[test]

@@ -206,6 +206,7 @@ pub fn run_sequential(spec: &SimulationSpec) -> RunReport {
         per_lp,
         recoveries: 0,
         migrations: Vec::new(),
+        scales: Vec::new(),
         telemetry: None,
         resume: Default::default(),
     }

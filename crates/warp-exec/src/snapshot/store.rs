@@ -126,6 +126,25 @@ impl SegmentStore {
         self.files[(worker - 1) as usize] = OpenOptions::new().append(true).open(&path)?;
         Ok(())
     }
+
+    /// Grow or shrink the store to `n_workers` segments across an
+    /// elastic membership change: new workers get fresh (empty)
+    /// segments, a retired worker's segment file is deleted. The caller
+    /// rewrites the surviving segments afterwards with the re-keyed
+    /// chains.
+    pub(crate) fn resize(&mut self, n_workers: u32) -> Result<(), SnapshotError> {
+        while (self.files.len() as u32) < n_workers {
+            let w = self.files.len() as u32 + 1;
+            self.files
+                .push(fresh_segment(&segment_path(&self.dir, w), w)?);
+        }
+        while (self.files.len() as u32) > n_workers {
+            let w = self.files.len() as u32;
+            self.files.pop();
+            fs::remove_file(segment_path(&self.dir, w))?;
+        }
+        Ok(())
+    }
 }
 
 fn fresh_segment(path: &Path, worker: u32) -> Result<File, SnapshotError> {
@@ -301,6 +320,25 @@ mod tests {
             load_segment(&path),
             Err(SnapshotError::Truncated { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resize_grows_with_fresh_segments_and_shrinks_by_deleting() {
+        let dir = scratch("resize");
+        let mut store = SegmentStore::create(&dir, 2).unwrap();
+        store.append(1, b"one").unwrap();
+        store.append(2, b"two").unwrap();
+        // Scale out: worker 3 gets a fresh, empty segment.
+        store.resize(3).unwrap();
+        store.append(3, b"three").unwrap();
+        let (w, chain) = load_segment(&segment_path(&dir, 3)).unwrap();
+        assert_eq!((w, chain), (3, vec![b"three".to_vec()]));
+        // Scale in: worker 3's segment disappears, survivors keep theirs.
+        store.resize(2).unwrap();
+        assert!(!segment_path(&dir, 3).exists());
+        let (_, chain) = load_segment(&segment_path(&dir, 1)).unwrap();
+        assert_eq!(chain, vec![b"one".to_vec()]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -179,6 +179,7 @@ pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
         per_lp,
         recoveries: 0,
         migrations: Vec::new(),
+        scales: Vec::new(),
         telemetry,
         resume: Default::default(),
     }

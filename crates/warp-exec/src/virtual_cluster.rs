@@ -566,6 +566,7 @@ pub fn run_virtual_inspect(
         per_lp,
         recoveries: 0,
         migrations: Vec::new(),
+        scales: Vec::new(),
         telemetry: crate::threaded::merge_telemetry(
             recorders.into_iter().map(warp_telemetry::Recorder::finish),
         ),

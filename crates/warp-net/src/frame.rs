@@ -33,6 +33,12 @@
 //! * `Rebalance` — coordinator announcement that the session ends at a
 //!   checkpoint barrier so the cluster can regroup under a new LP
 //!   assignment.
+//! * `Join` / `Retire` / `DrainAck` — the elastic membership plane
+//!   (v6). `Join` is the one frame a `--join` worker sends on its
+//!   admission connection before switching to the coordinator's line
+//!   protocol; `Retire` tells a drained worker its LPs have been
+//!   checkpointed and re-homed so it can leave; `DrainAck` is the
+//!   retiree's confirmation, after which it exits cleanly.
 //! * `Bye` — graceful shutdown: the peer finished sending and will close
 //!   after draining. A connection that dies *without* `Bye` is a crash.
 //! * `Progress` / `SnapshotReq` / `Snapshot` / `SnapshotAck` / `Resume` —
@@ -66,7 +72,8 @@ use warp_core::{LpId, VirtualTime};
 /// the checkpoint/recovery frames. v3: the `Telemetry` streaming frame.
 /// v4: the load-balance plane (`LoadReport`, `Rebalance`). v5: the
 /// chunked `ResumeChunk` stream replacing monolithic `Resume` payloads.
-pub const PROTO_VERSION: u16 = 5;
+/// v6: the elastic membership plane (`Join`, `Retire`, `DrainAck`).
+pub const PROTO_VERSION: u16 = 6;
 
 /// Default upper bound on a frame body. Protects the decoder from
 /// allocating gigabytes off a corrupt or malicious length prefix.
@@ -212,6 +219,31 @@ pub enum Frame {
         /// The checkpoint horizon the new session will resume from.
         gvt: VirtualTime,
     },
+    /// Joiner → coordinator: first (and only) frame on an admission
+    /// connection (v6). A fresh `warp-worker --join ADDR` process dials
+    /// the coordinator's admission endpoint, sends `Join`, and then
+    /// speaks the coordinator's newline control protocol over the same
+    /// stream until it is admitted into a session's successor. A
+    /// version mismatch drops the connection before any control
+    /// traffic.
+    Join {
+        /// Joiner's [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// Coordinator → retiree at the scale-in checkpoint barrier (v6):
+    /// everything this worker owns is persisted below `gvt` and
+    /// re-homed on the survivors; abort local LP threads, acknowledge
+    /// with [`Frame::DrainAck`], and exit cleanly.
+    Retire {
+        /// The checkpoint horizon the shrunk cluster resumes from.
+        gvt: VirtualTime,
+    },
+    /// Retiree → coordinator (v6): the drain is complete; this is the
+    /// retiree's last frame before a graceful shutdown.
+    DrainAck {
+        /// Echo of the drain horizon.
+        gvt: VirtualTime,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -230,6 +262,9 @@ const TAG_TELEMETRY: u8 = 13;
 const TAG_LOAD_REPORT: u8 = 14;
 const TAG_REBALANCE: u8 = 15;
 const TAG_RESUME_CHUNK: u8 = 16;
+const TAG_JOIN: u8 = 17;
+const TAG_RETIRE: u8 = 18;
+const TAG_DRAIN_ACK: u8 = 19;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -364,6 +399,17 @@ impl Frame {
                 w.u8(TAG_REBALANCE);
                 write_vt(&mut w, *gvt);
             }
+            Frame::Join { version } => {
+                w.u8(TAG_JOIN).u16(*version);
+            }
+            Frame::Retire { gvt } => {
+                w.u8(TAG_RETIRE);
+                write_vt(&mut w, *gvt);
+            }
+            Frame::DrainAck { gvt } => {
+                w.u8(TAG_DRAIN_ACK);
+                write_vt(&mut w, *gvt);
+            }
         }
         let body = w.finish();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -479,6 +525,15 @@ impl Frame {
                 lvt_lead: r.u64().map_err(mal)?,
             },
             TAG_REBALANCE => Frame::Rebalance {
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_JOIN => Frame::Join {
+                version: r.u16().map_err(mal)?,
+            },
+            TAG_RETIRE => Frame::Retire {
+                gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_DRAIN_ACK => Frame::DrainAck {
                 gvt: read_vt(&mut r).map_err(mal)?,
             },
             other => return Err(FrameError::BadTag(other)),
@@ -672,6 +727,15 @@ mod tests {
                 lvt_lead: 33,
             },
             Frame::Rebalance {
+                gvt: VirtualTime::new(17),
+            },
+            Frame::Join {
+                version: PROTO_VERSION,
+            },
+            Frame::Retire {
+                gvt: VirtualTime::new(17),
+            },
+            Frame::DrainAck {
                 gvt: VirtualTime::new(17),
             },
         ]

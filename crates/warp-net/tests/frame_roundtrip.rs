@@ -156,6 +156,13 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         any::<u64>().prop_map(|gvt| Frame::Rebalance {
             gvt: VirtualTime::from_ticks(gvt),
         }),
+        any::<u16>().prop_map(|version| Frame::Join { version }),
+        any::<u64>().prop_map(|gvt| Frame::Retire {
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
+        any::<u64>().prop_map(|gvt| Frame::DrainAck {
+            gvt: VirtualTime::from_ticks(gvt),
+        }),
     ]
     .boxed()
 }

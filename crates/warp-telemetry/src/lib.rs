@@ -81,6 +81,11 @@ pub enum Param {
     /// and destination worker ids; `sampled_o` is the imbalance index
     /// that triggered the move). Recorded by the coordinator.
     Assignment,
+    /// Cluster worker count: the elastic controller grew or shrank the
+    /// worker set (`old`/`new` are worker counts; `lp`/`object` are 0;
+    /// `sampled_o` is the pressure index that triggered the scale, `-1`
+    /// for a recovery fallback). Recorded by the coordinator.
+    ClusterSize,
 }
 
 /// One controller decision: the paper's `(O, I)` pair caught in the act,
@@ -511,13 +516,14 @@ impl TelemetryReport {
             .unwrap_or_else(|| "-".into());
         format!(
             "telemetry: {} samples, {} events ({} χ moves, {} mode flips, {} window moves, \
-             {} migrations), max finite gvt {}, mean DyMA window {}, dropped {}/{}",
+             {} migrations, {} scales), max finite gvt {}, mean DyMA window {}, dropped {}/{}",
             self.samples.len(),
             self.events.len(),
             self.moves_of(Param::Chi),
             self.moves_of(Param::Cancellation),
             self.moves_of(Param::Window),
             self.moves_of(Param::Assignment),
+            self.moves_of(Param::ClusterSize),
             max_gvt,
             window,
             self.dropped_samples,

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]
-//!              [--balance] [--slow PROC:MICROS] [--store-dir DIR]
+//!              [--balance] [--slow PROC:MICROS[:EVENTS]] [--store-dir DIR]
+//!              [--elastic] [--min-workers N] [--max-workers N] [--admit-file PATH]
 //!              [--max-frame-bytes N] [--resume-chunk-bytes N]
 //! warp-cluster stats TELEMETRY.jsonl
 //! ```
@@ -18,9 +19,17 @@
 //! telemetry schema — and prints its summary.
 //!
 //! `--balance` arms the on-line load balancer (LP migration; implies
-//! recovery). `--slow PROC:MICROS` artificially caps worker `PROC` at
-//! one executed event per `MICROS` microseconds — a reproducible
-//! "slow machine" for balance experiments (repeatable).
+//! recovery). `--slow PROC:MICROS[:EVENTS]` artificially caps worker
+//! `PROC` at one executed event per `MICROS` microseconds — a
+//! reproducible "slow machine" for balance experiments. The optional
+//! `:EVENTS` suffix makes the slowdown transient: it lapses after that
+//! many events, so elastic experiments can watch a skew subside.
+//!
+//! `--elastic` arms elastic membership (grow/shrink the worker set
+//! mid-run; implies recovery). `--min-workers`/`--max-workers` bound
+//! the cluster size; `--admit-file PATH` publishes the admission
+//! listener's address to `PATH` so external `warp-worker --join`
+//! processes can dial in (see `docs/elasticity.md`).
 //!
 //! `--store-dir DIR` spills committed checkpoint delta chains to
 //! per-worker segment files under `DIR` (implies recovery; see
@@ -35,13 +44,15 @@
 use std::io::Read;
 use std::path::PathBuf;
 use std::time::Duration;
+use warp_exec::distributed::run_coordinator;
 use warp_telemetry::TelemetryReport;
-use warped_online::cluster::{run_distributed_job, ClusterJob};
+use warped_online::cluster::{dist_config, ClusterJob};
 
 fn usage() -> ! {
     eprintln!(
         "usage: warp-cluster [JOB.json] [--workers N] [--timeout SECS] [--telemetry OUT.jsonl]\n\
-         \x20                [--balance] [--slow PROC:MICROS] [--store-dir DIR]\n\
+         \x20                [--balance] [--slow PROC:MICROS[:EVENTS]] [--store-dir DIR]\n\
+         \x20                [--elastic] [--min-workers N] [--max-workers N] [--admit-file PATH]\n\
          \x20                [--max-frame-bytes N] [--resume-chunk-bytes N]\n\
          \x20      warp-cluster stats TELEMETRY.jsonl"
     );
@@ -81,7 +92,12 @@ fn run() -> Result<(), String> {
     let mut timeout = Duration::from_secs(300);
     let mut telemetry_out: Option<PathBuf> = None;
     let mut balance = false;
+    let mut elastic = false;
+    let mut min_workers: Option<u32> = None;
+    let mut max_workers: Option<u32> = None;
+    let mut admit_file: Option<PathBuf> = None;
     let mut handicaps: Vec<(u32, u64)> = Vec::new();
+    let mut handicap_events: Vec<(u32, u64)> = Vec::new();
     let mut store_dir: Option<String> = None;
     let mut max_frame_bytes: Option<u64> = None;
     let mut resume_chunk_bytes: Option<u64> = None;
@@ -114,6 +130,24 @@ fn run() -> Result<(), String> {
                 timeout = Duration::from_secs(secs);
             }
             "--balance" => balance = true,
+            "--elastic" => elastic = true,
+            "--min-workers" => {
+                min_workers = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--max-workers" => {
+                max_workers = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--admit-file" => {
+                admit_file = Some(argv.next().map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
             "--store-dir" => {
                 store_dir = Some(argv.next().unwrap_or_else(|| usage()));
             }
@@ -133,13 +167,18 @@ fn run() -> Result<(), String> {
             }
             "--slow" => {
                 let spec = argv.next().unwrap_or_else(|| usage());
-                let (proc_id, gap) = spec.split_once(':').unwrap_or_else(|| usage());
-                let pair = proc_id
-                    .parse()
-                    .ok()
-                    .zip(gap.parse().ok())
-                    .unwrap_or_else(|| usage());
-                handicaps.push(pair);
+                let (proc_id, rest) = spec.split_once(':').unwrap_or_else(|| usage());
+                let proc_id: u32 = proc_id.parse().ok().unwrap_or_else(|| usage());
+                let (gap, events) = match rest.split_once(':') {
+                    Some((gap, events)) => (gap, Some(events)),
+                    None => (rest, None),
+                };
+                let gap: u64 = gap.parse().ok().unwrap_or_else(|| usage());
+                handicaps.push((proc_id, gap));
+                if let Some(events) = events {
+                    let events: u64 = events.parse().ok().unwrap_or_else(|| usage());
+                    handicap_events.push((proc_id, events));
+                }
             }
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
@@ -172,6 +211,16 @@ fn run() -> Result<(), String> {
         job.balance.enabled = true;
         job.recovery.enabled = true;
     }
+    if elastic {
+        job.elastic.enabled = true;
+        job.recovery.enabled = true;
+    }
+    if let Some(n) = min_workers {
+        job.elastic.min_workers = n;
+    }
+    if let Some(n) = max_workers {
+        job.elastic.max_workers = n;
+    }
     if let Some(dir) = store_dir {
         job.recovery.store_dir = Some(dir);
         job.recovery.enabled = true;
@@ -183,11 +232,14 @@ fn run() -> Result<(), String> {
         job.recovery.resume_chunk_bytes = n;
     }
     job.handicaps.extend(handicaps);
+    job.handicap_events.extend(handicap_events);
 
-    let report =
-        run_distributed_job(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
+    let mut cfg =
+        dist_config(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
+    cfg.admit_file = admit_file;
+    let report = run_coordinator(&cfg).map_err(|e| e.to_string())?;
     eprintln!("{}", report.summary_line());
-    if !report.migrations.is_empty() && telemetry_out.is_none() {
+    if (!report.migrations.is_empty() || !report.scales.is_empty()) && telemetry_out.is_none() {
         // With --telemetry the adaptation summary prints below anyway.
         eprintln!("{}", report.adaptation_summary());
     }

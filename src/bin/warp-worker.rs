@@ -1,10 +1,14 @@
 //! Worker process of the distributed executive.
 //!
-//! Spawned by `warp_exec::distributed::run_coordinator`, never by hand:
-//! it announces its listen address on stdout (`LISTEN <addr>`), reads
-//! one line of init JSON on stdin, joins the TCP mesh, runs its block
-//! of LPs, reports, and exits. See `warp_exec::distributed` for the
-//! protocol and `warped_online::cluster` for the model vocabulary.
+//! Spawned by `warp_exec::distributed::run_coordinator`, never by hand
+//! — except with `--join ADDR`, which dials a running coordinator's
+//! admission listener instead of speaking over stdio; the coordinator
+//! adopts the process at its next elastic scale-out (see
+//! `docs/elasticity.md`). Either way the worker announces its listen
+//! address (`LISTEN <addr>`), reads one line of init JSON, joins the
+//! TCP mesh, runs its block of LPs, reports, and exits. See
+//! `warp_exec::distributed` for the protocol and
+//! `warped_online::cluster` for the model vocabulary.
 //!
 //! Exit codes: 0 success, 2 bootstrap/run error (printed to stderr),
 //! 3 orphaned or unrecoverable — the coordinator died (stdin/stdout
@@ -12,7 +16,23 @@
 //! lost with recovery disabled.
 
 fn main() {
-    if let Err(e) = warp_exec::worker_main(&warped_online::cluster::spec_from_model_json) {
+    let mut argv = std::env::args().skip(1);
+    let result = match argv.next().as_deref() {
+        None => warp_exec::worker_main(&warped_online::cluster::spec_from_model_json),
+        Some("--join") => {
+            let addr = argv.next().unwrap_or_else(|| {
+                eprintln!("usage: warp-worker [--join COORDINATOR_ADDR]");
+                std::process::exit(2);
+            });
+            warp_exec::distributed::join_main(&addr, &warped_online::cluster::spec_from_model_json)
+        }
+        Some(other) => {
+            eprintln!("warp-worker: unknown argument {other:?}");
+            eprintln!("usage: warp-worker [--join COORDINATOR_ADDR]");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
         eprintln!("warp-worker: {e}");
         std::process::exit(2);
     }

