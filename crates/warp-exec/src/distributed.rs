@@ -160,16 +160,30 @@
 //!
 //! Orphan hygiene: a worker whose coordinator dies sees either its mesh
 //! link drop or stdin close (the coordinator holds the write end) and
-//! exits non-zero on its own — workers never outlive the coordinator by
-//! more than the liveness timeout plus a bounded wait for recovery
-//! instructions.
+//! — without a rejoin grace — exits non-zero on its own, so workers
+//! never outlive the coordinator by more than the liveness timeout plus
+//! a bounded wait ([`NetTuning::orphan_grace_ms`]) for recovery
+//! instructions. With [`RecoveryPolicy::rejoin_grace_ms`] set the
+//! worker *parks* instead: it freezes its kernel state (retaining the
+//! aborted session's runtimes for in-place rollback), dials the
+//! coordinator's re-admission point with jittered exponential backoff,
+//! and presents a [`Frame::Reattach`] carrying its identity and fossil
+//! horizon. A restarted coordinator ([`resume_coordinator`], the
+//! `--resume` flag of `warp-cluster`) replays the durable run journal
+//! from `store_dir`, re-adopts parked survivors over those sockets, and
+//! continues the run under a bumped session; only when the grace
+//! expires with no successor does the parked worker give up (exit 4,
+//! distinct from the no-grace orphan exit 3).
 
 use crate::report::{
     LpSummary, MigrationMove, MigrationRecord, ResumeStats, RunReport, ScaleRecord,
 };
 use crate::snapshot::{
-    compact_chain, decode_resume, encode_delta, encode_resume, merge_logs, rekey_chains,
-    store::SegmentStore, LpDelta, SnapshotError,
+    compact_chain, decode_resume, encode_delta, encode_resume,
+    journal::{journal_path, load_journal, RunJournal},
+    merge_logs, rekey_chains,
+    store::{load_segment_prefix, segment_path, SegmentStore},
+    LpDelta, SnapshotError,
 };
 use crate::spec::SimulationSpec;
 use crate::threaded::{lp_thread, CkptPart, LpOutcome, LpPort, LpSeed, Packet};
@@ -215,6 +229,13 @@ pub struct NetTuning {
     /// ([`warp_net::frame::MAX_FRAME_BYTES`]).
     #[serde(default)]
     pub max_frame_bytes: u64,
+    /// How long an orphaned worker waits for recovery instructions on
+    /// its control channel before exiting (milliseconds). 0 = the legacy
+    /// derivation `max(liveness_ms * 10, 30s)`. Also the wait between a
+    /// parked worker's successful reattach and the coordinator's
+    /// follow-up `SessionLine`.
+    #[serde(default)]
+    pub orphan_grace_ms: u64,
 }
 
 impl Default for NetTuning {
@@ -225,6 +246,7 @@ impl Default for NetTuning {
             connect_backoff_start_ms: 20,
             connect_backoff_max_ms: 500,
             max_frame_bytes: 0,
+            orphan_grace_ms: 0,
         }
     }
 }
@@ -276,6 +298,15 @@ impl NetTuning {
     fn liveness(&self) -> Duration {
         Duration::from_millis(self.liveness_ms)
     }
+    /// How long an orphaned worker waits for recovery instructions
+    /// before giving up.
+    fn orphan_wait(&self) -> Duration {
+        if self.orphan_grace_ms == 0 {
+            Duration::from_millis(self.liveness_ms * 10).max(Duration::from_secs(30))
+        } else {
+            Duration::from_millis(self.orphan_grace_ms)
+        }
+    }
 }
 
 /// Checkpoint-and-recovery policy for a distributed run.
@@ -315,6 +346,16 @@ pub struct RecoveryPolicy {
     /// a resume is never bounded by [`NetTuning::max_frame_bytes`].
     #[serde(default)]
     pub resume_chunk_bytes: u64,
+    /// How long (milliseconds) a worker that loses its *coordinator*
+    /// survives in a parked state, retaining its LP runtimes and
+    /// re-dialing the admission point with [`Frame::Reattach`], before
+    /// giving up and exiting. 0 disables park-and-rejoin: coordinator
+    /// loss orphans the worker after the plain orphan wait (the
+    /// pre-failover behavior). Requires `store_dir` — a resumed
+    /// coordinator reconciles parked workers against the durable run
+    /// journal.
+    #[serde(default)]
+    pub rejoin_grace_ms: u64,
 }
 
 impl Default for RecoveryPolicy {
@@ -327,6 +368,7 @@ impl Default for RecoveryPolicy {
             store_dir: None,
             compact_after: 0,
             resume_chunk_bytes: 0,
+            rejoin_grace_ms: 0,
         }
     }
 }
@@ -490,6 +532,31 @@ pub struct WorkerInit {
     /// Deterministic fault plan for this process's mesh links.
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Park-and-rejoin instructions: present when the run keeps a
+    /// durable journal and [`RecoveryPolicy::rejoin_grace_ms`] is set.
+    /// `None` = coordinator loss orphans this worker (legacy behavior).
+    #[serde(default)]
+    pub rejoin: Option<RejoinSpec>,
+}
+
+/// Everything a worker needs to survive its coordinator: where to dial
+/// [`Frame::Reattach`] after the control channel dies, and for how long
+/// to keep trying. Shipped inside [`WorkerInit`] when the run journal
+/// and [`RecoveryPolicy::rejoin_grace_ms`] are armed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RejoinSpec {
+    /// Parked-survival budget, milliseconds, measured from the moment
+    /// the worker first loses its coordinator. Always positive.
+    pub grace_ms: u64,
+    /// The admission listener's address at init time. A resumed
+    /// coordinator re-binds the same address, so parked workers dial
+    /// here first.
+    pub admit_addr: String,
+    /// Optional admit-file path, re-read before every dial attempt: if
+    /// the resumed coordinator could not re-bind `admit_addr` it
+    /// publishes its fallback address here.
+    #[serde(default)]
+    pub admit_file: Option<String>,
 }
 
 /// A later line of JSON a *surviving* worker reads on stdin when the
@@ -551,6 +618,10 @@ struct WorkerProc {
     /// A `LISTEN` address consumed early (while sorting survivors from
     /// corpses) and not yet used for a session.
     pending_listen: Option<String>,
+    /// Set when this process dialed in with [`Frame::Reattach`] rather
+    /// than [`Frame::Join`]: `(session, worker_id, retained_horizon)` of
+    /// the parked worker awaiting re-adoption by a resumed coordinator.
+    reattach: Option<(u32, u32, VirtualTime)>,
 }
 
 /// Feed lines from any byte stream into a channel; the channel closing
@@ -591,6 +662,7 @@ impl WorkerProc {
             ctl: Ctl::Child(child),
             fresh: true,
             pending_listen: None,
+            reattach: None,
         })
     }
 
@@ -603,6 +675,7 @@ impl WorkerProc {
             ctl: Ctl::Remote(stream),
             fresh: true,
             pending_listen: None,
+            reattach: None,
         })
     }
 
@@ -716,6 +789,44 @@ impl Admission {
     /// address to `admit_file` when asked.
     fn start(admit_file: Option<&Path>) -> Result<Arc<Admission>, DistError> {
         let listener = bind_loopback()?;
+        Admission::run(listener, admit_file)
+    }
+
+    /// Resume variant: re-bind the *journaled* admission address, so
+    /// parked workers holding the old [`RejoinSpec`] find the restarted
+    /// coordinator without any rendezvous file. The old socket may
+    /// linger in TIME_WAIT briefly, so the bind is retried within
+    /// `budget`. Falls back to an ephemeral port when the address never
+    /// frees up — callers publish the fallback via the admit file, the
+    /// parked workers' second line of discovery.
+    fn resume(
+        addr: &str,
+        budget: Duration,
+        admit_file: Option<&Path>,
+    ) -> Result<Arc<Admission>, DistError> {
+        let until = Instant::now() + budget;
+        let listener = loop {
+            match std::net::TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(_) if Instant::now() < until => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => {
+                    eprintln!(
+                        "coordinator: could not re-bind admission point {addr} ({e}); \
+                         falling back to an ephemeral port"
+                    );
+                    break bind_loopback()?;
+                }
+            }
+        };
+        Admission::run(listener, admit_file)
+    }
+
+    fn run(
+        listener: std::net::TcpListener,
+        admit_file: Option<&Path>,
+    ) -> Result<Arc<Admission>, DistError> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?.to_string();
         if let Some(path) = admit_file {
@@ -745,31 +856,49 @@ impl Admission {
     }
 
     fn joiners_waiting(&self) -> bool {
-        !self.queue.lock().unwrap().is_empty()
+        self.queue
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|w| w.reattach.is_none())
     }
 
+    /// Pop the oldest `Join` dialer. Skips parked `Reattach` dialers —
+    /// those belong to [`Admission::take_reattach`], never to a
+    /// scale-out.
     fn take_joiner(&self) -> Option<WorkerProc> {
         let mut q = self.queue.lock().unwrap();
-        if q.is_empty() {
-            None
-        } else {
-            Some(q.remove(0))
-        }
+        let i = q.iter().position(|w| w.reattach.is_none())?;
+        Some(q.remove(i))
+    }
+
+    /// Pop the parked worker that identified itself as `worker_id` in
+    /// its `Reattach` handshake, if it has dialed in yet.
+    fn take_reattach(&self, worker_id: u32) -> Option<WorkerProc> {
+        let mut q = self.queue.lock().unwrap();
+        let i = q
+            .iter()
+            .position(|w| w.reattach.is_some_and(|(_, id, _)| id == worker_id))?;
+        Some(q.remove(i))
     }
 }
 
-/// Consume exactly one length-prefixed [`Frame::Join`] from a dialing
+/// Consume exactly one length-prefixed handshake frame from a dialing
 /// worker — reading *only* the frame's own bytes, so the line protocol
-/// that follows on the same stream is untouched — and adopt it when the
-/// protocol versions match. Anything else is dropped silently; the
-/// admission listener must shrug off port scanners and stale dialers.
+/// that follows on the same stream is untouched — and adopt it. Two
+/// handshakes are honored: [`Frame::Join`] (an elastic newcomer, when
+/// the protocol versions match) and [`Frame::Reattach`] (a parked
+/// worker re-homing after a coordinator restart — version agreement is
+/// implied by the frame decoding at all, since the tag is new in v7).
+/// Anything else is dropped silently; the admission listener must shrug
+/// off port scanners and stale dialers.
 fn admit(mut stream: TcpStream) -> Option<WorkerProc> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf).ok()?;
     let len = u32::from_le_bytes(len_buf) as usize;
     if len == 0 || len > 64 {
-        return None; // a Join frame is a handful of bytes
+        return None; // a Join or Reattach frame is a handful of bytes
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).ok()?;
@@ -780,6 +909,16 @@ fn admit(mut stream: TcpStream) -> Option<WorkerProc> {
         Ok(Some(Frame::Join { version })) if version == warp_net::frame::PROTO_VERSION => {
             let _ = stream.set_read_timeout(None);
             WorkerProc::from_stream(stream).ok()
+        }
+        Ok(Some(Frame::Reattach {
+            session,
+            worker_id,
+            horizon,
+        })) => {
+            let _ = stream.set_read_timeout(None);
+            let mut w = WorkerProc::from_stream(stream).ok()?;
+            w.reattach = Some((session, worker_id, horizon));
+            Some(w)
         }
         _ => None,
     }
@@ -871,6 +1010,162 @@ struct PendingCkpt {
     parts: Vec<Option<Vec<u8>>>,
 }
 
+/// The coordinator's cross-session mutable state — everything the run
+/// journal persists, plus the open journal itself. A fresh
+/// [`run_coordinator`] builds it from the config; a restarted
+/// [`resume_coordinator`] rebuilds it from the journal; both then drive
+/// the same session loop ([`run_cluster`]).
+struct CoordState {
+    assign: Assignment,
+    store: CkptStore,
+    session: u32,
+    recoveries: u64,
+    migrations: Vec<MigrationRecord>,
+    scales: Vec<ScaleRecord>,
+    telemetry: Option<TelemetryReport>,
+    /// A newcomer admitted by the last scale-out, on probation for one
+    /// session: `(proc_id, pre-scale assignment, pressure)`. Never
+    /// journaled — a coordinator outage ends the probation session
+    /// anyway, and the fallback assignment is reconstructible from the
+    /// journaled one.
+    probation: Option<(u32, Assignment, f64)>,
+    /// The open run journal (`None` without a durable store).
+    journal: Option<RunJournal>,
+    /// Checkpoint barriers completed across the whole run, every
+    /// coordinator incarnation included — the unit the
+    /// `WARP_COORD_TEST_CRASH=barriers:N` hook counts.
+    barriers: u64,
+}
+
+/// One durable control-plane record: the JSON payload of a run-journal
+/// state record. Appended at every checkpoint barrier and at every
+/// membership/assignment change, so journal and segment files never
+/// drift. The journal append *is* the barrier's commit point: the
+/// `SnapshotAck` that lets workers advance their fossil floors is
+/// broadcast only after the append, so a parked worker's retained
+/// horizon can never exceed `horizon` here.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CoordJournal {
+    /// Epoch of the session this record closed (the resumed coordinator
+    /// continues at `session + 1`).
+    session: u32,
+    next_ckpt: u32,
+    /// Committed checkpoint horizon, in ticks.
+    horizon: u64,
+    /// The LP→worker owner map at append time.
+    owners: Vec<u32>,
+    n_workers: u32,
+    /// Per-worker committed delta-chain depth. On resume, each on-disk
+    /// segment is truncated to this — a delta appended after the last
+    /// journal record belongs to a barrier that never committed.
+    chain_len: Vec<u32>,
+    /// The admission listener's address (empty when admission is off) —
+    /// a resumed coordinator re-binds it so parked workers find home.
+    admit_addr: String,
+    recoveries: u64,
+    barriers: u64,
+    migrations: Vec<MigrationRecord>,
+    scales: Vec<ScaleRecord>,
+    /// Coordinator-side store accounting, including the spilled-byte
+    /// total of prior incarnations.
+    stats: ResumeStats,
+    spilled_bytes: u64,
+    telemetry: Option<TelemetryReport>,
+}
+
+impl CoordState {
+    /// Append one state record capturing the current control-plane
+    /// state. A no-op without a journal. Called before every session and
+    /// at every checkpoint barrier — always *before* the `SnapshotAck`
+    /// broadcast, so the journal is never behind any worker's fossil
+    /// floor.
+    fn journal_append(&mut self, admit_addr: &str) -> Result<(), DistError> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let spilled = self
+            .store
+            .segments
+            .as_ref()
+            .map(|s| s.spilled_bytes)
+            .unwrap_or(0);
+        let rec = CoordJournal {
+            session: self.session,
+            next_ckpt: self.store.next_ckpt,
+            horizon: self.store.horizon.ticks(),
+            owners: self.assign.owners().to_vec(),
+            n_workers: self.assign.n_workers(),
+            chain_len: self.store.chains.iter().map(|c| c.len() as u32).collect(),
+            admit_addr: admit_addr.to_string(),
+            recoveries: self.recoveries,
+            barriers: self.barriers,
+            migrations: self.migrations.clone(),
+            scales: self.scales.clone(),
+            stats: self.store.stats.clone(),
+            spilled_bytes: spilled,
+            telemetry: self.telemetry.clone(),
+        };
+        let payload = serde_json::to_vec(&rec)
+            .map_err(|e| DistError::Protocol(format!("encoding journal record: {e}")))?;
+        journal
+            .append_state(&payload)
+            .map_err(|e| DistError::Io(io::Error::other(format!("run journal append: {e}"))))
+    }
+}
+
+/// How the coordinator's test-crash hook fires (env var
+/// `WARP_COORD_TEST_CRASH`, merged with
+/// [`FaultPlan::coordinator_crash_after`]). The counted unit is the
+/// completed checkpoint barrier, cumulative across coordinator
+/// incarnations — so a resumed coordinator inheriting the env var does
+/// not re-crash: the journal restores the count at or past the trigger,
+/// and only exact equality fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrashHook {
+    None,
+    /// Legacy form (any value other than `barriers:N`): abort at the
+    /// first `Progress` frame of the run.
+    FirstProgress,
+    /// `barriers:N`: abort immediately after the Nth barrier commits
+    /// (journal appended, acks broadcast) — between barriers, the
+    /// survivable window.
+    AfterBarriers(u64),
+}
+
+impl CrashHook {
+    fn from_env(fault: Option<&FaultPlan>) -> CrashHook {
+        CrashHook::resolve(
+            fault,
+            std::env::var("WARP_COORD_TEST_CRASH").ok().as_deref(),
+        )
+    }
+
+    /// The merge of the fault plan's trigger and the env hook: barrier
+    /// counts take the earlier of the two, and the legacy
+    /// first-`Progress` form always wins (it fires soonest).
+    fn resolve(fault: Option<&FaultPlan>, env: Option<&str>) -> CrashHook {
+        let from_plan = fault
+            .and_then(FaultPlan::coordinator_crash_after)
+            .map(CrashHook::AfterBarriers);
+        let from_env =
+            env.map(
+                |v| match v.strip_prefix("barriers:").and_then(|n| n.parse().ok()) {
+                    Some(n) => CrashHook::AfterBarriers(n),
+                    None => CrashHook::FirstProgress,
+                },
+            );
+        match (from_plan, from_env) {
+            (Some(CrashHook::AfterBarriers(a)), Some(CrashHook::AfterBarriers(b))) => {
+                CrashHook::AfterBarriers(a.min(b))
+            }
+            (Some(h), None) | (None, Some(h)) => h,
+            (Some(_), Some(CrashHook::FirstProgress)) => CrashHook::FirstProgress,
+            (None, None) => CrashHook::None,
+            (Some(h), Some(_)) => h,
+        }
+    }
+}
+
 /// Stage and run a distributed simulation, returning the merged report.
 ///
 /// Spawns `cfg.n_workers` copies of `cfg.worker_bin`, walks them through
@@ -881,7 +1176,7 @@ struct PendingCkpt {
 pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     let start = Instant::now();
     let deadline = start + cfg.timeout;
-    let mut assign =
+    let assign =
         Assignment::contiguous(cfg.n_lps, cfg.n_workers).map_err(DistError::InvalidConfig)?;
     cfg.net.validate().map_err(DistError::InvalidConfig)?;
     cfg.balance.validate().map_err(DistError::InvalidConfig)?;
@@ -925,19 +1220,31 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 .into(),
         ));
     }
-    // Open the durable store before any worker exists, so a bad
-    // directory fails the run without orphaning processes.
-    let segments = match &cfg.recovery.store_dir {
-        Some(dir) => Some(
-            SegmentStore::create(Path::new(dir), cfg.n_workers)
-                .map_err(|e| DistError::InvalidConfig(format!("checkpoint store at {dir}: {e}")))?,
-        ),
-        None => None,
+    if cfg.recovery.rejoin_grace_ms > 0 && cfg.recovery.store_dir.is_none() {
+        return Err(DistError::InvalidConfig(
+            "recovery.rejoin_grace_ms set without store_dir: a resumed coordinator \
+             needs the run journal to reconcile parked workers"
+                .into(),
+        ));
+    }
+    // Open the durable store (and its run journal) before any worker
+    // exists, so a bad directory fails the run without orphaning
+    // processes.
+    let (segments, journal) = match &cfg.recovery.store_dir {
+        Some(dir) => {
+            let seg = SegmentStore::create(Path::new(dir), cfg.n_workers)
+                .map_err(|e| DistError::InvalidConfig(format!("checkpoint store at {dir}: {e}")))?;
+            let jrn = RunJournal::create(Path::new(dir), &model_json(cfg)?)
+                .map_err(|e| DistError::InvalidConfig(format!("run journal at {dir}: {e}")))?;
+            (Some(seg), Some(jrn))
+        }
+        None => (None, None),
     };
     let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
     // The admission point outlives every session: a `--join` worker may
-    // dial in long before pressure warrants adopting it.
-    let admission = if cfg.elastic.enabled {
+    // dial in long before pressure warrants adopting it, and a parked
+    // worker dials it with `Reattach` after a coordinator restart.
+    let admission = if cfg.elastic.enabled || cfg.recovery.rejoin_grace_ms > 0 {
         let a = Admission::start(cfg.admit_file.as_deref())?;
         eprintln!("coordinator: admission point at {}", a.addr);
         Some(a)
@@ -961,40 +1268,57 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
         }
     }
 
-    let mut store = CkptStore {
-        chains: (0..cfg.n_workers).map(|_| Vec::new()).collect(),
-        horizon: VirtualTime::ZERO,
-        next_ckpt: 0,
-        segments,
-        stats: ResumeStats::default(),
+    let mut st = CoordState {
+        assign,
+        store: CkptStore {
+            chains: (0..cfg.n_workers).map(|_| Vec::new()).collect(),
+            horizon: VirtualTime::ZERO,
+            next_ckpt: 0,
+            segments,
+            stats: ResumeStats::default(),
+        },
+        session: 0,
+        recoveries: 0,
+        migrations: Vec::new(),
+        scales: Vec::new(),
+        // Cluster-wide telemetry, merged from the workers' streamed
+        // batches. Accumulated across sessions: observations from a lost
+        // session are real observations of real (if later re-executed)
+        // work.
+        telemetry: None,
+        probation: None,
+        journal,
+        barriers: 0,
     };
-    let mut session: u32 = 0;
-    let mut recoveries: u64 = 0;
-    let mut migrations: Vec<MigrationRecord> = Vec::new();
-    let mut scales: Vec<ScaleRecord> = Vec::new();
-    // A newcomer admitted by the last scale-out, on probation for one
-    // session: `(proc_id, pre-scale assignment, pressure)`. If the very
-    // next session is lost blaming it, the coordinator evicts it and
-    // falls back instead of burning the recovery budget on it.
-    let mut probation: Option<(u32, Assignment, f64)> = None;
-    // Cluster-wide telemetry, merged from the workers' streamed batches.
-    // Accumulated across sessions: observations from a lost session are
-    // real observations of real (if later re-executed) work.
-    let mut telemetry: Option<TelemetryReport> = None;
+    run_cluster(cfg, workers, admission, deadline, start, announce, &mut st)
+}
 
+/// The coordinator's session loop, shared by a fresh [`run_coordinator`]
+/// and a journal-driven [`resume_coordinator`]: run sessions until every
+/// worker reports, absorbing planned reconfigurations (rebalance, scale)
+/// and unplanned losses (recovery) along the way. Appends a journal
+/// record before each session so the durable control plane always
+/// matches the segment files the session is about to extend.
+fn run_cluster(
+    cfg: &DistConfig,
+    mut workers: Vec<WorkerProc>,
+    admission: Option<Arc<Admission>>,
+    deadline: Instant,
+    start: Instant,
+    announce: bool,
+    st: &mut CoordState,
+) -> Result<RunReport, DistError> {
+    let admit_addr = admission
+        .as_ref()
+        .map(|a| a.addr.clone())
+        .unwrap_or_default();
     loop {
-        let attempt = run_session_as_coordinator(
-            cfg,
-            &mut workers,
-            session,
-            deadline,
-            &mut store,
-            &mut telemetry,
-            &assign,
-            migrations.len() as u32,
-            scales.len() as u32,
-            admission.as_deref(),
-        );
+        if let Err(e) = st.journal_append(&admit_addr) {
+            kill_all(&mut workers);
+            return Err(e);
+        }
+        let attempt =
+            run_session_as_coordinator(cfg, &mut workers, deadline, admission.as_deref(), st);
         match attempt {
             Ok(SessionEnd::Finished(reports)) => {
                 for (i, w) in workers.iter_mut().enumerate() {
@@ -1003,17 +1327,20 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         return Err(e);
                     }
                 }
-                if let Some(seg) = &store.segments {
-                    store.stats.store_spilled_bytes = seg.spilled_bytes;
+                if let Some(seg) = &st.store.segments {
+                    // `+=`, not `=`: a resumed coordinator seeds the
+                    // counter with the previous incarnations' journaled
+                    // total, and this incarnation's store counts from 0.
+                    st.store.stats.store_spilled_bytes += seg.spilled_bytes;
                 }
                 return Ok(merge_reports(
                     reports,
                     start.elapsed().as_secs_f64(),
-                    recoveries,
-                    migrations,
-                    scales,
-                    telemetry.take().filter(|t| !t.is_empty()),
-                    store.stats,
+                    st.recoveries,
+                    std::mem::take(&mut st.migrations),
+                    std::mem::take(&mut st.scales),
+                    st.telemetry.take().filter(|t| !t.is_empty()),
+                    st.store.stats.clone(),
                 ));
             }
             Ok(SessionEnd::Rebalance {
@@ -1024,10 +1351,10 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 // A planned reconfiguration: not charged to the recovery
                 // budget. Re-key the stored chains so each worker's next
                 // `Resume` carries exactly the LPs it now owns.
-                session += 1;
-                probation = None;
-                match rekey_chains(&store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
-                    Ok(chains) => store.chains = chains,
+                st.session += 1;
+                st.probation = None;
+                match rekey_chains(&st.store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
+                    Ok(chains) => st.store.chains = chains,
                     Err(e) => {
                         kill_all(&mut workers);
                         return Err(DistError::Protocol(format!(
@@ -1037,13 +1364,13 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 }
                 // The durable store must mirror the re-keyed ownership,
                 // or its segments would replay LPs to the wrong workers.
-                if let Err(e) = store.rewrite_segments() {
+                if let Err(e) = st.store.rewrite_segments() {
                     kill_all(&mut workers);
                     return Err(DistError::Io(io::Error::other(format!(
                         "checkpoint store rewrite after migration: {e}"
                     ))));
                 }
-                let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                let gvt = (st.store.horizon > VirtualTime::ZERO).then(|| st.store.horizon.ticks());
                 let batch = TelemetryReport {
                     events: moves
                         .iter()
@@ -1060,11 +1387,11 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         .collect(),
                     ..TelemetryReport::default()
                 };
-                match &mut telemetry {
+                match &mut st.telemetry {
                     Some(t) => t.merge(batch),
-                    None => telemetry = Some(batch),
+                    None => st.telemetry = Some(batch),
                 }
-                migrations.push(MigrationRecord {
+                st.migrations.push(MigrationRecord {
                     gvt,
                     imbalance,
                     moves: moves
@@ -1076,7 +1403,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         })
                         .collect(),
                 });
-                assign = next;
+                st.assign = next;
                 if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
                     kill_all(&mut workers);
                     return Err(e);
@@ -1085,8 +1412,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
             Ok(SessionEnd::Scale { plan }) => {
                 // A planned capacity change: like a rebalance, never
                 // charged to the recovery budget.
-                session += 1;
-                probation = None;
+                st.session += 1;
+                st.probation = None;
                 let next = plan.assignment.clone();
                 match plan.direction {
                     ScaleDirection::Out => {
@@ -1107,7 +1434,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                             eprintln!("WORKER_PID {} {}", plan.to_workers, newcomer.pid());
                         }
                         workers.push(newcomer);
-                        probation = Some((plan.to_workers, assign.clone(), plan.pressure));
+                        st.probation = Some((plan.to_workers, st.assign.clone(), plan.pressure));
                     }
                     ScaleDirection::In => {
                         // The retiree already answered `DrainAck`; all
@@ -1120,8 +1447,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         }
                     }
                 }
-                match rekey_chains(&store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
-                    Ok(chains) => store.chains = chains,
+                match rekey_chains(&st.store.chains, next.n_workers(), |lp| next.proc_of(lp)) {
+                    Ok(chains) => st.store.chains = chains,
                     Err(e) => {
                         kill_all(&mut workers);
                         return Err(DistError::Protocol(format!(
@@ -1129,13 +1456,13 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         )));
                     }
                 }
-                if let Err(e) = store.resize_segments(next.n_workers()) {
+                if let Err(e) = st.store.resize_segments(next.n_workers()) {
                     kill_all(&mut workers);
                     return Err(DistError::Io(io::Error::other(format!(
                         "checkpoint store resize after scale: {e}"
                     ))));
                 }
-                let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                let gvt = (st.store.horizon > VirtualTime::ZERO).then(|| st.store.horizon.ticks());
                 let batch = TelemetryReport {
                     events: vec![ControlEvent {
                         gvt,
@@ -1149,11 +1476,11 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     }],
                     ..TelemetryReport::default()
                 };
-                match &mut telemetry {
+                match &mut st.telemetry {
                     Some(t) => t.merge(batch),
-                    None => telemetry = Some(batch),
+                    None => st.telemetry = Some(batch),
                 }
-                scales.push(ScaleRecord {
+                st.scales.push(ScaleRecord {
                     gvt,
                     direction: match plan.direction {
                         ScaleDirection::Out => "out".into(),
@@ -1172,7 +1499,7 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         })
                         .collect(),
                 });
-                assign = next;
+                st.assign = next;
                 if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
                     kill_all(&mut workers);
                     return Err(e);
@@ -1183,8 +1510,8 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                 // recovered: fall back to the pre-scale membership (the
                 // chains re-key back losslessly) so one bad admission
                 // cannot wedge the cluster.
-                if probation.as_ref().is_some_and(|(p, _, _)| *p == peer) {
-                    let (newbie, pre_assign, _) = probation.take().unwrap();
+                if st.probation.as_ref().is_some_and(|(p, _, _)| *p == peer) {
+                    let (newbie, pre_assign, _) = st.probation.take().unwrap();
                     eprintln!(
                         "warp-coordinator: evicting probation worker {newbie} ({detail}); \
                          falling back to {} workers",
@@ -1192,10 +1519,10 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     );
                     let mut evicted = workers.pop().expect("probation newcomer still listed");
                     evicted.kill();
-                    match rekey_chains(&store.chains, pre_assign.n_workers(), |lp| {
+                    match rekey_chains(&st.store.chains, pre_assign.n_workers(), |lp| {
                         pre_assign.proc_of(lp)
                     }) {
-                        Ok(chains) => store.chains = chains,
+                        Ok(chains) => st.store.chains = chains,
                         Err(e) => {
                             kill_all(&mut workers);
                             return Err(DistError::Protocol(format!(
@@ -1203,13 +1530,14 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                             )));
                         }
                     }
-                    if let Err(e) = store.resize_segments(pre_assign.n_workers()) {
+                    if let Err(e) = st.store.resize_segments(pre_assign.n_workers()) {
                         kill_all(&mut workers);
                         return Err(DistError::Io(io::Error::other(format!(
                             "checkpoint store resize after eviction: {e}"
                         ))));
                     }
-                    let gvt = (store.horizon > VirtualTime::ZERO).then(|| store.horizon.ticks());
+                    let gvt =
+                        (st.store.horizon > VirtualTime::ZERO).then(|| st.store.horizon.ticks());
                     let batch = TelemetryReport {
                         events: vec![ControlEvent {
                             gvt,
@@ -1223,11 +1551,11 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         }],
                         ..TelemetryReport::default()
                     };
-                    match &mut telemetry {
+                    match &mut st.telemetry {
                         Some(t) => t.merge(batch),
-                        None => telemetry = Some(batch),
+                        None => st.telemetry = Some(batch),
                     }
-                    scales.push(ScaleRecord {
+                    st.scales.push(ScaleRecord {
                         gvt,
                         direction: "fallback".into(),
                         from_workers: newbie,
@@ -1235,28 +1563,28 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                         pressure: -1.0,
                         moves: Vec::new(),
                     });
-                    assign = pre_assign;
-                    recoveries += 1;
-                    session += 1;
+                    st.assign = pre_assign;
+                    st.recoveries += 1;
+                    st.session += 1;
                     if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
                         kill_all(&mut workers);
                         return Err(e);
                     }
                     continue;
                 }
-                if !cfg.recovery.enabled || recoveries >= cfg.recovery.max_recoveries as u64 {
+                if !cfg.recovery.enabled || st.recoveries >= cfg.recovery.max_recoveries as u64 {
                     kill_all(&mut workers);
                     return Err(DistError::Worker {
                         proc_id: peer,
                         detail: if cfg.recovery.enabled {
-                            format!("{detail} (recovery budget of {recoveries} exhausted)")
+                            format!("{detail} (recovery budget of {} exhausted)", st.recoveries)
                         } else {
                             detail
                         },
                     });
                 }
-                recoveries += 1;
-                session += 1;
+                st.recoveries += 1;
+                st.session += 1;
                 if let Err(e) = regroup(cfg, &mut workers, deadline, announce) {
                     kill_all(&mut workers);
                     return Err(e);
@@ -1272,14 +1600,14 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
                     && !workers.iter().any(WorkerProc::is_remote);
                 if !cfg.recovery.enabled
                     || !retryable
-                    || recoveries >= cfg.recovery.max_recoveries as u64
+                    || st.recoveries >= cfg.recovery.max_recoveries as u64
                     || Instant::now() >= deadline
                 {
                     kill_all(&mut workers);
                     return Err(e);
                 }
-                recoveries += 1;
-                session += 1;
+                st.recoveries += 1;
+                st.session += 1;
                 let n_restart = workers.len();
                 kill_all(&mut workers);
                 workers.clear();
@@ -1302,27 +1630,283 @@ pub fn run_coordinator(cfg: &DistConfig) -> Result<RunReport, DistError> {
     }
 }
 
+/// The model spec as canonical JSON — the bytes the run journal pins
+/// with its spec hash.
+fn model_json(cfg: &DistConfig) -> Result<String, DistError> {
+    serde_json::to_string(&cfg.model)
+        .map_err(|e| DistError::Protocol(format!("encoding model spec: {e}")))
+}
+
+/// The job spec a run journal was created with, verbatim — what a
+/// self-contained `--resume STORE_DIR` parses instead of a job file.
+pub fn journal_job_json(store_dir: &Path) -> Result<String, DistError> {
+    let contents = load_journal(&journal_path(store_dir)).map_err(|e| {
+        DistError::InvalidConfig(format!("run journal at {}: {e}", store_dir.display()))
+    })?;
+    Ok(contents.job_json)
+}
+
+/// Resume an interrupted distributed run from its durable store:
+/// replay the run journal, truncate the checkpoint segments to the last
+/// journaled barrier, re-open the admission point at its old address,
+/// re-adopt parked workers via their [`Frame::Reattach`] handshakes
+/// (respawning fresh processes for any that never dial in), bump the
+/// session, and continue the run to completion.
+///
+/// `cfg` must describe the same job the journal was created with (the
+/// spec hash is cross-checked); `cfg.n_workers` is ignored in favor of
+/// the journaled membership, which elastic scaling may have changed
+/// since the run began.
+pub fn resume_coordinator(cfg: &DistConfig, store_dir: &Path) -> Result<RunReport, DistError> {
+    let start = Instant::now();
+    let deadline = start + cfg.timeout;
+    cfg.net.validate().map_err(DistError::InvalidConfig)?;
+    if !cfg.recovery.enabled {
+        return Err(DistError::InvalidConfig(
+            "resume requires recovery: the journal is part of the checkpoint machinery".into(),
+        ));
+    }
+    let path = journal_path(store_dir);
+    let contents = load_journal(&path).map_err(|e| {
+        DistError::InvalidConfig(format!("run journal at {}: {e}", store_dir.display()))
+    })?;
+    if crate::snapshot::journal::spec_hash(&model_json(cfg)?)
+        != crate::snapshot::journal::spec_hash(&contents.job_json)
+    {
+        return Err(DistError::InvalidConfig(format!(
+            "job spec does not match the journal at {}: resuming it would continue a \
+             different run",
+            store_dir.display()
+        )));
+    }
+    let Some(state_bytes) = contents.states.last() else {
+        // The coordinator died before journaling any control-plane
+        // state: nothing durable exists beyond the spec, so resuming
+        // degenerates to a fresh start (which re-creates the store).
+        return run_coordinator(cfg);
+    };
+    let rec: CoordJournal = serde_json::from_slice(state_bytes)
+        .map_err(|e| DistError::InvalidConfig(format!("decoding the last journal record: {e}")))?;
+    let assign = Assignment::from_owners(rec.owners.clone(), rec.n_workers)
+        .map_err(|e| DistError::InvalidConfig(format!("journaled assignment: {e}")))?;
+    if assign.n_lps() != cfg.n_lps {
+        return Err(DistError::InvalidConfig(format!(
+            "journaled assignment covers {} LPs, the spec builds {}",
+            assign.n_lps(),
+            cfg.n_lps
+        )));
+    }
+    let n_workers = rec.n_workers;
+
+    // Rebuild the delta chains from the segment files, truncating each
+    // to its journaled depth: the journal append is the barrier commit
+    // point, so any delta past that depth belongs to a barrier that
+    // never happened. A chain *shorter* than journaled means a
+    // compaction rewrite raced the crash inside the barrier's critical
+    // section — the one narrow window this store cannot survive.
+    let mut chains: Vec<Vec<Vec<u8>>> = Vec::with_capacity(n_workers as usize);
+    for w in 1..=n_workers {
+        let (seg_worker, mut chain, _dropped) = load_segment_prefix(&segment_path(store_dir, w))
+            .map_err(|e| {
+                DistError::InvalidConfig(format!("checkpoint segment for worker {w}: {e}"))
+            })?;
+        if seg_worker != w {
+            return Err(DistError::InvalidConfig(format!(
+                "segment file for worker {w} carries worker id {seg_worker}"
+            )));
+        }
+        let want = rec.chain_len.get(w as usize - 1).copied().unwrap_or(0) as usize;
+        if chain.len() < want {
+            return Err(DistError::InvalidConfig(format!(
+                "checkpoint segment for worker {w} holds {} deltas, the journal expects \
+                 {want}: a compaction raced the crash, restart the run fresh",
+                chain.len()
+            )));
+        }
+        chain.truncate(want);
+        chains.push(chain);
+    }
+    let mut segments = SegmentStore::reopen(store_dir, n_workers).map_err(|e| {
+        DistError::InvalidConfig(format!(
+            "re-opening checkpoint store at {}: {e}",
+            store_dir.display()
+        ))
+    })?;
+    // Excise any un-journaled tail on disk so segments and journal
+    // agree byte-for-byte before new barriers append.
+    for (w, chain) in chains.iter().enumerate() {
+        segments.rewrite(w as u32 + 1, chain).map_err(|e| {
+            DistError::Io(io::Error::other(format!(
+                "truncating segment {}: {e}",
+                w + 1
+            )))
+        })?;
+    }
+    segments.spilled_bytes = 0; // the rewrite is housekeeping, not new spill
+    let journal = RunJournal::reopen(&path, contents.valid_len)
+        .map_err(|e| DistError::InvalidConfig(format!("re-opening run journal: {e}")))?;
+
+    // Re-open the admission point where the dead coordinator had it, so
+    // parked workers holding the old `RejoinSpec` can find us; the
+    // admit file (when configured) publishes the fallback address if
+    // the old port never frees up.
+    let admission = if !rec.admit_addr.is_empty() {
+        let a = Admission::resume(
+            &rec.admit_addr,
+            Duration::from_secs(5),
+            cfg.admit_file.as_deref(),
+        )?;
+        eprintln!("coordinator: admission point re-opened at {}", a.addr);
+        Some(a)
+    } else if cfg.elastic.enabled {
+        let a = Admission::start(cfg.admit_file.as_deref())?;
+        eprintln!("coordinator: admission point at {}", a.addr);
+        Some(a)
+    } else {
+        None
+    };
+
+    let announce = std::env::var_os("WARP_ANNOUNCE_WORKERS").is_some();
+    let horizon = VirtualTime::from_ticks(rec.horizon);
+
+    // Re-adoption window: give parked survivors a bounded chance to
+    // dial in with `Reattach` before respawning their slots. Stops
+    // early once every slot has reported home.
+    let mut adopted: Vec<Option<WorkerProc>> = (0..n_workers).map(|_| None).collect();
+    let mut max_session = rec.session;
+    if let Some(adm) = admission.as_deref() {
+        let window = Duration::from_millis(cfg.net.liveness_ms * 2).max(Duration::from_secs(2));
+        let until = (Instant::now() + window).min(deadline);
+        while Instant::now() < until && adopted.iter().any(Option::is_none) {
+            for w in 1..=n_workers {
+                if adopted[w as usize - 1].is_some() {
+                    continue;
+                }
+                if let Some(mut wp) = adm.take_reattach(w) {
+                    let (sess, _, h) = wp.reattach.take().expect("reattach entry");
+                    if h > horizon {
+                        // Impossible under the ack-after-journal
+                        // ordering (a worker's fossil floor never leads
+                        // the journal); defensively treat the worker as
+                        // untrusted and rebuild its slot fresh.
+                        eprintln!(
+                            "coordinator: parked worker {w} claims horizon {h} past the \
+                             journal's {horizon}; dropping it"
+                        );
+                        wp.kill();
+                    } else {
+                        wp.fresh = false; // gets a SessionLine, rolls back in place
+                        max_session = max_session.max(sess);
+                        adopted[w as usize - 1] = Some(wp);
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    let reattached = adopted.iter().filter(|w| w.is_some()).count() as u64;
+    let mut workers: Vec<WorkerProc> = Vec::new();
+    for (i, slot) in adopted.into_iter().enumerate() {
+        match slot {
+            Some(w) => workers.push(w),
+            None => match WorkerProc::spawn(&cfg.worker_bin) {
+                Ok(w) => {
+                    if announce {
+                        eprintln!("WORKER_PID {} {}", i + 1, w.pid());
+                    }
+                    workers.push(w);
+                }
+                Err(e) => {
+                    kill_all(&mut workers);
+                    return Err(DistError::Io(e));
+                }
+            },
+        }
+    }
+    eprintln!(
+        "coordinator: resumed run at session {} (horizon {horizon}): {reattached} worker(s) \
+         re-adopted, {} respawned",
+        rec.session,
+        n_workers as u64 - reattached
+    );
+
+    // The outage is a recovery: bump the session past anything any
+    // surviving worker has seen, count it, and put it on the control
+    // trajectory so the report shows the run healed itself.
+    let session = max_session + 1;
+    let mut stats = rec.stats.clone();
+    stats.store_spilled_bytes = rec.spilled_bytes;
+    stats.reattached += reattached;
+    let mut telemetry = rec.telemetry.clone();
+    let batch = TelemetryReport {
+        events: vec![ControlEvent {
+            gvt: (rec.horizon > 0).then_some(rec.horizon),
+            lp: 0,
+            object: 0,
+            lvt: None,
+            param: Param::Coordinator,
+            old: rec.session as f64,
+            new: session as f64,
+            sampled_o: reattached as f64,
+        }],
+        ..TelemetryReport::default()
+    };
+    match &mut telemetry {
+        Some(t) => t.merge(batch),
+        None => telemetry = Some(batch),
+    }
+
+    let mut st = CoordState {
+        assign,
+        store: CkptStore {
+            chains,
+            horizon,
+            next_ckpt: rec.next_ckpt,
+            segments: Some(segments),
+            stats,
+        },
+        session,
+        recoveries: rec.recoveries + 1,
+        migrations: rec.migrations,
+        scales: rec.scales,
+        telemetry,
+        probation: None,
+        journal: Some(journal),
+        barriers: rec.barriers,
+    };
+    run_cluster(cfg, workers, admission, deadline, start, announce, &mut st)
+}
+
 /// One coordinator session: distribute addresses and session lines,
 /// establish the mesh, resume workers from the checkpoint store (when
 /// past session 0), then pump frames to the end of the session.
-#[allow(clippy::too_many_arguments)]
 fn run_session_as_coordinator(
     cfg: &DistConfig,
     workers: &mut [WorkerProc],
-    session: u32,
     deadline: Instant,
-    store: &mut CkptStore,
-    telemetry: &mut Option<TelemetryReport>,
-    assign: &Assignment,
-    migrations_done: u32,
-    scales_done: u32,
     admission: Option<&Admission>,
+    st: &mut CoordState,
 ) -> Result<SessionEnd, DistError> {
     // The mesh is sized by the *current* membership, not the starting
     // config — elastic scales change it between sessions.
-    let n_procs = assign.n_workers() + 1;
+    let session = st.session;
+    let n_procs = st.assign.n_workers() + 1;
     let listener = bind_loopback()?;
     let coord_addr = listener.local_addr()?;
+    // Park-and-rejoin instructions ride every fresh worker's init line;
+    // the admission point is where a parked worker finds the resumed
+    // coordinator.
+    let rejoin = match (cfg.recovery.rejoin_grace_ms, admission) {
+        (grace_ms, Some(a)) if grace_ms > 0 => Some(RejoinSpec {
+            grace_ms,
+            admit_addr: a.addr.clone(),
+            admit_file: cfg
+                .admit_file
+                .as_ref()
+                .map(|p| p.to_string_lossy().into_owned()),
+        }),
+        _ => None,
+    };
 
     let mut peers: Vec<(u32, String)> = vec![(0, coord_addr.to_string())];
     for (i, w) in workers.iter_mut().enumerate() {
@@ -1342,7 +1926,7 @@ fn run_session_as_coordinator(
                 net: cfg.net.clone(),
                 connect_ms: remaining_ms(deadline),
                 recovery: cfg.recovery.enabled,
-                assignment: assign.owners().to_vec(),
+                assignment: st.assign.owners().to_vec(),
                 balance: cfg.balance.enabled || cfg.elastic.enabled,
                 handicap_us: cfg
                     .handicaps
@@ -1357,13 +1941,14 @@ fn run_session_as_coordinator(
                     .map(|(_, n)| *n)
                     .unwrap_or(0),
                 fault: cfg.fault.clone(),
+                rejoin: rejoin.clone(),
             })
         } else {
             serde_json::to_string(&SessionLine {
                 session,
                 peers: peers.clone(),
                 connect_ms: remaining_ms(deadline),
-                assignment: assign.owners().to_vec(),
+                assignment: st.assign.owners().to_vec(),
                 n_procs,
             })
         }
@@ -1391,24 +1976,14 @@ fn run_session_as_coordinator(
         // history), so it must never have to fit one frame.
         let chunk = resume_chunk_len(&cfg.recovery, &cfg.net);
         for w in 1..n_procs {
-            let payload = encode_resume(&store.chains[w as usize - 1]);
-            store.stats.resume_bytes += payload.len() as u64;
-            store.stats.resume_chunks +=
-                send_resume_chunks(&mesh, w, session, store.horizon, &payload, chunk);
+            let payload = encode_resume(&st.store.chains[w as usize - 1]);
+            st.store.stats.resume_bytes += payload.len() as u64;
+            st.store.stats.resume_chunks +=
+                send_resume_chunks(&mesh, w, session, st.store.horizon, &payload, chunk);
         }
     }
 
-    let end = coordinate(
-        &mesh,
-        cfg,
-        deadline,
-        store,
-        telemetry,
-        assign,
-        migrations_done,
-        scales_done,
-        admission,
-    );
+    let end = coordinate(&mesh, cfg, deadline, admission, st);
     match &end {
         // A rebalance or scale drains cleanly too: the queued
         // `Rebalance`/`Retire` frames must reach every worker before
@@ -1479,19 +2054,17 @@ fn send_resume_chunks(
 /// reports are still outstanding, the session is declared livelocked
 /// and ends as [`SessionEnd::Lost`] — the same recovery path a crash
 /// takes, so the cluster regroups under a fresh session epoch.
-#[allow(clippy::too_many_arguments)]
 fn coordinate(
     mesh: &TcpMesh,
     cfg: &DistConfig,
     deadline: Instant,
-    store: &mut CkptStore,
-    telemetry: &mut Option<TelemetryReport>,
-    assign: &Assignment,
-    migrations_done: u32,
-    scales_done: u32,
     admission: Option<&Admission>,
+    st: &mut CoordState,
 ) -> Result<SessionEnd, DistError> {
-    let n_workers = assign.n_workers() as usize;
+    let n_workers = st.assign.n_workers() as usize;
+    let migrations_done = st.migrations.len() as u32;
+    let scales_done = st.scales.len() as u32;
+    let admit_addr = admission.map(|a| a.addr.clone()).unwrap_or_default();
     let mut reports: Vec<Option<WorkerReport>> = (0..n_workers).map(|_| None).collect();
     let mut closed = vec![false; n_workers];
     let mut pending: Option<PendingCkpt> = None;
@@ -1506,7 +2079,7 @@ fn coordinate(
         .then(|| {
             let mut policy = cfg.balance.clone();
             policy.max_migrations = cfg.balance.max_migrations - migrations_done;
-            BalanceController::new(policy, cfg.n_lps, assign.n_workers())
+            BalanceController::new(policy, cfg.n_lps, st.assign.n_workers())
         });
     // The capacity-level configuration loop, same lifecycle rules: a
     // fresh controller per session, the per-run scale cap carried via
@@ -1540,7 +2113,7 @@ fn coordinate(
     // `Rebalance` to the survivors; the session ends once the retiree
     // answers `DrainAck`. Survivor aborts are expected in this window.
     let mut draining: Option<ScalePlan> = None;
-    let coord_crash = std::env::var_os("WARP_COORD_TEST_CRASH").is_some();
+    let crash_hook = CrashHook::from_env(cfg.fault.as_ref());
     let stall_budget = (cfg.recovery.enabled && cfg.recovery.stall_budget_ms > 0)
         .then(|| Duration::from_millis(cfg.recovery.stall_budget_ms));
     let mut last_gvt_advance = Instant::now();
@@ -1605,7 +2178,12 @@ fn coordinate(
                     match planned.take().unwrap().t {
                         Transition::Rebalance(plan) => {
                             for w in 1..=n_workers as u32 {
-                                mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                                mesh.send(
+                                    w,
+                                    Frame::Rebalance {
+                                        gvt: st.store.horizon,
+                                    },
+                                );
                             }
                             return Ok(SessionEnd::Rebalance {
                                 next: plan.assignment,
@@ -1616,22 +2194,39 @@ fn coordinate(
                         Transition::Scale(plan) => match plan.retired() {
                             None => {
                                 for w in 1..=n_workers as u32 {
-                                    mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                                    mesh.send(
+                                        w,
+                                        Frame::Rebalance {
+                                            gvt: st.store.horizon,
+                                        },
+                                    );
                                 }
                                 return Ok(SessionEnd::Scale { plan });
                             }
                             Some(retiree) => {
-                                mesh.send(retiree, Frame::Retire { gvt: store.horizon });
+                                mesh.send(
+                                    retiree,
+                                    Frame::Retire {
+                                        gvt: st.store.horizon,
+                                    },
+                                );
                                 for w in (1..=n_workers as u32).filter(|w| *w != retiree) {
-                                    mesh.send(w, Frame::Rebalance { gvt: store.horizon });
+                                    mesh.send(
+                                        w,
+                                        Frame::Rebalance {
+                                            gvt: st.store.horizon,
+                                        },
+                                    );
                                 }
                                 draining = Some(plan);
                             }
                         },
                     }
-                } else if let Some(gvt) = best_gvt.filter(|g| g.is_finite() && *g > store.horizon) {
-                    let ckpt = store.next_ckpt;
-                    store.next_ckpt += 1;
+                } else if let Some(gvt) =
+                    best_gvt.filter(|g| g.is_finite() && *g > st.store.horizon)
+                {
+                    let ckpt = st.store.next_ckpt;
+                    st.store.next_ckpt += 1;
                     last_ckpt_started = Instant::now();
                     pending = Some(PendingCkpt {
                         ckpt,
@@ -1642,7 +2237,7 @@ fn coordinate(
                         mesh.send(w, Frame::SnapshotReq { ckpt, gvt });
                     }
                     p.barrier_fired = true;
-                } else if store.horizon > VirtualTime::ZERO {
+                } else if st.store.horizon > VirtualTime::ZERO {
                     // The horizon already sits at the frontier; there is
                     // nothing new to capture before moving.
                     p.barrier_fired = true;
@@ -1668,17 +2263,18 @@ fn coordinate(
                     // Advisory stream; a batch that fails to parse is
                     // dropped, never fatal.
                     if let Ok(batch) = serde_json::from_slice::<TelemetryReport>(&bytes) {
-                        match telemetry {
+                        match &mut st.telemetry {
                             Some(t) => t.merge(batch),
-                            None => *telemetry = Some(batch),
+                            None => st.telemetry = Some(batch),
                         }
                     }
                 }
                 Frame::Progress { gvt } => {
-                    // Test hook: die like a killed coordinator — no
-                    // goodbye — once the run is demonstrably underway, so
-                    // orphan hygiene can be exercised with real processes.
-                    if coord_crash {
+                    // Test hook (legacy form): die like a killed
+                    // coordinator — no goodbye — once the run is
+                    // demonstrably underway, so orphan hygiene can be
+                    // exercised with real processes.
+                    if crash_hook == CrashHook::FirstProgress {
                         std::process::abort();
                     }
                     worker_gvt[from as usize - 1] = Some(gvt);
@@ -1694,14 +2290,14 @@ fn coordinate(
                     }
                     let due = cfg.recovery.enabled
                         && gvt.is_finite()
-                        && gvt > store.horizon
+                        && gvt > st.store.horizon
                         && pending.is_none()
                         && draining.is_none()
                         && last_ckpt_started.elapsed()
                             >= Duration::from_millis(cfg.recovery.ckpt_min_interval_ms);
                     if due {
-                        let ckpt = store.next_ckpt;
-                        store.next_ckpt += 1;
+                        let ckpt = st.store.next_ckpt;
+                        st.store.next_ckpt += 1;
                         last_ckpt_started = Instant::now();
                         pending = Some(PendingCkpt {
                             ckpt,
@@ -1748,11 +2344,12 @@ fn coordinate(
                             // flight; migration wins a tie.
                             let can_add =
                                 cfg.elastic.spawn || admission.is_some_and(|a| a.joiners_waiting());
-                            let bal_prop =
-                                balancer.as_mut().and_then(|b| b.observe(assign, &bucket));
+                            let bal_prop = balancer
+                                .as_mut()
+                                .and_then(|b| b.observe(&st.assign, &bucket));
                             let ela_prop = elastic
                                 .as_mut()
-                                .and_then(|e| e.observe(assign, &bucket, can_add));
+                                .and_then(|e| e.observe(&st.assign, &bucket, can_add));
                             if planned.is_none() && draining.is_none() {
                                 if let Some(plan) = bal_prop {
                                     planned = Some(PlannedTransition {
@@ -1781,30 +2378,40 @@ fn coordinate(
                                 // Spill before the in-memory append: a
                                 // checkpoint is only durable once every
                                 // part reached its segment file.
-                                if let Some(seg) = store.segments.as_mut() {
+                                if let Some(seg) = st.store.segments.as_mut() {
                                     seg.append(w as u32 + 1, &part).map_err(|e| {
                                         DistError::Io(io::Error::other(format!(
                                             "checkpoint store append: {e}"
                                         )))
                                     })?;
                                 }
-                                store.chains[w].push(part);
+                                st.store.chains[w].push(part);
                             }
-                            store.horizon = done.gvt;
+                            st.store.horizon = done.gvt;
                             // Deltas below the new horizon are superseded
                             // once the chain is deep enough: merge them so
                             // neither memory nor a future resume pays for
                             // dead intermediate windows.
                             if cfg.recovery.compact_after > 0
-                                && store
+                                && st
+                                    .store
                                     .chains
                                     .iter()
                                     .any(|c| c.len() >= cfg.recovery.compact_after.max(2) as usize)
                             {
-                                store.compact().map_err(|e| {
+                                st.store.compact().map_err(|e| {
                                     DistError::Protocol(format!("checkpoint compaction: {e}"))
                                 })?;
                             }
+                            // The journal append is the barrier's commit
+                            // point: only after the control-plane record
+                            // is durable may workers learn the horizon
+                            // advanced and unpin fossils below it. A
+                            // crash before this line makes the barrier
+                            // never have happened — resume truncates the
+                            // segment appends above the journaled depth.
+                            st.barriers += 1;
+                            st.journal_append(&admit_addr)?;
                             for w in 1..=n_workers as u32 {
                                 mesh.send(
                                     w,
@@ -1813,6 +2420,15 @@ fn coordinate(
                                         gvt: done.gvt,
                                     },
                                 );
+                            }
+                            // Test hook (`barriers:N` form): die like a
+                            // killed coordinator *between* barriers —
+                            // after this one committed and acked. Exact
+                            // equality, so a resumed coordinator that
+                            // inherits the env var (journal restores
+                            // `barriers` at N) never re-crashes.
+                            if crash_hook == CrashHook::AfterBarriers(st.barriers) {
+                                std::process::abort();
                             }
                         }
                     }
@@ -2201,8 +2817,21 @@ impl ControlOut {
 pub fn worker_main(
     build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
 ) -> Result<(), String> {
+    worker_main_with(build, None)
+}
+
+/// [`worker_main`] with a local override for the rejoin grace: the
+/// `--rejoin-grace MS` flag of a worker binary. `Some(0)` disables
+/// parking even when the coordinator offered it; `Some(ms)` replaces
+/// the offered grace (the re-admission address still comes from the
+/// coordinator's [`WorkerInit`], so the override is inert when the
+/// coordinator never offered a [`RejoinSpec`]).
+pub fn worker_main_with(
+    build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+    rejoin_grace_ms: Option<u64>,
+) -> Result<(), String> {
     let ctl_rx = spawn_control_reader(io::stdin());
-    worker_boot(build, ctl_rx, ControlOut::Stdout)
+    worker_boot(build, ctl_rx, ControlOut::Stdout, rejoin_grace_ms, None)
 }
 
 /// Entry point for a worker binary dialing *into* a running elastic
@@ -2215,6 +2844,18 @@ pub fn worker_main(
 pub fn join_main(
     coordinator: &str,
     build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+) -> Result<(), String> {
+    join_main_with(coordinator, build, None)
+}
+
+/// [`join_main`] with a local rejoin-grace override. Unlike a spawned
+/// worker, a `--join` worker already knows an admission address — the
+/// one it is dialing — so `--rejoin-grace MS` works even when the
+/// coordinator's init carries no [`RejoinSpec`].
+pub fn join_main_with(
+    coordinator: &str,
+    build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
+    rejoin_grace_ms: Option<u64>,
 ) -> Result<(), String> {
     let mut stream = TcpStream::connect(coordinator)
         .map_err(|e| format!("dialing admission listener {coordinator}: {e}"))?;
@@ -2229,7 +2870,13 @@ pub fn join_main(
         .try_clone()
         .map_err(|e| format!("cloning admission stream: {e}"))?;
     let ctl_rx = spawn_control_reader(read_half);
-    worker_boot(build, ctl_rx, ControlOut::Stream(stream))
+    worker_boot(
+        build,
+        ctl_rx,
+        ControlOut::Stream(stream),
+        rejoin_grace_ms,
+        Some(coordinator),
+    )
 }
 
 /// Shared bootstrap past the control channel: bind, announce, read the
@@ -2238,6 +2885,8 @@ fn worker_boot(
     build: &dyn Fn(&serde_json::Value) -> Result<SimulationSpec, String>,
     ctl_rx: Receiver<String>,
     mut ctl_out: ControlOut,
+    rejoin_grace_ms: Option<u64>,
+    join_addr: Option<&str>,
 ) -> Result<(), String> {
     let listener = bind_loopback().map_err(|e| format!("bind: {e}"))?;
     let addr = listener
@@ -2255,7 +2904,27 @@ fn worker_boot(
             std::process::exit(3);
         }
     };
-    let init: WorkerInit = serde_json::from_str(&line).map_err(|e| format!("parsing init: {e}"))?;
+    let mut init: WorkerInit =
+        serde_json::from_str(&line).map_err(|e| format!("parsing init: {e}"))?;
+    match (rejoin_grace_ms, &mut init.rejoin) {
+        (None, _) => {}
+        (Some(0), r) => *r = None,
+        (Some(ms), Some(spec)) => spec.grace_ms = ms,
+        (Some(ms), r @ None) => {
+            if let Some(addr) = join_addr {
+                *r = Some(RejoinSpec {
+                    grace_ms: ms,
+                    admit_addr: addr.to_string(),
+                    admit_file: None,
+                });
+            } else {
+                eprintln!(
+                    "warp-worker: --rejoin-grace ignored: the coordinator offered no \
+                     re-admission point (it runs without a rejoin grace)"
+                );
+            }
+        }
+    }
 
     let spec = build(&init.model)?;
     let n_lps = spec.partition.n_lps() as u32;
@@ -2309,7 +2978,7 @@ pub fn run_worker(
     init: &WorkerInit,
     spec: SimulationSpec,
     listener: std::net::TcpListener,
-    ctl_rx: Receiver<String>,
+    mut ctl_rx: Receiver<String>,
     ctl_out: &mut ControlOut,
 ) -> Result<(), String> {
     // Mesh size is per *session* now, not per run: elastic scales grow
@@ -2342,6 +3011,12 @@ pub fn run_worker(
     // participation is ever valid (the seeding path clears the map).
     let mut retained: HashMap<u32, Box<warp_core::LpRuntime>> = HashMap::new();
     let mut resume_stats = ResumeStats::default();
+    // The fossil floor: the last barrier horizon the coordinator
+    // acknowledged (`SnapshotAck`). Local fossil collection never
+    // advances past it, so a parked worker can always roll its retained
+    // runtimes back to any horizon a successor coordinator replays from
+    // the journal — this is the `horizon` a `Reattach` reports.
+    let floor = Arc::new(AtomicU64::new(0));
 
     loop {
         let lst = listener.take().expect("listener staged for this session");
@@ -2357,6 +3032,7 @@ pub fn run_worker(
             &mut retained,
             &mut resume_stats,
             throttle.clone(),
+            &floor,
         )? {
             WorkerSessionEnd::Finished => return Ok(()),
             WorkerSessionEnd::Retire => {
@@ -2383,51 +3059,144 @@ pub fn run_worker(
             init.proc_id
         );
         let lst = bind_loopback().map_err(|e| format!("re-bind: {e}"))?;
-        let addr = lst.local_addr().map_err(|e| format!("local_addr: {e}"))?;
-        if !ctl_out.announce(&addr.to_string()) {
-            eprintln!(
-                "warp-worker (proc {}): orphaned (control channel closed); exiting",
-                init.proc_id
-            );
-            std::process::exit(3);
-        }
-        // The coordinator needs time to notice, reap, and
-        // respawn; but a coordinator that died will never write
-        // again — bound the wait and die rather than linger.
-        let wait = Duration::from_millis(init.net.liveness_ms.saturating_mul(10))
-            .max(Duration::from_secs(30));
-        match ctl_rx.recv_timeout(wait) {
-            Ok(line) => {
-                let sl: SessionLine = serde_json::from_str(&line)
-                    .map_err(|e| format!("parsing session line: {e}"))?;
-                session = sl.session;
-                peers = sl.peers;
-                connect_ms = sl.connect_ms;
-                if sl.n_procs != 0 {
-                    n_procs = sl.n_procs;
+        let addr = lst
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .to_string();
+        // The coordinator needs time to notice, reap, and respawn; but
+        // a coordinator that died will never write again — bound the
+        // wait. With a rejoin grace the worker parks instead of dying:
+        // it keeps its retained runtimes, dials the re-admission point,
+        // and presents `Reattach` until a successor adopts it or the
+        // grace runs out. The park deadline spans the *whole* parked
+        // period — repeated failed reattach rounds share one grace, and
+        // only a delivered session line resets it (by looping back to
+        // the top with a live coordinator).
+        let wait = init.net.orphan_wait();
+        let mut park_deadline: Option<Instant> = None;
+        let sl: SessionLine = loop {
+            let heard = if ctl_out.announce(&addr) {
+                ctl_rx.recv_timeout(wait)
+            } else {
+                Err(RecvTimeoutError::Disconnected)
+            };
+            let why = match heard {
+                Ok(line) => {
+                    break serde_json::from_str(&line)
+                        .map_err(|e| format!("parsing session line: {e}"))?;
                 }
-                if !sl.assignment.is_empty() {
-                    assign = Assignment::from_owners(sl.assignment, n_procs - 1)
-                        .map_err(|e| format!("session assignment: {e}"))?;
+                Err(RecvTimeoutError::Disconnected) => "control channel closed".to_string(),
+                Err(RecvTimeoutError::Timeout) => {
+                    format!("no recovery instructions within {wait:?}")
                 }
-                listener = Some(lst);
-            }
-            Err(RecvTimeoutError::Disconnected) => {
+            };
+            let Some(rejoin) = &init.rejoin else {
                 eprintln!(
-                    "warp-worker (proc {}): coordinator closed the control channel; exiting",
+                    "warp-worker (proc {}): orphaned ({why}); exiting",
                     init.proc_id
                 );
                 std::process::exit(3);
+            };
+            let deadline = *park_deadline
+                .get_or_insert_with(|| Instant::now() + Duration::from_millis(rejoin.grace_ms));
+            match park_for_rejoin(init, rejoin, deadline, session, &floor, &why) {
+                Some((rx, out)) => {
+                    ctl_rx = rx;
+                    *ctl_out = out;
+                }
+                None => {
+                    eprintln!(
+                        "warp-worker (proc {}): rejoin grace ({} ms) expired with no \
+                         successor coordinator; exiting",
+                        init.proc_id, rejoin.grace_ms
+                    );
+                    std::process::exit(4);
+                }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                eprintln!(
-                    "warp-worker (proc {}): no recovery instructions within {wait:?}; exiting",
-                    init.proc_id
-                );
-                std::process::exit(3);
-            }
+        };
+        session = sl.session;
+        peers = sl.peers;
+        connect_ms = sl.connect_ms;
+        if sl.n_procs != 0 {
+            n_procs = sl.n_procs;
         }
+        if !sl.assignment.is_empty() {
+            assign = Assignment::from_owners(sl.assignment, n_procs - 1)
+                .map_err(|e| format!("session assignment: {e}"))?;
+        }
+        listener = Some(lst);
     }
+}
+
+/// A parked worker's rejoin loop: dial the coordinator's re-admission
+/// point with jittered exponential backoff, presenting a
+/// [`Frame::Reattach`] that names this worker and the fossil horizon it
+/// can roll back to, until either a successor coordinator accepts the
+/// stream or the grace deadline passes. The admission file (when
+/// configured) is re-read on every attempt, because a restarted
+/// coordinator may re-open admission on a different port.
+///
+/// Returns the fresh control channel on success, `None` on expiry.
+fn park_for_rejoin(
+    init: &WorkerInit,
+    rejoin: &RejoinSpec,
+    deadline: Instant,
+    session: u32,
+    floor: &AtomicU64,
+    why: &str,
+) -> Option<(Receiver<String>, ControlOut)> {
+    let horizon = VirtualTime::from_ticks(floor.load(Ordering::Acquire));
+    eprintln!(
+        "warp-worker (proc {}): coordinator lost ({why}); parked for rejoin \
+         (grace {} ms, horizon {horizon})",
+        init.proc_id, rejoin.grace_ms
+    );
+    let start = Duration::from_millis(init.net.connect_backoff_start_ms.max(1));
+    let cap = Duration::from_millis(
+        init.net
+            .connect_backoff_max_ms
+            .max(init.net.connect_backoff_start_ms.max(1)),
+    );
+    let seed = (u64::from(init.proc_id) << 32) | 0xFA11;
+    let mut attempt = 0u32;
+    while Instant::now() < deadline {
+        let addr = rejoin
+            .admit_file
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| rejoin.admit_addr.clone());
+        if let Ok(mut stream) = TcpStream::connect(&addr) {
+            let hello = Frame::Reattach {
+                session,
+                worker_id: init.proc_id,
+                horizon,
+            };
+            let sent = stream
+                .write_all(&hello.encode())
+                .and_then(|_| stream.flush());
+            if sent.is_ok() {
+                if let Ok(read_half) = stream.try_clone() {
+                    eprintln!(
+                        "warp-worker (proc {}): reattached via {addr} \
+                         (last session {session}, horizon {horizon})",
+                        init.proc_id
+                    );
+                    let rx = spawn_control_reader(read_half);
+                    return Some((rx, ControlOut::Stream(stream)));
+                }
+            }
+        }
+        attempt = attempt.saturating_add(1);
+        let pause = warp_net::tcp::jittered_backoff(start, cap, attempt, seed);
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        std::thread::sleep(pause.min(left));
+    }
+    None
 }
 
 /// One worker session: establish the mesh under the session epoch,
@@ -2447,6 +3216,7 @@ fn run_session_as_worker(
     retained: &mut HashMap<u32, Box<warp_core::LpRuntime>>,
     resume_stats: &mut ResumeStats,
     throttle: Option<Arc<EventThrottle>>,
+    floor: &Arc<AtomicU64>,
 ) -> Result<WorkerSessionEnd, String> {
     let my_lps: Vec<u32> = assign.lps_of(init.proc_id);
     let peer_addrs: Vec<(u32, SocketAddr)> = peers
@@ -2657,8 +3427,11 @@ fn run_session_as_worker(
     let router = {
         let stop = Arc::clone(&stop);
         let locals = Arc::clone(&locals);
+        let floor = Arc::clone(floor);
         let from_base = ckpt_base.unwrap_or(VirtualTime::ZERO);
-        std::thread::spawn(move || route_inbound(mesh, &locals, &stop, backlog, n_local, from_base))
+        std::thread::spawn(move || {
+            route_inbound(mesh, &locals, &stop, backlog, n_local, from_base, &floor)
+        })
     };
 
     let mut outcomes: Vec<LpOutcome> = handles
@@ -2756,6 +3529,7 @@ fn route_inbound(
     backlog: Vec<(u32, Frame)>,
     n_local: usize,
     mut ckpt_from: VirtualTime,
+    floor: &AtomicU64,
 ) -> RouteEnd {
     let deliver = |lp: u32, p: Packet| {
         if let Some(Some(tx)) = locals.get(lp as usize) {
@@ -2798,6 +3572,11 @@ fn route_inbound(
                 Ok(())
             }
             Frame::SnapshotAck { gvt, .. } => {
+                // The coordinator journals the barrier *before* this
+                // ack, so advancing the fossil floor here keeps the
+                // invariant a `Reattach` relies on: floor ≤ every
+                // horizon a successor coordinator can replay.
+                floor.fetch_max(gvt.ticks(), Ordering::AcqRel);
                 fan_local(&|| Packet::CkptAck(gvt));
                 Ok(())
             }
@@ -2944,6 +3723,11 @@ mod tests {
             handicap_us: 250,
             handicap_events: 5_000,
             fault: Some(FaultPlan::new().crash(2, 1, 100, 0)),
+            rejoin: Some(RejoinSpec {
+                grace_ms: 15_000,
+                admit_addr: "127.0.0.1:7".into(),
+                admit_file: None,
+            }),
         };
         let line = serde_json::to_string(&init).unwrap();
         let back: WorkerInit = serde_json::from_str(&line).unwrap();
@@ -2959,6 +3743,10 @@ mod tests {
         assert_eq!(back.handicap_us, 250);
         assert_eq!(back.handicap_events, 5_000);
         assert!(back.fault.is_some());
+        let rejoin = back.rejoin.expect("rejoin spec survives the round trip");
+        assert_eq!(rejoin.grace_ms, 15_000);
+        assert_eq!(rejoin.admit_addr, "127.0.0.1:7");
+        assert_eq!(rejoin.admit_file, None);
     }
 
     #[test]
@@ -2972,6 +3760,7 @@ mod tests {
         assert!(!back.balance);
         assert_eq!(back.handicap_us, 0);
         assert_eq!(back.handicap_events, 0);
+        assert!(back.rejoin.is_none(), "pre-failover init = no parking");
     }
 
     #[test]
@@ -3152,10 +3941,57 @@ mod tests {
         assert_eq!(p.store_dir, None);
         assert_eq!(p.compact_after, 0);
         assert_eq!(p.resume_chunk_bytes, 0);
+        assert_eq!(p.rejoin_grace_ms, 0, "pre-failover policy = no parking");
         let raw = r#"{"heartbeat_ms":250,"liveness_ms":3000,"connect_backoff_start_ms":20,"connect_backoff_max_ms":500}"#;
         let t: NetTuning = serde_json::from_str(raw).unwrap();
         assert_eq!(t.max_frame_bytes, 0);
         assert_eq!(t.frame_cap(), warp_net::frame::MAX_FRAME_BYTES);
+        assert_eq!(t.orphan_grace_ms, 0);
+        // The unset orphan grace keeps the historical liveness-derived
+        // wait; an explicit grace overrides it exactly.
+        assert_eq!(t.orphan_wait(), Duration::from_secs(30));
+        let t = NetTuning {
+            orphan_grace_ms: 1_500,
+            ..NetTuning::default()
+        };
+        assert_eq!(t.orphan_wait(), Duration::from_millis(1_500));
+    }
+
+    #[test]
+    fn crash_hook_parses_barrier_and_legacy_forms() {
+        assert_eq!(CrashHook::resolve(None, None), CrashHook::None);
+        assert_eq!(
+            CrashHook::resolve(None, Some("1")),
+            CrashHook::FirstProgress,
+            "any non-barrier value keeps the legacy first-Progress hook"
+        );
+        assert_eq!(
+            CrashHook::resolve(None, Some("barriers:3")),
+            CrashHook::AfterBarriers(3)
+        );
+        assert_eq!(
+            CrashHook::resolve(None, Some("barriers:nope")),
+            CrashHook::FirstProgress
+        );
+        let plan = FaultPlan::new().crash_coordinator_after(5);
+        assert_eq!(
+            CrashHook::resolve(Some(&plan), None),
+            CrashHook::AfterBarriers(5)
+        );
+        // Two barrier counts merge to the earlier trigger; the legacy
+        // form fires soonest and always wins.
+        assert_eq!(
+            CrashHook::resolve(Some(&plan), Some("barriers:2")),
+            CrashHook::AfterBarriers(2)
+        );
+        assert_eq!(
+            CrashHook::resolve(Some(&plan), Some("barriers:9")),
+            CrashHook::AfterBarriers(5)
+        );
+        assert_eq!(
+            CrashHook::resolve(Some(&plan), Some("now")),
+            CrashHook::FirstProgress
+        );
     }
 
     #[test]

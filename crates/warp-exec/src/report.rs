@@ -123,6 +123,10 @@ pub struct ResumeStats {
     /// Committed events replayed during full rebuilds: the work the
     /// incremental path avoids.
     pub replayed_events: u64,
+    /// Parked workers a restarted coordinator re-adopted via the
+    /// protocol `Reattach` handshake instead of respawning.
+    #[serde(default)]
+    pub reattached: u64,
 }
 
 impl ResumeStats {
@@ -135,6 +139,7 @@ impl ResumeStats {
         self.lps_rebuilt += other.lps_rebuilt;
         self.lps_rolled_back += other.lps_rolled_back;
         self.replayed_events += other.replayed_events;
+        self.reattached += other.reattached;
     }
 }
 

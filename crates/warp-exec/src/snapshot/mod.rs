@@ -19,6 +19,7 @@
 //! bare I/O error, so callers (and tests) can tell a truncated payload
 //! from a corrupted one from a failing disk.
 
+pub(crate) mod journal;
 pub(crate) mod store;
 
 use std::collections::HashMap;
@@ -63,6 +64,16 @@ pub(crate) enum SnapshotError {
         /// Checksum recomputed over the record's payload.
         computed: u32,
     },
+    /// The run journal's recorded job-spec hash disagrees with the job
+    /// spec it carries (or the one the caller is trying to resume with)
+    /// — the journal belongs to a different run configuration and
+    /// resuming from it would replay the wrong control-plane history.
+    SpecHashMismatch {
+        /// Hash recorded in the journal header.
+        stored: u32,
+        /// Hash recomputed over the job spec.
+        computed: u32,
+    },
     /// Filesystem failure underneath the durable store.
     Io(String),
 }
@@ -85,6 +96,11 @@ impl fmt::Display for SnapshotError {
                 f,
                 "segment record {record} failed its CRC check \
                  (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            SnapshotError::SpecHashMismatch { stored, computed } => write!(
+                f,
+                "run journal belongs to a different job spec \
+                 (journal {stored:#010x}, spec {computed:#010x})"
             ),
             SnapshotError::Io(detail) => write!(f, "checkpoint store I/O: {detail}"),
         }

@@ -127,6 +127,26 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// Re-open the existing segment files of an interrupted run for
+    /// appending, without truncating them — the resume path's
+    /// counterpart to [`SegmentStore::create`]. The caller has already
+    /// validated the segment contents (via [`load_segment_prefix`]) and
+    /// truncates any un-journaled tail through [`SegmentStore::rewrite`]
+    /// afterwards. `spilled_bytes` restarts at zero: the journal carries
+    /// the pre-outage total, so per-incarnation accounting keeps the
+    /// merged report additive.
+    pub(crate) fn reopen(dir: &Path, n_workers: u32) -> Result<Self, SnapshotError> {
+        let mut files = Vec::with_capacity(n_workers as usize);
+        for w in 1..=n_workers {
+            files.push(OpenOptions::new().append(true).open(segment_path(dir, w))?);
+        }
+        Ok(SegmentStore {
+            dir: dir.to_path_buf(),
+            files,
+            spilled_bytes: 0,
+        })
+    }
+
     /// Grow or shrink the store to `n_workers` segments across an
     /// elastic membership change: new workers get fresh (empty)
     /// segments, a retired worker's segment file is deleted. The caller
@@ -219,6 +239,50 @@ pub(crate) fn load_segment(path: &Path) -> Result<(u32, Vec<Vec<u8>>), SnapshotE
         record += 1;
     }
     Ok((worker, chain))
+}
+
+/// Like [`load_segment`], but tolerate a torn *final* record: the intact
+/// prefix is returned and the third tuple element reports whether a tail
+/// was dropped. This is the crash-recovery loader — a coordinator killed
+/// mid-append leaves exactly one short trailing record, which the resume
+/// path discards (the journal never committed the barrier that wrote
+/// it). A bad CRC on a *complete* record is still [`SnapshotError::BadCrc`]:
+/// that is corruption, not a torn write, and resuming past it would
+/// silently lose a committed checkpoint.
+pub(crate) fn load_segment_prefix(path: &Path) -> Result<(u32, Vec<Vec<u8>>, bool), SnapshotError> {
+    match load_segment(path) {
+        Ok((worker, chain)) => Ok((worker, chain, false)),
+        Err(SnapshotError::Truncated { context, detail }) if context != "segment header" => {
+            let _ = detail;
+            let buf = fs::read(path)?;
+            let worker = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+            let mut chain = Vec::new();
+            let mut pos = 12usize;
+            let mut record = 0usize;
+            while buf.len() - pos >= 8 {
+                let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+                let stored = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+                if buf.len() - pos - 8 < len {
+                    break; // the torn final record
+                }
+                pos += 8;
+                let payload = &buf[pos..pos + len];
+                let computed = crc32(payload);
+                if computed != stored {
+                    return Err(SnapshotError::BadCrc {
+                        record,
+                        stored,
+                        computed,
+                    });
+                }
+                chain.push(payload.to_vec());
+                pos += len;
+                record += 1;
+            }
+            Ok((worker, chain, true))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +403,69 @@ mod tests {
         assert!(!segment_path(&dir, 3).exists());
         let (_, chain) = load_segment(&segment_path(&dir, 1)).unwrap();
         assert_eq!(chain, vec![b"one".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefix_loader_drops_a_torn_tail_and_flags_it() {
+        let dir = scratch("prefix");
+        let mut store = SegmentStore::create(&dir, 1).unwrap();
+        store.append(1, b"committed-one").unwrap();
+        store.append(1, b"committed-two").unwrap();
+        store.append(1, b"torn-by-the-crash").unwrap();
+        drop(store);
+        let path = segment_path(&dir, 1);
+        let full = fs::read(&path).unwrap();
+
+        // Intact file: prefix load agrees with the strict loader.
+        let (w, chain, dropped) = load_segment_prefix(&path).unwrap();
+        assert_eq!((w, dropped), (1, false));
+        assert_eq!(chain.len(), 3);
+
+        // Torn payload: the final record vanishes, the flag is raised.
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (_, chain, dropped) = load_segment_prefix(&path).unwrap();
+        assert_eq!(
+            chain,
+            vec![b"committed-one".to_vec(), b"committed-two".to_vec()]
+        );
+        assert!(dropped);
+
+        // Torn record header (fewer than 8 trailing bytes): same outcome.
+        fs::write(&path, &full[..full.len() - b"torn-by-the-crash".len() - 3]).unwrap();
+        let (_, chain, dropped) = load_segment_prefix(&path).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert!(dropped);
+
+        // A bad CRC on a *complete* record is still a hard error.
+        let mut bytes = full.clone();
+        let flip = bytes.len() - b"torn-by-the-crash".len() - 9; // inside record 1
+        bytes[flip] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_segment_prefix(&path),
+            Err(SnapshotError::BadCrc { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_to_existing_segments_without_truncating() {
+        let dir = scratch("reopen");
+        let mut store = SegmentStore::create(&dir, 2).unwrap();
+        store.append(1, b"before-crash").unwrap();
+        store.append(2, b"other-worker").unwrap();
+        drop(store);
+        let mut store = SegmentStore::reopen(&dir, 2).unwrap();
+        assert_eq!(store.spilled_bytes, 0);
+        store.append(1, b"after-resume").unwrap();
+        let (_, chain) = load_segment(&segment_path(&dir, 1)).unwrap();
+        assert_eq!(
+            chain,
+            vec![b"before-crash".to_vec(), b"after-resume".to_vec()]
+        );
+        let (_, chain) = load_segment(&segment_path(&dir, 2)).unwrap();
+        assert_eq!(chain, vec![b"other-worker".to_vec()]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

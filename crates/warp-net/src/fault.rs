@@ -183,6 +183,41 @@ impl FaultPlan {
         self
     }
 
+    /// Convenience: abort the *coordinator* after it has completed
+    /// `after` checkpoint barriers (persisted snapshots, `SnapshotAck`
+    /// broadcast and journal record included — the crash lands *between*
+    /// barriers, the exact window fail-over must survive). Encoded as a
+    /// `Crash` rule on the self-link `0 → 0`, a link that carries no
+    /// data frames, so the rule is inert for the ordinary sender-side
+    /// chaos machinery; the coordinator scans for it at startup via
+    /// [`FaultPlan::coordinator_crash_after`]. Unpinned to a session on
+    /// purpose — the barrier counter, not the session epoch, is what
+    /// arms it — but a *resumed* coordinator starts a fresh counter, so
+    /// pair this with a resume-side guard (the executive clears the
+    /// plan's self-rule on `--resume`) when re-triggering is unwanted.
+    pub fn crash_coordinator_after(mut self, after: u64) -> Self {
+        self.rules.push(FaultRule {
+            from: 0,
+            to: 0,
+            session: None,
+            scope: FaultScope::Data,
+            kind: FaultKind::Crash { after },
+        });
+        self
+    }
+
+    /// The barrier count armed by [`FaultPlan::crash_coordinator_after`],
+    /// if any rule carries one (the smallest wins when several do).
+    pub fn coordinator_crash_after(&self) -> Option<u64> {
+        self.rules
+            .iter()
+            .filter_map(|r| match (r.from, r.to, r.kind) {
+                (0, 0, FaultKind::Crash { after }) => Some(after),
+                _ => None,
+            })
+            .min()
+    }
+
     /// Convenience: partition the directed link `from → to` starting at
     /// data frame `after`, in session `session` only.
     pub fn partition(mut self, from: u32, to: u32, after: u64, session: u32) -> Self {
@@ -369,8 +404,9 @@ fn severity(f: DataFate) -> u8 {
 }
 
 /// SplitMix64 finalizer — a tiny, well-mixed hash for the `Random`
-/// selector. Quality matters less than determinism and independence.
-fn splitmix(mut z: u64) -> u64 {
+/// selector (and the transport's deterministic dial jitter). Quality
+/// matters less than determinism and independence.
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -520,6 +556,28 @@ mod tests {
         let d: Vec<DataFate> = (0..256).map(|s| data.fate(s)).collect();
         let c: Vec<DataFate> = (0..256).map(|s| ctl.fate(s)).collect();
         assert_ne!(d, c, "same selector must pick differently per scope");
+    }
+
+    #[test]
+    fn coordinator_crash_rule_is_inert_on_real_links_but_scannable() {
+        let plan = FaultPlan::new()
+            .crash_coordinator_after(3)
+            .crash_coordinator_after(7)
+            .crash(2, 1, 10, 0);
+        assert_eq!(plan.coordinator_crash_after(), Some(3), "smallest wins");
+        assert!(
+            plan.link(0, 1, 0).is_none() && plan.link(1, 0, 0).is_none(),
+            "the self-link rule must not shape any real link"
+        );
+        assert!(FaultPlan::new().coordinator_crash_after().is_none());
+        let ordinary = FaultPlan::new().crash(2, 0, 40, 0);
+        assert!(
+            ordinary.coordinator_crash_after().is_none(),
+            "a worker-side crash rule is not a coordinator crash"
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.coordinator_crash_after(), Some(3));
     }
 
     #[test]

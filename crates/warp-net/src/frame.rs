@@ -39,6 +39,10 @@
 //!   protocol; `Retire` tells a drained worker its LPs have been
 //!   checkpointed and re-homed so it can leave; `DrainAck` is the
 //!   retiree's confirmation, after which it exits cleanly.
+//! * `Reattach` — the failover plane (v7): a parked worker's one-frame
+//!   re-admission handshake to a restarted coordinator, announcing the
+//!   session it last ran, its mesh slot, and the checkpoint horizon its
+//!   retained runtimes can roll back to.
 //! * `Bye` — graceful shutdown: the peer finished sending and will close
 //!   after draining. A connection that dies *without* `Bye` is a crash.
 //! * `Progress` / `SnapshotReq` / `Snapshot` / `SnapshotAck` / `Resume` —
@@ -73,7 +77,9 @@ use warp_core::{LpId, VirtualTime};
 /// v4: the load-balance plane (`LoadReport`, `Rebalance`). v5: the
 /// chunked `ResumeChunk` stream replacing monolithic `Resume` payloads.
 /// v6: the elastic membership plane (`Join`, `Retire`, `DrainAck`).
-pub const PROTO_VERSION: u16 = 6;
+/// v7: the failover plane (`Reattach` — a parked worker re-admitting
+/// itself to a restarted coordinator).
+pub const PROTO_VERSION: u16 = 7;
 
 /// Default upper bound on a frame body. Protects the decoder from
 /// allocating gigabytes off a corrupt or malicious length prefix.
@@ -244,6 +250,26 @@ pub enum Frame {
         /// Echo of the drain horizon.
         gvt: VirtualTime,
     },
+    /// Parked worker → restarted coordinator: first (and only) frame on
+    /// a re-admission connection (v7). A worker that lost its
+    /// coordinator but holds a rejoin grace dials the admission
+    /// endpoint, announces which session it last ran, which mesh slot
+    /// it occupied, and the checkpoint horizon its retained runtimes
+    /// can rewind to; the coordinator reconciles that horizon against
+    /// its journal and either re-adopts the worker in place
+    /// (rollback-in-place, zero replay) or treats it as fresh. After
+    /// `Reattach` the stream switches to the coordinator's newline
+    /// control protocol, exactly like [`Frame::Join`].
+    Reattach {
+        /// The last session epoch the worker participated in.
+        session: u32,
+        /// The worker's mesh process id in that session (1-based;
+        /// 0 is the coordinator and never reattaches).
+        worker_id: u32,
+        /// The fossil-pinned horizon the worker's retained runtimes can
+        /// roll back to (its last `SnapshotAck` GVT).
+        horizon: VirtualTime,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -265,6 +291,7 @@ const TAG_RESUME_CHUNK: u8 = 16;
 const TAG_JOIN: u8 = 17;
 const TAG_RETIRE: u8 = 18;
 const TAG_DRAIN_ACK: u8 = 19;
+const TAG_REATTACH: u8 = 20;
 
 /// Why a byte stream failed to decode as frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -410,6 +437,14 @@ impl Frame {
                 w.u8(TAG_DRAIN_ACK);
                 write_vt(&mut w, *gvt);
             }
+            Frame::Reattach {
+                session,
+                worker_id,
+                horizon,
+            } => {
+                w.u8(TAG_REATTACH).u32(*session).u32(*worker_id);
+                write_vt(&mut w, *horizon);
+            }
         }
         let body = w.finish();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -535,6 +570,11 @@ impl Frame {
             },
             TAG_DRAIN_ACK => Frame::DrainAck {
                 gvt: read_vt(&mut r).map_err(mal)?,
+            },
+            TAG_REATTACH => Frame::Reattach {
+                session: r.u32().map_err(mal)?,
+                worker_id: r.u32().map_err(mal)?,
+                horizon: read_vt(&mut r).map_err(mal)?,
             },
             other => return Err(FrameError::BadTag(other)),
         };
@@ -737,6 +777,11 @@ mod tests {
             },
             Frame::DrainAck {
                 gvt: VirtualTime::new(17),
+            },
+            Frame::Reattach {
+                session: 3,
+                worker_id: 2,
+                horizon: VirtualTime::new(17),
             },
         ]
     }

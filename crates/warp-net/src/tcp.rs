@@ -485,12 +485,40 @@ fn proto_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Deterministic "equal jitter" dial backoff: attempt `n` sleeps
+/// somewhere in `[exp/2, exp]`, where `exp = start·2ⁿ` capped at `max`.
+/// The point within the band is a pure hash of `(seed, attempt)`, so a
+/// given dialer backs off identically on every run (reproducible
+/// tests), while distinct dialers — distinct seeds — spread out across
+/// the band instead of retrying in lock-step. That spread is what keeps
+/// a mass rejoin after a coordinator restart from thundering-herding
+/// the freshly re-bound admission listener.
+pub fn jittered_backoff(start: Duration, max: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = start.saturating_mul(1u32 << attempt.min(16)).min(max);
+    let half = exp / 2;
+    let span = exp.saturating_sub(half).as_nanos() as u64;
+    let jitter = if span == 0 {
+        0
+    } else {
+        crate::fault::splitmix(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            % (span + 1)
+    };
+    half + Duration::from_nanos(jitter)
+}
+
+/// Per-dialer jitter seed: decorrelates processes retrying against the
+/// same listener without any shared state (deterministic per identity).
+fn dial_seed(proc_id: u32, addr: &SocketAddr) -> u64 {
+    crate::fault::splitmix(((proc_id as u64) << 32) ^ ((addr.port() as u64) << 8) ^ 0xD1A1)
+}
+
 fn dial_with_backoff(
     cfg: &TcpMeshConfig,
     addr: SocketAddr,
     deadline: Instant,
 ) -> io::Result<TcpStream> {
-    let mut backoff = cfg.dial_backoff_start;
+    let seed = dial_seed(cfg.proc_id, &addr);
+    let mut attempt = 0u32;
     loop {
         let now = Instant::now();
         if now >= deadline {
@@ -503,8 +531,10 @@ fn dial_with_backoff(
         match TcpStream::connect_timeout(&addr, attempt_budget) {
             Ok(s) => return Ok(s),
             Err(_) => {
-                thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
-                backoff = (backoff * 2).min(cfg.dial_backoff_max);
+                let pause =
+                    jittered_backoff(cfg.dial_backoff_start, cfg.dial_backoff_max, attempt, seed);
+                thread::sleep(pause.min(deadline.saturating_duration_since(Instant::now())));
+                attempt = attempt.saturating_add(1);
             }
         }
     }
@@ -944,6 +974,31 @@ mod tests {
     use warp_core::VirtualTime;
 
     use crate::fault::{FaultKind, Selector};
+
+    #[test]
+    fn jittered_backoff_is_deterministic_banded_and_capped() {
+        let start = Duration::from_millis(20);
+        let max = Duration::from_millis(500);
+        for attempt in 0..20 {
+            let a = jittered_backoff(start, max, attempt, 42);
+            let b = jittered_backoff(start, max, attempt, 42);
+            assert_eq!(a, b, "same seed+attempt must sleep identically");
+            let exp = start.saturating_mul(1u32 << attempt.min(16)).min(max);
+            assert!(a >= exp / 2, "attempt {attempt}: {a:?} below band");
+            assert!(a <= exp, "attempt {attempt}: {a:?} above band");
+            assert!(a <= max, "attempt {attempt}: {a:?} above cap");
+        }
+        // Distinct seeds must not retry in lock-step: across a spread of
+        // dialers at the same attempt, at least two pick different points.
+        let picks: Vec<Duration> = (0..8)
+            .map(|seed| jittered_backoff(start, max, 4, seed))
+            .collect();
+        assert!(
+            picks.iter().any(|p| *p != picks[0]),
+            "eight seeds all chose {:?} — no jitter spread",
+            picks[0]
+        );
+    }
 
     fn fast_cfg(proc_id: u32, n_procs: u32) -> TcpMeshConfig {
         TcpMeshConfig {

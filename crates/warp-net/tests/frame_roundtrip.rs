@@ -163,6 +163,15 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         any::<u64>().prop_map(|gvt| Frame::DrainAck {
             gvt: VirtualTime::from_ticks(gvt),
         }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(session, worker_id, horizon)| {
+            Frame::Reattach {
+                session,
+                worker_id,
+                // from_ticks: ∞ is legitimate (a worker that never saw
+                // a checkpoint reattaches with an unbounded horizon).
+                horizon: VirtualTime::from_ticks(horizon),
+            }
+        }),
     ]
     .boxed()
 }

@@ -86,6 +86,12 @@ pub enum Param {
     /// `sampled_o` is the pressure index that triggered the scale, `-1`
     /// for a recovery fallback). Recorded by the coordinator.
     ClusterSize,
+    /// Coordinator fail-over: a restarted coordinator resumed the run
+    /// from its durable journal (`old`/`new` are the session epochs
+    /// before and after the outage; `lp`/`object` are 0; `sampled_o` is
+    /// the number of parked workers re-adopted via `Reattach`). Recorded
+    /// by the resumed coordinator.
+    Coordinator,
 }
 
 /// One controller decision: the paper's `(O, I)` pair caught in the act,
@@ -516,7 +522,8 @@ impl TelemetryReport {
             .unwrap_or_else(|| "-".into());
         format!(
             "telemetry: {} samples, {} events ({} χ moves, {} mode flips, {} window moves, \
-             {} migrations, {} scales), max finite gvt {}, mean DyMA window {}, dropped {}/{}",
+             {} migrations, {} scales, {} failovers), max finite gvt {}, mean DyMA window {}, \
+             dropped {}/{}",
             self.samples.len(),
             self.events.len(),
             self.moves_of(Param::Chi),
@@ -524,6 +531,7 @@ impl TelemetryReport {
             self.moves_of(Param::Window),
             self.moves_of(Param::Assignment),
             self.moves_of(Param::ClusterSize),
+            self.moves_of(Param::Coordinator),
             max_gvt,
             window,
             self.dropped_samples,

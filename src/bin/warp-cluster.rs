@@ -9,6 +9,9 @@
 //!              [--balance] [--slow PROC:MICROS[:EVENTS]] [--store-dir DIR]
 //!              [--elastic] [--min-workers N] [--max-workers N] [--admit-file PATH]
 //!              [--max-frame-bytes N] [--resume-chunk-bytes N]
+//!              [--rejoin-grace MS] [--supervise]
+//! warp-cluster --resume STORE_DIR [--workers N] [--timeout SECS]
+//!              [--telemetry OUT.jsonl] [--admit-file PATH]
 //! warp-cluster stats TELEMETRY.jsonl
 //! ```
 //!
@@ -38,15 +41,29 @@
 //! the streamed resume chunks (both override the job's `net`/`recovery`
 //! settings).
 //!
+//! `--rejoin-grace MS` arms coordinator fail-over (implies recovery;
+//! needs `--store-dir`): the coordinator journals its control-plane
+//! state at every checkpoint barrier, and workers that lose it *park*
+//! for `MS` milliseconds instead of exiting, dialing the re-admission
+//! point until a restarted coordinator adopts them. `--resume
+//! STORE_DIR` is that restart: it replays the journal under
+//! `STORE_DIR` (the job itself is journaled — no JOB.json needed),
+//! re-adopts parked workers via the `Reattach` handshake, respawns the
+//! rest, and continues the run. `--supervise` automates the loop: the
+//! coordinator runs as a child process, and every unclean exit is
+//! restarted with `--resume` until the job's recovery budget
+//! (`recovery.max_recoveries`) is spent. See
+//! `docs/coordinator-failover.md`.
+//!
 //! The worker binary is taken from `WARP_WORKER_BIN`, falling back to a
 //! `warp-worker` sibling of this executable.
 
 use std::io::Read;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
-use warp_exec::distributed::run_coordinator;
+use warp_exec::distributed::{resume_coordinator, run_coordinator};
 use warp_telemetry::TelemetryReport;
-use warped_online::cluster::{dist_config, ClusterJob};
+use warped_online::cluster::{dist_config, resume_job, ClusterJob};
 
 fn usage() -> ! {
     eprintln!(
@@ -54,6 +71,9 @@ fn usage() -> ! {
          \x20                [--balance] [--slow PROC:MICROS[:EVENTS]] [--store-dir DIR]\n\
          \x20                [--elastic] [--min-workers N] [--max-workers N] [--admit-file PATH]\n\
          \x20                [--max-frame-bytes N] [--resume-chunk-bytes N]\n\
+         \x20                [--rejoin-grace MS] [--supervise]\n\
+         \x20      warp-cluster --resume STORE_DIR [--workers N] [--timeout SECS]\n\
+         \x20                [--telemetry OUT.jsonl] [--admit-file PATH]\n\
          \x20      warp-cluster stats TELEMETRY.jsonl"
     );
     std::process::exit(2);
@@ -101,6 +121,13 @@ fn run() -> Result<(), String> {
     let mut store_dir: Option<String> = None;
     let mut max_frame_bytes: Option<u64> = None;
     let mut resume_chunk_bytes: Option<u64> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut rejoin_grace: Option<u64> = None;
+    let mut supervise = false;
+    // Flags that shape the job itself: refused together with --resume,
+    // which must continue the journaled job verbatim (the executive
+    // hashes the job against the journal header and rejects drift).
+    let mut job_flags: Vec<&'static str> = Vec::new();
 
     let mut argv = std::env::args().skip(1).peekable();
     if argv.peek().map(String::as_str) == Some("stats") {
@@ -129,14 +156,21 @@ fn run() -> Result<(), String> {
                     .unwrap_or_else(|| usage());
                 timeout = Duration::from_secs(secs);
             }
-            "--balance" => balance = true,
-            "--elastic" => elastic = true,
+            "--balance" => {
+                balance = true;
+                job_flags.push("--balance");
+            }
+            "--elastic" => {
+                elastic = true;
+                job_flags.push("--elastic");
+            }
             "--min-workers" => {
                 min_workers = Some(
                     argv.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+                job_flags.push("--min-workers");
             }
             "--max-workers" => {
                 max_workers = Some(
@@ -144,12 +178,14 @@ fn run() -> Result<(), String> {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+                job_flags.push("--max-workers");
             }
             "--admit-file" => {
                 admit_file = Some(argv.next().map(PathBuf::from).unwrap_or_else(|| usage()));
             }
             "--store-dir" => {
                 store_dir = Some(argv.next().unwrap_or_else(|| usage()));
+                job_flags.push("--store-dir");
             }
             "--max-frame-bytes" => {
                 max_frame_bytes = Some(
@@ -157,6 +193,7 @@ fn run() -> Result<(), String> {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+                job_flags.push("--max-frame-bytes");
             }
             "--resume-chunk-bytes" => {
                 resume_chunk_bytes = Some(
@@ -164,7 +201,20 @@ fn run() -> Result<(), String> {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+                job_flags.push("--resume-chunk-bytes");
             }
+            "--rejoin-grace" => {
+                rejoin_grace = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                job_flags.push("--rejoin-grace");
+            }
+            "--resume" => {
+                resume = Some(argv.next().map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--supervise" => supervise = true,
             "--slow" => {
                 let spec = argv.next().unwrap_or_else(|| usage());
                 let (proc_id, rest) = spec.split_once(':').unwrap_or_else(|| usage());
@@ -179,6 +229,7 @@ fn run() -> Result<(), String> {
                     let events: u64 = events.parse().ok().unwrap_or_else(|| usage());
                     handicap_events.push((proc_id, events));
                 }
+                job_flags.push("--slow");
             }
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
@@ -188,6 +239,33 @@ fn run() -> Result<(), String> {
                 }
             }
         }
+    }
+
+    if let Some(dir) = &resume {
+        if supervise {
+            return Err(
+                "--supervise starts a fresh run and resumes on its own; to continue a \
+                 crashed run by hand use --resume alone"
+                    .into(),
+            );
+        }
+        if let Some(f) = job_flags.first() {
+            return Err(format!(
+                "{f} cannot be combined with --resume: a resumed run continues the \
+                 journaled job verbatim (the executive refuses a job that drifted)"
+            ));
+        }
+        if job_file.is_some() {
+            return Err(
+                "--resume reads the job from the journal; drop the JOB.json argument".into(),
+            );
+        }
+        let job = resume_job(dir).map_err(|e| e.to_string())?;
+        let mut cfg =
+            dist_config(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
+        cfg.admit_file = admit_file;
+        let report = resume_coordinator(&cfg, dir).map_err(|e| e.to_string())?;
+        return emit(&report, telemetry_out.as_deref());
     }
 
     let job_json = match &job_file {
@@ -231,19 +309,47 @@ fn run() -> Result<(), String> {
     if let Some(n) = resume_chunk_bytes {
         job.recovery.resume_chunk_bytes = n;
     }
+    if let Some(ms) = rejoin_grace {
+        job.recovery.rejoin_grace_ms = ms;
+        job.recovery.enabled = true;
+    }
     job.handicaps.extend(handicaps);
     job.handicap_events.extend(handicap_events);
+
+    if supervise {
+        let Some(dir) = job.recovery.store_dir.clone() else {
+            return Err(
+                "--supervise needs a durable store: add --store-dir DIR (restarts resume \
+                 from its run journal)"
+                    .into(),
+            );
+        };
+        return supervise_loop(
+            &dir,
+            &job,
+            n_workers,
+            timeout,
+            telemetry_out.as_deref(),
+            admit_file.as_deref(),
+        );
+    }
 
     let mut cfg =
         dist_config(&job, n_workers, worker_bin()?, timeout).map_err(|e| e.to_string())?;
     cfg.admit_file = admit_file;
     let report = run_coordinator(&cfg).map_err(|e| e.to_string())?;
+    emit(&report, telemetry_out.as_deref())
+}
+
+/// Print the merged report: summary to stderr, JSON to stdout, and the
+/// telemetry dump (plus adaptation summary) when requested.
+fn emit(report: &warp_exec::RunReport, telemetry_out: Option<&Path>) -> Result<(), String> {
     eprintln!("{}", report.summary_line());
     if (!report.migrations.is_empty() || !report.scales.is_empty()) && telemetry_out.is_none() {
         // With --telemetry the adaptation summary prints below anyway.
         eprintln!("{}", report.adaptation_summary());
     }
-    if let Some(path) = &telemetry_out {
+    if let Some(path) = telemetry_out {
         let dump = report
             .telemetry
             .as_ref()
@@ -254,9 +360,75 @@ fn run() -> Result<(), String> {
     }
     println!(
         "{}",
-        serde_json::to_string(&report).map_err(|e| format!("report encode: {e}"))?
+        serde_json::to_string(report).map_err(|e| format!("report encode: {e}"))?
     );
     Ok(())
+}
+
+/// `--supervise`: run the coordinator as a child process and restart it
+/// with `--resume` after every unclean exit, until the run finishes or
+/// the job's recovery budget is spent. The fully-shaped job is staged
+/// into the store directory so restarts never depend on the original
+/// JOB.json or the shaping flags; the child inherits stdio, so the
+/// surviving attempt's report lands on stdout exactly like an
+/// unsupervised run.
+fn supervise_loop(
+    store_dir: &str,
+    job: &ClusterJob,
+    n_workers: u32,
+    timeout: Duration,
+    telemetry_out: Option<&Path>,
+    admit_file: Option<&Path>,
+) -> Result<(), String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    std::fs::create_dir_all(store_dir)
+        .map_err(|e| format!("creating store dir {store_dir}: {e}"))?;
+    let staged = Path::new(store_dir).join("job.json");
+    let staged_json =
+        serde_json::to_string_pretty(job).map_err(|e| format!("encoding job: {e}"))?;
+    std::fs::write(&staged, staged_json)
+        .map_err(|e| format!("staging {}: {e}", staged.display()))?;
+    let budget = job.recovery.max_recoveries;
+    let mut attempts = 0u32;
+    loop {
+        let mut cmd = std::process::Command::new(&me);
+        if attempts == 0 {
+            cmd.arg(&staged);
+        } else {
+            cmd.arg("--resume").arg(store_dir);
+        }
+        cmd.args(["--workers", &n_workers.to_string()]);
+        cmd.args(["--timeout", &timeout.as_secs().to_string()]);
+        if let Some(p) = telemetry_out {
+            cmd.arg("--telemetry").arg(p);
+        }
+        if let Some(p) = admit_file {
+            cmd.arg("--admit-file").arg(p);
+        }
+        let status = cmd
+            .status()
+            .map_err(|e| format!("spawning supervised coordinator: {e}"))?;
+        if status.success() {
+            return Ok(());
+        }
+        attempts += 1;
+        if attempts > budget {
+            return Err(format!(
+                "supervised coordinator failed {attempts} time(s); recovery budget \
+                 ({budget}) spent"
+            ));
+        }
+        if !Path::new(store_dir).join("run.journal").exists() {
+            return Err(format!(
+                "supervised coordinator exited ({status}) before journaling anything; \
+                 nothing to resume"
+            ));
+        }
+        eprintln!(
+            "warp-cluster: coordinator exited ({status}); resuming from {store_dir} \
+             (attempt {attempts} of {budget})"
+        );
+    }
 }
 
 fn main() {

@@ -10,27 +10,72 @@
 //! `warp_exec::distributed` for the protocol and
 //! `warped_online::cluster` for the model vocabulary.
 //!
-//! Exit codes: 0 success, 2 bootstrap/run error (printed to stderr),
-//! 3 orphaned or unrecoverable — the coordinator died (stdin/stdout
-//! closed, or no recovery instructions arrived in time) or a peer was
-//! lost with recovery disabled.
+//! With a rejoin grace (offered by the coordinator's init, or forced
+//! locally with `--rejoin-grace MS`) a worker that loses its
+//! coordinator *parks* instead of exiting: it keeps its kernel state,
+//! dials the coordinator's re-admission point with jittered backoff,
+//! and presents a `Reattach` handshake so a restarted coordinator
+//! (`warp-cluster --resume`) can re-adopt it without replay. See
+//! `docs/coordinator-failover.md`.
+
+const USAGE: &str = "\
+usage: warp-worker [--join COORDINATOR_ADDR] [--rejoin-grace MS]
+
+options:
+  --join ADDR        dial a running coordinator's admission listener
+                     instead of speaking the stdio bootstrap protocol
+  --rejoin-grace MS  park for MS milliseconds on coordinator loss and
+                     try to reattach to a restarted coordinator; 0
+                     disables parking even when the coordinator offers
+                     it (overrides the grace in the init line)
+  --help             print this message
+
+exit codes:
+  0  clean finish, or retired by an elastic scale-in
+  2  bootstrap or run error (details on stderr)
+  3  orphaned — the coordinator died with no rejoin grace configured
+     (control channel closed, or no recovery instructions in time),
+     or a peer was lost with recovery disabled
+  4  rejoin grace expired — the worker parked after losing its
+     coordinator, but no successor adopted it in time
+";
 
 fn main() {
+    let mut join: Option<String> = None;
+    let mut rejoin_grace: Option<u64> = None;
     let mut argv = std::env::args().skip(1);
-    let result = match argv.next().as_deref() {
-        None => warp_exec::worker_main(&warped_online::cluster::spec_from_model_json),
-        Some("--join") => {
-            let addr = argv.next().unwrap_or_else(|| {
-                eprintln!("usage: warp-worker [--join COORDINATOR_ADDR]");
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--join" => {
+                join = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("warp-worker: --join needs an address");
+                    eprint!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--rejoin-grace" => {
+                let ms = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("warp-worker: --rejoin-grace needs a millisecond count");
+                    eprint!("{USAGE}");
+                    std::process::exit(2);
+                });
+                rejoin_grace = Some(ms);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("warp-worker: unknown argument {other:?}");
+                eprint!("{USAGE}");
                 std::process::exit(2);
-            });
-            warp_exec::distributed::join_main(&addr, &warped_online::cluster::spec_from_model_json)
+            }
         }
-        Some(other) => {
-            eprintln!("warp-worker: unknown argument {other:?}");
-            eprintln!("usage: warp-worker [--join COORDINATOR_ADDR]");
-            std::process::exit(2);
-        }
+    }
+    let build = &warped_online::cluster::spec_from_model_json;
+    let result = match join {
+        Some(addr) => warp_exec::distributed::join_main_with(&addr, build, rejoin_grace),
+        None => warp_exec::worker_main_with(build, rejoin_grace),
     };
     if let Err(e) = result {
         eprintln!("warp-worker: {e}");

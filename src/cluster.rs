@@ -164,6 +164,20 @@ pub fn dist_config(
     })
 }
 
+/// Recover the [`ClusterJob`] a durable run journal was created for:
+/// the journal's job record *is* the serialized job (the coordinator
+/// ships the whole job as its opaque model JSON), so resuming a run
+/// needs nothing beyond its store directory. The returned job feeds
+/// [`dist_config`] and then [`warp_exec::resume_coordinator`]; the
+/// executive re-hashes the job against the journal header, so a job
+/// edited between crash and resume is refused rather than silently
+/// continued.
+pub fn resume_job(store_dir: &std::path::Path) -> Result<ClusterJob, DistError> {
+    let json = warp_exec::journal_job_json(store_dir)?;
+    serde_json::from_str(&json)
+        .map_err(|e| DistError::Protocol(format!("journaled job is undecodable: {e}")))
+}
+
 /// The coordinator side: run `job` across `n_workers` worker processes
 /// using the given `warp-worker` binary, within `timeout`.
 pub fn run_distributed_job(
