@@ -5,38 +5,27 @@
 //!
 //! Fixed scenario, fixed seed: PHOLD over 8 LPs on 2 workers, recovery
 //! off, no faults, no handicaps — the cleanest end-to-end number the
-//! executive can produce on the host it runs on. Each measurement is
-//! the best of [`RUNS`] runs (wall-clock benches on shared machines
-//! want max, not mean: every source of noise only slows a run down).
-//! The JSON lands at the repository root so successive PRs record a
-//! visible perf trajectory (see ROADMAP "perf trajectory").
+//! executive can produce on the host it runs on. Since the data-plane
+//! PR the point is a **matrix**: threaded vs. poll transport ×
+//! unaggregated vs. SAAW on-the-wire aggregation, so the trajectory
+//! records what the production data plane buys. Each cell is the best
+//! of [`RUNS`][warp_bench::dist_bench::RUNS] runs (wall-clock benches
+//! on shared machines want max, not mean: every source of noise only
+//! slows a run down). The JSON lands at the repository root so
+//! successive PRs record a visible perf trajectory (see ROADMAP "perf
+//! trajectory").
 //!
 //! The worker binary resolves like the tests do: `WARP_WORKER_BIN`, or
 //! a `warp-worker` sibling of this executable.
 
-use std::path::PathBuf;
-use std::time::Duration;
-use warped_online::cluster::{run_distributed_job, ClusterJob, ModelSpec};
+use warp_bench::dist_bench;
+use warped_online::cluster::{ClusterJob, ModelSpec};
 use warped_online::models::PholdConfig;
 
-/// Runs per scenario; the best is reported.
-const RUNS: usize = 3;
-
-fn worker_bin() -> PathBuf {
-    if let Some(bin) = std::env::var_os("WARP_WORKER_BIN") {
-        return PathBuf::from(bin);
-    }
-    let me = std::env::current_exe().expect("current_exe");
-    let sibling = me.with_file_name("warp-worker");
-    assert!(
-        sibling.exists(),
-        "no worker binary: set WARP_WORKER_BIN or build warp-worker next to {}",
-        me.display()
-    );
-    sibling
-}
-
-fn scenario() -> ClusterJob {
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_phold_distributed.json".into());
     let cfg = PholdConfig {
         n_objects: 64,
         n_lps: 8,
@@ -44,34 +33,7 @@ fn scenario() -> ClusterJob {
         ttl: 600,
         ..PholdConfig::new(600, 11)
     };
-    ClusterJob::new(ModelSpec::Phold(cfg), None)
-}
-
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_phold_distributed.json".into());
-    let job = scenario();
-    let n_workers = 2;
-
-    println!("== BENCH phold_distributed — committed events/second, {RUNS} runs ==");
-    let mut best: Option<warp_exec::RunReport> = None;
-    for run in 1..=RUNS {
-        let report = run_distributed_job(&job, n_workers, worker_bin(), Duration::from_secs(300))
-            .expect("distributed PHOLD bench run failed");
-        println!(
-            "  run {run}: {:>10.0} ev/s ({} committed events)",
-            report.events_per_second, report.committed_events
-        );
-        if best
-            .as_ref()
-            .is_none_or(|b| report.events_per_second > b.events_per_second)
-        {
-            best = Some(report);
-        }
-    }
-    let best = best.expect("RUNS >= 1");
-
+    let job = ClusterJob::new(ModelSpec::Phold(cfg), None);
     let scenario = serde_json::json!({
         "model": "phold",
         "n_objects": 64,
@@ -79,20 +41,8 @@ fn main() {
         "population_per_object": 2,
         "ttl": 600,
         "seed": 11,
-        "n_workers": n_workers,
+        "n_workers": 2,
         "recovery": false,
     });
-    let json = serde_json::json!({
-        "id": "phold_distributed",
-        "scenario": scenario,
-        "runs": RUNS,
-        "events_per_second": best.events_per_second,
-        "committed_events": best.committed_events,
-        "wall_seconds": best.wall_seconds,
-    });
-    std::fs::write(&out, serde_json::to_vec_pretty(&json).unwrap()).expect("write JSON");
-    println!(
-        "best: {:.0} ev/s — written to {out}",
-        best.events_per_second
-    );
+    dist_bench::run_matrix("phold_distributed", &job, 2, scenario, &out);
 }

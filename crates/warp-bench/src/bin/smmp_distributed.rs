@@ -1,0 +1,37 @@
+//! `BENCH_smmp_distributed.json` — the SMMP counterpart of
+//! `phold_distributed`: the paper's communication-bound memory model
+//! (scattered variant, every request/response hop crosses LPs) run on
+//! the *real* distributed executive, across the transport × aggregation
+//! matrix. SMMP's dense small-message traffic is exactly the workload
+//! on-the-wire DyMA exists for, so this point is where the SAAW columns
+//! should separate from the unaggregated ones.
+//!
+//! The worker binary resolves like the tests do: `WARP_WORKER_BIN`, or
+//! a `warp-worker` sibling of this executable.
+
+use warp_bench::dist_bench;
+use warped_online::cluster::{ClusterJob, ModelSpec};
+use warped_online::models::SmmpConfig;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_smmp_distributed.json".into());
+    let cfg = SmmpConfig {
+        scattered: true,
+        ..SmmpConfig::paper(400, 11)
+    };
+    let job = ClusterJob::new(ModelSpec::Smmp(cfg), None);
+    let scenario = serde_json::json!({
+        "model": "smmp",
+        "n_processors": 16,
+        "n_lps": 4,
+        "n_banks": 64,
+        "requests_per_processor": 400,
+        "scattered": true,
+        "seed": 11,
+        "n_workers": 2,
+        "recovery": false,
+    });
+    dist_bench::run_matrix("smmp_distributed", &job, 2, scenario, &out);
+}

@@ -1,0 +1,147 @@
+//! `BENCH_transport_loopback.json` — raw data-plane microbench: the two
+//! mesh engines moving bare `Data` frames over loopback TCP, with no
+//! simulation kernel in the way.
+//!
+//! For each transport a full mesh of [`PROCS`] in-process "processes"
+//! (each its own mesh instance on its own listener) is established;
+//! process 0 then streams [`FRAMES`] small physical messages
+//! round-robin to every peer while the peers count arrivals. Reported
+//! per transport:
+//!
+//! * **frames/sec** — end-to-end delivery rate of the stream;
+//! * **threads** — OS threads alive while the mesh idles (from
+//!   `/proc/self/status`), the structural difference between the two
+//!   engines: the threaded mesh burns 2 threads per link per process
+//!   (O(links)), the poll mesh one event-loop thread per process (O(1))
+//!   regardless of fan-out.
+
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+use warp_core::LpId;
+use warp_net::frame::Frame;
+use warp_net::tcp::{bind_loopback, MeshEvent, TcpMeshConfig};
+use warp_net::{Mesh, PhysMsg, Transport};
+
+/// Mesh size: 1 sender + 3 receivers = 3 links under load.
+const PROCS: u32 = 4;
+/// Frames streamed by the sender per measurement.
+const FRAMES: u64 = 60_000;
+
+/// Current OS thread count of this process (`Threads:` in
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn os_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn establish_full_mesh(transport: Transport) -> Vec<Mesh> {
+    let listeners: Vec<TcpListener> = (0..PROCS).map(|_| bind_loopback().unwrap()).collect();
+    let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    let mut handles = Vec::new();
+    for (i, l) in listeners.into_iter().enumerate().rev() {
+        let peers: Vec<_> = (0..i as u32).map(|j| (j, addrs[j as usize])).collect();
+        handles.push(thread::spawn(move || {
+            Mesh::establish(transport, TcpMeshConfig::new(i as u32, PROCS), l, &peers).unwrap()
+        }));
+    }
+    let mut meshes: Vec<Mesh> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    meshes.sort_by_key(|m| m.proc_id());
+    meshes
+}
+
+fn measure(transport: Transport) -> (f64, u64) {
+    let before = os_threads();
+    let mut meshes = establish_full_mesh(transport);
+    let threads = os_threads().saturating_sub(before);
+
+    // Receivers: drain Data frames until told how many to expect.
+    let (done_tx, done_rx) = mpsc::channel::<u32>();
+    let receivers: Vec<_> = meshes
+        .split_off(1)
+        .into_iter()
+        .map(|m| {
+            let done = done_tx.clone();
+            let quota = FRAMES / (PROCS as u64 - 1)
+                + u64::from(m.proc_id() <= (FRAMES % (PROCS as u64 - 1)) as u32);
+            thread::spawn(move || {
+                let mut got = 0u64;
+                while got < quota {
+                    match m.recv_timeout(Duration::from_secs(10)) {
+                        Some(MeshEvent::Frame {
+                            frame: Frame::Data { .. },
+                            ..
+                        }) => got += 1,
+                        Some(_) => {}
+                        None => panic!("receiver starved at {got}/{quota} frames"),
+                    }
+                }
+                done.send(m.proc_id()).unwrap();
+                m.shutdown();
+            })
+        })
+        .collect();
+
+    let sender = meshes.remove(0);
+    let msg = PhysMsg {
+        src: LpId(0),
+        dst: LpId(1),
+        events: Vec::new(),
+    };
+    let start = Instant::now();
+    for i in 0..FRAMES {
+        sender.send(
+            1 + (i % (PROCS as u64 - 1)) as u32,
+            Frame::Data {
+                seq: 0,
+                epoch: 0,
+                msg: msg.clone(),
+            },
+        );
+    }
+    for _ in 1..PROCS {
+        done_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("a receiver never finished");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    sender.shutdown();
+    for r in receivers {
+        r.join().unwrap();
+    }
+    (FRAMES as f64 / secs, threads)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_transport_loopback.json".into());
+    println!(
+        "== BENCH transport_loopback — {FRAMES} frames over a {PROCS}-process loopback mesh =="
+    );
+    let mut cells: Vec<(String, serde_json::Value)> = Vec::new();
+    for (key, transport) in [("threaded", Transport::Threaded), ("poll", Transport::Poll)] {
+        let (fps, threads) = measure(transport);
+        println!("  {key:>9}: {fps:>12.0} frames/s, {threads} mesh threads");
+        cells.push((
+            key.into(),
+            serde_json::json!({ "frames_per_second": fps, "mesh_threads": threads }),
+        ));
+    }
+    let json = serde_json::json!({
+        "id": "transport_loopback",
+        "procs": PROCS,
+        "frames": FRAMES,
+        "transports": serde_json::Value::Map(cells),
+    });
+    std::fs::write(&out, serde_json::to_vec_pretty(&json).unwrap()).expect("write JSON");
+    println!("written to {out}");
+}

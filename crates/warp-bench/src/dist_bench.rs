@@ -1,0 +1,127 @@
+//! Shared harness for the real-mesh distributed trajectory points
+//! (`phold_distributed`, `smmp_distributed`): run one fixed scenario
+//! across the transport × aggregation matrix and write a single JSON
+//! artifact at the repository root.
+//!
+//! Matrix cells:
+//!
+//! | key | transport | on-the-wire DyMA |
+//! |-----|-----------|------------------|
+//! | `threaded_unagg` | thread-per-link | off |
+//! | `threaded_saaw`  | thread-per-link | SAAW-adapted |
+//! | `poll_unagg`     | poll event loop | off |
+//! | `poll_saaw`      | poll event loop | SAAW-adapted |
+//!
+//! Each cell is the best of [`RUNS`] runs; the top-level
+//! `events_per_second` (kept for trajectory continuity with the
+//! pre-matrix artifact) is the best cell overall.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use warp_exec::distributed::NetTuning;
+use warp_net::Transport;
+use warped_online::cluster::{run_distributed_job, ClusterJob};
+
+/// Runs per matrix cell; the best is reported.
+pub const RUNS: usize = 3;
+
+/// Initial SAAW window for the aggregated cells, microseconds.
+pub const SAAW_WINDOW_US: u64 = 500;
+
+/// Resolve the worker binary like the tests do: `WARP_WORKER_BIN`, or a
+/// `warp-worker` sibling of the current executable.
+pub fn worker_bin() -> PathBuf {
+    if let Some(bin) = std::env::var_os("WARP_WORKER_BIN") {
+        return PathBuf::from(bin);
+    }
+    let me = std::env::current_exe().expect("current_exe");
+    let sibling = me.with_file_name("warp-worker");
+    assert!(
+        sibling.exists(),
+        "no worker binary: set WARP_WORKER_BIN or build warp-worker next to {}",
+        me.display()
+    );
+    sibling
+}
+
+fn net_for(transport: Transport, saaw: bool) -> NetTuning {
+    NetTuning {
+        transport,
+        agg_window_us: if saaw { SAAW_WINDOW_US } else { 0 },
+        agg_adapt: true,
+        ..NetTuning::default()
+    }
+}
+
+/// Run the full matrix for `job` and write the artifact to `out`.
+pub fn run_matrix(
+    id: &str,
+    job: &ClusterJob,
+    n_workers: u32,
+    scenario: serde_json::Value,
+    out: &str,
+) {
+    let cells = [
+        ("threaded_unagg", Transport::Threaded, false),
+        ("threaded_saaw", Transport::Threaded, true),
+        ("poll_unagg", Transport::Poll, false),
+        ("poll_saaw", Transport::Poll, true),
+    ];
+    println!("== BENCH {id} — committed events/second, {RUNS} runs per cell ==");
+    let mut matrix: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut headline: Option<warp_exec::RunReport> = None;
+    for (key, transport, saaw) in cells {
+        let mut cell_job = job.clone();
+        cell_job.net = net_for(transport, saaw);
+        let mut best: Option<warp_exec::RunReport> = None;
+        for run in 1..=RUNS {
+            let report =
+                run_distributed_job(&cell_job, n_workers, worker_bin(), Duration::from_secs(300))
+                    .unwrap_or_else(|e| panic!("distributed {id} bench ({key}) failed: {e}"));
+            println!(
+                "  {key:>15} run {run}: {:>10.0} ev/s ({} committed events)",
+                report.events_per_second, report.committed_events
+            );
+            if best
+                .as_ref()
+                .is_none_or(|b| report.events_per_second > b.events_per_second)
+            {
+                best = Some(report);
+            }
+        }
+        let best = best.expect("RUNS >= 1");
+        let saved: u64 = best.wire_agg.iter().map(|l| l.frames_saved).sum();
+        let sent: u64 = best.wire_agg.iter().map(|l| l.frames_sent).sum();
+        matrix.push((
+            key.into(),
+            serde_json::json!({
+                "events_per_second": best.events_per_second,
+                "committed_events": best.committed_events,
+                "wall_seconds": best.wall_seconds,
+                "wire_frames_sent": sent,
+                "wire_frames_saved": saved,
+            }),
+        ));
+        if headline
+            .as_ref()
+            .is_none_or(|b| best.events_per_second > b.events_per_second)
+        {
+            headline = Some(best);
+        }
+    }
+    let headline = headline.expect("at least one cell");
+    let json = serde_json::json!({
+        "id": id,
+        "scenario": scenario,
+        "runs": RUNS,
+        "matrix": serde_json::Value::Map(matrix),
+        "events_per_second": headline.events_per_second,
+        "committed_events": headline.committed_events,
+        "wall_seconds": headline.wall_seconds,
+    });
+    std::fs::write(out, serde_json::to_vec_pretty(&json).unwrap()).expect("write JSON");
+    println!(
+        "best overall: {:.0} ev/s — written to {out}",
+        headline.events_per_second
+    );
+}

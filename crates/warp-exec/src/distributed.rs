@@ -202,8 +202,8 @@ use warp_balance::{Assignment, BalanceController, BalancePolicy, LpLoad};
 use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{LpId, VirtualTime};
 use warp_elastic::{ElasticController, ElasticPolicy, ScaleDirection, ScalePlan};
-use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
-use warp_net::{FaultPlan, Frame};
+use warp_net::tcp::{bind_loopback, MeshEvent, MeshSender, TcpMeshConfig};
+use warp_net::{FaultPlan, Frame, Mesh, Transport};
 use warp_telemetry::{ControlEvent, Param, TelemetryReport};
 
 /// Transport tuning for distributed runs. All knobs that used to be
@@ -236,6 +236,35 @@ pub struct NetTuning {
     /// follow-up `SessionLine`.
     #[serde(default)]
     pub orphan_grace_ms: u64,
+    /// Which mesh engine moves the bytes: the thread-per-link
+    /// [`warp_net::TcpMesh`] or the single event-loop
+    /// [`PollMesh`](warp_net::PollMesh). Purely an I/O-strategy choice;
+    /// wire protocol and semantics are identical, and mixed clusters
+    /// interoperate.
+    #[serde(default)]
+    pub transport: Transport,
+    /// On-the-wire DyMA: initial per-link aggregation window in
+    /// microseconds. 0 (the default) disables aggregation — every
+    /// `Data` frame departs immediately, exactly the v7 behavior.
+    #[serde(default)]
+    pub agg_window_us: u64,
+    /// Let the SAAW law adapt each link's window inside
+    /// [`agg_min_window_us`](Self::agg_min_window_us) ..=
+    /// [`agg_max_window_us`](Self::agg_max_window_us); off, the window
+    /// stays fixed at [`agg_window_us`](Self::agg_window_us). (Only
+    /// consulted when aggregation is on; a deserialized legacy config
+    /// has aggregation off, so the `false` serde default is inert.)
+    #[serde(default)]
+    pub agg_adapt: bool,
+    /// SAAW lower window clamp (microseconds); 0 = 50 µs.
+    #[serde(default)]
+    pub agg_min_window_us: u64,
+    /// SAAW upper window clamp (microseconds); 0 = 20 ms.
+    #[serde(default)]
+    pub agg_max_window_us: u64,
+    /// Entries-per-batch ceiling; 0 = 512.
+    #[serde(default)]
+    pub agg_max_batch: u64,
 }
 
 impl Default for NetTuning {
@@ -247,6 +276,12 @@ impl Default for NetTuning {
             connect_backoff_max_ms: 500,
             max_frame_bytes: 0,
             orphan_grace_ms: 0,
+            transport: Transport::Threaded,
+            agg_window_us: 0,
+            agg_adapt: true,
+            agg_min_window_us: 0,
+            agg_max_window_us: 0,
+            agg_max_batch: 0,
         }
     }
 }
@@ -280,7 +315,47 @@ impl NetTuning {
                 self.max_frame_bytes
             ));
         }
+        if self.agg_window_us != 0 {
+            let t = self.agg_tuning().expect("window is nonzero");
+            if t.min_window_us > t.max_window_us {
+                return Err(format!(
+                    "agg_min_window_us ({}) above agg_max_window_us ({})",
+                    t.min_window_us, t.max_window_us
+                ));
+            }
+            if t.window_us < t.min_window_us || t.window_us > t.max_window_us {
+                return Err(format!(
+                    "agg_window_us ({}) outside [{}, {}]",
+                    t.window_us, t.min_window_us, t.max_window_us
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The on-the-wire aggregation tuning these knobs spell, with the
+    /// zero-means-default holes filled in; `None` when aggregation is
+    /// off (`agg_window_us == 0`).
+    pub fn agg_tuning(&self) -> Option<warp_net::AggTuning> {
+        if self.agg_window_us == 0 {
+            return None;
+        }
+        let mut t = warp_net::AggTuning {
+            window_us: self.agg_window_us,
+            adapt: self.agg_adapt,
+            ..Default::default()
+        };
+        if self.agg_min_window_us != 0 {
+            t.min_window_us = self.agg_min_window_us;
+        }
+        if self.agg_max_window_us != 0 {
+            t.max_window_us = self.agg_max_window_us;
+        }
+        if self.agg_max_batch != 0 {
+            t.max_batch = self.agg_max_batch as usize;
+        }
+        t.max_frame_bytes = self.frame_cap();
+        Some(t)
     }
 
     /// The effective frame cap in bytes (protocol default when unset).
@@ -589,6 +664,10 @@ struct WorkerReport {
     /// (rebuild vs. in-place rollback counts, replayed events).
     #[serde(default)]
     resume: ResumeStats,
+    /// Per-link on-the-wire aggregation gauges, harvested from the mesh
+    /// at session end (empty when wire aggregation is off).
+    #[serde(default)]
+    wire_agg: Vec<warp_net::LinkAggStats>,
 }
 
 // ---------------------------------------------------------------------
@@ -1966,9 +2045,12 @@ fn run_session_as_coordinator(
         dial_backoff_max: Duration::from_millis(cfg.net.connect_backoff_max_ms),
         faults: cfg.fault.clone(),
         max_frame_bytes: cfg.net.frame_cap(),
+        // The coordinator sends no `Data` frames, so aggregation is
+        // inert on its links; leave it off to keep control latency
+        // minimal.
         ..TcpMeshConfig::new(0, n_procs)
     };
-    let mesh = TcpMesh::establish(mesh_cfg, listener, &[])?;
+    let mesh = Mesh::establish(cfg.net.transport, mesh_cfg, listener, &[])?;
 
     if session > 0 {
         // Stream each worker's chain as a ResumeChunk sequence: the
@@ -2015,7 +2097,7 @@ fn resume_chunk_len(recovery: &RecoveryPolicy, net: &NetTuning) -> usize {
 /// sequence. Returns the number of chunks sent — always at least one,
 /// because the final chunk's `last` marker is what releases the worker.
 fn send_resume_chunks(
-    mesh: &TcpMesh,
+    mesh: &Mesh,
     to: u32,
     session: u32,
     gvt: VirtualTime,
@@ -2055,7 +2137,7 @@ fn send_resume_chunks(
 /// and ends as [`SessionEnd::Lost`] — the same recovery path a crash
 /// takes, so the cluster regroups under a fresh session epoch.
 fn coordinate(
-    mesh: &TcpMesh,
+    mesh: &Mesh,
     cfg: &DistConfig,
     deadline: Instant,
     admission: Option<&Admission>,
@@ -2561,6 +2643,9 @@ fn merge_reports(
         resume.merge(&r.resume);
     }
     let gvt_rounds = reports.iter().map(|r| r.gvt_rounds).max().unwrap_or(0);
+    let mut wire_agg: Vec<warp_net::LinkAggStats> =
+        reports.iter().flat_map(|r| r.wire_agg.clone()).collect();
+    wire_agg.sort_by_key(|s| s.peer);
     let mut per_lp: Vec<LpSummary> = reports.into_iter().flat_map(|r| r.per_lp).collect();
     per_lp.sort_by_key(|s| s.lp);
 
@@ -2592,6 +2677,7 @@ fn merge_reports(
         migrations,
         scales,
         telemetry,
+        wire_agg,
         resume,
     }
 }
@@ -3242,9 +3328,10 @@ fn run_session_as_worker(
         ),
         faults: init.fault.clone(),
         max_frame_bytes: init.net.frame_cap(),
+        agg: init.net.agg_tuning(),
         ..TcpMeshConfig::new(init.proc_id, n_procs)
     };
-    let mesh = TcpMesh::establish(mesh_cfg, listener, &peer_addrs)
+    let mesh = Mesh::establish(init.net.transport, mesh_cfg, listener, &peer_addrs)
         .map_err(|e| format!("mesh establishment: {e}"))?;
 
     // Test hook: die like a killed worker — no Bye, no report — right
@@ -3469,10 +3556,42 @@ fn run_session_as_worker(
                 return Ok(WorkerSessionEnd::PeerLost("aborted mid-run".into()));
             }
             outcomes.sort_by_key(|o| o.summary.lp);
+            // Harvest the links' on-the-wire aggregation gauges and
+            // surface every SAAW window move as a control event, so the
+            // wire-window trajectory lands in the run's telemetry next
+            // to the modeled-time DyMA walk.
+            let wire_agg = mesh.agg_stats();
+            let agg_events: Vec<ControlEvent> = wire_agg
+                .iter()
+                .flat_map(|link| {
+                    link.window_moves
+                        .iter()
+                        .map(|&(old_us, new_us)| ControlEvent {
+                            gvt: None,
+                            lp: init.proc_id,
+                            object: link.peer,
+                            lvt: None,
+                            param: Param::AggWindow,
+                            old: old_us as f64,
+                            new: new_us as f64,
+                            sampled_o: -1.0,
+                        })
+                })
+                .collect();
+            if !agg_events.is_empty() {
+                let batch = TelemetryReport {
+                    events: agg_events,
+                    ..TelemetryReport::default()
+                };
+                if let Ok(json) = serde_json::to_vec(&batch) {
+                    mesh.send(0, Frame::Telemetry(json));
+                }
+            }
             let report = WorkerReport {
                 gvt_rounds: outcomes.iter().map(|o| o.gvt_rounds).max().unwrap_or(0),
                 per_lp: outcomes.into_iter().map(|o| o.summary).collect(),
                 resume: resume_stats.clone(),
+                wire_agg,
             };
             let bytes = serde_json::to_vec(&report).map_err(|e| format!("report encode: {e}"))?;
             mesh.send(0, Frame::Report(bytes));
@@ -3498,22 +3617,22 @@ fn stash_retained(
 /// What the router hands back.
 enum RouteEnd {
     /// Told to stop (LP threads all finished).
-    Stopped(TcpMesh),
+    Stopped(Mesh),
     /// A peer was lost uncleanly; every local LP got `Packet::Abort`.
     Lost {
         /// The mesh, for the caller to slam shut.
-        mesh: TcpMesh,
+        mesh: Mesh,
         /// What the failure detector observed.
         detail: String,
     },
     /// The coordinator announced a migration; every local LP got
     /// `Packet::Abort` and the session ends on purpose.
-    Rebalance(TcpMesh),
+    Rebalance(Mesh),
     /// The coordinator retired this worker; every local LP got
     /// `Packet::Abort` and the caller must `DrainAck` and exit cleanly.
     Retire {
         /// The mesh, for the drain acknowledgement and clean close.
-        mesh: TcpMesh,
+        mesh: Mesh,
         /// The barrier horizon announced in the `Retire` frame.
         gvt: VirtualTime,
     },
@@ -3523,7 +3642,7 @@ enum RouteEnd {
 /// stop, fanning the checkpoint protocol out to the LP threads along
 /// the way. On an unclean peer loss, aborts every local LP and returns.
 fn route_inbound(
-    mesh: TcpMesh,
+    mesh: Mesh,
     locals: &[Option<Sender<Packet>>],
     stop: &AtomicBool,
     backlog: Vec<(u32, Frame)>,

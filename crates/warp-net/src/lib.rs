@@ -14,6 +14,13 @@
 //!   length-prefixed, versioned frame codec over the canonical
 //!   `warp_core::wire` encoding, and a full TCP mesh of processes with
 //!   handshakes, heartbeats, and drain-then-close shutdown.
+//! * [`poll`] — the production data plane: the same mesh surface run by
+//!   a single readiness-driven event loop (nonblocking sockets, O(1)
+//!   threads per process) instead of two threads per link. Selected via
+//!   [`Transport::Poll`]; see `docs/data-plane.md`.
+//! * [`wire_agg`] — on-the-wire DyMA (protocol v8): per-link
+//!   aggregation of outbound `Data` frames into `DataBatch` under a
+//!   SAAW-adapted window, shared by both transports.
 //! * [`fault`] — deterministic, seeded fault injection (drop / duplicate
 //!   / delay / partition / crash) applied at the sending side of each TCP
 //!   link, so every recovery path is exercised reproducibly.
@@ -29,12 +36,18 @@ pub mod aggregate;
 pub mod fault;
 pub mod frame;
 pub mod inproc;
+pub mod mesh_select;
 pub mod policy;
+pub mod poll;
 pub mod tcp;
+pub mod wire_agg;
 
 pub use aggregate::{Aggregator, PhysMsg};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultScope, Selector};
 pub use frame::{Frame, FrameDecoder, FrameError, PROTO_VERSION};
 pub use inproc::{mesh, Endpoint};
+pub use mesh_select::{Mesh, Transport};
 pub use policy::AggregationConfig;
+pub use poll::PollMesh;
 pub use tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
+pub use wire_agg::{AggTuning, LinkAggStats, LinkAggregator};

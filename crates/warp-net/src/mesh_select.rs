@@ -1,0 +1,178 @@
+//! Transport selection: one mesh surface, two engines.
+//!
+//! The distributed executive talks to a [`Mesh`], which is either the
+//! thread-per-link [`TcpMesh`] or the single-threaded
+//! readiness-driven [`PollMesh`]. Both speak the same
+//! wire protocol, share the handshake/session/fault/aggregation
+//! machinery, and expose identical semantics — [`Transport`] only picks
+//! how the bytes are moved (blocking threads vs one poll loop), never
+//! what they mean. Mixed clusters are fine: a threaded worker and a
+//! poll worker interoperate on the wire.
+
+use crate::frame::Frame;
+use crate::poll::PollMesh;
+use crate::tcp::{MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
+use crate::wire_agg::LinkAggStats;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Which engine moves the mesh's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Transport {
+    /// Two blocking threads (reader + writer) per link — the original
+    /// mesh. Simple, and fine at small fan-out.
+    #[default]
+    Threaded,
+    /// One readiness-driven event loop per process over nonblocking
+    /// sockets — O(1) threads regardless of cluster size.
+    Poll,
+}
+
+impl Transport {
+    /// Parse a CLI spelling (`threaded` / `poll`).
+    pub fn parse(s: &str) -> Result<Transport, String> {
+        match s {
+            "threaded" => Ok(Transport::Threaded),
+            "poll" => Ok(Transport::Poll),
+            other => Err(format!(
+                "unknown transport {other:?} (expected threaded|poll)"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Transport::Threaded => "threaded",
+            Transport::Poll => "poll",
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A mesh of either engine. Method-for-method the [`TcpMesh`] surface;
+/// see there for semantics.
+pub enum Mesh {
+    /// Thread-per-link engine.
+    Threaded(TcpMesh),
+    /// Single event-loop engine.
+    Poll(PollMesh),
+}
+
+impl Mesh {
+    /// Establish the full mesh with the chosen engine. Contract and
+    /// choreography are identical either way (shared implementation).
+    pub fn establish(
+        transport: Transport,
+        cfg: TcpMeshConfig,
+        listener: TcpListener,
+        peer_addrs: &[(u32, SocketAddr)],
+    ) -> io::Result<Mesh> {
+        match transport {
+            Transport::Threaded => {
+                TcpMesh::establish(cfg, listener, peer_addrs).map(Mesh::Threaded)
+            }
+            Transport::Poll => PollMesh::establish(cfg, listener, peer_addrs).map(Mesh::Poll),
+        }
+    }
+
+    /// This process's id.
+    pub fn proc_id(&self) -> u32 {
+        match self {
+            Mesh::Threaded(m) => m.proc_id(),
+            Mesh::Poll(m) => m.proc_id(),
+        }
+    }
+
+    /// Total process count.
+    pub fn n_procs(&self) -> u32 {
+        match self {
+            Mesh::Threaded(m) => m.n_procs(),
+            Mesh::Poll(m) => m.n_procs(),
+        }
+    }
+
+    /// A cloneable sender over the same links.
+    pub fn sender(&self) -> MeshSender {
+        match self {
+            Mesh::Threaded(m) => m.sender(),
+            Mesh::Poll(m) => m.sender(),
+        }
+    }
+
+    /// Queue a frame for `to`.
+    pub fn send(&self, to: u32, frame: Frame) {
+        match self {
+            Mesh::Threaded(m) => m.send(to, frame),
+            Mesh::Poll(m) => m.send(to, frame),
+        }
+    }
+
+    /// Next event if one is already queued.
+    pub fn try_recv(&self) -> Option<MeshEvent> {
+        match self {
+            Mesh::Threaded(m) => m.try_recv(),
+            Mesh::Poll(m) => m.try_recv(),
+        }
+    }
+
+    /// Block up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MeshEvent> {
+        match self {
+            Mesh::Threaded(m) => m.recv_timeout(timeout),
+            Mesh::Poll(m) => m.recv_timeout(timeout),
+        }
+    }
+
+    /// Per-link on-the-wire aggregation gauges (empty when aggregation
+    /// is off).
+    pub fn agg_stats(&self) -> Vec<LinkAggStats> {
+        match self {
+            Mesh::Threaded(m) => m.agg_stats(),
+            Mesh::Poll(m) => m.agg_stats(),
+        }
+    }
+
+    /// Graceful drain-then-close shutdown.
+    pub fn shutdown(self) {
+        match self {
+            Mesh::Threaded(m) => m.shutdown(),
+            Mesh::Poll(m) => m.shutdown(),
+        }
+    }
+
+    /// Abrupt teardown with no `Bye`.
+    pub fn abort(self) {
+        match self {
+            Mesh::Threaded(m) => m.abort(),
+            Mesh::Poll(m) => m.abort(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_parses_both_spellings_and_rejects_junk() {
+        assert_eq!(Transport::parse("threaded").unwrap(), Transport::Threaded);
+        assert_eq!(Transport::parse("poll").unwrap(), Transport::Poll);
+        assert!(Transport::parse("epoll").is_err());
+        assert_eq!(Transport::default(), Transport::Threaded);
+    }
+
+    #[test]
+    fn transport_serde_round_trips() {
+        let j = serde_json::to_string(&Transport::Poll).unwrap();
+        let t: Transport = serde_json::from_str(&j).unwrap();
+        assert_eq!(t, Transport::Poll);
+    }
+}

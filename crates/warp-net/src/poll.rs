@@ -1,0 +1,895 @@
+//! The production data plane: a readiness-driven mesh event loop.
+//!
+//! [`PollMesh`] carries exactly the traffic [`TcpMesh`](crate::TcpMesh)
+//! does — same handshake, same frames, same fault hooks, same
+//! sequencing, same shutdown choreography — but runs **every link of
+//! the process on one event-loop thread** over nonblocking sockets,
+//! instead of a reader + writer thread per link. At Warped2-scale
+//! fan-out (dozens of peers per host) the threaded mesh burns
+//! `2·(n_procs−1)` OS threads per process on blocking I/O; the poll
+//! mesh burns one, regardless of cluster size, and the saved context
+//! switches go to the simulation kernel.
+//!
+//! ## The poll shim
+//!
+//! `std` exposes no `poll(2)`/`select(2)`, and the build environment is
+//! std-only, so readiness is approximated portably:
+//!
+//! * every peer socket is `set_nonblocking(true)`; reads and writes
+//!   drain until `WouldBlock`, so one loop iteration moves every byte
+//!   that is currently movable;
+//! * the loop's single blocking point is `recv_timeout` on the shared
+//!   command channel — the channel doubles as the wakeup pipe, so an
+//!   outbound frame (or shutdown) interrupts the sleep instantly;
+//! * the sleep is adaptive: an iteration that moved bytes loops again
+//!   immediately; consecutive idle iterations back off 500 µs → 5 ms,
+//!   capped by the next timer deadline (heartbeat due, aggregation
+//!   window expiry, liveness check). Idle latency is therefore bounded
+//!   by single-digit milliseconds while a streaming link keeps the loop
+//!   hot with zero sleeps.
+//!
+//! ## Backpressure
+//!
+//! Each link owns a ring-buffered write queue (`OutBuf`: a compacting
+//! `Vec` with a send cursor). When any link's pending bytes exceed the
+//! high-water mark the loop stops draining the command channel — the
+//! unbounded channel then absorbs the burst exactly as the threaded
+//! mesh's per-writer queues do, and draining resumes once the slow
+//! socket catches up.
+//!
+//! On-the-wire aggregation ([`crate::wire_agg`]) plugs into the staging
+//! path here exactly as it does in the threaded writer, and the shared
+//! `LinkRx` sequencing (dedup / reorder / gap detection / `DataBatch`
+//! fan-out) is byte-for-byte the same code — the two transports cannot
+//! diverge behaviorally.
+
+use crate::frame::{Frame, FrameDecoder};
+use crate::tcp::{
+    establish_links, LinkRx, LinkTx, MeshEvent, MeshSender, RxStatus, SenderInner, TcpMeshConfig,
+    WriterCmd,
+};
+use crate::wire_agg::{LinkAggStats, LinkAggregator};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Per-link pending-write ceiling before the loop stops accepting new
+/// commands (the command channel absorbs the excess).
+const HIGH_WATER: usize = 4 << 20;
+
+/// Idle-sleep ramp: first pause after a quiet iteration, and the cap.
+const IDLE_MIN: Duration = Duration::from_micros(500);
+const IDLE_MAX: Duration = Duration::from_millis(5);
+
+/// A fully-established mesh run by a single poll-style event loop.
+/// Method-for-method interchangeable with [`crate::TcpMesh`].
+pub struct PollMesh {
+    cfg: TcpMeshConfig,
+    cmd_tx: Sender<(u32, WriterCmd)>,
+    event_tx: Sender<MeshEvent>,
+    event_rx: Receiver<MeshEvent>,
+    /// Socket clones so `abort` can slam connections shut.
+    streams: Vec<Option<TcpStream>>,
+    closing: Arc<AtomicBool>,
+    aborting: Arc<AtomicBool>,
+    driver: Option<JoinHandle<()>>,
+    agg_stats: Vec<Option<Arc<Mutex<LinkAggStats>>>>,
+}
+
+/// Ring-buffered write queue: staged bytes ahead of `sent` are already
+/// on the wire; the tail still waits for socket readiness. Compacts
+/// lazily like `FrameDecoder`.
+struct OutBuf {
+    buf: Vec<u8>,
+    sent: usize,
+}
+
+impl OutBuf {
+    fn new() -> Self {
+        OutBuf {
+            buf: Vec::with_capacity(4096),
+            sent: 0,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.buf.len() - self.sent
+    }
+
+    fn tail(&self) -> &[u8] {
+        &self.buf[self.sent..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.sent += n;
+        if self.sent >= self.buf.len() || self.sent > 64 << 10 {
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+    }
+}
+
+/// One live connection inside the event loop.
+struct PollLink {
+    peer: u32,
+    stream: TcpStream,
+    tx: LinkTx,
+    agg: Option<LinkAggregator>,
+    out: OutBuf,
+    dec: FrameDecoder,
+    rx: LinkRx,
+    last_byte: Instant,
+    last_write: Instant,
+    /// The write half failed or was closed; stop staging and writing.
+    write_dead: bool,
+    /// `Bye` has been queued (shutdown path).
+    bye_sent: bool,
+    /// The link's story is over (peer down reported, or drained); all
+    /// I/O on it stops.
+    done: bool,
+}
+
+impl PollLink {
+    /// Stage one frame through aggregation + fault machinery into the
+    /// write queue.
+    fn stage(&mut self, frame: Frame, now: Instant) {
+        if self.write_dead || self.done {
+            return;
+        }
+        match self.agg.as_mut() {
+            Some(a) => {
+                for departed in a.offer(frame, now) {
+                    self.tx.stage(departed, &mut self.out.buf);
+                }
+            }
+            None => self.tx.stage(frame, &mut self.out.buf),
+        }
+    }
+
+    /// Queue the shutdown residue: open aggregate, held frames, `Bye`.
+    fn stage_bye(&mut self, now: Instant) {
+        if self.bye_sent || self.write_dead || self.done {
+            return;
+        }
+        self.bye_sent = true;
+        if self.tx.partitioned {
+            return;
+        }
+        if let Some(a) = self.agg.as_mut() {
+            for departed in a.close(now) {
+                self.tx.stage(departed, &mut self.out.buf);
+            }
+        }
+        self.tx.flush_held(&mut self.out.buf);
+        Frame::Bye.encode_into(&mut self.out.buf);
+    }
+}
+
+impl PollMesh {
+    /// This process's id.
+    pub fn proc_id(&self) -> u32 {
+        self.cfg.proc_id
+    }
+
+    /// Total process count.
+    pub fn n_procs(&self) -> u32 {
+        self.cfg.n_procs
+    }
+
+    /// A cloneable sender over the same links.
+    pub fn sender(&self) -> MeshSender {
+        MeshSender {
+            proc_id: self.cfg.proc_id,
+            inner: SenderInner::Shared(self.cmd_tx.clone()),
+            loopback: self.event_tx.clone(),
+        }
+    }
+
+    /// Queue a frame for `to` (see [`MeshSender::send`]).
+    pub fn send(&self, to: u32, frame: Frame) {
+        if to == self.cfg.proc_id {
+            let _ = self.event_tx.send(MeshEvent::Frame {
+                from: self.cfg.proc_id,
+                frame,
+            });
+            return;
+        }
+        let _ = self.cmd_tx.send((to, WriterCmd::Frame(frame)));
+    }
+
+    /// Next event if one is already queued.
+    pub fn try_recv(&self) -> Option<MeshEvent> {
+        self.event_rx.try_recv().ok()
+    }
+
+    /// Block up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MeshEvent> {
+        match self.event_rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Per-link aggregation gauges (links with aggregation off are
+    /// absent). A live snapshot: callers may read it mid-run.
+    pub fn agg_stats(&self) -> Vec<LinkAggStats> {
+        self.agg_stats
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| s.lock().unwrap().clone()))
+            .collect()
+    }
+
+    /// Establish the full mesh and start its event loop. Identical
+    /// contract to [`crate::TcpMesh::establish`] — same dial/accept
+    /// choreography, handshake, and session pinning (they share the
+    /// implementation).
+    pub fn establish(
+        cfg: TcpMeshConfig,
+        listener: TcpListener,
+        peer_addrs: &[(u32, SocketAddr)],
+    ) -> io::Result<PollMesh> {
+        let links = establish_links(&cfg, listener, peer_addrs)?;
+        let n = cfg.n_procs as usize;
+        let (event_tx, event_rx) = mpsc::channel();
+        let (cmd_tx, cmd_rx) = mpsc::channel::<(u32, WriterCmd)>();
+        let closing = Arc::new(AtomicBool::new(false));
+        let aborting = Arc::new(AtomicBool::new(false));
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut agg_stats: Vec<Option<Arc<Mutex<LinkAggStats>>>> = (0..n).map(|_| None).collect();
+        let now = Instant::now();
+        let mut poll_links: Vec<Option<PollLink>> = (0..n).map(|_| None).collect();
+        for (peer_id, slot) in links.into_iter().enumerate() {
+            let Some((stream, dec)) = slot else { continue };
+            stream.set_nonblocking(true)?;
+            streams[peer_id] = Some(stream.try_clone()?);
+            let chaos = cfg
+                .faults
+                .as_ref()
+                .and_then(|p| p.link(cfg.proc_id, peer_id as u32, cfg.session));
+            let ctl_chaos = cfg
+                .faults
+                .as_ref()
+                .and_then(|p| p.link_control(cfg.proc_id, peer_id as u32, cfg.session));
+            let agg = cfg
+                .link_agg_tuning()
+                .map(|t| LinkAggregator::new(peer_id as u32, t));
+            agg_stats[peer_id] = agg.as_ref().map(|a| a.stats());
+            poll_links[peer_id] = Some(PollLink {
+                peer: peer_id as u32,
+                stream,
+                tx: LinkTx::new(chaos, ctl_chaos),
+                agg,
+                out: OutBuf::new(),
+                dec,
+                rx: LinkRx::new(),
+                last_byte: now,
+                last_write: now,
+                write_dead: false,
+                bye_sent: false,
+                done: false,
+            });
+        }
+
+        let loop_cfg = cfg.clone();
+        let loop_events = event_tx.clone();
+        let loop_closing = Arc::clone(&closing);
+        let loop_aborting = Arc::clone(&aborting);
+        let driver = thread::Builder::new()
+            .name(format!("mesh-poll{}", cfg.proc_id))
+            .spawn(move || {
+                poll_loop(
+                    loop_cfg,
+                    poll_links,
+                    cmd_rx,
+                    loop_events,
+                    loop_closing,
+                    loop_aborting,
+                )
+            })?;
+
+        Ok(PollMesh {
+            cfg,
+            cmd_tx,
+            event_tx,
+            event_rx,
+            streams,
+            closing,
+            aborting,
+            driver: Some(driver),
+            agg_stats,
+        })
+    }
+
+    /// Graceful shutdown: flush open aggregates, held frames, and
+    /// queued traffic, announce `Bye` on every link, close the write
+    /// halves, and drain reads until every peer's own `Bye` — or for at
+    /// most the liveness budget. Exactly the threaded mesh's contract.
+    pub fn shutdown(mut self) {
+        self.closing.store(true, Ordering::Relaxed);
+        // Wakeup token so the loop notices immediately.
+        let _ = self.cmd_tx.send((u32::MAX, WriterCmd::Shutdown));
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+    }
+
+    /// Abrupt teardown for tests and fatal-error paths: slam every
+    /// socket shut with no `Bye`. Peers observe an unclean close.
+    pub fn abort(mut self) {
+        self.aborting.store(true, Ordering::Relaxed);
+        self.closing.store(true, Ordering::Relaxed);
+        for s in self.streams.iter().flatten() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = self.cmd_tx.send((u32::MAX, WriterCmd::Shutdown));
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+/// The single event loop: drains commands, runs timers, writes and
+/// reads every link until `WouldBlock`, then sleeps adaptively.
+fn poll_loop(
+    cfg: TcpMeshConfig,
+    mut links: Vec<Option<PollLink>>,
+    cmd_rx: Receiver<(u32, WriterCmd)>,
+    events: Sender<MeshEvent>,
+    closing: Arc<AtomicBool>,
+    aborting: Arc<AtomicBool>,
+) {
+    let heartbeat = cfg.heartbeat_interval;
+    let liveness = cfg.liveness_timeout;
+    let mut buf = [0u8; 64 * 1024];
+    let mut closing_since: Option<Instant> = None;
+    let mut idle = IDLE_MIN;
+    let down = |link: &mut PollLink, clean: bool, detail: String| {
+        link.done = true;
+        let _ = events.send(MeshEvent::PeerDown {
+            peer: link.peer,
+            clean,
+            detail,
+        });
+    };
+    loop {
+        if aborting.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        let mut progress = false;
+
+        // -- Shutdown transition: queue the goodbye residue once.
+        if closing.load(Ordering::Relaxed) && closing_since.is_none() {
+            closing_since = Some(now);
+            // Everything already queued departs ahead of the goodbye —
+            // the threaded writer gets this ordering for free from its
+            // per-link channel FIFO; here the flag races the queue, so
+            // drain explicitly first.
+            while let Ok((to, cmd)) = cmd_rx.try_recv() {
+                if let WriterCmd::Frame(frame) = cmd {
+                    if let Some(Some(link)) = links.get_mut(to as usize) {
+                        link.stage(frame, now);
+                    }
+                }
+            }
+            for link in links.iter_mut().flatten() {
+                link.stage_bye(now);
+            }
+            progress = true;
+        }
+
+        // -- Drain commands, unless a slow link is over high water (the
+        // unbounded channel then absorbs the burst: backpressure).
+        let over_water = links
+            .iter()
+            .flatten()
+            .any(|l| !l.done && l.out.pending() > HIGH_WATER);
+        if !over_water && closing_since.is_none() {
+            while let Ok((to, cmd)) = cmd_rx.try_recv() {
+                if let WriterCmd::Frame(frame) = cmd {
+                    if let Some(Some(link)) = links.get_mut(to as usize) {
+                        link.stage(frame, now);
+                        progress = true;
+                        if link.out.pending() > HIGH_WATER {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // -- Timers: aggregation-window expiry and idle heartbeats.
+        for link in links.iter_mut().flatten() {
+            if link.done || link.write_dead {
+                continue;
+            }
+            if let Some(a) = link.agg.as_mut() {
+                for departed in a.poll_expired(now) {
+                    link.tx.stage(departed, &mut link.out.buf);
+                }
+            }
+            if closing_since.is_none()
+                && !link.tx.partitioned
+                && now.duration_since(link.last_write) >= heartbeat
+            {
+                link.tx.flush_held(&mut link.out.buf);
+                Frame::Heartbeat.encode_into(&mut link.out.buf);
+                // Stamp now: a blocked socket must not trigger a
+                // heartbeat per iteration.
+                link.last_write = now;
+            }
+        }
+
+        // -- Write every link until its socket pushes back.
+        for link in links.iter_mut().flatten() {
+            if link.done || link.write_dead {
+                continue;
+            }
+            while link.out.pending() > 0 {
+                match link.stream.write(link.out.tail()) {
+                    Ok(0) => {
+                        link.write_dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        link.out.advance(n);
+                        link.last_write = Instant::now();
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // The read path owns failure reporting.
+                        link.write_dead = true;
+                        break;
+                    }
+                }
+            }
+            // Shutdown: once the goodbye has fully left, close the
+            // write half so the peer's reader sees a clean EOF after
+            // its Bye, mirroring the threaded writer.
+            if link.bye_sent && !link.write_dead && link.out.pending() == 0 {
+                let _ = link.stream.shutdown(std::net::Shutdown::Write);
+                link.write_dead = true;
+            }
+        }
+
+        // -- Read every link until its socket runs dry.
+        'links: for link in links.iter_mut().flatten() {
+            if link.done {
+                continue;
+            }
+            loop {
+                match link.stream.read(&mut buf) {
+                    Ok(0) => {
+                        down(link, false, "connection closed without Bye".into());
+                        continue 'links;
+                    }
+                    Ok(n) => {
+                        link.last_byte = Instant::now();
+                        link.dec.push(&buf[..n]);
+                        progress = true;
+                        loop {
+                            match link.dec.next() {
+                                Ok(Some(frame)) => {
+                                    match link.rx.on_frame(frame, link.peer, &events) {
+                                        RxStatus::Open => {}
+                                        RxStatus::Closed { clean, detail } => {
+                                            down(link, clean, detail);
+                                            continue 'links;
+                                        }
+                                        RxStatus::OwnerGone => {
+                                            link.done = true;
+                                            continue 'links;
+                                        }
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    down(link, false, format!("stream corrupt: {e}"));
+                                    continue 'links;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        down(link, false, format!("read failed: {e}"));
+                        continue 'links;
+                    }
+                }
+            }
+            // Liveness: sequence gaps and half-open silence.
+            if let Some(lost) = link.rx.gap_expired(liveness) {
+                down(
+                    link,
+                    false,
+                    format!("data frame {lost} lost (gap persisted past {liveness:?})"),
+                );
+                continue;
+            }
+            if link.last_byte.elapsed() > liveness {
+                down(
+                    link,
+                    false,
+                    format!("half-open link: silent for {liveness:?}"),
+                );
+            }
+        }
+
+        // -- Exit: shutdown completes when every link's story ended, or
+        // when the drain budget (the liveness timeout, as in the
+        // threaded reader) runs out on peers that never say Bye.
+        if let Some(since) = closing_since {
+            let all_done = links.iter().flatten().all(|l| l.done);
+            if all_done || since.elapsed() > liveness {
+                return;
+            }
+        }
+
+        if progress {
+            idle = IDLE_MIN;
+            continue;
+        }
+
+        // -- Sleep until the next command or timer deadline, with the
+        // adaptive idle ramp bounding added latency.
+        let mut wake = now + idle;
+        for link in links.iter().flatten() {
+            if link.done {
+                continue;
+            }
+            if let Some(d) = link.agg.as_ref().and_then(|a| a.next_deadline()) {
+                wake = wake.min(d);
+            }
+        }
+        let timeout = wake
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_micros(100));
+        match cmd_rx.recv_timeout(timeout) {
+            Ok((to, WriterCmd::Frame(frame))) => {
+                let now = Instant::now();
+                if closing_since.is_none() {
+                    if let Some(Some(link)) = links.get_mut(to as usize) {
+                        link.stage(frame, now);
+                    }
+                }
+                idle = IDLE_MIN;
+            }
+            Ok((_, WriterCmd::Shutdown)) => {
+                // Pure wakeup token; the closing/aborting flags carry
+                // the actual intent.
+                idle = IDLE_MIN;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                idle = (idle * 2).min(IDLE_MAX);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every sender (the mesh handle included) is gone
+                // without a shutdown: treat it as one.
+                closing.store(true, Ordering::Relaxed);
+                idle = (idle * 2).min(IDLE_MAX);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, Selector};
+    use crate::wire_agg::AggTuning;
+    use warp_core::gvt::GvtToken;
+    use warp_core::VirtualTime;
+
+    fn fast_cfg(proc_id: u32, n_procs: u32) -> TcpMeshConfig {
+        TcpMeshConfig {
+            heartbeat_interval: Duration::from_millis(40),
+            liveness_timeout: Duration::from_millis(400),
+            connect_timeout: Duration::from_secs(10),
+            ..TcpMeshConfig::new(proc_id, n_procs)
+        }
+    }
+
+    fn pair_with(cfg0: TcpMeshConfig, cfg1: TcpMeshConfig) -> (PollMesh, PollMesh) {
+        let l0 = crate::bind_loopback().unwrap();
+        let l1 = crate::bind_loopback().unwrap();
+        let a0 = l0.local_addr().unwrap();
+        let t = thread::spawn(move || PollMesh::establish(cfg1, l1, &[(0, a0)]).unwrap());
+        let m0 = PollMesh::establish(cfg0, l0, &[]).unwrap();
+        (m0, t.join().unwrap())
+    }
+
+    fn pair() -> (PollMesh, PollMesh) {
+        pair_with(fast_cfg(0, 2), fast_cfg(1, 2))
+    }
+
+    fn data(epoch: u32) -> Frame {
+        Frame::Data {
+            seq: 0,
+            epoch,
+            msg: crate::aggregate::PhysMsg {
+                src: warp_core::LpId(0),
+                dst: warp_core::LpId(1),
+                events: vec![],
+            },
+        }
+    }
+
+    fn token(round: u32) -> Frame {
+        Frame::Token {
+            dst_lp: 0,
+            token: GvtToken {
+                round,
+                min: VirtualTime::new(5),
+                count: 0,
+            },
+        }
+    }
+
+    fn expect_frame(m: &PollMesh) -> (u32, Frame) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match m.recv_timeout(Duration::from_millis(100)) {
+                Some(MeshEvent::Frame { from, frame }) => return (from, frame),
+                Some(MeshEvent::PeerDown { peer, detail, .. }) => {
+                    panic!("peer {peer} went down while a frame was expected: {detail}")
+                }
+                None => {}
+            }
+        }
+        panic!("no frame within 5s");
+    }
+
+    fn expect_down(m: &PollMesh) -> (u32, bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if let Some(MeshEvent::PeerDown { peer, clean, .. }) =
+                m.recv_timeout(Duration::from_millis(100))
+            {
+                return (peer, clean);
+            }
+        }
+        panic!("no PeerDown within 5s");
+    }
+
+    fn recv_data_epochs(m: &PollMesh, n: usize) -> Vec<u32> {
+        let mut got = Vec::new();
+        while got.len() < n {
+            match expect_frame(m) {
+                (_, Frame::Data { epoch, .. }) => got.push(epoch),
+                (_, other) => panic!("expected Data, got {other:?}"),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn two_procs_exchange_and_shut_down_cleanly() {
+        let (m0, m1) = pair();
+        m0.send(1, token(1));
+        m1.send(0, token(2));
+        assert_eq!(expect_frame(&m1), (0, token(1)));
+        assert_eq!(expect_frame(&m0), (1, token(2)));
+        let t = thread::spawn(move || {
+            assert_eq!(expect_down(&m1), (0, true));
+            m1.shutdown();
+        });
+        m0.shutdown();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn self_send_loops_back_locally() {
+        let (m0, m1) = pair();
+        m0.send(0, token(9));
+        assert_eq!(expect_frame(&m0), (0, token(9)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn three_proc_mesh_routes_every_pair() {
+        let ls: Vec<_> = (0..3).map(|_| crate::bind_loopback().unwrap()).collect();
+        let addrs: Vec<_> = ls.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (i, l) in ls.into_iter().enumerate().rev() {
+            let peers: Vec<_> = (0..i as u32).map(|j| (j, addrs[j as usize])).collect();
+            handles.push(thread::spawn(move || {
+                PollMesh::establish(fast_cfg(i as u32, 3), l, &peers).unwrap()
+            }));
+        }
+        let mut meshes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        meshes.sort_by_key(|m| m.proc_id());
+        for src in 0..3u32 {
+            for dst in 0..3u32 {
+                if src == dst {
+                    continue;
+                }
+                meshes[src as usize].send(dst, token(src * 10 + dst));
+                assert_eq!(
+                    expect_frame(&meshes[dst as usize]),
+                    (src, token(src * 10 + dst))
+                );
+            }
+        }
+        for m in meshes {
+            thread::spawn(move || m.shutdown());
+        }
+    }
+
+    #[test]
+    fn killed_peer_is_reported_unclean() {
+        let (m0, m1) = pair();
+        m1.abort();
+        let (peer, clean) = expect_down(&m0);
+        assert_eq!(peer, 1);
+        assert!(!clean, "abrupt close must not look like a graceful Bye");
+        m0.abort();
+    }
+
+    #[test]
+    fn idle_link_stays_alive_on_heartbeats() {
+        let (m0, m1) = pair();
+        thread::sleep(Duration::from_millis(900));
+        assert!(m0.try_recv().is_none(), "heartbeats must not surface");
+        m0.send(1, token(4));
+        assert_eq!(expect_frame(&m1), (0, token(4)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn mixed_transports_interoperate_on_the_same_wire_protocol() {
+        // One side threaded, one side poll: the wire admits no
+        // difference, so they must talk.
+        let l0 = crate::bind_loopback().unwrap();
+        let l1 = crate::bind_loopback().unwrap();
+        let a0 = l0.local_addr().unwrap();
+        let t = thread::spawn(move || PollMesh::establish(fast_cfg(1, 2), l1, &[(0, a0)]).unwrap());
+        let m0 = crate::TcpMesh::establish(fast_cfg(0, 2), l0, &[]).unwrap();
+        let m1 = t.join().unwrap();
+        m0.send(1, token(1));
+        assert_eq!(expect_frame(&m1), (0, token(1)));
+        m1.send(0, data(7));
+        loop {
+            if let Some(MeshEvent::Frame {
+                frame: Frame::Data { epoch, .. },
+                ..
+            }) = m0.recv_timeout(Duration::from_secs(5))
+            {
+                assert_eq!(epoch, 7);
+                break;
+            }
+        }
+        let t = thread::spawn(move || m1.shutdown());
+        m0.shutdown();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicated_data_frames_are_deduplicated_in_order() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(
+            0,
+            1,
+            FaultKind::Duplicate(Selector::Every { every: 1, phase: 0 }),
+        ));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..4 {
+            m0.send(1, data(epoch));
+        }
+        m0.send(1, token(77));
+        assert_eq!(recv_data_epochs(&m1, 4), vec![0, 1, 2, 3]);
+        assert_eq!(expect_frame(&m1), (0, token(77)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn delayed_data_frames_are_reordered_back() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(
+            0,
+            1,
+            FaultKind::Delay {
+                sel: Selector::At(0),
+                hold: 2,
+            },
+        ));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..4 {
+            m0.send(1, data(epoch));
+        }
+        assert_eq!(recv_data_epochs(&m1, 4), vec![0, 1, 2, 3]);
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn dropped_data_frame_surfaces_as_unclean_loss() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().with(0, 1, FaultKind::Drop(Selector::At(1))));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..3 {
+            m0.send(1, data(epoch));
+        }
+        assert_eq!(recv_data_epochs(&m1, 1), vec![0]);
+        let (peer, clean) = expect_down(&m1);
+        assert_eq!(peer, 0);
+        assert!(!clean, "a lost frame is an unclean link failure");
+        m0.abort();
+        m1.abort();
+    }
+
+    #[test]
+    fn partitioned_link_goes_silent_and_trips_liveness() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.faults = Some(FaultPlan::new().partition(0, 1, 0, 0));
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        m0.send(1, data(0)); // swallowed by the partition
+        let (peer, clean) = expect_down(&m1);
+        assert_eq!(peer, 0);
+        assert!(!clean);
+        m0.abort();
+        m1.abort();
+    }
+
+    #[test]
+    fn aggregated_stream_arrives_in_order_with_fewer_frames() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.agg = Some(AggTuning {
+            window_us: 2_000,
+            min_window_us: 100,
+            max_window_us: 20_000,
+            adapt: true,
+            max_batch: 64,
+            max_frame_bytes: crate::frame::MAX_FRAME_BYTES,
+        });
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..50 {
+            m0.send(1, data(epoch));
+        }
+        assert_eq!(recv_data_epochs(&m1, 50), (0..50).collect::<Vec<_>>());
+        let stats = m0.agg_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(
+            stats[0].frames_saved > 0,
+            "50 rapid sends never coalesced: {stats:?}"
+        );
+        // A GVT-critical frame behind the data stream keeps FIFO order.
+        m0.send(1, token(99));
+        assert_eq!(expect_frame(&m1), (0, token(99)));
+        m0.shutdown();
+        m1.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_the_open_aggregate() {
+        let mut cfg0 = fast_cfg(0, 2);
+        cfg0.agg = Some(AggTuning {
+            // A window far beyond the test's patience: only the
+            // shutdown drain can deliver these frames.
+            window_us: 5_000_000,
+            min_window_us: 100,
+            max_window_us: 10_000_000,
+            adapt: false,
+            max_batch: 64,
+            max_frame_bytes: crate::frame::MAX_FRAME_BYTES,
+        });
+        let (m0, m1) = pair_with(cfg0, fast_cfg(1, 2));
+        for epoch in 0..5 {
+            m0.send(1, data(epoch));
+        }
+        m0.shutdown();
+        assert_eq!(recv_data_epochs(&m1, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(expect_down(&m1), (0, true));
+        m1.shutdown();
+    }
+}

@@ -39,12 +39,13 @@
 
 use crate::fault::{DataFate, FaultPlan, LinkChaos};
 use crate::frame::{Frame, FrameDecoder, PROTO_VERSION};
+use crate::wire_agg::{AggTuning, LinkAggStats, LinkAggregator};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,11 @@ pub struct TcpMeshConfig {
     /// per-link memory and forces senders — the chunked resume stream in
     /// particular — to keep individual frames small.
     pub max_frame_bytes: usize,
+    /// On-the-wire DyMA aggregation (`None` = every `Data` frame departs
+    /// immediately, the pre-v8 behavior). The tuning's own byte cap is
+    /// overridden by `max_frame_bytes` so a flushed batch can never
+    /// exceed what the peer's decoder accepts.
+    pub agg: Option<AggTuning>,
 }
 
 impl TcpMeshConfig {
@@ -97,7 +103,18 @@ impl TcpMeshConfig {
             dial_backoff_max: Duration::from_millis(500),
             faults: None,
             max_frame_bytes: crate::frame::MAX_FRAME_BYTES,
+            agg: None,
         }
+    }
+
+    /// The aggregation tuning a link of this mesh should run, with the
+    /// byte cap pinned to the mesh frame cap.
+    pub(crate) fn link_agg_tuning(&self) -> Option<AggTuning> {
+        self.agg.as_ref().filter(|a| a.enabled()).map(|a| {
+            let mut t = a.clone();
+            t.max_frame_bytes = self.max_frame_bytes;
+            t
+        })
     }
 
     /// Check the knobs for internal consistency. [`TcpMesh::establish`]
@@ -143,6 +160,20 @@ impl TcpMeshConfig {
                 self.max_frame_bytes
             ));
         }
+        if let Some(agg) = self.agg.as_ref().filter(|a| a.enabled()) {
+            if agg.min_window_us == 0 {
+                return Err("agg.min_window_us must be positive".into());
+            }
+            if agg.max_window_us < agg.min_window_us {
+                return Err(format!(
+                    "agg.max_window_us ({}) below agg.min_window_us ({})",
+                    agg.max_window_us, agg.min_window_us
+                ));
+            }
+            if agg.max_batch == 0 {
+                return Err("agg.max_batch must be at least 1".into());
+            }
+        }
         Ok(())
     }
 }
@@ -169,7 +200,7 @@ pub enum MeshEvent {
     },
 }
 
-enum WriterCmd {
+pub(crate) enum WriterCmd {
     Frame(Frame),
     Shutdown,
 }
@@ -190,12 +221,21 @@ struct Peer {
     reader: JoinHandle<()>,
 }
 
+/// How a [`MeshSender`] reaches the link machinery: the threaded mesh
+/// owns one command channel per link writer; the poll mesh multiplexes
+/// every link through its single event loop.
+#[derive(Clone)]
+pub(crate) enum SenderInner {
+    PerLink(Vec<Option<Sender<WriterCmd>>>),
+    Shared(Sender<(u32, WriterCmd)>),
+}
+
 /// A cloneable sending half of the mesh, for threads that only transmit.
 #[derive(Clone)]
 pub struct MeshSender {
-    proc_id: u32,
-    cmd_txs: Vec<Option<Sender<WriterCmd>>>,
-    loopback: Sender<MeshEvent>,
+    pub(crate) proc_id: u32,
+    pub(crate) inner: SenderInner,
+    pub(crate) loopback: Sender<MeshEvent>,
 }
 
 impl MeshSender {
@@ -210,8 +250,15 @@ impl MeshSender {
             });
             return;
         }
-        if let Some(Some(tx)) = self.cmd_txs.get(to as usize) {
-            let _ = tx.send(WriterCmd::Frame(frame));
+        match &self.inner {
+            SenderInner::PerLink(cmd_txs) => {
+                if let Some(Some(tx)) = cmd_txs.get(to as usize) {
+                    let _ = tx.send(WriterCmd::Frame(frame));
+                }
+            }
+            SenderInner::Shared(tx) => {
+                let _ = tx.send((to, WriterCmd::Frame(frame)));
+            }
         }
     }
 }
@@ -223,6 +270,7 @@ pub struct TcpMesh {
     peers: Vec<Option<Peer>>,
     event_tx: Sender<MeshEvent>,
     event_rx: Receiver<MeshEvent>,
+    agg_stats: Vec<Option<Arc<Mutex<LinkAggStats>>>>,
 }
 
 /// Bind a listener on an ephemeral loopback port.
@@ -245,13 +293,23 @@ impl TcpMesh {
     pub fn sender(&self) -> MeshSender {
         MeshSender {
             proc_id: self.cfg.proc_id,
-            cmd_txs: self
-                .peers
-                .iter()
-                .map(|p| p.as_ref().map(|p| p.cmd_tx.clone()))
-                .collect(),
+            inner: SenderInner::PerLink(
+                self.peers
+                    .iter()
+                    .map(|p| p.as_ref().map(|p| p.cmd_tx.clone()))
+                    .collect(),
+            ),
             loopback: self.event_tx.clone(),
         }
+    }
+
+    /// Per-link aggregation gauges (links with aggregation off are
+    /// absent). A live snapshot: callers may read it mid-run.
+    pub fn agg_stats(&self) -> Vec<LinkAggStats> {
+        self.agg_stats
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| s.lock().unwrap().clone()))
+            .collect()
     }
 
     /// Queue a frame for `to` (see [`MeshSender::send`]).
@@ -292,114 +350,13 @@ impl TcpMesh {
         listener: TcpListener,
         peer_addrs: &[(u32, SocketAddr)],
     ) -> io::Result<TcpMesh> {
-        cfg.validate()
-            .map_err(|m| io::Error::new(io::ErrorKind::InvalidInput, m))?;
-        let deadline = Instant::now() + cfg.connect_timeout;
-        let n = cfg.n_procs as usize;
-        let mut links: Vec<Option<(TcpStream, FrameDecoder)>> = (0..n).map(|_| None).collect();
-
-        // Dial every lower-id peer concurrently; each dialer retries
-        // with exponential backoff so it tolerates peers that have not
-        // bound their listener yet.
-        let mut dialers = Vec::new();
-        for &(peer, addr) in peer_addrs {
-            if peer >= cfg.proc_id {
-                continue;
-            }
-            let cfg = cfg.clone();
-            dialers.push(thread::spawn(
-                move || -> io::Result<(u32, TcpStream, FrameDecoder)> {
-                    let stream = dial_with_backoff(&cfg, addr, deadline)?;
-                    let (id, session, dec) = handshake(&stream, &cfg, deadline)?;
-                    if id != peer {
-                        return Err(proto_err(format!(
-                            "dialed proc {peer} at {addr} but it identified as proc {id}"
-                        )));
-                    }
-                    if session != cfg.session {
-                        return Err(proto_err(format!(
-                            "session mismatch dialing proc {peer}: ours {}, peer {session}",
-                            cfg.session
-                        )));
-                    }
-                    Ok((peer, stream, dec))
-                },
-            ));
-        }
-        let expected_dials = dialers.len();
-        if expected_dials != cfg.proc_id as usize {
-            return Err(proto_err(format!(
-                "proc {} needs addresses for all {} lower-id peers, got {}",
-                cfg.proc_id, cfg.proc_id, expected_dials
-            )));
-        }
-
-        // Accept every higher-id peer on the listener meanwhile.
-        let mut accepted = 0usize;
-        let expect_accepts = n - cfg.proc_id as usize - 1;
-        listener.set_nonblocking(true)?;
-        while accepted < expect_accepts {
-            if Instant::now() >= deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "proc {}: only {accepted}/{expect_accepts} peers connected in time",
-                        cfg.proc_id
-                    ),
-                ));
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    // Bound each accepted handshake separately: a zombie
-                    // connection from a dead session that never writes
-                    // must not pin the whole establishment.
-                    let hs_deadline =
-                        deadline.min(Instant::now() + cfg.liveness_timeout.max(ACCEPT_HS_FLOOR));
-                    let (id, session, dec) = match handshake(&stream, &cfg, hs_deadline) {
-                        Ok(hs) => hs,
-                        // Version/topology mismatches and garbage are a
-                        // fatal build-skew signal...
-                        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
-                        // ...but a connection that stalls or dies mid-
-                        // handshake is just a stale dialer: keep accepting.
-                        Err(_) => continue,
-                    };
-                    if session != cfg.session {
-                        // A dial left over from a dead session; reject the
-                        // connection, not the establishment.
-                        continue;
-                    }
-                    if id <= cfg.proc_id || id as usize >= n {
-                        return Err(proto_err(format!(
-                            "accepted a connection claiming proc id {id}, expected one of {}..{}",
-                            cfg.proc_id + 1,
-                            n
-                        )));
-                    }
-                    if links[id as usize].is_some() {
-                        return Err(proto_err(format!("proc {id} connected twice")));
-                    }
-                    links[id as usize] = Some((stream, dec));
-                    accepted += 1;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        for d in dialers {
-            let (peer, stream, dec) = d
-                .join()
-                .map_err(|_| proto_err("dialer thread panicked".into()))??;
-            links[peer as usize] = Some((stream, dec));
-        }
+        let links = establish_links(&cfg, listener, peer_addrs)?;
 
         // All links are up: spawn the per-connection reader/writer pairs.
+        let n = cfg.n_procs as usize;
         let (event_tx, event_rx) = mpsc::channel();
         let mut peers: Vec<Option<Peer>> = (0..n).map(|_| None).collect();
+        let mut agg_stats: Vec<Option<Arc<Mutex<LinkAggStats>>>> = (0..n).map(|_| None).collect();
         for (peer_id, slot) in links.into_iter().enumerate() {
             let Some((stream, dec)) = slot else { continue };
             let (cmd_tx, cmd_rx) = mpsc::channel();
@@ -413,11 +370,15 @@ impl TcpMesh {
                 .faults
                 .as_ref()
                 .and_then(|p| p.link_control(cfg.proc_id, peer_id as u32, cfg.session));
+            let agg = cfg
+                .link_agg_tuning()
+                .map(|t| LinkAggregator::new(peer_id as u32, t));
+            agg_stats[peer_id] = agg.as_ref().map(|a| a.stats());
             let aborting = Arc::new(AtomicBool::new(false));
             let aborting_w = Arc::clone(&aborting);
             let writer = thread::Builder::new()
                 .name(format!("mesh-w{}-{peer_id}", cfg.proc_id))
-                .spawn(move || writer_loop(wr, cmd_rx, hb, chaos, ctl_chaos, aborting_w))?;
+                .spawn(move || writer_loop(wr, cmd_rx, hb, chaos, ctl_chaos, agg, aborting_w))?;
             let rd = stream.try_clone()?;
             let tx = event_tx.clone();
             let live = cfg.liveness_timeout;
@@ -442,6 +403,7 @@ impl TcpMesh {
             peers,
             event_tx,
             event_rx,
+            agg_stats,
         })
     }
 
@@ -480,6 +442,124 @@ impl TcpMesh {
 /// Floor on the per-connection handshake budget in the accept loop, so
 /// sub-second liveness settings (tests) don't reject slow genuine peers.
 const ACCEPT_HS_FLOOR: Duration = Duration::from_secs(2);
+
+/// Dial every lower-id peer and accept every higher-id one, handshakes
+/// included: the transport-independent half of mesh establishment,
+/// shared by the threaded mesh and the poll mesh. Returns one
+/// `(connected stream, decoder-with-residue)` per peer slot (`None` at
+/// our own id). Streams are left in *blocking* mode; the caller picks
+/// its I/O discipline.
+pub(crate) fn establish_links(
+    cfg: &TcpMeshConfig,
+    listener: TcpListener,
+    peer_addrs: &[(u32, SocketAddr)],
+) -> io::Result<Vec<Option<(TcpStream, FrameDecoder)>>> {
+    cfg.validate()
+        .map_err(|m| io::Error::new(io::ErrorKind::InvalidInput, m))?;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let n = cfg.n_procs as usize;
+    let mut links: Vec<Option<(TcpStream, FrameDecoder)>> = (0..n).map(|_| None).collect();
+
+    // Dial every lower-id peer concurrently; each dialer retries
+    // with exponential backoff so it tolerates peers that have not
+    // bound their listener yet.
+    let mut dialers = Vec::new();
+    for &(peer, addr) in peer_addrs {
+        if peer >= cfg.proc_id {
+            continue;
+        }
+        let cfg = cfg.clone();
+        dialers.push(thread::spawn(
+            move || -> io::Result<(u32, TcpStream, FrameDecoder)> {
+                let stream = dial_with_backoff(&cfg, addr, deadline)?;
+                let (id, session, dec) = handshake(&stream, &cfg, deadline)?;
+                if id != peer {
+                    return Err(proto_err(format!(
+                        "dialed proc {peer} at {addr} but it identified as proc {id}"
+                    )));
+                }
+                if session != cfg.session {
+                    return Err(proto_err(format!(
+                        "session mismatch dialing proc {peer}: ours {}, peer {session}",
+                        cfg.session
+                    )));
+                }
+                Ok((peer, stream, dec))
+            },
+        ));
+    }
+    let expected_dials = dialers.len();
+    if expected_dials != cfg.proc_id as usize {
+        return Err(proto_err(format!(
+            "proc {} needs addresses for all {} lower-id peers, got {}",
+            cfg.proc_id, cfg.proc_id, expected_dials
+        )));
+    }
+
+    // Accept every higher-id peer on the listener meanwhile.
+    let mut accepted = 0usize;
+    let expect_accepts = n - cfg.proc_id as usize - 1;
+    listener.set_nonblocking(true)?;
+    while accepted < expect_accepts {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "proc {}: only {accepted}/{expect_accepts} peers connected in time",
+                    cfg.proc_id
+                ),
+            ));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                // Bound each accepted handshake separately: a zombie
+                // connection from a dead session that never writes
+                // must not pin the whole establishment.
+                let hs_deadline =
+                    deadline.min(Instant::now() + cfg.liveness_timeout.max(ACCEPT_HS_FLOOR));
+                let (id, session, dec) = match handshake(&stream, cfg, hs_deadline) {
+                    Ok(hs) => hs,
+                    // Version/topology mismatches and garbage are a
+                    // fatal build-skew signal...
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
+                    // ...but a connection that stalls or dies mid-
+                    // handshake is just a stale dialer: keep accepting.
+                    Err(_) => continue,
+                };
+                if session != cfg.session {
+                    // A dial left over from a dead session; reject the
+                    // connection, not the establishment.
+                    continue;
+                }
+                if id <= cfg.proc_id || id as usize >= n {
+                    return Err(proto_err(format!(
+                        "accepted a connection claiming proc id {id}, expected one of {}..{}",
+                        cfg.proc_id + 1,
+                        n
+                    )));
+                }
+                if links[id as usize].is_some() {
+                    return Err(proto_err(format!("proc {id} connected twice")));
+                }
+                links[id as usize] = Some((stream, dec));
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    for d in dialers {
+        let (peer, stream, dec) = d
+            .join()
+            .map_err(|_| proto_err("dialer thread panicked".into()))??;
+        links[peer as usize] = Some((stream, dec));
+    }
+    Ok(links)
+}
 
 fn proto_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -617,7 +697,8 @@ fn handshake(
 
 /// Per-link outbound state: data-frame sequence stamping, fault
 /// injection, and the buffer of frames a `Delay` rule is holding back.
-struct LinkTx {
+/// Shared by the threaded writer and the poll loop.
+pub(crate) struct LinkTx {
     next_seq: u64,
     chaos: Option<LinkChaos>,
     /// Control-plane (`Token`/`GvtNews`) chaos: its own rule stream with
@@ -632,11 +713,11 @@ struct LinkTx {
     /// whose transmission releases them.
     held: Vec<(u64, Vec<u8>)>,
     /// A `Partition` rule fired: the link is silent for the session.
-    partitioned: bool,
+    pub(crate) partitioned: bool,
 }
 
 impl LinkTx {
-    fn new(chaos: Option<LinkChaos>, ctl_chaos: Option<LinkChaos>) -> Self {
+    pub(crate) fn new(chaos: Option<LinkChaos>, ctl_chaos: Option<LinkChaos>) -> Self {
         LinkTx {
             next_seq: 0,
             chaos,
@@ -652,7 +733,7 @@ impl LinkTx {
     /// fault rules. Data frames consume a sequence number even when a
     /// fault swallows them — that is exactly what makes the loss visible
     /// to the receiver as a gap.
-    fn stage(&mut self, mut frame: Frame, out: &mut Vec<u8>) {
+    pub(crate) fn stage(&mut self, mut frame: Frame, out: &mut Vec<u8>) {
         if self.partitioned {
             return;
         }
@@ -679,13 +760,18 @@ impl LinkTx {
             }
             return;
         }
-        let Frame::Data { ref mut seq, .. } = frame else {
-            frame.encode_into(out);
-            return;
+        // A `DataBatch` is one sequenced unit, exactly like `Data`: one
+        // chaos fate, one receiver-side dedup/reorder slot per batch.
+        let seq_slot = match &mut frame {
+            Frame::Data { seq, .. } | Frame::DataBatch { seq, .. } => seq,
+            _ => {
+                frame.encode_into(out);
+                return;
+            }
         };
         let s = self.next_seq;
         self.next_seq += 1;
-        *seq = s;
+        *seq_slot = s;
         let fate = self.chaos.as_ref().map_or(DataFate::Deliver, |c| c.fate(s));
         match fate {
             DataFate::Deliver => frame.encode_into(out),
@@ -723,7 +809,7 @@ impl LinkTx {
 
     /// Release everything still held — on idle and before `Bye`, so a
     /// delayed frame is never lost to quiescence or shutdown.
-    fn flush_held(&mut self, out: &mut Vec<u8>) {
+    pub(crate) fn flush_held(&mut self, out: &mut Vec<u8>) {
         if self.partitioned {
             return;
         }
@@ -740,6 +826,7 @@ fn writer_loop(
     heartbeat: Duration,
     chaos: Option<LinkChaos>,
     ctl_chaos: Option<LinkChaos>,
+    mut agg: Option<LinkAggregator>,
     aborting: Arc<AtomicBool>,
 ) {
     let mut w = &stream;
@@ -750,18 +837,52 @@ fn writer_loop(
         let _ = w.flush();
         let _ = stream.shutdown(std::net::Shutdown::Write);
     };
+    // Stage one application frame, routing `Data` through the
+    // aggregation window when one is configured.
+    let stage = |tx: &mut LinkTx, agg: &mut Option<LinkAggregator>, f: Frame, out: &mut Vec<u8>| {
+        match agg {
+            Some(a) => {
+                for departed in a.offer(f, Instant::now()) {
+                    tx.stage(departed, out);
+                }
+            }
+            None => tx.stage(f, out),
+        }
+    };
+    // Residue on shutdown: the open aggregate departs before Bye.
+    let drain_agg = |tx: &mut LinkTx, agg: &mut Option<LinkAggregator>, out: &mut Vec<u8>| {
+        if let Some(a) = agg {
+            for departed in a.close(Instant::now()) {
+                tx.stage(departed, out);
+            }
+        }
+    };
+    // The last instant anything hit the wire: heartbeats key off it so
+    // the shorter aggregation wakeups don't triple the idle probe rate.
+    let mut last_write = Instant::now();
     loop {
-        match cmd_rx.recv_timeout(heartbeat) {
+        // Sleep until a command arrives, the open aggregate must flush,
+        // or a heartbeat falls due — whichever is soonest.
+        let now = Instant::now();
+        let hb_due = last_write + heartbeat;
+        let mut wake = hb_due;
+        if let Some(d) = agg.as_ref().and_then(|a| a.next_deadline()) {
+            wake = wake.min(d);
+        }
+        let timeout = wake
+            .saturating_duration_since(now)
+            .max(Duration::from_millis(1));
+        match cmd_rx.recv_timeout(timeout) {
             Ok(WriterCmd::Frame(frame)) => {
                 out.clear();
-                tx.stage(frame, &mut out);
+                stage(&mut tx, &mut agg, frame, &mut out);
                 // Opportunistically coalesce whatever else is queued —
                 // without losing a Shutdown hiding behind the frames.
                 let mut shutdown_after = false;
                 loop {
                     match cmd_rx.try_recv() {
                         Ok(WriterCmd::Frame(f)) => {
-                            tx.stage(f, &mut out);
+                            stage(&mut tx, &mut agg, f, &mut out);
                             if out.len() > 1 << 20 {
                                 break;
                             }
@@ -774,10 +895,14 @@ fn writer_loop(
                     }
                 }
                 if shutdown_after {
+                    drain_agg(&mut tx, &mut agg, &mut out);
                     tx.flush_held(&mut out);
                 }
-                if !out.is_empty() && w.write_all(&out).is_err() {
-                    return; // reader reports the dead link
+                if !out.is_empty() {
+                    if w.write_all(&out).is_err() {
+                        return; // reader reports the dead link
+                    }
+                    last_write = Instant::now();
                 }
                 if shutdown_after {
                     if !tx.partitioned {
@@ -797,15 +922,27 @@ fn writer_loop(
                     continue; // a partitioned link heartbeats nothing
                 }
                 out.clear();
-                tx.flush_held(&mut out);
-                out.extend_from_slice(&Frame::Heartbeat.encode());
-                if w.write_all(&out).is_err() {
-                    return;
+                let now = Instant::now();
+                if let Some(a) = agg.as_mut() {
+                    for departed in a.poll_expired(now) {
+                        tx.stage(departed, &mut out);
+                    }
+                }
+                if now >= last_write + heartbeat {
+                    tx.flush_held(&mut out);
+                    out.extend_from_slice(&Frame::Heartbeat.encode());
+                }
+                if !out.is_empty() {
+                    if w.write_all(&out).is_err() {
+                        return;
+                    }
+                    last_write = Instant::now();
                 }
             }
             Ok(WriterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
                 if !tx.partitioned {
                     out.clear();
+                    drain_agg(&mut tx, &mut agg, &mut out);
                     tx.flush_held(&mut out);
                     if !out.is_empty() && w.write_all(&out).is_err() {
                         return;
@@ -815,6 +952,139 @@ fn writer_loop(
                 return;
             }
         }
+    }
+}
+
+/// What [`LinkRx::on_frame`] concluded about one decoded frame.
+#[derive(Debug)]
+pub(crate) enum RxStatus {
+    /// Keep reading.
+    Open,
+    /// The peer ended its stream with `Bye`; unclean when a sequence
+    /// gap never filled (those frames are lost for good).
+    Closed { clean: bool, detail: String },
+    /// The mesh owner dropped its receiver; stop reading silently.
+    OwnerGone,
+}
+
+/// Per-link inbound state: data-frame deduplication, reorder buffering
+/// and gap tracking, plus `DataBatch` fan-out. Shared by the threaded
+/// reader and the poll loop so sequencing semantics cannot diverge
+/// between transports.
+pub(crate) struct LinkRx {
+    /// The next expected data-frame sequence number.
+    expected_seq: u64,
+    /// Frames that arrived ahead of a gap, keyed by sequence.
+    ahead: BTreeMap<u64, Frame>,
+    /// When the oldest unfilled gap opened.
+    gap_since: Option<Instant>,
+}
+
+impl LinkRx {
+    pub(crate) fn new() -> Self {
+        LinkRx {
+            expected_seq: 0,
+            ahead: BTreeMap::new(),
+            gap_since: None,
+        }
+    }
+
+    /// Deliver one sequenced unit to the owner. A batch fans out as the
+    /// run of `Data` frames it replaced — the executive layer never
+    /// sees `DataBatch`, so aggregation is invisible above the mesh.
+    fn dispatch(events: &Sender<MeshEvent>, peer: u32, frame: Frame) -> bool {
+        match frame {
+            Frame::DataBatch { entries, .. } => {
+                for (epoch, msg) in entries {
+                    let frame = Frame::Data { seq: 0, epoch, msg };
+                    if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
+                        return false;
+                    }
+                }
+                true
+            }
+            frame => events.send(MeshEvent::Frame { from: peer, frame }).is_ok(),
+        }
+    }
+
+    /// Feed one decoded frame through the sequencing machinery,
+    /// emitting deliverable frames on `events`.
+    pub(crate) fn on_frame(
+        &mut self,
+        frame: Frame,
+        peer: u32,
+        events: &Sender<MeshEvent>,
+    ) -> RxStatus {
+        match frame {
+            Frame::Heartbeat => RxStatus::Open,
+            Frame::Bye => {
+                if self.ahead.is_empty() {
+                    RxStatus::Closed {
+                        clean: true,
+                        detail: "peer said Bye".into(),
+                    }
+                } else {
+                    // The peer finished sending while we still wait for
+                    // a gap to fill: those frames are lost.
+                    RxStatus::Closed {
+                        clean: false,
+                        detail: format!(
+                            "peer said Bye but data frame {} never arrived \
+                             ({} buffered beyond the gap)",
+                            self.expected_seq,
+                            self.ahead.len()
+                        ),
+                    }
+                }
+            }
+            frame @ (Frame::Data { .. } | Frame::DataBatch { .. }) => {
+                let seq = match &frame {
+                    Frame::Data { seq, .. } | Frame::DataBatch { seq, .. } => *seq,
+                    _ => unreachable!(),
+                };
+                if seq < self.expected_seq {
+                    // Duplicate of an already-delivered frame.
+                    return RxStatus::Open;
+                }
+                if seq > self.expected_seq {
+                    // Ahead of a gap: buffer until the gap fills
+                    // (insert dedups ahead-of-order duplicates too).
+                    self.ahead.insert(seq, frame);
+                    self.gap_since.get_or_insert_with(Instant::now);
+                    return RxStatus::Open;
+                }
+                if !Self::dispatch(events, peer, frame) {
+                    return RxStatus::OwnerGone;
+                }
+                self.expected_seq += 1;
+                while let Some(f) = self.ahead.remove(&self.expected_seq) {
+                    if !Self::dispatch(events, peer, f) {
+                        return RxStatus::OwnerGone;
+                    }
+                    self.expected_seq += 1;
+                }
+                self.gap_since = if self.ahead.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                RxStatus::Open
+            }
+            frame => {
+                if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
+                    return RxStatus::OwnerGone;
+                }
+                RxStatus::Open
+            }
+        }
+    }
+
+    /// A gap that outlives the liveness budget means the frame was
+    /// lost, not reordered — there is no retransmission, so the link is
+    /// broken for good. Returns the lost sequence number.
+    pub(crate) fn gap_expired(&self, liveness: Duration) -> Option<u64> {
+        self.gap_since
+            .and_then(|t| (t.elapsed() > liveness).then_some(self.expected_seq))
     }
 }
 
@@ -843,11 +1113,7 @@ fn reader_loop(
     let mut last_byte = Instant::now();
     let mut buf = [0u8; 64 * 1024];
     let mut closing_since: Option<Instant> = None;
-    // Data-frame sequencing: the next expected number, frames that
-    // arrived ahead of a gap, and how long the oldest gap has persisted.
-    let mut expected_seq = 0u64;
-    let mut ahead: BTreeMap<u64, Frame> = BTreeMap::new();
-    let mut gap_since: Option<Instant> = None;
+    let mut rx = LinkRx::new();
     loop {
         // Once our side starts shutting down, drain for at most the
         // liveness budget: a peer that is not shutting down yet keeps
@@ -862,67 +1128,14 @@ fn reader_loop(
         // Drain everything already buffered (handshake residue first).
         loop {
             match dec.next() {
-                Ok(Some(Frame::Heartbeat)) => {}
-                Ok(Some(Frame::Bye)) => {
-                    if ahead.is_empty() {
-                        down(true, "peer said Bye".into());
-                    } else {
-                        // The peer finished sending while we still wait
-                        // for a gap to fill: those frames are lost.
-                        down(
-                            false,
-                            format!(
-                                "peer said Bye but data frame {expected_seq} never arrived \
-                                 ({} buffered beyond the gap)",
-                                ahead.len()
-                            ),
-                        );
-                    }
-                    return;
-                }
-                Ok(Some(frame @ Frame::Data { .. })) => {
-                    let Frame::Data { seq, .. } = &frame else {
-                        unreachable!()
-                    };
-                    let seq = *seq;
-                    if seq < expected_seq {
-                        // Duplicate of an already-delivered frame.
-                        continue;
-                    }
-                    if seq > expected_seq {
-                        // Ahead of a gap: buffer until the gap fills
-                        // (insert dedups ahead-of-order duplicates too).
-                        ahead.insert(seq, frame);
-                        gap_since.get_or_insert_with(Instant::now);
-                        continue;
-                    }
-                    if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
+                Ok(Some(frame)) => match rx.on_frame(frame, peer, &events) {
+                    RxStatus::Open => {}
+                    RxStatus::Closed { clean, detail } => {
+                        down(clean, detail);
                         return;
                     }
-                    expected_seq += 1;
-                    while let Some(f) = ahead.remove(&expected_seq) {
-                        if events
-                            .send(MeshEvent::Frame {
-                                from: peer,
-                                frame: f,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                        expected_seq += 1;
-                    }
-                    gap_since = if ahead.is_empty() {
-                        None
-                    } else {
-                        Some(Instant::now())
-                    };
-                }
-                Ok(Some(frame)) => {
-                    if events.send(MeshEvent::Frame { from: peer, frame }).is_err() {
-                        return; // mesh owner is gone
-                    }
-                }
+                    RxStatus::OwnerGone => return,
+                },
                 Ok(None) => break,
                 Err(e) => {
                     down(false, format!("stream corrupt: {e}"));
@@ -930,17 +1143,12 @@ fn reader_loop(
                 }
             }
         }
-        // A gap that outlives the liveness budget means the frame was
-        // lost, not reordered — there is no retransmission, so the link
-        // is broken for good.
-        if let Some(t) = gap_since {
-            if t.elapsed() > liveness {
-                down(
-                    false,
-                    format!("data frame {expected_seq} lost (gap persisted past {liveness:?})"),
-                );
-                return;
-            }
+        if let Some(lost) = rx.gap_expired(liveness) {
+            down(
+                false,
+                format!("data frame {lost} lost (gap persisted past {liveness:?})"),
+            );
+            return;
         }
         match (&stream).read(&mut buf) {
             Ok(0) => {

@@ -92,6 +92,13 @@ pub enum Param {
     /// the number of parked workers re-adopted via `Reattach`). Recorded
     /// by the resumed coordinator.
     Coordinator,
+    /// On-the-wire aggregation window on one mesh link (`lp` is the
+    /// sending *process*, `object` the peer process; `old`/`new` are
+    /// windows in **microseconds of wall time** — unlike
+    /// [`Param::Window`], whose units are modeled seconds; `sampled_o`
+    /// is `-1`). Recorded by each worker from its link gauges at
+    /// session end.
+    AggWindow,
 }
 
 /// One controller decision: the paper's `(O, I)` pair caught in the act,
@@ -522,13 +529,14 @@ impl TelemetryReport {
             .unwrap_or_else(|| "-".into());
         format!(
             "telemetry: {} samples, {} events ({} χ moves, {} mode flips, {} window moves, \
-             {} migrations, {} scales, {} failovers), max finite gvt {}, mean DyMA window {}, \
-             dropped {}/{}",
+             {} wire-window moves, {} migrations, {} scales, {} failovers), max finite gvt {}, \
+             mean DyMA window {}, dropped {}/{}",
             self.samples.len(),
             self.events.len(),
             self.moves_of(Param::Chi),
             self.moves_of(Param::Cancellation),
             self.moves_of(Param::Window),
+            self.moves_of(Param::AggWindow),
             self.moves_of(Param::Assignment),
             self.moves_of(Param::ClusterSize),
             self.moves_of(Param::Coordinator),
