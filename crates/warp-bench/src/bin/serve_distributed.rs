@@ -1,0 +1,44 @@
+//! `BENCH_serve_distributed.json` — the SERVE trajectory point: the
+//! open-arrival service-traffic workload (diurnal thinned sources,
+//! tenant-affinity routers, batched stations with KV-cache eviction)
+//! run on the real distributed executive across the transport ×
+//! aggregation matrix. SERVE's traffic is bursty and state-dependent —
+//! batch closings re-time whole dependency chains — so it sits between
+//! SMMP's dense chatter and QNET's rollback storms on the wire.
+//!
+//! The worker binary resolves like the tests do: `WARP_WORKER_BIN`, or
+//! a `warp-worker` sibling of this executable.
+
+use warp_bench::dist_bench;
+use warped_online::cluster::{ClusterJob, ModelSpec};
+use warped_online::models::ServeConfig;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve_distributed.json".into());
+    // The `small` topology stretched over many diurnal cycles: enough
+    // committed work for a stable events/second figure while keeping
+    // the burst/eviction temperament of the short runs.
+    let cfg = ServeConfig {
+        horizon_us: 2_000_000,
+        ..ServeConfig::small(11)
+    };
+    let scenario = serde_json::json!({
+        "model": "serve",
+        "n_sources": cfg.n_sources,
+        "n_routers": cfg.n_routers,
+        "n_stations": cfg.n_stations,
+        "n_sinks": cfg.n_sinks,
+        "n_lps": cfg.n_lps,
+        "n_users": cfg.n_users,
+        "n_tenants": cfg.n_tenants,
+        "base_interarrival_us": cfg.base_interarrival_us,
+        "horizon_us": cfg.horizon_us,
+        "seed": 11,
+        "n_workers": 2,
+        "recovery": false,
+    });
+    let job = ClusterJob::new(ModelSpec::Serve(cfg), None);
+    dist_bench::run_matrix("serve_distributed", &job, 2, scenario, &out);
+}

@@ -2420,6 +2420,18 @@ fn coordinate(
                         });
                         if loads.iter().all(Option::is_some) {
                             let bucket: Vec<LpLoad> = loads.iter().map(|l| l.unwrap()).collect();
+                            // WARP_DEBUG_ROUNDS=1 dumps one line per
+                            // complete observation round — the raw
+                            // lvt_lead signal the balance and elastic
+                            // controllers see, before EWMA smoothing.
+                            if std::env::var_os("WARP_DEBUG_ROUNDS").is_some() {
+                                eprintln!(
+                                    "ROUND gvt={} leads={:?} workers={}",
+                                    gvt.ticks(),
+                                    bucket.iter().map(|l| l.lvt_lead).collect::<Vec<_>>(),
+                                    st.assign.n_workers()
+                                );
+                            }
                             // Both controllers observe every complete
                             // round (their filters must track the live
                             // load), but at most one transition is in

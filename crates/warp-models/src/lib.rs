@@ -21,6 +21,10 @@
 //!   the paper's Section 5 observations, which came from VHDL
 //!   digital-system models): event-driven gates that propagate only on
 //!   output change, making rollback re-execution hit-rich.
+//! * [`serve`] — an open-arrival service-traffic cluster (diurnal rate,
+//!   burst waves, Zipf tenant skew, batched GPU-style stations with a
+//!   KV cache): the first workload whose *modeled* load drives the
+//!   on-line balance and elastic controllers.
 
 #![warn(missing_docs)]
 
@@ -28,6 +32,7 @@ pub mod logic;
 pub mod phold;
 pub mod qnet;
 pub mod raid;
+pub mod serve;
 pub mod smmp;
 pub mod util;
 
@@ -35,4 +40,5 @@ pub use logic::Netlist;
 pub use phold::PholdConfig;
 pub use qnet::QnetConfig;
 pub use raid::RaidConfig;
+pub use serve::ServeConfig;
 pub use smmp::SmmpConfig;

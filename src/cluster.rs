@@ -17,7 +17,7 @@ use warp_balance::BalancePolicy;
 use warp_elastic::ElasticPolicy;
 use warp_exec::distributed::{run_coordinator, DistConfig, DistError, NetTuning, RecoveryPolicy};
 use warp_exec::{RunReport, SimulationSpec};
-use warp_models::{PholdConfig, RaidConfig, SmmpConfig};
+use warp_models::{PholdConfig, QnetConfig, RaidConfig, ServeConfig, SmmpConfig};
 use warp_net::FaultPlan;
 
 /// A serializable model choice for distributed runs.
@@ -29,6 +29,10 @@ pub enum ModelSpec {
     Smmp(SmmpConfig),
     /// The RAID disk-array model (paper §7).
     Raid(RaidConfig),
+    /// The closed FCFS queueing network (aggressive temperament).
+    Qnet(QnetConfig),
+    /// The open-arrival service-traffic cluster (diurnal + burst load).
+    Serve(ServeConfig),
 }
 
 impl ModelSpec {
@@ -38,6 +42,8 @@ impl ModelSpec {
             ModelSpec::Phold(cfg) => cfg.spec(),
             ModelSpec::Smmp(cfg) => cfg.spec(),
             ModelSpec::Raid(cfg) => cfg.spec(),
+            ModelSpec::Qnet(cfg) => cfg.spec(),
+            ModelSpec::Serve(cfg) => cfg.spec(),
         }
     }
 }
@@ -219,6 +225,14 @@ mod tests {
             ClusterJob {
                 collect_traces: true,
                 ..ClusterJob::new(ModelSpec::Raid(RaidConfig::small(20, 3)), None)
+            },
+            ClusterJob {
+                collect_traces: true,
+                ..ClusterJob::new(ModelSpec::Qnet(QnetConfig::new(20, 4)), None)
+            },
+            ClusterJob {
+                collect_traces: true,
+                ..ClusterJob::new(ModelSpec::Serve(ServeConfig::small(5)), None)
             },
         ];
         for job in jobs {

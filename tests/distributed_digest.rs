@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 use warp_exec::run_sequential;
 use warped_online::cluster::{run_distributed_job, ClusterJob, ModelSpec};
-use warped_online::models::{PholdConfig, RaidConfig, SmmpConfig};
+use warped_online::models::{PholdConfig, QnetConfig, RaidConfig, SmmpConfig};
 
 fn worker_bin() -> PathBuf {
     std::env::var_os("WARP_WORKER_BIN")
@@ -61,6 +61,26 @@ fn raid_two_workers_commit_the_sequential_history() {
         ClusterJob {
             collect_traces: true,
             ..ClusterJob::new(ModelSpec::Raid(RaidConfig::small(60, 12)), None)
+        },
+        2,
+    );
+}
+
+#[test]
+fn qnet_two_workers_commit_the_sequential_history() {
+    // The aggressive-temperament closed network: queue-state-dependent
+    // departures make premature sends rarely match on re-execution, so
+    // this run is rollback- and cancellation-heavy across the wire.
+    let cfg = QnetConfig {
+        n_stations: 12,
+        n_lps: 4,
+        n_jobs: 16,
+        ..QnetConfig::new(40, 13)
+    };
+    assert_distributed_matches_sequential(
+        ClusterJob {
+            collect_traces: true,
+            ..ClusterJob::new(ModelSpec::Qnet(cfg), None)
         },
         2,
     );
