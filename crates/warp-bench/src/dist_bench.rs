@@ -1,7 +1,11 @@
-//! Shared harness for the real-mesh distributed trajectory points
-//! (`phold_distributed`, `smmp_distributed`): run one fixed scenario
-//! across the transport × aggregation matrix and write a single JSON
-//! artifact at the repository root.
+//! Shared conventions for the checked-in `BENCH_*.json` artifacts
+//! (`phold_distributed`, `smmp_distributed`, `serve_distributed`,
+//! `transport_loopback`, `pending_set`): one fixed scenario per binary,
+//! a single JSON artifact at the repository root, and a
+//! `WARP_BENCH_SMOKE=1` reduced-iteration mode for CI.
+//!
+//! The distributed binaries additionally share [`run_matrix`], which
+//! sweeps the transport × aggregation matrix over a real worker mesh.
 //!
 //! Matrix cells:
 //!
@@ -42,6 +46,24 @@ pub fn worker_bin() -> PathBuf {
         me.display()
     );
     sibling
+}
+
+/// True when `WARP_BENCH_SMOKE=1`: benchmarks shrink their iteration
+/// counts so CI can exercise the full code path in seconds. Smoke runs
+/// must write to a scratch path, never over the checked-in artifacts.
+pub fn smoke() -> bool {
+    std::env::var("WARP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Write a `BENCH_*.json` artifact (pretty-printed, trailing newline
+/// free) and announce the path, the shared tail of every bench binary.
+pub fn write_artifact(out: &str, value: &serde_json::Value) {
+    std::fs::write(
+        out,
+        serde_json::to_vec_pretty(value).expect("serialize artifact"),
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("written to {out}");
 }
 
 fn net_for(transport: Transport, saaw: bool) -> NetTuning {
@@ -119,9 +141,6 @@ pub fn run_matrix(
         "committed_events": headline.committed_events,
         "wall_seconds": headline.wall_seconds,
     });
-    std::fs::write(out, serde_json::to_vec_pretty(&json).unwrap()).expect("write JSON");
-    println!(
-        "best overall: {:.0} ev/s — written to {out}",
-        headline.events_per_second
-    );
+    println!("best overall: {:.0} ev/s", headline.events_per_second);
+    write_artifact(out, &json);
 }

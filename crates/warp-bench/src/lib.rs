@@ -13,6 +13,7 @@
 //! | `phold_distributed` | `BENCH_phold_distributed.json` — real-mesh committed ev/s, transport × aggregation matrix |
 //! | `smmp_distributed` | `BENCH_smmp_distributed.json` — same matrix on the communication-bound SMMP model |
 //! | `transport_loopback` | `BENCH_transport_loopback.json` — raw threaded-vs-poll frame throughput + thread count |
+//! | `pending_set` | `BENCH_pending_set.json` — timing-wheel vs legacy sorted-`Vec` pending set ops/s (see `docs/hot-path.md`) |
 //!
 //! Experiments run on the deterministic virtual-cluster executive with
 //! the SPARC/10 Mb-Ethernet cost model; "execution time" is modeled

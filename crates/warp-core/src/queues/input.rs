@@ -1,13 +1,21 @@
-//! The input queue: every event received by a simulation object, in total
-//! (virtual-time) order, with a cursor separating processed history from
-//! the unprocessed future.
+//! The input queue: every event received by a simulation object, split
+//! into an executed *history* (a key-ordered `Vec`, append-only at the
+//! tail, drained at the front by fossil collection) and an unprocessed
+//! *pending set* (a hierarchical timing wheel, [`super::wheel`]).
 //!
 //! The queue is where optimism meets causality: an arriving positive event
-//! ordered before the cursor is a *straggler* (the object executed past
-//! it and must roll back); an arriving anti-message annihilates its
-//! positive twin, rolling back first if the twin was already executed.
+//! keyed before the newest history entry is a *straggler* (the object
+//! executed past it and must roll back); an arriving anti-message
+//! annihilates its positive twin, rolling back first if the twin was
+//! already executed.
+//!
+//! The split replaces the former single sorted `Vec` + cursor: the hot
+//! operations (insert a future event, pop the minimum) no longer shift
+//! half the array, and the history side keeps the `O(log n)` replay /
+//! fossil scans it always had. See `docs/hot-path.md`.
 
 use crate::event::{Event, EventKey, Sign};
+use crate::queues::wheel::PendingWheel;
 use crate::time::VirtualTime;
 use std::collections::HashSet;
 
@@ -16,8 +24,9 @@ use std::collections::HashSet;
 pub enum Inserted {
     /// Positive event enqueued in the unprocessed future. No action needed.
     Enqueued,
-    /// Positive event ordered before the cursor: the receiver must roll
-    /// back to this key, after which the event sits unprocessed.
+    /// Positive event ordered before the newest executed event: the
+    /// receiver must roll back to this key, after which the event sits
+    /// unprocessed (it is already in the pending set).
     Straggler(EventKey),
     /// The message met its twin (positive met a stored orphan anti, or
     /// anti met an unprocessed positive) and both vanished.
@@ -30,13 +39,14 @@ pub enum Inserted {
     OrphanStored,
 }
 
-/// Ordered event store with processed/unprocessed cursor.
+/// Executed history + pending timing wheel.
 #[derive(Debug, Default)]
 pub struct InputQueue {
-    /// Events sorted by [`EventKey`]; `events[..processed]` are executed.
-    events: Vec<Event>,
-    /// Number of executed events at the front of `events`.
-    processed: usize,
+    /// Executed events in key order. Fossil collection drains the
+    /// front; rollback moves the tail back into `pending`.
+    history: Vec<Event>,
+    /// Unprocessed events, minimum-key first.
+    pending: PendingWheel,
     /// Anti-messages whose positives have not arrived yet.
     orphan_antis: HashSet<crate::event::EventId>,
 }
@@ -49,32 +59,32 @@ impl InputQueue {
 
     /// Number of stored events (processed + unprocessed).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.history.len() + self.pending.len()
     }
 
     /// True if no events are stored.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.history.is_empty() && self.pending.is_empty()
     }
 
     /// Number of executed events currently retained.
     pub fn processed_len(&self) -> usize {
-        self.processed
+        self.history.len()
     }
 
     /// Number of pending (unprocessed) events.
     pub fn pending_len(&self) -> usize {
-        self.events.len() - self.processed
+        self.pending.len()
     }
 
     /// Key of the most recently executed event, if any is retained.
     pub fn last_processed_key(&self) -> Option<EventKey> {
-        self.processed.checked_sub(1).map(|i| self.events[i].key())
+        self.history.last().map(|e| e.key())
     }
 
     /// The next event to execute, if any.
     pub fn next_unprocessed(&self) -> Option<&Event> {
-        self.events.get(self.processed)
+        self.pending.peek_min()
     }
 
     /// Receive time of the next unprocessed event
@@ -85,26 +95,25 @@ impl InputQueue {
             .map_or(VirtualTime::INFINITY, |e| e.recv_time)
     }
 
-    /// Advance the cursor past the next unprocessed event, returning a
+    /// Move the minimum pending event into the history, returning a
     /// reference to it. Panics if the queue is exhausted (kernel bug).
     pub fn mark_processed(&mut self) -> &Event {
-        assert!(
-            self.processed < self.events.len(),
-            "mark_processed on exhausted queue"
+        let ev = self
+            .pending
+            .pop_min()
+            .expect("mark_processed on exhausted queue");
+        debug_assert!(
+            self.history.last().is_none_or(|l| l.key() < ev.key()),
+            "processing out of order (straggler not rolled back?)"
         );
-        self.processed += 1;
-        &self.events[self.processed - 1]
+        self.history.push(ev);
+        self.history.last().expect("just pushed")
     }
 
     /// Processed event at absolute index `i` (`i < processed_len`), used
     /// by the coast-forward replay.
     pub fn processed_at(&self, i: usize) -> &Event {
-        assert!(i < self.processed, "processed_at out of range");
-        &self.events[i]
-    }
-
-    fn position_for(&self, key: EventKey) -> usize {
-        self.events.partition_point(|e| e.key() < key)
+        &self.history[i]
     }
 
     /// Insert a message, classifying the consequences. The returned
@@ -117,51 +126,49 @@ impl InputQueue {
                     return Inserted::Annihilated;
                 }
                 let key = ev.key();
-                let pos = self.position_for(key);
-                debug_assert!(
-                    self.events.get(pos).is_none_or(|e| e.key() != key),
-                    "duplicate event id delivered: {key:?}"
-                );
-                self.events.insert(pos, ev);
-                if pos < self.processed {
+                self.pending.insert(ev);
+                if self.history.last().is_some_and(|l| key < l.key()) {
                     // The object has executed past this event.
-                    self.processed += 1; // keep cursor over the same set
                     Inserted::Straggler(key)
                 } else {
                     Inserted::Enqueued
                 }
             }
             Sign::Anti => {
-                // An anti annihilates the positive with the same identity.
+                // An anti annihilates the positive with the same identity;
+                // keys embed (sender, serial), so key match ⇔ id match.
                 let key = ev.key();
-                let pos = self.position_for(key);
-                let found = self.events.get(pos).is_some_and(|e| e.id == ev.id);
-                if !found {
-                    self.orphan_antis.insert(ev.id);
-                    return Inserted::OrphanStored;
+                if let Some(twin) = self.pending.remove(&key) {
+                    debug_assert_eq!(twin.id, ev.id);
+                    return Inserted::Annihilated;
                 }
-                if pos < self.processed {
+                let pos = self.history.partition_point(|e| e.key() < key);
+                if self.history.get(pos).is_some_and(|e| e.id == ev.id) {
                     // Twin already executed: receiver must roll back to it
                     // first; the pair then disappears.
-                    self.events.remove(pos);
-                    self.processed -= 1;
+                    self.history.remove(pos);
                     Inserted::AntiStraggler(key)
                 } else {
-                    self.events.remove(pos);
-                    Inserted::Annihilated
+                    self.orphan_antis.insert(ev.id);
+                    Inserted::OrphanStored
                 }
             }
         }
     }
 
-    /// Move every processed event with key `>= key` back to the
-    /// unprocessed side. Returns how many were un-processed. This is the
-    /// queue's part of a rollback; restoring state and coasting forward
-    /// are the LP's.
+    /// Move every executed event with key `>= key` back to the pending
+    /// set. Returns how many were un-processed (executed events only — a
+    /// positive straggler that triggered the rollback is already
+    /// pending and is not counted). This is the queue's part of a
+    /// rollback; restoring state and coasting forward are the LP's.
     pub fn unprocess_from(&mut self, key: EventKey) -> u64 {
-        let first = self.events[..self.processed].partition_point(|e| e.key() < key);
-        let n = self.processed - first;
-        self.processed = first;
+        let first = self.history.partition_point(|e| e.key() < key);
+        let n = self.history.len() - first;
+        // Re-insert in increasing key order so at most the first insert
+        // rebases the wheel's origin backwards.
+        for ev in self.history.drain(first..) {
+            self.pending.insert(ev);
+        }
         n as u64
     }
 
@@ -172,9 +179,9 @@ impl InputQueue {
         match pos {
             None => 0,
             Some(k) => {
-                let idx = self.events[..self.processed].partition_point(|e| e.key() <= k);
+                let idx = self.history.partition_point(|e| e.key() <= k);
                 debug_assert!(
-                    idx > 0 && self.events[idx - 1].key() == k,
+                    idx > 0 && self.history[idx - 1].key() == k,
                     "restored state's event {k:?} is no longer in the processed history \
                      (fossil collection raced GVT?)"
                 );
@@ -192,9 +199,8 @@ impl InputQueue {
     /// rollback restores to that snapshot at the earliest and replays only
     /// events after it, so everything before it is fossil.
     pub fn fossil_collect_before(&mut self, bound: EventKey) -> u64 {
-        let keep = self.events[..self.processed].partition_point(|e| e.key() < bound);
-        self.events.drain(..keep);
-        self.processed -= keep;
+        let keep = self.history.partition_point(|e| e.key() < bound);
+        self.history.drain(..keep);
         keep as u64
     }
 
@@ -203,8 +209,8 @@ impl InputQueue {
     /// from exactly this key (or nothing, when the whole history is
     /// below `h`).
     pub fn first_processed_at_or_after(&self, at: VirtualTime) -> Option<EventKey> {
-        let idx = self.events[..self.processed].partition_point(|e| e.recv_time < at);
-        (idx < self.processed).then(|| self.events[idx].key())
+        let idx = self.history.partition_point(|e| e.recv_time < at);
+        self.history.get(idx).map(|e| e.key())
     }
 
     /// Discard every unprocessed event and every stored orphan anti,
@@ -213,21 +219,20 @@ impl InputQueue {
     /// discarded cluster-wide and the frontier is re-delivered, so a
     /// retained pending copy would collide with its re-sent twin.
     pub fn discard_unprocessed(&mut self) -> u64 {
-        let n = self.events.len() - self.processed;
-        self.events.truncate(self.processed);
         self.orphan_antis.clear();
-        n as u64
+        self.pending.clear()
     }
 
-    /// All unprocessed events (test/diagnostic helper).
-    pub fn pending(&self) -> &[Event] {
-        &self.events[self.processed..]
+    /// All unprocessed events in key order (test/diagnostic helper —
+    /// materializes a sorted copy).
+    pub fn pending(&self) -> Vec<Event> {
+        self.pending.sorted()
     }
 
     /// All processed events in execution order. At termination (and with
     /// fossil collection disabled) this is the committed history.
     pub fn processed_events(&self) -> &[Event] {
-        &self.events[..self.processed]
+        &self.history
     }
 }
 
@@ -265,7 +270,7 @@ mod tests {
     }
 
     #[test]
-    fn straggler_detected_and_cursor_preserved() {
+    fn straggler_detected_and_left_pending() {
         let mut q = InputQueue::new();
         q.insert(ev(1, 0, 10));
         q.insert(ev(1, 1, 30));
@@ -274,11 +279,13 @@ mod tests {
         let out = q.insert(ev(2, 0, 20));
         let key = ev(2, 0, 20).key();
         assert_eq!(out, Inserted::Straggler(key));
-        // The straggler itself is not marked processed; cursor still spans
-        // the two originally processed events.
-        assert_eq!(q.processed_len(), 3); // includes the inserted slot
+        // The straggler sits in the pending set; the history still holds
+        // the two executed events until the LP rolls back.
+        assert_eq!(q.processed_len(), 2);
+        assert_eq!(q.pending_len(), 1);
         let n = q.unprocess_from(key);
-        assert_eq!(n, 2, "straggler slot and the event after it un-process");
+        assert_eq!(n, 1, "only the executed event after the straggler moves");
+        assert_eq!(q.processed_len(), 1);
         assert_eq!(
             q.next_unprocessed().unwrap().recv_time,
             VirtualTime::new(20)
@@ -424,5 +431,27 @@ mod tests {
         assert_eq!(q.unprocess_from(ev(1, 3, 4).key()), 3);
         assert_eq!(q.processed_len(), 3);
         assert_eq!(q.pending_len(), 3);
+    }
+
+    #[test]
+    fn reprocessing_after_rollback_replays_in_order() {
+        let mut q = InputQueue::new();
+        for s in 0..8 {
+            q.insert(ev(1, s, (s + 1) * 5));
+        }
+        for _ in 0..8 {
+            q.mark_processed();
+        }
+        // Straggler lands mid-history; roll back and replay everything.
+        let out = q.insert(ev(2, 0, 12));
+        let Inserted::Straggler(key) = out else {
+            panic!("expected straggler, got {out:?}");
+        };
+        assert_eq!(q.unprocess_from(key), 6);
+        let mut order = Vec::new();
+        while q.next_unprocessed().is_some() {
+            order.push(q.mark_processed().recv_time.ticks());
+        }
+        assert_eq!(order, vec![12, 15, 20, 25, 30, 35, 40]);
     }
 }

@@ -4,7 +4,9 @@
 pub mod input;
 pub mod output;
 pub mod state;
+pub mod wheel;
 
 pub use input::{InputQueue, Inserted};
 pub use output::{OutputQueue, SentRecord};
 pub use state::{StatePos, StateQueue};
+pub use wheel::PendingWheel;

@@ -511,9 +511,10 @@ impl ObjectRuntime {
         out: &mut Vec<Event>,
     ) {
         let n = self.input.unprocess_from(key);
-        // A positive straggler's own (never-executed) slot is in `n`; an
-        // annihilated twin was executed but already removed from `n`.
-        let rolled = if positive_straggler { n - 1 } else { n + 1 };
+        // `n` counts executed events moved back to pending. A positive
+        // straggler was never executed (it is not in `n`); an annihilated
+        // twin was executed but is already removed, so it adds one.
+        let rolled = if positive_straggler { n } else { n + 1 };
         self.stats.rolled_back += rolled;
         self.stats.cost_rollback += cost.rollback_fixed;
         self.charge(cost.rollback_fixed);

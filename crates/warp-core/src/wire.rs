@@ -94,6 +94,19 @@ impl PayloadWriter {
         self.buf.extend_from_slice(v);
         self
     }
+
+    /// Write raw bytes with no length prefix (fixed-layout records).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Pre-reserve space for `n` more bytes (codec call sites that know
+    /// their exact encoded size, e.g. via [`encoded_event_len`]).
+    pub fn reserve(&mut self, n: usize) -> &mut Self {
+        self.buf.reserve(n);
+        self
+    }
 }
 
 /// Sequential canonical decoder over a byte slice.
@@ -175,33 +188,71 @@ pub fn read_vt(r: &mut PayloadReader<'_>) -> Result<VirtualTime, KernelError> {
     Ok(VirtualTime::from_ticks(r.u64()?))
 }
 
+/// Byte length of the fixed (Pod-style) event envelope that precedes
+/// the payload on the wire and in checkpoints. Layout, all
+/// little-endian, offsets in bytes:
+///
+/// ```text
+/// 0        4        12       16       24       32   33   35       43       47
+/// | sender | serial | dst    | send_vt| recv_vt|sign|kind| tag    | len    | payload...
+/// |  u32   |  u64   |  u32   |  u64   |  u64   | u8 |u16 |  u64   |  u32   |
+/// ```
+///
+/// Distinct from [`crate::event::EVENT_HEADER_BYTES`], which is the
+/// paper's *modeled* per-message overhead used by the cost model.
+pub const EVENT_WIRE_BYTES: usize = 47;
+
+/// Exact encoded size of an event: fixed envelope + payload.
+pub fn encoded_event_len(e: &Event) -> usize {
+    EVENT_WIRE_BYTES + e.payload.len()
+}
+
 /// Append a full event envelope + payload in canonical form. The
 /// `content_tag` is carried verbatim rather than recomputed on decode:
 /// an anti-message's tag is its positive twin's, not a function of its
 /// own (empty) payload.
+///
+/// The envelope is assembled in a fixed-layout stack buffer and copied
+/// in one append ([`EVENT_WIRE_BYTES`] has the byte diagram); the bytes
+/// are identical to the former field-by-field encoding.
 pub fn encode_event(w: &mut PayloadWriter, e: &Event) {
-    w.u32(e.id.sender.0);
-    w.u64(e.id.serial);
-    w.u32(e.dst.0);
-    write_vt(w, e.send_time);
-    write_vt(w, e.recv_time);
-    w.u8(match e.sign {
+    let mut h = [0u8; EVENT_WIRE_BYTES];
+    h[0..4].copy_from_slice(&e.id.sender.0.to_le_bytes());
+    h[4..12].copy_from_slice(&e.id.serial.to_le_bytes());
+    h[12..16].copy_from_slice(&e.dst.0.to_le_bytes());
+    h[16..24].copy_from_slice(&e.send_time.ticks().to_le_bytes());
+    h[24..32].copy_from_slice(&e.recv_time.ticks().to_le_bytes());
+    h[32] = match e.sign {
         Sign::Positive => 0,
         Sign::Anti => 1,
-    });
-    w.u16(e.kind);
-    w.u64(e.content_tag);
-    w.bytes(&e.payload);
+    };
+    h[33..35].copy_from_slice(&e.kind.to_le_bytes());
+    h[35..43].copy_from_slice(&e.content_tag.to_le_bytes());
+    h[43..47].copy_from_slice(&(e.payload.len() as u32).to_le_bytes());
+    w.reserve(EVENT_WIRE_BYTES + e.payload.len());
+    w.raw(&h);
+    w.raw(&e.payload);
 }
 
-/// Decode an event written by [`encode_event`].
+#[inline]
+fn le_u32(h: &[u8; EVENT_WIRE_BYTES], at: usize) -> u32 {
+    u32::from_le_bytes(h[at..at + 4].try_into().expect("fixed offset"))
+}
+
+#[inline]
+fn le_u64(h: &[u8; EVENT_WIRE_BYTES], at: usize) -> u64 {
+    u64::from_le_bytes(h[at..at + 8].try_into().expect("fixed offset"))
+}
+
+/// Decode an event written by [`encode_event`]: one bounds check for
+/// the whole fixed envelope, then field reads at fixed offsets, then
+/// one bounds-checked payload copy.
 pub fn decode_event(r: &mut PayloadReader<'_>) -> Result<Event, KernelError> {
-    let sender = ObjectId(r.u32()?);
-    let serial = r.u64()?;
-    let dst = ObjectId(r.u32()?);
-    let send_time = read_vt(r)?;
-    let recv_time = read_vt(r)?;
-    let sign = match r.u8()? {
+    let h: &[u8; EVENT_WIRE_BYTES] = r
+        .take(EVENT_WIRE_BYTES)?
+        .try_into()
+        .expect("take returns exactly EVENT_WIRE_BYTES");
+    let sign = match h[32] {
         0 => Sign::Positive,
         1 => Sign::Anti,
         other => {
@@ -210,17 +261,19 @@ pub fn decode_event(r: &mut PayloadReader<'_>) -> Result<Event, KernelError> {
             )))
         }
     };
-    let kind = r.u16()?;
-    let content_tag = r.u64()?;
-    let payload = r.bytes()?.to_vec();
+    let len = le_u32(h, 43) as usize;
+    let payload = r.take(len)?.to_vec();
     Ok(Event {
-        id: EventId { sender, serial },
-        dst,
-        send_time,
-        recv_time,
+        id: EventId {
+            sender: ObjectId(le_u32(h, 0)),
+            serial: le_u64(h, 4),
+        },
+        dst: ObjectId(le_u32(h, 12)),
+        send_time: VirtualTime::from_ticks(le_u64(h, 16)),
+        recv_time: VirtualTime::from_ticks(le_u64(h, 24)),
         sign,
-        kind,
-        content_tag,
+        kind: u16::from_le_bytes(h[33..35].try_into().expect("fixed offset")),
+        content_tag: le_u64(h, 35),
         payload,
     })
 }
@@ -344,6 +397,42 @@ mod tests {
             let mut r = PayloadReader::new(&buf[..cut]);
             assert!(decode_event(&mut r).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn pod_envelope_layout_is_pinned() {
+        // Golden bytes: the fixed-layout fast path must stay identical
+        // to the original field-by-field encoding (wire protocol and
+        // checkpoint compatibility).
+        let e = Event {
+            id: EventId {
+                sender: ObjectId(0x0102_0304),
+                serial: 0x1112_1314_1516_1718,
+            },
+            dst: ObjectId(0x2122_2324),
+            send_time: VirtualTime::new(0x3132_3334_3536_3738),
+            recv_time: VirtualTime::new(0x4142_4344_4546_4748),
+            sign: Sign::Anti,
+            kind: 0x5152,
+            content_tag: 0x6162_6364_6566_6768,
+            payload: vec![0xAA, 0xBB],
+        };
+        let mut w = PayloadWriter::new();
+        encode_event(&mut w, &e);
+        let buf = w.finish();
+        assert_eq!(buf.len(), EVENT_WIRE_BYTES + 2);
+        assert_eq!(buf.len(), encoded_event_len(&e));
+        // Reference encoding via the generic writer, field by field.
+        let mut r = PayloadWriter::new();
+        r.u32(e.id.sender.0).u64(e.id.serial).u32(e.dst.0);
+        r.u64(e.send_time.ticks()).u64(e.recv_time.ticks());
+        r.u8(1).u16(e.kind).u64(e.content_tag).bytes(&e.payload);
+        assert_eq!(buf, r.finish());
+        // Spot-check the documented offsets.
+        assert_eq!(&buf[0..4], &0x0102_0304u32.to_le_bytes());
+        assert_eq!(buf[32], 1, "sign byte at offset 32");
+        assert_eq!(&buf[33..35], &0x5152u16.to_le_bytes());
+        assert_eq!(&buf[43..47], &2u32.to_le_bytes());
     }
 
     #[test]

@@ -135,7 +135,25 @@ fn truncated(context: &'static str, e: impl fmt::Display) -> SnapshotError {
 /// Encode one worker's checkpoint delta (all its LPs) plus the window
 /// bounds into a `Frame::Snapshot` payload.
 pub(crate) fn encode_delta(from: VirtualTime, below: VirtualTime, lps: &[LpDelta]) -> Vec<u8> {
-    let mut w = PayloadWriter::new();
+    // Exact size up front: the Pod event envelope is fixed-width, so
+    // the whole delta is one allocation + bounds-checked copies.
+    let total: usize = 20
+        + lps
+            .iter()
+            .map(|d| {
+                8 + d
+                    .objects
+                    .iter()
+                    .map(|(_, evs)| {
+                        8 + evs
+                            .iter()
+                            .map(warp_core::wire::encoded_event_len)
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum::<usize>();
+    let mut w = PayloadWriter::with_capacity(total);
     write_vt(&mut w, from);
     write_vt(&mut w, below);
     w.u32(lps.len() as u32);

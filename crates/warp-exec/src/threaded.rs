@@ -1,7 +1,9 @@
 //! The threaded executive: one OS thread per logical process.
 //!
 //! This is the kernel running as a genuinely parallel program: LP threads
-//! exchange physical messages over a FIFO channel mesh (`warp_net`), GVT
+//! exchange physical messages over a mesh of preallocated SPSC ring
+//! lanes (`warp_net::spsc`; FIFO per ordered pair, like the channel mesh
+//! it replaced — see `docs/hot-path.md`), GVT
 //! is estimated with the Mattern-style token of `warp_core::gvt`, and
 //! termination is GVT = ∞. Aggregation windows are interpreted in wall
 //! seconds here (the virtual executive interprets them in modeled
@@ -15,7 +17,7 @@ use std::time::{Duration, Instant};
 use warp_core::gvt::{GvtController, MatternAgent};
 use warp_core::stats::{CommStats, ObjectStats};
 use warp_core::{Event, ObjectId, VirtualTime};
-use warp_net::{mesh, Aggregator, Endpoint, PhysMsg};
+use warp_net::{lane_mesh, Aggregator, Endpoint, LaneEndpoint, PhysMsg};
 
 /// Traffic multiplexed over the mesh. Shared with the distributed
 /// executive, whose TCP frames carry exactly these payloads (the
@@ -124,6 +126,24 @@ impl LpPort for Endpoint<Packet> {
     }
 }
 
+impl LpPort for LaneEndpoint<Packet> {
+    fn id(&self) -> usize {
+        LaneEndpoint::id(self)
+    }
+    fn n_total(&self) -> usize {
+        self.n_peers()
+    }
+    fn send(&self, to: usize, p: Packet) {
+        LaneEndpoint::send(self, to, p);
+    }
+    fn try_recv(&self) -> Option<Packet> {
+        LaneEndpoint::try_recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        LaneEndpoint::recv_timeout(self, timeout)
+    }
+}
+
 /// Events processed between communication polls.
 const BATCH: usize = 64;
 /// Fallback GVT cadence when the spec disables fossil collection.
@@ -133,7 +153,7 @@ const TERMINATION_PROBE: Duration = Duration::from_millis(5);
 pub fn run_threaded(spec: &SimulationSpec) -> RunReport {
     let start_all = Instant::now();
     let n_lps = spec.partition.n_lps();
-    let endpoints = mesh::<Packet>(n_lps);
+    let endpoints = lane_mesh::<Packet>(n_lps);
 
     let handles: Vec<_> = endpoints
         .into_iter()

@@ -360,6 +360,13 @@ impl Frame {
                     .u32(*session);
             }
             Frame::Data { seq, epoch, msg } => {
+                w.reserve(
+                    25 + msg
+                        .events
+                        .iter()
+                        .map(warp_core::wire::encoded_event_len)
+                        .sum::<usize>(),
+                );
                 w.u8(TAG_DATA)
                     .u64(*seq)
                     .u32(*epoch)

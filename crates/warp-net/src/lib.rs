@@ -8,8 +8,11 @@
 //!   SAAW).
 //! * [`policy`] — the aggregation policy configurations, with the SAAW
 //!   adaptation law imported from `warp-control`.
-//! * [`inproc`] — the threaded executive's transport: a full mesh of
-//!   FIFO channels between LP threads.
+//! * [`spsc`] — the threaded executive's transport: a full mesh of
+//!   preallocated single-producer/single-consumer ring-buffer lanes
+//!   between LP threads (see `docs/hot-path.md`).
+//! * [`inproc`] — the channel-based predecessor of [`spsc`], kept as a
+//!   reference mesh with the same surface.
 //! * [`frame`] + [`tcp`] — the distributed executive's transport: a
 //!   length-prefixed, versioned frame codec over the canonical
 //!   `warp_core::wire` encoding, and a full TCP mesh of processes with
@@ -39,6 +42,7 @@ pub mod inproc;
 pub mod mesh_select;
 pub mod policy;
 pub mod poll;
+pub mod spsc;
 pub mod tcp;
 pub mod wire_agg;
 
@@ -49,5 +53,6 @@ pub use inproc::{mesh, Endpoint};
 pub use mesh_select::{Mesh, Transport};
 pub use policy::AggregationConfig;
 pub use poll::PollMesh;
+pub use spsc::{lane_mesh, LaneEndpoint};
 pub use tcp::{bind_loopback, MeshEvent, MeshSender, TcpMesh, TcpMeshConfig};
 pub use wire_agg::{AggTuning, LinkAggStats, LinkAggregator};

@@ -231,13 +231,14 @@ impl LinkAggregator {
 
     /// Exact encoded size of `(epoch, msg)` as one `DataBatch` entry:
     /// the fixed 16-byte header (epoch/src/dst/count) plus the events'
-    /// canonical wire bytes.
+    /// canonical wire bytes (computed, not encoded — the Pod envelope
+    /// has a fixed size).
     fn entry_size(msg: &crate::aggregate::PhysMsg) -> usize {
-        let mut w = warp_core::wire::PayloadWriter::new();
-        for e in &msg.events {
-            warp_core::wire::encode_event(&mut w, e);
-        }
-        16 + w.len()
+        16 + msg
+            .events
+            .iter()
+            .map(warp_core::wire::encoded_event_len)
+            .sum::<usize>()
     }
 
     /// Stage an outbound frame. Returns the frames that must depart
